@@ -1,0 +1,102 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and prints it
+in the paper's layout.  Scale and search budgets are environment-tunable:
+
+* ``REPRO_BENCH_SCALE``       -- corpus scale factor (default 0.04;
+  1.0 = the real collection's size).
+* ``REPRO_BENCH_TOURNAMENTS`` -- RLGP tournaments per run (default 600;
+  paper: 48000).
+* ``REPRO_BENCH_RESTARTS``    -- RLGP restarts per category (default 2;
+  paper: 20).
+* ``REPRO_BENCH_MAXLEN``      -- encoded-sequence cap (default 60; the
+  paper has no cap -- this bounds RLGP evaluation cost on corpus-wide
+  feature selections).
+
+Results are printed to stdout; run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline, make_corpus
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+SEED = 21578
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Budget knobs shared by every benchmark."""
+
+    scale: float
+    tournaments: int
+    restarts: int
+    som_epochs: int = 12
+    max_sequence_length: int = 60
+
+    def gp(self, seed: int = 1) -> GpConfig:
+        return GpConfig().small(tournaments=self.tournaments, seed=seed)
+
+    def prosys(self, feature_method: str, seed: int = 1) -> ProSysConfig:
+        return ProSysConfig(
+            feature_method=feature_method,
+            som_epochs=self.som_epochs,
+            max_sequence_length=self.max_sequence_length,
+            gp=self.gp(seed),
+            n_restarts=self.restarts,
+            seed=seed,
+        )
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    return BenchSettings(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.04")),
+        tournaments=int(os.environ.get("REPRO_BENCH_TOURNAMENTS", "600")),
+        restarts=int(os.environ.get("REPRO_BENCH_RESTARTS", "2")),
+        max_sequence_length=int(os.environ.get("REPRO_BENCH_MAXLEN", "60")),
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus(settings):
+    """The benchmark corpus (stands in for Reuters-21578 ModApte top-10)."""
+    return make_corpus(scale=settings.scale, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def tokenized(corpus):
+    return TokenizedCorpus(corpus)
+
+
+@pytest.fixture(scope="session")
+def prosys_mi(corpus, settings):
+    """ProSys fitted with Mutual Information features (Tables 4 and 5)."""
+    pipeline = ProSysPipeline(settings.prosys("mi", seed=1))
+    return pipeline.fit(corpus)
+
+
+@pytest.fixture(scope="session")
+def prosys_ig(corpus, settings):
+    """ProSys fitted with Information Gain features (Tables 4 and 6)."""
+    pipeline = ProSysPipeline(settings.prosys("ig", seed=1))
+    return pipeline.fit(corpus)
+
+
+def paper_rows(categories):
+    """Row labels in the paper's table order, averages last."""
+    return list(categories) + ["Macro Ave.", "Micro Ave."]
+
+
+def scores_to_column(scores, categories):
+    """Flatten MultiLabelScores into a row-label -> value mapping."""
+    column = {category: scores.f1(category) for category in categories}
+    column["Macro Ave."] = scores.macro_f1
+    column["Micro Ave."] = scores.micro_f1
+    return column

@@ -1,0 +1,53 @@
+"""Ablation -- the AWC map-sizing heuristic (paper Sec. 5).
+
+The paper chose 7x13 for the character SOM and 8x8 for the word SOMs
+"based on the observation of AWC".  This benchmark sweeps map sizes on the
+same inputs and reports the final average weight change per size, showing
+the settle-off that motivates those choices.
+"""
+
+from repro.encoding.characters import character_inputs
+from repro.som.metrics import awc_curve, recommend_map_size
+
+CHAR_SIZES = [(3, 5), (5, 9), (7, 13), (9, 15)]
+
+
+def test_awc_character_map_sweep(tokenized, benchmark):
+    words = []
+    for doc in tokenized.train_documents:
+        words.extend(tokenized.tokens(doc))
+    vectors, counts = character_inputs(words)
+
+    curve = benchmark.pedantic(
+        lambda: awc_curve(vectors, CHAR_SIZES, sample_weights=counts, epochs=12),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nAblation: final AWC per character-SOM size (paper picked 7x13)")
+    for (rows, cols), awc in curve.items():
+        marker = "  <- paper" if (rows, cols) == (7, 13) else ""
+        print(f"  {rows:2d} x {cols:2d} ({rows * cols:3d} units): {awc:.5f}{marker}")
+
+    assert set(curve) == set(CHAR_SIZES)
+    assert all(awc >= 0 for awc in curve.values())
+    # The tiny map must still be visibly moving relative to the larger
+    # maps -- the gradient the paper's heuristic reads.
+    assert curve[(3, 5)] >= min(curve.values())
+
+
+def test_awc_recommendation_is_reasonable(tokenized, benchmark):
+    words = []
+    for doc in tokenized.train_documents[:100]:
+        words.extend(tokenized.tokens(doc))
+    vectors, counts = character_inputs(words)
+
+    choice = benchmark.pedantic(
+        lambda: recommend_map_size(
+            vectors, CHAR_SIZES, sample_weights=counts, epochs=12, tolerance=0.25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n  recommended character map size: {choice[0]}x{choice[1]}")
+    assert choice in CHAR_SIZES

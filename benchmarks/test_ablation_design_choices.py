@@ -1,0 +1,78 @@
+"""Ablation -- the paper's design choices, removed one at a time.
+
+Three switches on the RLGP trainer isolate three claims:
+
+* ``recurrent=False`` wipes registers before every word, destroying the
+  temporal information the paper's title is about;
+* ``use_dss=False`` evaluates on the full training set (slower per
+  tournament, the paper's motivation for DSS);
+* ``dynamic_pages=False`` fixes the crossover page size at the maximum.
+
+Each variant trains on the same encoded earn/grain problems.
+"""
+
+import time
+
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.evaluation.metrics import score_binary
+from repro.gp.trainer import RlgpTrainer
+
+CATEGORIES = ("earn", "grain")
+
+VARIANTS = {
+    "full (paper)": {},
+    "no recurrence": {"recurrent": False},
+    "no DSS": {"use_dss": False},
+    "fixed pages": {"dynamic_pages": False},
+}
+
+
+@pytest.fixture(scope="module")
+def encoded_problems(prosys_mi):
+    problems = {}
+    for category in CATEGORIES:
+        train = prosys_mi.encoder.encode_dataset(
+            prosys_mi.tokenized, prosys_mi.feature_set, category, "train"
+        )
+        test = prosys_mi.encoder.encode_dataset(
+            prosys_mi.tokenized, prosys_mi.feature_set, category, "test"
+        )
+        problems[category] = (train, test)
+    return problems
+
+
+def test_ablation_design_choices(encoded_problems, settings, benchmark):
+    def run():
+        results = {}
+        for name, switches in VARIANTS.items():
+            f1_values = []
+            seconds = 0.0
+            for category, (train, test) in encoded_problems.items():
+                trainer = RlgpTrainer(settings.gp(seed=11), **switches)
+                start = time.perf_counter()
+                classifier = RlgpBinaryClassifier.fit(
+                    train, trainer, n_restarts=1, base_seed=11
+                )
+                seconds += time.perf_counter() - start
+                scores = score_binary(test.labels, classifier.predict(test))
+                f1_values.append(scores.f1)
+            results[name] = (sum(f1_values) / len(f1_values), seconds)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nAblation: design choices (mean F1 over earn+grain, train seconds)")
+    for name, (f1, seconds) in results.items():
+        print(f"  {name:14s} F1 {f1:.2f}   {seconds:6.1f}s")
+
+    full_f1 = results["full (paper)"][0]
+    assert full_f1 > 0.3
+
+    # DSS's claim is speed: full-set evaluation must cost more wall clock.
+    assert results["no DSS"][1] > results["full (paper)"][1] * 0.8
+
+    # Removing recurrence removes the temporal signal; it must not *help*
+    # decisively (allow noise at reduced budgets).
+    assert results["no recurrence"][0] <= full_f1 + 0.25

@@ -1,0 +1,60 @@
+"""Ablation -- fitness functions (Eq. 5 vs the paper's future-work F1).
+
+The paper uses plain SSE (Eq. 5) and suggests incorporating IR measures
+such as F1 into the fitness as future work (Sec. 9).  This benchmark
+trains the same binary problems under all three implemented fitness
+functions and compares test F1.
+"""
+
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.evaluation.metrics import score_binary
+from repro.gp.trainer import RlgpTrainer
+
+CATEGORIES = ("earn", "grain")
+FITNESSES = ("sse", "balanced_sse", "f1")
+
+
+@pytest.fixture(scope="module")
+def encoded_problems(prosys_mi):
+    problems = {}
+    for category in CATEGORIES:
+        train = prosys_mi.encoder.encode_dataset(
+            prosys_mi.tokenized, prosys_mi.feature_set, category, "train"
+        )
+        test = prosys_mi.encoder.encode_dataset(
+            prosys_mi.tokenized, prosys_mi.feature_set, category, "test"
+        )
+        problems[category] = (train, test)
+    return problems
+
+
+def test_ablation_fitness_functions(encoded_problems, settings, benchmark):
+    def run():
+        results = {}
+        for fitness in FITNESSES:
+            f1_values = {}
+            for category, (train, test) in encoded_problems.items():
+                trainer = RlgpTrainer(settings.gp(seed=23), fitness=fitness)
+                classifier = RlgpBinaryClassifier.fit(
+                    train, trainer, n_restarts=1, base_seed=23
+                )
+                scores = score_binary(test.labels, classifier.predict(test))
+                f1_values[category] = scores.f1
+            results[fitness] = f1_values
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nAblation: fitness functions (test F1)")
+    print(f"  {'fitness':14s}" + "".join(f"{c:>9s}" for c in CATEGORIES))
+    for fitness, f1_values in results.items():
+        row = "".join(f"{f1_values[c]:9.2f}" for c in CATEGORIES)
+        print(f"  {fitness:14s}{row}")
+
+    for f1_values in results.values():
+        for value in f1_values.values():
+            assert 0.0 <= value <= 1.0
+    # The paper's Eq. 5 must at least learn earn.
+    assert results["sse"]["earn"] > 0.3

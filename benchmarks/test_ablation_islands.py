@@ -1,0 +1,74 @@
+"""Extension -- island model vs the paper's independent restarts.
+
+Same total search budget, two structures: N independent runs keeping the
+best rule (the paper's protocol) vs an island model whose populations
+exchange champions between phases.
+"""
+
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.threshold import median_threshold
+from repro.evaluation.metrics import score_binary
+from repro.gp.config import GpConfig
+from repro.gp.fitness import squash_output
+from repro.gp.islands import IslandEvolution
+from repro.gp.recurrent import RecurrentEvaluator
+from repro.gp.trainer import RlgpTrainer
+
+CATEGORY = "grain"
+
+
+@pytest.fixture(scope="module")
+def problem(prosys_mi):
+    train = prosys_mi.encoder.encode_dataset(
+        prosys_mi.tokenized, prosys_mi.feature_set, CATEGORY, "train"
+    )
+    test = prosys_mi.encoder.encode_dataset(
+        prosys_mi.tokenized, prosys_mi.feature_set, CATEGORY, "test"
+    )
+    return train, test
+
+
+def _score(result, train, test):
+    """Threshold the evolved program with Eq. 6 and score the test split."""
+    classifier = RlgpBinaryClassifier(
+        category=CATEGORY,
+        program=result.program,
+        config=result.config,
+        threshold=0.0,
+        train_fitness=result.train_fitness,
+    )
+    outputs = classifier.decision_values(train.sequences)
+    classifier.threshold = median_threshold(outputs, train.labels)
+    return score_binary(test.labels, classifier.predict(test)).f1
+
+
+def test_islands_vs_restarts(problem, settings, benchmark):
+    train, test = problem
+    phase = max(settings.tournaments // 4, 50)
+
+    def run():
+        config = GpConfig().small(tournaments=phase, seed=43)
+        # Paper protocol: 4 independent runs, keep the best rule.
+        restart_result = RlgpTrainer(config).train_with_restarts(
+            train, n_restarts=4, base_seed=43
+        )
+        # Island model: 2 islands x 2 rounds of the same phase budget.
+        island_result = IslandEvolution(
+            config, n_islands=2, rounds=2, migrants=5
+        ).train(train, seed=43)
+        return {
+            "restarts": (restart_result.train_fitness, _score(restart_result, train, test)),
+            "islands": (island_result.train_fitness, _score(island_result, train, test)),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\nIslands vs restarts on {CATEGORY!r} (equal total budget)")
+    for name, (fitness, f1) in results.items():
+        print(f"  {name:9s} train fitness {fitness:7.1f}   test F1 {f1:.2f}")
+
+    for fitness, f1 in results.values():
+        assert fitness >= 0.0
+        assert 0.0 <= f1 <= 1.0

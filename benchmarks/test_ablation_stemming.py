@@ -1,0 +1,87 @@
+"""Ablation -- stemming vs the SOM's grouping (paper Sec. 4 claim).
+
+The paper skips stemming because "all the words that have the same base
+form can be grouped together on the second level SOMs".  With a Porter
+stemmer in the library, that claim is testable two ways:
+
+1. *Topology*: do inflectional variants really land on the same BMU
+   without stemming?
+2. *End-to-end*: does adding stemming change classification F1?
+"""
+
+import pytest
+
+from repro import ProSysConfig, ProSysPipeline
+from repro.preprocessing.stemmer import porter_stem
+
+VARIANT_PAIRS = [
+    ("profit", "profits"),
+    ("dividend", "dividends"),
+    ("shipment", "shipments"),
+    ("export", "exports"),
+    ("barrel", "barrels"),
+    ("rate", "rates"),
+]
+
+CATEGORIES = ["earn", "grain"]
+
+
+def test_som_groups_base_forms_without_stemming(prosys_mi, benchmark):
+    """Claim 1: inflectional variants project to the same or adjacent BMU."""
+    encoder = prosys_mi.encoder.encoder_for("earn")
+    som = encoder.som
+
+    def run():
+        distances = []
+        for base, variant in VARIANT_PAIRS:
+            unit_a = encoder.word_bmu(base)
+            unit_b = encoder.word_bmu(variant)
+            distances.append(som.grid_distance(unit_a, unit_b))
+        return distances
+
+    distances = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nSOM grid distance between inflectional variants (no stemming):")
+    for (base, variant), distance in zip(VARIANT_PAIRS, distances):
+        same = porter_stem(base) == porter_stem(variant)
+        print(f"  {base:10s} / {variant:10s}: {distance:.1f}"
+              f"   (same Porter stem: {'yes' if same else 'no'})")
+
+    mean = sum(distances) / len(distances)
+    print(f"  mean: {mean:.2f} grid units (map diagonal ~9.9)")
+    # The paper's claim: variants cluster -- clearly below random placement
+    # (mean pairwise distance on an 8x8 grid is ~4.1).
+    assert mean < 4.1
+
+
+def test_stemming_end_to_end(corpus, settings, benchmark):
+    """Claim 2: stemming should bring little benefit on top of the SOM."""
+
+    def run():
+        results = {}
+        for stem in (False, True):
+            config = ProSysConfig(
+                feature_method="mi",
+                som_epochs=settings.som_epochs,
+                max_sequence_length=settings.max_sequence_length,
+                gp=settings.gp(seed=47),
+                n_restarts=1,
+                stem=stem,
+                seed=47,
+            )
+            pipeline = ProSysPipeline(config).fit(corpus, categories=CATEGORIES)
+            scores = pipeline.evaluate("test")
+            results[stem] = {c: scores.f1(c) for c in CATEGORIES}
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nEnd-to-end with and without Porter stemming (test F1):")
+    print(f"  {'variant':12s}" + "".join(f"{c:>9s}" for c in CATEGORIES))
+    for stem, row in results.items():
+        name = "stemmed" if stem else "raw (paper)"
+        print(f"  {name:12s}" + "".join(f"{row[c]:9.2f}" for c in CATEGORIES))
+
+    for row in results.values():
+        for value in row.values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,67 @@
+"""Ablation -- BMU-selection volume reduction (paper Sec. 6.2).
+
+The paper keeps only the most-hit BMUs, sized so every training document
+stays covered.  ``min_hit_mass`` interpolates between the bare
+minimal-coverage reading (0.0 -- keeps 2-3 units, discards ~90% of words)
+and keeping every hit unit (1.0 -- no volume reduction).  This benchmark
+sweeps the knob on one category and reports sequence lengths and F1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.encoding import HierarchicalSomEncoder
+from repro.evaluation.metrics import score_binary
+from repro.features import MutualInformationSelector
+from repro.gp.trainer import RlgpTrainer
+
+MASSES = (0.0, 0.5, 0.9)
+CATEGORY = "grain"
+
+
+@pytest.fixture(scope="module")
+def feature_set(tokenized):
+    return MutualInformationSelector(300).select(tokenized)
+
+
+def test_ablation_volume_reduction(tokenized, feature_set, settings, benchmark):
+    def run():
+        results = {}
+        for mass in MASSES:
+            encoder = HierarchicalSomEncoder(
+                epochs=settings.som_epochs, min_hit_mass=mass, seed=1
+            ).fit(tokenized, feature_set, categories=(CATEGORY,))
+            train = encoder.encode_dataset(tokenized, feature_set, CATEGORY, "train")
+            test = encoder.encode_dataset(tokenized, feature_set, CATEGORY, "test")
+            classifier = RlgpBinaryClassifier.fit(
+                train, RlgpTrainer(settings.gp(seed=19)), base_seed=19
+            )
+            scores = score_binary(test.labels, classifier.predict(test))
+            labels = train.labels
+            lengths = np.array([len(d) for d in train.documents])
+            results[mass] = {
+                "selected_units": len(
+                    encoder.encoder_for(CATEGORY).selected_units
+                ),
+                "mean_len_in": float(lengths[labels > 0].mean()),
+                "mean_len_out": float(lengths[labels < 0].mean()),
+                "f1": scores.f1,
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\nAblation: volume reduction on {CATEGORY!r} "
+          "(min_hit_mass -> kept BMUs, sequence lengths, F1)")
+    print(f"  {'mass':>6s}{'BMUs':>7s}{'len(in)':>10s}{'len(out)':>10s}{'F1':>7s}")
+    for mass, row in results.items():
+        print(f"  {mass:6.1f}{row['selected_units']:7d}"
+              f"{row['mean_len_in']:10.1f}{row['mean_len_out']:10.1f}"
+              f"{row['f1']:7.2f}")
+
+    # Monotone structure: more mass keeps more units and longer sequences.
+    units = [results[m]["selected_units"] for m in MASSES]
+    assert units == sorted(units)
+    lengths = [results[m]["mean_len_in"] for m in MASSES]
+    assert lengths == sorted(lengths)

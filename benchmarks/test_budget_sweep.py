@@ -1,0 +1,56 @@
+"""Extension -- search-budget sweep.
+
+The paper runs 48 000 tournaments x 20 restarts; the reproduction runs far
+fewer.  This benchmark sweeps the tournament budget on one category to
+show how F1 scales with search -- contextualising every reduced-budget
+number in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.evaluation.metrics import score_binary
+from repro.gp.config import GpConfig
+from repro.gp.trainer import RlgpTrainer
+
+BUDGETS = (100, 300, 600, 1200)
+CATEGORY = "earn"
+
+
+@pytest.fixture(scope="module")
+def problem(prosys_mi):
+    train = prosys_mi.encoder.encode_dataset(
+        prosys_mi.tokenized, prosys_mi.feature_set, CATEGORY, "train"
+    )
+    test = prosys_mi.encoder.encode_dataset(
+        prosys_mi.tokenized, prosys_mi.feature_set, CATEGORY, "test"
+    )
+    return train, test
+
+
+def test_budget_sweep(problem, benchmark):
+    train, test = problem
+
+    def run():
+        results = {}
+        for budget in BUDGETS:
+            config = GpConfig().small(tournaments=budget, seed=37)
+            classifier = RlgpBinaryClassifier.fit(
+                train, RlgpTrainer(config), n_restarts=1, base_seed=37
+            )
+            scores = score_binary(test.labels, classifier.predict(test))
+            results[budget] = (scores.f1, classifier.train_fitness)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\nBudget sweep on {CATEGORY!r} (paper: 48000 tournaments x 20 restarts)")
+    print(f"  {'tournaments':>12s}{'test F1':>9s}{'train SSE':>11s}")
+    for budget, (f1, fitness) in results.items():
+        print(f"  {budget:12d}{f1:9.2f}{fitness:11.1f}")
+
+    # Training fitness must not degrade with more search.
+    fitness_values = [results[b][1] for b in BUDGETS]
+    assert fitness_values[-1] <= fitness_values[0] + 1e-9
+    for f1, _ in results.values():
+        assert 0.0 <= f1 <= 1.0

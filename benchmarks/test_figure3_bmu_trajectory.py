@@ -1,0 +1,74 @@
+"""Figure 3 -- mapping the ordered words of a document to their BMUs.
+
+The paper shows a document becoming an ordered BMU index sequence like
+``8 -> 1 -> 43 -> 62 -> ...`` on the category's 8x8 word SOM, with
+same-category documents sharing common sub-sequences.  This benchmark
+prints the trajectory of two earn documents and measures the trajectory
+computation.
+"""
+
+import numpy as np
+
+
+def _trajectory_string(units):
+    return " -> ".join(str(u) for u in units)
+
+
+def test_figure3_bmu_trajectory(corpus, prosys_mi, benchmark):
+    encoder = prosys_mi.encoder.encoder_for("earn")
+    tokenized = prosys_mi.tokenized
+    feature_set = prosys_mi.feature_set
+
+    docs = corpus.train_for("earn")[:2]
+    word_streams = [
+        feature_set.filter_tokens(tokenized.tokens(doc), "earn") for doc in docs
+    ]
+
+    trajectories = benchmark.pedantic(
+        lambda: [encoder.bmu_trajectory(words) for words in word_streams],
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFigure 3. Mapping the ordered words to their BMUs (8x8 earn SOM)")
+    for doc, words, trajectory in zip(docs, word_streams, trajectories):
+        print(f"  doc {doc.doc_id} ({len(words)} words after feature selection):")
+        print(f"    {_trajectory_string(trajectory[:16])}"
+              + (" -> ..." if len(trajectory) > 16 else ""))
+
+    for trajectory in trajectories:
+        assert all(0 <= unit < encoder.som.n_units for unit in trajectory)
+
+    # Same-category documents share common BMUs -- the property the
+    # classifier exploits.
+    if all(len(t) > 0 for t in trajectories):
+        shared = set(trajectories[0]) & set(trajectories[1])
+        assert shared, "two earn documents should hit overlapping BMUs"
+
+
+def test_figure3_similar_words_project_close(prosys_mi, benchmark):
+    """The paper's Fig. 3 inset: words with similar characters at close
+    positions land on the same or neighbouring BMUs."""
+    encoder = prosys_mi.encoder.encoder_for("earn")
+    som = encoder.som
+
+    def distance(word_a, word_b):
+        unit_a = encoder.word_bmu(word_a)
+        unit_b = encoder.word_bmu(word_b)
+        return som.grid_distance(unit_a, unit_b)
+
+    pairs_similar = [("profit", "profits"), ("dividend", "dividends")]
+    pairs_different = [("profit", "tax"), ("dividend", "net")]
+
+    result = benchmark.pedantic(
+        lambda: (
+            np.mean([distance(a, b) for a, b in pairs_similar]),
+            np.mean([distance(a, b) for a, b in pairs_different]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    similar, different = result
+    print(f"\n  mean grid distance: morphological variants {similar:.2f}, "
+          f"unrelated words {different:.2f}")
+    assert similar <= different + 1e-9

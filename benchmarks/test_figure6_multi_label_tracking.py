@@ -1,0 +1,78 @@
+"""Figure 6 -- word tracking on a multi-labelled document.
+
+The paper shows a grain+wheat+trade document in which different words are
+"underlined" by different classifiers (output register in class as that
+word arrives), demonstrating context-change tracking.  This benchmark
+finds genuine multi-labelled test documents (wheat stories are almost
+always also grain stories, mirroring the real collection), runs all fitted
+classifiers in parallel, and prints which classifier claims which words.
+"""
+
+import pytest
+
+TARGET_LABELS = {"grain", "wheat", "trade"}
+
+
+@pytest.fixture(scope="module")
+def multi_label_doc(corpus):
+    """A test document carrying >= 2 of the paper's Figure 6 labels."""
+    candidates = [
+        doc for doc in corpus.test_documents
+        if len(set(doc.topics) & TARGET_LABELS) >= 2
+    ]
+    if not candidates:
+        candidates = [d for d in corpus.test_documents if len(d.topics) >= 2]
+    assert candidates, "the synthetic corpus guarantees multi-label docs"
+    return max(candidates, key=lambda d: len(d.body))
+
+
+def test_figure6_multi_label_tracking(multi_label_doc, prosys_mi, benchmark):
+    doc = multi_label_doc
+    traces = benchmark.pedantic(
+        lambda: prosys_mi.track_all(doc), rounds=1, iterations=1
+    )
+
+    print(f"\nFigure 6. Word tracking on multi-labelled doc {doc.doc_id} "
+          f"{list(doc.topics)}")
+    for category in sorted(set(doc.topics) | {"earn"}):
+        trace = traces.get(category)
+        if trace is None:
+            continue
+        claimed = trace.in_class_words
+        marker = "*" if doc.has_topic(category) else " "
+        print(f" {marker}{category:9s}: {len(trace):3d} words encoded, "
+              f"{len(claimed):3d} in-class, context changes at "
+              f"{trace.context_changes[:6]}")
+        if claimed:
+            print(f"             underlined: {' '.join(claimed[:10])}")
+
+    assert set(traces) == set(prosys_mi.suite.categories)
+
+    # The document's own categories must encode more of its words than an
+    # unrelated one (earn): its text is made of their vocabulary.
+    labelled_words = sum(len(traces[c]) for c in doc.topics if c in traces)
+    unrelated = [c for c in ("earn", "ship", "crude") if not doc.has_topic(c)]
+    unrelated_words = min(len(traces[c]) for c in unrelated if c in traces)
+    assert labelled_words >= unrelated_words
+
+
+def test_figure6_context_changes_follow_segments(prosys_mi, corpus, benchmark):
+    """Multi-topic documents should flip at least one classifier's
+    decision mid-document, across the corpus's multi-label test docs."""
+    documents = [d for d in corpus.test_documents if len(d.topics) >= 2][:5]
+    assert documents
+
+    def run():
+        total_changes = 0
+        encoded = 0
+        for doc in documents:
+            traces = prosys_mi.track_all(doc)
+            total_changes += sum(len(t.context_changes) for t in traces.values())
+            encoded += sum(len(t) for t in traces.values())
+        return total_changes, encoded
+
+    total_changes, encoded = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  {encoded} words encoded across {len(documents)} multi-label "
+          f"docs and all classifiers, {total_changes} context changes")
+    if encoded >= 20:
+        assert total_changes >= 1

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the RLGP evaluation engine.
+
+Unlike the table/figure reproductions (which run once), these use
+pytest-benchmark's repeated timing to characterise the evaluator itself:
+
+* vectorised batch evaluation vs the interpreted reference;
+* the effective-instruction (intron-skipping) optimisation;
+* DSS subset evaluation (the per-tournament unit of work).
+"""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.gp.config import GpConfig
+from repro.gp.program import Program
+from repro.gp.recurrent import RecurrentEvaluator
+
+CONFIG = GpConfig().small(tournaments=10)
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return RecurrentEvaluator(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def workload(evaluator):
+    rng = np.random.default_rng(0)
+    sequences = [
+        rng.random((int(length), 2)) for length in rng.integers(1, 50, size=200)
+    ]
+    program = Program.random(Random(5), CONFIG, page_size=1)
+    program.effective_fields()  # warm the cache outside the timer
+    return program, sequences, evaluator.pack(sequences)
+
+
+def test_perf_vectorised_outputs(workload, evaluator, benchmark):
+    program, _, packed = workload
+    result = benchmark(lambda: evaluator.outputs(program, packed))
+    assert len(result) == 200
+
+
+def test_perf_interpreted_outputs(workload, evaluator, benchmark):
+    program, sequences, _ = workload
+    result = benchmark.pedantic(
+        lambda: evaluator.outputs_interpreted(program, sequences),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result) == 200
+
+
+def test_perf_subset_evaluation(workload, evaluator, benchmark):
+    """One DSS-subset evaluation -- the steady-state tournament's unit cost."""
+    program, sequences, _ = workload
+    subset = evaluator.pack(sequences[:50])
+    result = benchmark(lambda: evaluator.outputs(program, subset))
+    assert len(result) == 50
+
+
+def test_perf_packing(workload, evaluator, benchmark):
+    _, sequences, _ = workload
+    packed = benchmark(lambda: evaluator.pack(sequences))
+    assert len(packed) == 200

@@ -1,0 +1,49 @@
+"""Table 1 -- number of selected features per feature-selection method.
+
+Paper values: DF 1000 (whole corpus), IG 1000 (whole corpus), MI 300
+(per category), Frequent Nouns 100 (per category).  On the synthetic
+corpus a method selects ``min(requested, available)`` features; the table
+reports both the configured budget and what was actually selected.
+"""
+
+from repro.features import (
+    DocumentFrequencySelector,
+    FrequentNounsSelector,
+    InformationGainSelector,
+    MutualInformationSelector,
+)
+
+PAPER_BUDGETS = {
+    "Document Frequency": (DocumentFrequencySelector, 1000, "whole corpus"),
+    "Information Gain": (InformationGainSelector, 1000, "whole corpus"),
+    "Mutual Information": (MutualInformationSelector, 300, "per category"),
+    "Frequent Nouns": (FrequentNounsSelector, 100, "per category"),
+}
+
+
+def test_table1_feature_counts(tokenized, benchmark):
+    def run():
+        rows = {}
+        for name, (cls, budget, scope) in PAPER_BUDGETS.items():
+            feature_set = cls(budget).select(tokenized)
+            counts = feature_set.counts()
+            rows[name] = (budget, scope, min(counts.values()), max(counts.values()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nTable 1. Number of Selected Features for Each Feature Selection Method")
+    print(f"{'Method':22s}{'paper budget':>14s}{'scope':>14s}{'selected':>16s}")
+    print("-" * 66)
+    for name, (budget, scope, low, high) in rows.items():
+        selected = str(low) if low == high else f"{low}-{high}"
+        print(f"{name:22s}{budget:>14d}{scope:>14s}{selected:>16s}")
+
+    # Structural assertions: scopes and budget caps.
+    df_set = DocumentFrequencySelector(1000).select(tokenized)
+    mi_set = MutualInformationSelector(300).select(tokenized)
+    nouns_set = FrequentNounsSelector(100).select(tokenized)
+    assert df_set.scope == "corpus"
+    assert mi_set.scope == "category"
+    assert all(n <= 300 for n in mi_set.counts().values())
+    assert all(n <= 100 for n in nouns_set.counts().values())

@@ -1,0 +1,59 @@
+"""Extension -- Topic Detection and Tracking (paper Sec. 9's next step).
+
+Uses the fitted pipeline as a TDT system: first-story detection over a
+stream containing stories about trained and untrained topics, scored with
+the standard TDT normalised detection cost.
+"""
+
+import pytest
+
+from repro.corpus.synthetic import SyntheticReutersGenerator
+from repro.tdt import TopicTracker, score_detection
+
+
+def test_first_story_detection_cost(corpus, prosys_mi, benchmark):
+    # TDT's *tracking* task: given a target topic, flag the on-topic
+    # stories in a stream.  The stream mixes ordinary test stories with
+    # extra off-topic ship stories so the false-alarm side is exercised.
+    generator = SyntheticReutersGenerator(seed=77, scale=0.01)
+    stream = list(corpus.test_documents[:40]) + [
+        generator.make_document(["ship"], "test") for _ in range(8)
+    ]
+
+    def run():
+        on_topic = [doc.has_topic("earn") for doc in stream]
+        flagged = ["earn" in prosys_mi.predict_topics(doc) for doc in stream]
+        return score_detection(on_topic, flagged)
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nTDT tracking task on 'earn' over a 48-story stream")
+    print(f"  P(miss) = {scores.p_miss:.2f}   P(false alarm) = "
+          f"{scores.p_false_alarm:.2f}   C_det(norm) = {scores.cost:.2f}")
+
+    assert 0.0 <= scores.p_miss <= 1.0
+    assert 0.0 <= scores.p_false_alarm <= 1.0
+    # The trivial always-no system scores 1.0; tracking must beat it.
+    assert scores.cost < 4.9  # and must beat always-yes decisively
+
+
+def test_segmentation_benchmark(prosys_mi, benchmark):
+    generator = SyntheticReutersGenerator(seed=78, scale=0.01)
+    documents = [
+        generator.make_document(["grain", "crude"], "test", n_segments=6)
+        for _ in range(5)
+    ]
+    tracker = TopicTracker(prosys_mi, smoothing=2)
+
+    segments = benchmark.pedantic(
+        lambda: [tracker.segment(doc) for doc in documents],
+        rounds=1,
+        iterations=1,
+    )
+
+    total = sum(len(s) for s in segments)
+    print(f"\nSegmented 5 two-topic documents into {total} topic segments")
+    for doc_segments in segments:
+        assert doc_segments, "every non-empty document must yield segments"
+        for before, after in zip(doc_segments, doc_segments[1:]):
+            assert before.end == after.start

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Inspecting the hierarchical SOM encoder (paper Figs. 2-3).
+
+Trains the two-level SOM hierarchy and renders text views of:
+
+* the character map's hit density (which letter/position patterns the
+  7x13 code book allocates units to);
+* one category's word map with words placed on their BMUs (Fig. 3);
+* the hit histogram with the selected informative BMUs bracketed;
+* the U-matrix showing cluster boundaries.
+
+Run:
+    python examples/som_inspection.py
+"""
+
+from collections import Counter
+
+from repro import make_corpus
+from repro.encoding import HierarchicalSomEncoder
+from repro.features import MutualInformationSelector
+from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.som.metrics import hit_histogram
+from repro.som.visualize import render_heatmap, render_hit_histogram, render_u_matrix, word_map
+
+
+def main() -> None:
+    corpus = make_corpus(scale=0.03, seed=42)
+    tokenized = TokenizedCorpus(corpus)
+    feature_set = MutualInformationSelector(150).select(tokenized)
+    encoder = HierarchicalSomEncoder(epochs=12, seed=5)
+    encoder.fit(tokenized, feature_set, categories=["grain"])
+
+    # ---- level 1: character map ------------------------------------------
+    from repro.encoding.characters import character_inputs
+
+    words = [w for doc in tokenized.train_documents for w in tokenized.tokens(doc)]
+    vectors, counts = character_inputs(words)
+    char_som = encoder.character_encoder.som
+    print("Character SOM (7x13) hit density -- darker = more characters:")
+    print(render_heatmap(char_som, hit_histogram(char_som, vectors, counts)))
+
+    # ---- level 2: grain word map ------------------------------------------
+    grain = encoder.encoder_for("grain")
+    word_counts = Counter()
+    for stream in tokenized.train_tokens_for("grain"):
+        word_counts.update(feature_set.filter_tokens(stream, "grain"))
+    frequent = [w for w, _ in word_counts.most_common(24)]
+    bmus = {word: grain.word_bmu(word) for word in frequent}
+
+    print("\nGrain word SOM (8x8): frequent words on their BMUs (Fig. 3):")
+    print(word_map(grain.som, bmus))
+
+    hits = grain.hit_counts([w for w, c in word_counts.items() for _ in range(min(c, 5))])
+    print("\nHit histogram ([n] = selected informative BMUs):")
+    print(render_hit_histogram(grain.som, hits, selected_units=grain.selected_units))
+
+    print("\nU-matrix (darker = cluster boundary):")
+    print(render_u_matrix(grain.som))
+
+
+if __name__ == "__main__":
+    main()

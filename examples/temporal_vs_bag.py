@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Why temporal information matters: an order-only separable problem.
+
+Two document classes with IDENTICAL bags of words that differ only in
+word order ("rate cut announced ..." vs "... announced cut rate").  Any
+bag-of-words classifier is provably at chance here; the three temporal
+models in this repository (RLGP, Elman RNN, word-sequence kernel) are
+not.  This is the cleanest demonstration of the paper's thesis.
+
+Run:
+    python examples/temporal_vs_bag.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    ElmanRnnClassifier,
+    NaiveBayesClassifier,
+    SequenceKernelClassifier,
+)
+from repro.baselines.base import BowVectorizer
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.gp.config import GpConfig
+from repro.gp.trainer import RlgpTrainer
+from repro.classify.binary import RlgpBinaryClassifier
+
+WORDS = ["rate", "cut", "bank", "policy", "announced"]
+
+
+def make_problem(n_per_class=30, seed=0):
+    """Class +1: words in canonical order; class -1: reversed order.
+    Both classes share the exact same multiset of words."""
+    rng = np.random.default_rng(seed)
+    sequences, labels = [], []
+    for _ in range(n_per_class):
+        base = list(WORDS)
+        for _ in range(rng.integers(0, 2)):
+            base.append(WORDS[rng.integers(0, len(WORDS))])
+        forward = list(base)
+        backward = list(base)[::-1]
+        sequences.append(forward)
+        labels.append(1.0)
+        sequences.append(backward)
+        labels.append(-1.0)
+    return sequences, np.array(labels)
+
+
+def encode_positions(sequences):
+    """A simple temporal encoding: (word index / vocab, position ramp)."""
+    vocab = {w: i for i, w in enumerate(WORDS)}
+    encoded = []
+    for words in sequences:
+        rows = [
+            (vocab[w] / (len(WORDS) - 1), (t + 1) / len(words))
+            for t, w in enumerate(words)
+        ]
+        encoded.append(np.array(rows))
+    return encoded
+
+
+def as_dataset(encoded, labels):
+    documents = []
+    for index, (sequence, label) in enumerate(zip(encoded, labels)):
+        documents.append(
+            EncodedDocument(
+                doc_id=index,
+                category="order",
+                sequence=sequence,
+                words=tuple(f"w{t}" for t in range(len(sequence))),
+                units=tuple(0 for _ in range(len(sequence))),
+                label=int(label),
+            )
+        )
+    return EncodedDataset(category="order", documents=tuple(documents))
+
+
+def main() -> None:
+    sequences, labels = make_problem()
+    print(f"{len(sequences)} documents; the two classes have identical bags\n")
+
+    # ---- bag-of-words: provably stuck at chance -------------------------
+    vectorizer = BowVectorizer(WORDS)
+    matrix = vectorizer.transform(sequences)
+    nb = NaiveBayesClassifier().fit(matrix, labels)
+    nb_accuracy = float(np.mean(nb.predict(matrix) == labels))
+    print(f"Naive Bayes (bag of words) train accuracy: {nb_accuracy:.2f}  "
+          "<- chance, as it must be")
+
+    # ---- word-sequence kernel -------------------------------------------
+    kernel = SequenceKernelClassifier(n=2, decay=0.7, epochs=8, seed=1)
+    kernel.fit(sequences, labels)
+    kernel_accuracy = float(np.mean(kernel.predict(sequences) == labels))
+    print(f"Word-sequence kernel accuracy:             {kernel_accuracy:.2f}")
+
+    # ---- Elman RNN ---------------------------------------------------------
+    encoded = encode_positions(sequences)
+    rnn = ElmanRnnClassifier(n_hidden=10, epochs=60, seed=2)
+    rnn.fit(encoded, labels)
+    rnn_accuracy = float(np.mean(rnn.predict(encoded) == labels))
+    print(f"Elman RNN accuracy:                        {rnn_accuracy:.2f}")
+
+    # ---- RLGP ---------------------------------------------------------------
+    dataset = as_dataset(encoded, labels)
+    trainer = RlgpTrainer(GpConfig().small(tournaments=800, seed=3))
+    classifier = RlgpBinaryClassifier.fit(dataset, trainer, n_restarts=3,
+                                          base_seed=3)
+    rlgp_accuracy = float(np.mean(classifier.predict(dataset) == labels))
+    print(f"RLGP accuracy:                             {rlgp_accuracy:.2f}")
+
+    print("\nThe temporal models separate what no bag-of-words model can.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Topic Detection and Tracking -- the paper's proposed next application.
+
+Fits the pipeline, then uses :class:`repro.tdt.TopicTracker` to
+
+* segment a long multi-topic document into topic runs,
+* detect which trained topics are present, and
+* flag novel stories (first-story detection) in a document stream.
+
+Run:
+    python examples/topic_tracking_stream.py
+"""
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline, make_corpus
+from repro.corpus.synthetic import SyntheticReutersGenerator
+from repro.tdt import TopicTracker
+
+
+def main() -> None:
+    corpus = make_corpus(scale=0.03, seed=42)
+    config = ProSysConfig(
+        feature_method="mi",
+        som_epochs=10,
+        gp=GpConfig().small(tournaments=400),
+        seed=17,
+    )
+    pipeline = ProSysPipeline(config)
+    pipeline.fit(corpus, categories=["earn", "grain", "crude"])
+    tracker = TopicTracker(pipeline, smoothing=2)
+
+    # ---- Segmentation of a long document that changes topic -------------
+    generator = SyntheticReutersGenerator(seed=8, scale=0.01)
+    doc = generator.make_document(["grain", "crude"], "test", n_segments=8)
+    tokens = pipeline.tokenized.tokens(doc)
+    print(f"document of {len(tokens)} tokens, true topics {list(doc.topics)}\n")
+
+    print("topic segments:")
+    for segment in tracker.segment(doc):
+        preview = " ".join(tokens[segment.start : min(segment.start + 5, segment.end)])
+        print(f"  [{segment.start:3d}:{segment.end:3d}] "
+              f"{str(segment.topic):8s} score {segment.score:.2f}  «{preview} ...»")
+
+    present = tracker.topics_present(doc)
+    print(f"\ntopics detected in the document: {present}")
+
+    # ---- First-story detection over a stream -----------------------------
+    stream = list(corpus.test_documents[:15])
+    # Inject stories about topics the model was never trained on.
+    stream.append(generator.make_document(["ship"], "test"))
+    stream.append(generator.make_document(["trade"], "test"))
+
+    novel = tracker.detect_first_stories(stream)
+    print(f"\nstream of {len(stream)} stories -> {len(novel)} flagged as novel:")
+    for doc in novel[:6]:
+        print(f"  doc {doc.doc_id}: true topics {list(doc.topics)}")
+    print("\n(stories about untrained topics should dominate the novel set)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Reproduction of "Incorporating Temporal Information for Document
+Classification" (Luo & Zincir-Heywood, ICDE 2007).
+
+The system encodes a document as a *temporal sequence* of SOM-encoded words
+(hierarchical SOM: a 7x13 character map feeding per-category 8x8 word maps
+with Gaussian BMU memberships) and classifies the sequence with Recurrent
+page-based Linear Genetic Programming.
+
+Quick start::
+
+    from repro import ProSysConfig, ProSysPipeline, make_corpus
+
+    corpus = make_corpus(scale=0.05)
+    pipeline = ProSysPipeline(ProSysConfig(feature_method="ig"))
+    pipeline.fit(corpus)
+    print(pipeline.evaluate("test").micro_f1)
+
+Subpackages: :mod:`repro.corpus` (Reuters-21578 substrate),
+:mod:`repro.preprocessing`, :mod:`repro.features` (DF/IG/MI/Nouns),
+:mod:`repro.som`, :mod:`repro.encoding`, :mod:`repro.gp` (RLGP engine),
+:mod:`repro.classify`, :mod:`repro.baselines`, :mod:`repro.evaluation`.
+"""
+
+from repro.corpus import Corpus, Document, TOP10_CATEGORIES, load_corpus, make_corpus
+from repro.gp.config import GpConfig
+from repro.pipeline import ProSysConfig, ProSysPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "TOP10_CATEGORIES",
+    "load_corpus",
+    "make_corpus",
+    "GpConfig",
+    "ProSysConfig",
+    "ProSysPipeline",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Baseline classifiers the paper compares against (Tables 5 and 6).
+
+All baselines are one-vs-rest binary classifiers over bag-of-words (or, for
+Tree-GP, n-gram) features -- the representations the comparison systems in
+the paper used, in contrast to ProSys's temporal representation.
+
+* :class:`NaiveBayesClassifier` -- multinomial NB [5][14].
+* :class:`RocchioClassifier` -- tf-idf centroid classifier [14].
+* :class:`DecisionTreeClassifier` -- CART-style Gini tree [5].
+* :class:`LinearSvmClassifier` -- hinge-loss linear SVM via Pegasos [5].
+* :class:`TreeGpClassifier` -- tree-structured GP over n-gram features [7].
+* :class:`KnnClassifier` -- cosine kNN [10].
+
+Two *temporal* comparators from the related-work section operate on word
+sequences rather than bags:
+
+* :class:`SequenceKernelClassifier` -- the word-sequence kernel of
+  Cancedda et al. [3] with a kernel perceptron;
+* :class:`ElmanRnnClassifier` -- a recurrent network (Wermter et al.
+  [12]) trained by BPTT on the same encoded sequences RLGP consumes.
+"""
+
+from repro.baselines.base import BagOfWordsClassifier, BowVectorizer
+from repro.baselines.decision_tree import DecisionTreeClassifier
+from repro.baselines.elman_rnn import ElmanRnnClassifier
+from repro.baselines.harness import evaluate_baseline
+from repro.baselines.knn import KnnClassifier
+from repro.baselines.linear_svm import LinearSvmClassifier
+from repro.baselines.naive_bayes import NaiveBayesClassifier
+from repro.baselines.rocchio import RocchioClassifier
+from repro.baselines.sequence_kernel import (
+    SequenceKernelClassifier,
+    normalized_kernel,
+    subsequence_kernel,
+)
+from repro.baselines.tree_gp import TreeGpClassifier
+
+__all__ = [
+    "BowVectorizer",
+    "BagOfWordsClassifier",
+    "NaiveBayesClassifier",
+    "RocchioClassifier",
+    "DecisionTreeClassifier",
+    "LinearSvmClassifier",
+    "TreeGpClassifier",
+    "KnnClassifier",
+    "SequenceKernelClassifier",
+    "subsequence_kernel",
+    "normalized_kernel",
+    "ElmanRnnClassifier",
+    "evaluate_baseline",
+]

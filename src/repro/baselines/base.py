@@ -1,0 +1,92 @@
+"""Shared bag-of-words infrastructure for the baselines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class BowVectorizer:
+    """Dense bag-of-words / tf-idf vectorizer over a fixed vocabulary.
+
+    Args:
+        vocabulary: the terms forming the feature axes (typically a
+            :class:`~repro.features.base.FeatureSet` vocabulary), in a
+            deterministic order.
+        use_tfidf: weight counts by idf and L2-normalise rows.
+    """
+
+    def __init__(self, vocabulary: Sequence[str], use_tfidf: bool = False) -> None:
+        self.terms: List[str] = sorted(set(vocabulary))
+        if not self.terms:
+            raise ValueError("vocabulary must not be empty")
+        self._index = {term: i for i, term in enumerate(self.terms)}
+        self.use_tfidf = use_tfidf
+        self.idf: Optional[np.ndarray] = None
+
+    @property
+    def dim(self) -> int:
+        return len(self.terms)
+
+    def fit(self, token_lists: Sequence[Sequence[str]]) -> "BowVectorizer":
+        """Learn idf weights (no-op for raw counts)."""
+        if self.use_tfidf:
+            df = np.zeros(self.dim)
+            for tokens in token_lists:
+                for term in set(tokens):
+                    index = self._index.get(term)
+                    if index is not None:
+                        df[index] += 1
+            n_docs = max(len(token_lists), 1)
+            self.idf = np.log((n_docs + 1) / (df + 1)) + 1.0
+        return self
+
+    def transform(self, token_lists: Sequence[Sequence[str]]) -> np.ndarray:
+        """``(n_docs, dim)`` count (or tf-idf) matrix."""
+        matrix = np.zeros((len(token_lists), self.dim))
+        for row, tokens in enumerate(token_lists):
+            for term in tokens:
+                index = self._index.get(term)
+                if index is not None:
+                    matrix[row, index] += 1.0
+        if self.use_tfidf:
+            if self.idf is None:
+                raise RuntimeError("call fit() before transform() with tf-idf")
+            matrix *= self.idf
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            np.divide(matrix, norms, out=matrix, where=norms > 0)
+        return matrix
+
+    def fit_transform(self, token_lists: Sequence[Sequence[str]]) -> np.ndarray:
+        return self.fit(token_lists).transform(token_lists)
+
+
+class BagOfWordsClassifier(ABC):
+    """Binary classifier over a document-feature matrix.
+
+    Labels are +/-1; decision values above 0 mean in class.
+    """
+
+    @abstractmethod
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "BagOfWordsClassifier":
+        """Train on ``(n_docs, dim)`` features and +/-1 labels."""
+
+    @abstractmethod
+    def decision_values(self, matrix: np.ndarray) -> np.ndarray:
+        """Real-valued scores; the sign is the prediction."""
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        """+/-1 predictions."""
+        return np.where(self.decision_values(matrix) > 0.0, 1, -1)
+
+    @staticmethod
+    def _check(matrix: np.ndarray, labels: np.ndarray) -> None:
+        if len(matrix) != len(labels):
+            raise ValueError("matrix and labels must align")
+        if len(matrix) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        unique = set(np.unique(labels))
+        if not unique <= {-1.0, 1.0, -1, 1}:
+            raise ValueError("labels must be +/-1")

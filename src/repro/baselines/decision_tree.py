@@ -1,0 +1,149 @@
+"""CART-style decision-tree baseline ([5])."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BagOfWordsClassifier
+
+
+@dataclass
+class _Node:
+    """One tree node: a leaf value or a (feature, threshold) split."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(n_pos: float, n_neg: float) -> float:
+    total = n_pos + n_neg
+    if total == 0:
+        return 0.0
+    p = n_pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier(BagOfWordsClassifier):
+    """Binary CART over term-count features with Gini splits.
+
+    Candidate thresholds are midpoints between the sorted unique values of
+    each feature; splitting stops at purity, ``max_depth`` or
+    ``min_samples_split``.
+
+    Args:
+        max_depth: depth cap.
+        min_samples_split: minimum node size to attempt a split.
+        min_gain: minimum Gini decrease for a split to be accepted.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_gain: float = 1e-7,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_gain = min_gain
+        self.root: Optional[_Node] = None
+
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        self._check(matrix, labels)
+        matrix = np.asarray(matrix, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        self.root = self._build(matrix, labels, depth=0)
+        return self
+
+    def _build(self, matrix: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        n_pos = float(np.sum(labels > 0))
+        n_neg = float(len(labels) - n_pos)
+        # Leaf value: mean label in [-1, 1]; its sign is the class.
+        value = (n_pos - n_neg) / max(len(labels), 1)
+        if (
+            depth >= self.max_depth
+            or len(labels) < self.min_samples_split
+            or n_pos == 0
+            or n_neg == 0
+        ):
+            return _Node(value=value)
+
+        best = self._best_split(matrix, labels, _gini(n_pos, n_neg))
+        if best is None:
+            return _Node(value=value)
+        feature, threshold = best
+        goes_left = matrix[:, feature] <= threshold
+        return _Node(
+            value=value,
+            feature=feature,
+            threshold=threshold,
+            left=self._build(matrix[goes_left], labels[goes_left], depth + 1),
+            right=self._build(matrix[~goes_left], labels[~goes_left], depth + 1),
+        )
+
+    def _best_split(
+        self, matrix: np.ndarray, labels: np.ndarray, parent_gini: float
+    ):
+        n = len(labels)
+        positive = labels > 0
+        best_gain = self.min_gain
+        best = None
+        for feature in range(matrix.shape[1]):
+            column = matrix[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                left = column <= threshold
+                n_left = int(left.sum())
+                if n_left == 0 or n_left == n:
+                    continue
+                lp = float(np.sum(positive & left))
+                ln = n_left - lp
+                rp = float(np.sum(positive) - lp)
+                rn = (n - n_left) - rp
+                weighted = (n_left / n) * _gini(lp, ln) + ((n - n_left) / n) * _gini(
+                    rp, rn
+                )
+                gain = parent_gini - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    def decision_values(self, matrix: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("classifier is not fitted")
+        matrix = np.asarray(matrix, dtype=float)
+        return np.array([self._score(row) for row in matrix])
+
+    def _score(self, row: np.ndarray) -> float:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        # Break exact ties away from the positive class.
+        return node.value if node.value != 0.0 else -1e-9
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self.root is None:
+            raise RuntimeError("classifier is not fitted")
+        return walk(self.root)

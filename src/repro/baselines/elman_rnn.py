@@ -1,0 +1,173 @@
+"""Elman recurrent network baseline (related work [12], Wermter et al.).
+
+Wermter et al. routed text with a recurrent neural network; this module
+implements that comparator on the *same* temporal representation RLGP
+consumes: an Elman network reads the encoded ``(BMU index, membership)``
+word sequence, carries a hidden state across words (never reset within a
+document, like RLGP's registers), and emits a prediction after the last
+word.  Trained with full back-propagation through time.
+
+The pairing makes a clean scientific contrast: identical encoding and
+recurrence structure, evolved program vs gradient-trained network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_GRAD_CLIP = 5.0
+
+
+class ElmanRnnClassifier:
+    """Binary Elman network over encoded word sequences.
+
+    Args:
+        n_hidden: hidden units.
+        n_inputs: per-word input dimension (the encoding is 2-D).
+        learning_rate: SGD step size.
+        epochs: passes over the training set.
+        class_balance: scale gradients of the rare class up.
+        seed: initialisation / shuffling seed.
+    """
+
+    def __init__(
+        self,
+        n_hidden: int = 12,
+        n_inputs: int = 2,
+        learning_rate: float = 0.05,
+        epochs: int = 30,
+        class_balance: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if n_hidden < 1:
+            raise ValueError("n_hidden must be positive")
+        self.n_hidden = n_hidden
+        self.n_inputs = n_inputs
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.class_balance = class_balance
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(n_hidden)
+        self.w_xh = rng.normal(0.0, scale, (n_hidden, n_inputs))
+        self.w_hh = rng.normal(0.0, scale, (n_hidden, n_hidden))
+        self.b_h = np.zeros(n_hidden)
+        self.w_out = rng.normal(0.0, scale, n_hidden)
+        self.b_out = 0.0
+        self.threshold = 0.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def _forward(self, sequence: np.ndarray) -> List[np.ndarray]:
+        """Hidden states h_1..h_T (h_0 = 0 per document, like RLGP)."""
+        hidden = np.zeros(self.n_hidden)
+        states = []
+        for row in sequence:
+            hidden = np.tanh(
+                self.w_xh @ row + self.w_hh @ hidden + self.b_h
+            )
+            states.append(hidden)
+        return states
+
+    def _output(self, hidden: np.ndarray) -> float:
+        return float(np.tanh(self.w_out @ hidden + self.b_out))
+
+    def decision_value(self, sequence: np.ndarray) -> float:
+        """Prediction in [-1, 1] after the last word (0 for empty docs)."""
+        sequence = np.asarray(sequence, dtype=float).reshape(-1, self.n_inputs)
+        if len(sequence) == 0:
+            return 0.0
+        return self._output(self._forward(sequence)[-1])
+
+    def decision_values(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        return np.array([self.decision_value(s) for s in sequences])
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        sequences: Sequence[np.ndarray],
+        labels: Sequence[float],
+    ) -> "ElmanRnnClassifier":
+        """BPTT on squared error against the +/-1 labels."""
+        labels = np.asarray(labels, dtype=float)
+        if len(sequences) != len(labels):
+            raise ValueError("sequences and labels must align")
+        sequences = [
+            np.asarray(s, dtype=float).reshape(-1, self.n_inputs)
+            for s in sequences
+        ]
+
+        if self.class_balance:
+            n_pos = max(np.sum(labels > 0), 1)
+            n_neg = max(np.sum(labels < 0), 1)
+            weight = np.where(
+                labels > 0, len(labels) / (2 * n_pos), len(labels) / (2 * n_neg)
+            )
+        else:
+            weight = np.ones(len(labels))
+
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.epochs):
+            for index in rng.permutation(len(sequences)):
+                sequence = sequences[index]
+                if len(sequence) == 0:
+                    continue
+                self._bptt_step(sequence, labels[index], weight[index])
+
+        outputs = self.decision_values(sequences)
+        in_class = outputs[labels > 0]
+        out_class = outputs[labels < 0]
+        if len(in_class) and len(out_class):
+            self.threshold = float(
+                np.median([np.median(in_class), np.median(out_class)])
+            )
+        self._fitted = True
+        return self
+
+    def _bptt_step(self, sequence: np.ndarray, label: float, weight: float) -> None:
+        states = self._forward(sequence)
+        final = states[-1]
+        output = self._output(final)
+        # d(loss)/d(output) for loss = (label - output)^2.
+        d_output = -2.0 * (label - output) * (1.0 - output**2) * weight
+
+        grad_w_out = d_output * final
+        grad_b_out = d_output
+        grad_w_xh = np.zeros_like(self.w_xh)
+        grad_w_hh = np.zeros_like(self.w_hh)
+        grad_b_h = np.zeros_like(self.b_h)
+
+        # Backwards through time.
+        d_hidden = d_output * self.w_out
+        for t in range(len(sequence) - 1, -1, -1):
+            d_pre = d_hidden * (1.0 - states[t] ** 2)
+            grad_w_xh += np.outer(d_pre, sequence[t])
+            grad_b_h += d_pre
+            previous = states[t - 1] if t > 0 else np.zeros(self.n_hidden)
+            grad_w_hh += np.outer(d_pre, previous)
+            d_hidden = self.w_hh.T @ d_pre
+
+        for gradient in (grad_w_xh, grad_w_hh, grad_b_h, grad_w_out):
+            np.clip(gradient, -_GRAD_CLIP, _GRAD_CLIP, out=gradient)
+        grad_b_out = float(np.clip(grad_b_out, -_GRAD_CLIP, _GRAD_CLIP))
+
+        lr = self.learning_rate
+        self.w_xh -= lr * grad_w_xh
+        self.w_hh -= lr * grad_w_hh
+        self.b_h -= lr * grad_b_h
+        self.w_out -= lr * grad_w_out
+        self.b_out -= lr * grad_b_out
+
+    # ------------------------------------------------------------------
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        """+/-1 predictions via the fitted median threshold."""
+        if not self._fitted:
+            raise RuntimeError("classifier is not fitted")
+        values = self.decision_values(sequences)
+        return np.where(values > self.threshold, 1, -1)

@@ -1,0 +1,97 @@
+"""One-vs-rest evaluation harness for the baselines.
+
+Mirrors :meth:`repro.pipeline.ProSysPipeline.evaluate`: one binary
+classifier per category on that category's feature-selected vocabulary,
+scored with the paper's recall/precision/F1 and micro/macro averages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import BagOfWordsClassifier, BowVectorizer
+from repro.evaluation.metrics import BinaryCounts, MultiLabelScores, score_multilabel
+from repro.features.base import FeatureSet
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+#: Baselines that expect tf-idf inputs rather than raw counts.
+_TFIDF_BASELINES = ("RocchioClassifier", "LinearSvmClassifier", "KnnClassifier")
+
+
+def _bigram_tokens(tokens: Sequence[str]) -> List[str]:
+    """Unigrams plus joined bigrams (the Tree-GP n-gram feature space)."""
+    bigrams = [f"{a}_{b}" for a, b in zip(tokens, tokens[1:])]
+    return list(tokens) + bigrams
+
+
+def evaluate_baseline(
+    make_classifier: Callable[[], BagOfWordsClassifier],
+    tokenized: TokenizedCorpus,
+    feature_set: FeatureSet,
+    categories: Optional[Sequence[str]] = None,
+    use_bigrams: bool = False,
+    use_tfidf: Optional[bool] = None,
+    max_features: Optional[int] = None,
+) -> MultiLabelScores:
+    """Train and score one baseline across categories.
+
+    Args:
+        make_classifier: factory producing a fresh binary classifier.
+        tokenized: the tokenised corpus.
+        feature_set: the feature selection shared with ProSys (Tables 5/6
+            compare systems under the *same* feature selection).
+        categories: label subset (defaults to all).
+        use_bigrams: extend features with bigrams of selected terms
+            (Tree-GP's n-gram representation).
+        use_tfidf: force tf-idf weighting; defaults by classifier type.
+        max_features: keep only the top-N features by training document
+            frequency (bigram spaces explode; GP search needs a bounded
+            terminal set).
+
+    Returns:
+        The paper's per-category/micro/macro scores on the test split.
+    """
+    categories = tuple(categories) if categories else tokenized.categories
+    counts: Dict[str, BinaryCounts] = {}
+    for category in categories:
+        classifier = make_classifier()
+        tfidf = (
+            type(classifier).__name__ in _TFIDF_BASELINES
+            if use_tfidf is None
+            else use_tfidf
+        )
+
+        def doc_tokens(doc) -> List[str]:
+            kept = feature_set.filter_tokens(tokenized.tokens(doc), category)
+            return _bigram_tokens(kept) if use_bigrams else kept
+
+        train_tokens = [doc_tokens(d) for d in tokenized.train_documents]
+        test_tokens = [doc_tokens(d) for d in tokenized.test_documents]
+
+        document_frequency: Dict[str, int] = {}
+        for tokens in train_tokens:
+            for term in set(tokens):
+                document_frequency[term] = document_frequency.get(term, 0) + 1
+        if not document_frequency:
+            raise ValueError(f"no features survive selection for {category!r}")
+        vocabulary = sorted(
+            document_frequency,
+            key=lambda term: (-document_frequency[term], term),
+        )
+        if max_features is not None:
+            vocabulary = vocabulary[:max_features]
+        vectorizer = BowVectorizer(vocabulary, use_tfidf=tfidf)
+        train_matrix = vectorizer.fit_transform(train_tokens)
+        test_matrix = vectorizer.transform(test_tokens)
+
+        train_labels = [
+            1 if d.has_topic(category) else -1 for d in tokenized.train_documents
+        ]
+        test_labels = [
+            1 if d.has_topic(category) else -1 for d in tokenized.test_documents
+        ]
+
+        classifier.fit(train_matrix, train_labels)
+        predictions = classifier.predict(test_matrix)
+        counts[category] = BinaryCounts.from_predictions(test_labels, predictions)
+    return score_multilabel(counts)

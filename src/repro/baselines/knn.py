@@ -1,0 +1,53 @@
+"""k-Nearest-Neighbours baseline (Sebastiani's survey [10] staple)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BagOfWordsClassifier
+
+
+class KnnClassifier(BagOfWordsClassifier):
+    """Cosine-similarity kNN over tf-idf vectors.
+
+    The decision value is the similarity-weighted vote of the ``k``
+    nearest training documents.
+
+    Args:
+        k: neighbourhood size.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._train: np.ndarray = None
+        self._labels: np.ndarray = None
+
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "KnnClassifier":
+        self._check(matrix, labels)
+        self._train = np.asarray(matrix, dtype=float)
+        self._labels = np.asarray(labels, dtype=float)
+        return self
+
+    def decision_values(self, matrix: np.ndarray) -> np.ndarray:
+        if self._train is None:
+            raise RuntimeError("classifier is not fitted")
+        matrix = np.asarray(matrix, dtype=float)
+        # Rows are L2-normalised by the tf-idf vectorizer, so the dot
+        # product is cosine similarity; guard anyway for raw counts.
+        train_norms = np.linalg.norm(self._train, axis=1)
+        query_norms = np.linalg.norm(matrix, axis=1)
+        safe_train = np.where(train_norms > 0, train_norms, 1.0)
+        safe_query = np.where(query_norms > 0, query_norms, 1.0)
+        similarity = (matrix / safe_query[:, None]) @ (
+            self._train / safe_train[:, None]
+        ).T
+        k = min(self.k, similarity.shape[1])
+        scores = np.zeros(len(matrix))
+        for row in range(len(matrix)):
+            nearest = np.argpartition(-similarity[row], k - 1)[:k]
+            scores[row] = float(
+                np.sum(similarity[row, nearest] * self._labels[nearest])
+            )
+        return scores

@@ -1,0 +1,49 @@
+"""Multinomial Naive Bayes baseline ([5], [14])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BagOfWordsClassifier
+
+
+class NaiveBayesClassifier(BagOfWordsClassifier):
+    """Binary multinomial NB with Laplace smoothing.
+
+    The decision value is the log-odds
+    ``log P(doc | in) P(in) - log P(doc | out) P(out)``.
+
+    Args:
+        alpha: Laplace smoothing constant.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.log_prior = 0.0
+        self.log_likelihood_delta: np.ndarray = None
+
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "NaiveBayesClassifier":
+        self._check(matrix, labels)
+        matrix = np.asarray(matrix, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        positive = labels > 0
+        n_pos = int(positive.sum())
+        n_neg = len(labels) - n_pos
+        if n_pos == 0 or n_neg == 0:
+            raise ValueError("both classes must be present")
+        self.log_prior = float(np.log(n_pos) - np.log(n_neg))
+
+        pos_counts = matrix[positive].sum(axis=0) + self.alpha
+        neg_counts = matrix[~positive].sum(axis=0) + self.alpha
+        log_p_pos = np.log(pos_counts / pos_counts.sum())
+        log_p_neg = np.log(neg_counts / neg_counts.sum())
+        self.log_likelihood_delta = log_p_pos - log_p_neg
+        return self
+
+    def decision_values(self, matrix: np.ndarray) -> np.ndarray:
+        if self.log_likelihood_delta is None:
+            raise RuntimeError("classifier is not fitted")
+        matrix = np.asarray(matrix, dtype=float)
+        return matrix @ self.log_likelihood_delta + self.log_prior

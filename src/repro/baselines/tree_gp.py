@@ -1,0 +1,236 @@
+"""Tree-structured GP baseline over n-gram/bag features ([7]).
+
+Hirsch et al. (EuroGP 2005) evolve tree-shaped classification rules whose
+leaves read n-gram statistics of the document.  This implementation evolves
+arithmetic expression trees over the document-feature matrix (the harness
+feeds unigram+bigram frequencies), squashes the output with the same Eq. 4
+sigmoid as RLGP, and uses SSE fitness and a median threshold -- making it
+directly comparable to the paper's ProSys column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BagOfWordsClassifier
+
+_FUNCTIONS: Tuple[Tuple[str, int], ...] = (
+    ("add", 2),
+    ("sub", 2),
+    ("mul", 2),
+    ("div", 2),
+    ("min", 2),
+    ("max", 2),
+)
+_DIV_EPSILON = 1e-9
+_VALUE_LIMIT = 1e10
+
+
+@dataclass
+class _TreeNode:
+    """A function node (``op`` + children) or a terminal.
+
+    Terminals: ``op == "feature"`` with ``index`` set, or ``op == "const"``
+    with ``value`` set.
+    """
+
+    op: str
+    children: Tuple["_TreeNode", ...] = ()
+    index: int = -1
+    value: float = 0.0
+
+    def evaluate(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over all documents at once."""
+        if self.op == "feature":
+            return matrix[:, self.index]
+        if self.op == "const":
+            return np.full(len(matrix), self.value)
+        left = self.children[0].evaluate(matrix)
+        right = self.children[1].evaluate(matrix)
+        if self.op == "add":
+            result = left + right
+        elif self.op == "sub":
+            result = left - right
+        elif self.op == "mul":
+            result = left * right
+        elif self.op == "div":
+            safe = np.where(np.abs(right) < _DIV_EPSILON, 1.0, right)
+            result = np.where(np.abs(right) < _DIV_EPSILON, left, left / safe)
+        elif self.op == "min":
+            result = np.minimum(left, right)
+        else:
+            result = np.maximum(left, right)
+        return np.clip(result, -_VALUE_LIMIT, _VALUE_LIMIT)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def nodes(self) -> List["_TreeNode"]:
+        collected = [self]
+        for child in self.children:
+            collected.extend(child.nodes())
+        return collected
+
+    def copy(self) -> "_TreeNode":
+        return _TreeNode(
+            op=self.op,
+            children=tuple(child.copy() for child in self.children),
+            index=self.index,
+            value=self.value,
+        )
+
+
+def _random_terminal(rng: Random, n_features: int) -> _TreeNode:
+    if rng.random() < 0.8:
+        return _TreeNode(op="feature", index=rng.randrange(n_features))
+    return _TreeNode(op="const", value=rng.uniform(-1.0, 1.0))
+
+
+def _random_tree(rng: Random, n_features: int, depth: int, full: bool) -> _TreeNode:
+    if depth <= 1 or (not full and rng.random() < 0.3):
+        return _random_terminal(rng, n_features)
+    op, arity = _FUNCTIONS[rng.randrange(len(_FUNCTIONS))]
+    children = tuple(
+        _random_tree(rng, n_features, depth - 1, full) for _ in range(arity)
+    )
+    return _TreeNode(op=op, children=children)
+
+
+def _replace_node(
+    root: _TreeNode, target: _TreeNode, replacement: _TreeNode
+) -> _TreeNode:
+    if root is target:
+        return replacement
+    if not root.children:
+        return root
+    return _TreeNode(
+        op=root.op,
+        children=tuple(
+            _replace_node(child, target, replacement) for child in root.children
+        ),
+        index=root.index,
+        value=root.value,
+    )
+
+
+class TreeGpClassifier(BagOfWordsClassifier):
+    """Evolves one tree rule per binary problem (steady-state, tournament 4).
+
+    Args:
+        population_size: individuals (default mirrors the paper's 125).
+        tournaments: steady-state tournaments.
+        max_depth: tree depth cap (enforced after variation).
+        p_crossover / p_mutation: variation probabilities.
+        seed: PRNG seed.
+    """
+
+    def __init__(
+        self,
+        population_size: int = 125,
+        tournaments: int = 600,
+        max_depth: int = 6,
+        p_crossover: float = 0.9,
+        p_mutation: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if population_size < 4:
+            raise ValueError("population must hold a tournament of 4")
+        self.population_size = population_size
+        self.tournaments = tournaments
+        self.max_depth = max_depth
+        self.p_crossover = p_crossover
+        self.p_mutation = p_mutation
+        self.seed = seed
+        self.best_tree: Optional[_TreeNode] = None
+        self.threshold = 0.0
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "TreeGpClassifier":
+        self._check(matrix, labels)
+        matrix = np.asarray(matrix, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        rng = Random(self.seed)
+        n_features = matrix.shape[1]
+
+        # Ramped half-and-half initialisation.
+        population = []
+        for index in range(self.population_size):
+            depth = 2 + index % (self.max_depth - 1)
+            population.append(
+                _random_tree(rng, n_features, depth, full=index % 2 == 0)
+            )
+        fitness = [self._fitness(tree, matrix, labels) for tree in population]
+
+        for _ in range(self.tournaments):
+            slots = rng.sample(range(self.population_size), 4)
+            slots.sort(key=lambda s: fitness[s])
+            parent_a, parent_b = population[slots[0]], population[slots[1]]
+            child_a, child_b = self._breed(rng, parent_a, parent_b, n_features)
+            for child, loser in ((child_a, slots[2]), (child_b, slots[3])):
+                population[loser] = child
+                fitness[loser] = self._fitness(child, matrix, labels)
+
+        best_slot = int(np.argmin(fitness))
+        self.best_tree = population[best_slot]
+        scores = self._squash(self.best_tree.evaluate(matrix))
+        positive = labels > 0
+        if positive.any() and (~positive).any():
+            self.threshold = float(
+                np.median(
+                    [np.median(scores[positive]), np.median(scores[~positive])]
+                )
+            )
+        else:
+            self.threshold = 0.0
+        return self
+
+    def _breed(
+        self, rng: Random, parent_a: _TreeNode, parent_b: _TreeNode, n_features: int
+    ) -> Tuple[_TreeNode, _TreeNode]:
+        child_a, child_b = parent_a.copy(), parent_b.copy()
+        if rng.random() < self.p_crossover:
+            node_a = rng.choice(child_a.nodes())
+            node_b = rng.choice(child_b.nodes())
+            child_a = _replace_node(child_a, node_a, node_b.copy())
+            child_b = _replace_node(child_b, node_b, node_a.copy())
+        children = []
+        for child in (child_a, child_b):
+            if rng.random() < self.p_mutation:
+                target = rng.choice(child.nodes())
+                replacement = _random_tree(rng, n_features, 3, full=False)
+                child = _replace_node(child, target, replacement)
+            if child.depth() > self.max_depth:
+                child = _random_tree(rng, n_features, self.max_depth, full=False)
+            children.append(child)
+        return children[0], children[1]
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _squash(raw: np.ndarray) -> np.ndarray:
+        raw = np.clip(raw, -500.0, 500.0)
+        return 2.0 / (1.0 + np.exp(-raw)) - 1.0
+
+    def _fitness(
+        self, tree: _TreeNode, matrix: np.ndarray, labels: np.ndarray
+    ) -> float:
+        squashed = self._squash(tree.evaluate(matrix))
+        return float(np.sum((labels - squashed) ** 2))
+
+    def decision_values(self, matrix: np.ndarray) -> np.ndarray:
+        if self.best_tree is None:
+            raise RuntimeError("classifier is not fitted")
+        matrix = np.asarray(matrix, dtype=float)
+        return self._squash(self.best_tree.evaluate(matrix)) - self.threshold

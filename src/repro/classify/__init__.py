@@ -1,0 +1,22 @@
+"""Document categorisation on the temporal representation (paper Sec. 7.4, 8).
+
+One binary RLGP classifier per category; a one-vs-rest suite for
+multi-label prediction; and the word-tracking analysis of Sec. 8.2.
+"""
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.multilabel import OneVsRestRlgp
+from repro.classify.streaming import StreamingClassifier, StreamState
+from repro.classify.threshold import median_threshold
+from repro.classify.tracking import TrackingTrace, track_document, track_multi_label
+
+__all__ = [
+    "RlgpBinaryClassifier",
+    "OneVsRestRlgp",
+    "median_threshold",
+    "TrackingTrace",
+    "track_document",
+    "track_multi_label",
+    "StreamingClassifier",
+    "StreamState",
+]

@@ -1,0 +1,84 @@
+"""A trained binary RLGP classifier for one category."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.classify.threshold import median_threshold
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.gp.config import GpConfig
+from repro.gp.fitness import squash_output
+from repro.gp.program import Program
+from repro.gp.recurrent import RecurrentEvaluator
+from repro.gp.trainer import EvolutionResult, RlgpTrainer
+
+
+@dataclass
+class RlgpBinaryClassifier:
+    """An evolved rule plus its Eq. 6 decision threshold.
+
+    Attributes:
+        category: the target category.
+        program: the evolved linear program.
+        config: the GP configuration the program runs under.
+        threshold: Eq. 6 threshold on the squashed output.
+        train_fitness: SSE of ``program`` on its training set.
+    """
+
+    category: str
+    program: Program
+    config: GpConfig
+    threshold: float
+    train_fitness: float = float("nan")
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: EncodedDataset,
+        trainer: RlgpTrainer,
+        n_restarts: int = 1,
+        base_seed: Optional[int] = None,
+    ) -> "RlgpBinaryClassifier":
+        """Evolve a rule (best of ``n_restarts`` runs) and fit the threshold."""
+        if n_restarts == 1:
+            result: EvolutionResult = trainer.train(dataset, seed=base_seed)
+        else:
+            result = trainer.train_with_restarts(
+                dataset, n_restarts=n_restarts, base_seed=base_seed
+            )
+        classifier = cls(
+            category=dataset.category,
+            program=result.program,
+            config=trainer.config,
+            threshold=0.0,
+            train_fitness=result.train_fitness,
+        )
+        outputs = classifier.decision_values(dataset.sequences)
+        classifier.threshold = median_threshold(outputs, dataset.labels)
+        return classifier
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def decision_values(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        """Squashed (Eq. 4) final outputs for each sequence."""
+        evaluator = RecurrentEvaluator(self.config)
+        packed = evaluator.pack(list(sequences))
+        return squash_output(evaluator.outputs(self.program, packed))
+
+    def predict(self, dataset: EncodedDataset) -> np.ndarray:
+        """+/-1 prediction per document via the Eq. 6 threshold."""
+        values = self.decision_values(dataset.sequences)
+        return np.where(values > self.threshold, 1, -1)
+
+    def predict_document(self, doc: EncodedDocument) -> int:
+        """+/-1 prediction for a single encoded document."""
+        value = float(self.decision_values([doc.sequence])[0])
+        return 1 if value > self.threshold else -1
+
+    def rule_listing(self) -> List[str]:
+        """The evolved rule in the paper's disassembly style."""
+        return self.program.disassemble()

@@ -1,0 +1,132 @@
+"""Incremental, word-at-a-time classification.
+
+The recurrent model makes online use natural: register state *is* the
+document summary, so a classifier can consume words as they arrive (a
+ticker, a feed) and expose its running decision after every word -- the
+deployment mode behind the paper's word-tracking figures and its TDT
+ambitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.encoding.hierarchy import CategoryEncoder
+from repro.gp.fitness import squash_output
+
+
+class StreamingClassifier:
+    """Feeds words to one category's classifier as they arrive.
+
+    Args:
+        classifier: a trained binary RLGP classifier.
+        encoder: the matching category's word encoder (BMU selection and
+            memberships included).
+
+    Usage::
+
+        stream = StreamingClassifier(classifier, encoder)
+        for word in live_words:
+            state = stream.push(word)
+            if state is not None and state.in_class:
+                ...
+
+    Words that the encoder drops (unselected BMU / non-member) leave the
+    state untouched and :meth:`push` returns None for them.
+    """
+
+    def __init__(
+        self, classifier: RlgpBinaryClassifier, encoder: CategoryEncoder
+    ) -> None:
+        if classifier.category != encoder.category:
+            raise ValueError(
+                f"classifier is for {classifier.category!r} but encoder is "
+                f"for {encoder.category!r}"
+            )
+        self.classifier = classifier
+        self.encoder = encoder
+        self._registers = np.zeros(classifier.config.n_registers)
+        self._n_words = 0
+        self._n_encoded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def words_seen(self) -> int:
+        """Words pushed so far (including dropped ones)."""
+        return self._n_words
+
+    @property
+    def words_encoded(self) -> int:
+        """Words that actually reached the program."""
+        return self._n_encoded
+
+    @property
+    def raw_output(self) -> float:
+        """Current raw output-register value."""
+        return float(self._registers[self.classifier.config.output_register])
+
+    @property
+    def decision_value(self) -> float:
+        """Current squashed (Eq. 4) output."""
+        return float(squash_output(np.array([self.raw_output]))[0])
+
+    @property
+    def in_class(self) -> bool:
+        """Current decision against the Eq. 6 threshold."""
+        return self.decision_value > self.classifier.threshold
+
+    # ------------------------------------------------------------------
+    def push(self, word: str) -> Optional["StreamState"]:
+        """Consume one word; returns the new state, or None if dropped."""
+        self._n_words += 1
+        encoded = self.encoder.encode(doc_id=0, words=[word])
+        if len(encoded) == 0:
+            return None
+        self._registers = self.classifier.program.step(
+            self._registers, encoded.sequence[0]
+        )
+        self._n_encoded += 1
+        return StreamState(
+            word=word,
+            raw=self.raw_output,
+            value=self.decision_value,
+            in_class=self.in_class,
+            position=self._n_words - 1,
+        )
+
+    def push_many(self, words) -> List["StreamState"]:
+        """Consume a word iterable; returns the states of encoded words."""
+        states = []
+        for word in words:
+            state = self.push(word)
+            if state is not None:
+                states.append(state)
+        return states
+
+    def reset(self) -> None:
+        """Start a new document: zero the registers and counters."""
+        self._registers = np.zeros(self.classifier.config.n_registers)
+        self._n_words = 0
+        self._n_encoded = 0
+
+
+class StreamState:
+    """Snapshot of the stream after one encoded word."""
+
+    __slots__ = ("word", "raw", "value", "in_class", "position")
+
+    def __init__(
+        self, word: str, raw: float, value: float, in_class: bool, position: int
+    ) -> None:
+        self.word = word
+        self.raw = raw
+        self.value = value
+        self.in_class = in_class
+        self.position = position
+
+    def __repr__(self) -> str:
+        flag = "IN" if self.in_class else "out"
+        return f"StreamState({self.word!r}, value={self.value:+.3f}, {flag})"

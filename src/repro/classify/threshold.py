@@ -1,0 +1,29 @@
+"""Decision-threshold calculation (paper Eq. 6).
+
+    T = median( median(inClass), median(outClass) )
+
+computed over the squashed training outputs.  The median of two values is
+their midpoint, so the threshold sits halfway between the two class
+medians.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def median_threshold(outputs: np.ndarray, labels: np.ndarray) -> float:
+    """Eq. 6 threshold from training outputs and their +/-1 labels.
+
+    Falls back to 0.0 (the squashed output's natural midpoint) when either
+    class is empty.
+    """
+    outputs = np.asarray(outputs, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if outputs.shape != labels.shape:
+        raise ValueError("outputs and labels must align")
+    in_class = outputs[labels > 0]
+    out_class = outputs[labels < 0]
+    if len(in_class) == 0 or len(out_class) == 0:
+        return 0.0
+    return float(np.median([np.median(in_class), np.median(out_class)]))

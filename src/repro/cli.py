@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli generate --out data/ --scale 0.05
+    python -m repro.cli train    --data data/ --features ig --out model/
+    python -m repro.cli evaluate --model model/ --data data/
+    python -m repro.cli track    --model model/ --data data/ --doc-id 42 \
+                                 --category earn
+    python -m repro.cli info     --model model/
+
+``--data`` accepts any directory of Reuters-21578-format ``.sgm`` files
+(the real distribution or one written by ``generate``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline, load_corpus
+from repro.corpus.sgml import write_sgml_files
+from repro.corpus.synthetic import SyntheticReutersGenerator
+from repro.evaluation.reporting import format_table
+from repro.persistence import load_pipeline, save_pipeline
+
+
+def _add_data_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--data", required=True, type=Path,
+        help="directory of Reuters-21578-format .sgm files",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal document classification "
+                    "(Luo & Zincir-Heywood, ICDE 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic Reuters-like corpus as .sgm files"
+    )
+    generate.add_argument("--out", required=True, type=Path)
+    generate.add_argument("--scale", type=float, default=0.05,
+                          help="fraction of the real collection's size")
+    generate.add_argument("--seed", type=int, default=21578)
+
+    train = commands.add_parser("train", help="fit the ProSys pipeline")
+    _add_data_argument(train)
+    train.add_argument("--out", required=True, type=Path,
+                       help="model output directory")
+    train.add_argument("--features", default="mi",
+                       choices=["df", "ig", "mi", "nouns", "chi2"])
+    train.add_argument("--n-features", type=int, default=None)
+    train.add_argument("--tournaments", type=int, default=600)
+    train.add_argument("--restarts", type=int, default=1)
+    train.add_argument("--som-epochs", type=int, default=12)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--categories", nargs="*", default=None,
+                       help="subset of categories (default: all ten)")
+
+    evaluate = commands.add_parser("evaluate", help="score a trained model")
+    evaluate.add_argument("--model", required=True, type=Path)
+    _add_data_argument(evaluate)
+    evaluate.add_argument("--split", default="test", choices=["train", "test"])
+
+    track = commands.add_parser(
+        "track", help="per-word output-register trace for one document"
+    )
+    track.add_argument("--model", required=True, type=Path)
+    _add_data_argument(track)
+    track.add_argument("--doc-id", required=True, type=int)
+    track.add_argument("--category", required=True)
+
+    info = commands.add_parser("info", help="describe a saved model")
+    info.add_argument("--model", required=True, type=Path)
+
+    analyze = commands.add_parser(
+        "analyze", help="corpus diagnostics (sizes, co-labels, overlap)"
+    )
+    _add_data_argument(analyze)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    documents = SyntheticReutersGenerator(seed=args.seed, scale=args.scale).generate()
+    paths = write_sgml_files(documents, args.out)
+    print(f"wrote {len(documents)} documents to {len(paths)} files in {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.data)
+    print(f"loaded {len(corpus.train_documents)} train / "
+          f"{len(corpus.test_documents)} test documents")
+    config = ProSysConfig(
+        feature_method=args.features,
+        n_features=args.n_features,
+        som_epochs=args.som_epochs,
+        gp=GpConfig().small(tournaments=args.tournaments, seed=args.seed),
+        n_restarts=args.restarts,
+        seed=args.seed,
+    )
+    pipeline = ProSysPipeline(config)
+    pipeline.fit(corpus, categories=args.categories)
+    save_pipeline(pipeline, args.out)
+    print(f"model saved to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.data)
+    pipeline = load_pipeline(args.model, corpus)
+    scores = pipeline.evaluate(args.split)
+    categories = list(scores.per_category)
+    column = {c: scores.f1(c) for c in categories}
+    column["Macro Ave."] = scores.macro_f1
+    column["Micro Ave."] = scores.micro_f1
+    print(format_table(
+        f"F1 on the {args.split} split",
+        categories + ["Macro Ave.", "Micro Ave."],
+        {"F1": column},
+    ))
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.data)
+    pipeline = load_pipeline(args.model, corpus)
+    matches = [d for d in corpus.documents if d.doc_id == args.doc_id]
+    if not matches:
+        print(f"error: no document with id {args.doc_id}", file=sys.stderr)
+        return 1
+    if args.category not in pipeline.suite.categories:
+        print(f"error: model has no classifier for {args.category!r}",
+              file=sys.stderr)
+        return 1
+    trace = pipeline.track(matches[0], args.category)
+    print(f"doc {args.doc_id} vs {args.category}: {len(trace)} encoded words, "
+          f"threshold {trace.threshold:+.3f}")
+    for word, value, flag in zip(trace.words, trace.squashed, trace.in_class_flags):
+        print(f"  {word:<16s}{value:+8.3f}  {'IN' if flag else 'out'}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import json
+
+    manifest_path = Path(args.model) / "manifest.json"
+    if not manifest_path.exists():
+        print(f"error: no model at {args.model}", file=sys.stderr)
+        return 1
+    manifest = json.loads(manifest_path.read_text())
+    config = manifest["config"]
+    print(f"feature selection : {config['feature_method']}")
+    print(f"SOM shapes        : {tuple(config['char_shape'])} chars, "
+          f"{tuple(config['word_shape'])} words")
+    print(f"categories        : {', '.join(manifest['categories'])}")
+    for category, payload in manifest["classifiers"].items():
+        print(f"  {category:10s} program {len(payload['code'])} instructions, "
+              f"threshold {payload['threshold']:+.3f}, "
+              f"train SSE {payload['train_fitness']:.1f}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.corpus.analysis import (
+        document_lengths,
+        label_cardinality,
+        overlap_report,
+    )
+    from repro.preprocessing.tokenized import TokenizedCorpus
+
+    corpus = load_corpus(args.data)
+    tokenized = TokenizedCorpus(corpus)
+    print(f"documents         : {len(corpus.train_documents)} train / "
+          f"{len(corpus.test_documents)} test")
+    print(f"label cardinality : {label_cardinality(corpus):.2f} labels/doc")
+    lengths = document_lengths(tokenized)
+    print(f"token lengths     : mean {lengths.mean:.0f}, median "
+          f"{lengths.median:.0f}, max {lengths.maximum}")
+    print("training counts   :")
+    for category, count in corpus.category_counts("train").items():
+        print(f"  {category:10s} {count}")
+    overlaps = overlap_report(tokenized)
+    worst = sorted(overlaps.items(), key=lambda kv: -kv[1])[:3]
+    print("highest vocabulary overlaps (the classifier's hard pairs):")
+    for (first, second), value in worst:
+        print(f"  {first} / {second}: {value:.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "track": _cmd_track,
+    "info": _cmd_info,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Reuters-21578 corpus substrate.
+
+This package provides the data layer of the reproduction:
+
+* :mod:`repro.corpus.document` -- the :class:`Document` record shared by the
+  whole system.
+* :mod:`repro.corpus.sgml` -- a parser and writer for the genuine
+  Reuters-21578 SGML distribution format.
+* :mod:`repro.corpus.synthetic` -- a deterministic generator producing a
+  Reuters-like corpus in the same SGML format (used because the real
+  collection cannot be downloaded in this offline environment).
+* :mod:`repro.corpus.reuters` -- the ModApte split and top-10 category
+  selection used by the paper.
+* :mod:`repro.corpus.stopwords` -- the embedded English stop-word list.
+"""
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import TOP10_CATEGORIES, Corpus, load_corpus
+from repro.corpus.sgml import parse_sgml, write_sgml
+from repro.corpus.stopwords import STOPWORDS, is_stopword
+from repro.corpus.synthetic import SyntheticReutersGenerator, make_corpus
+
+__all__ = [
+    "Document",
+    "Corpus",
+    "TOP10_CATEGORIES",
+    "load_corpus",
+    "parse_sgml",
+    "write_sgml",
+    "STOPWORDS",
+    "is_stopword",
+    "SyntheticReutersGenerator",
+    "make_corpus",
+]

@@ -1,0 +1,112 @@
+"""Corpus diagnostics.
+
+Quantifies the structural properties the paper's evaluation leans on:
+label co-occurrence (wheat/corn inside grain), per-category vocabulary
+overlap (money-fx vs interest), and document-length distributions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.corpus.reuters import Corpus
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+@dataclass(frozen=True)
+class LengthSummary:
+    """Token-count distribution of one split."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: int
+    maximum: int
+
+    @classmethod
+    def from_lengths(cls, lengths: List[int]) -> "LengthSummary":
+        if not lengths:
+            return cls(count=0, mean=0.0, median=0.0, minimum=0, maximum=0)
+        array = np.array(lengths)
+        return cls(
+            count=len(lengths),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            minimum=int(array.min()),
+            maximum=int(array.max()),
+        )
+
+
+def document_lengths(tokenized: TokenizedCorpus, split: str = "train") -> LengthSummary:
+    """Token-count summary after pre-processing."""
+    docs = (
+        tokenized.train_documents if split == "train" else tokenized.test_documents
+    )
+    return LengthSummary.from_lengths([len(tokenized.tokens(d)) for d in docs])
+
+
+def label_cardinality(corpus: Corpus, split: str = "train") -> float:
+    """Mean number of labels per document (multi-label degree)."""
+    docs = corpus.train_documents if split == "train" else corpus.test_documents
+    if not docs:
+        return 0.0
+    return float(np.mean([len(d.topics) for d in docs]))
+
+
+def cooccurrence_matrix(
+    corpus: Corpus, split: str = "train"
+) -> Dict[Tuple[str, str], int]:
+    """Counts of documents labelled with both categories of each pair."""
+    docs = corpus.train_documents if split == "train" else corpus.test_documents
+    matrix: Counter = Counter()
+    for doc in docs:
+        topics = sorted(doc.topics)
+        for i, first in enumerate(topics):
+            for second in topics[i + 1 :]:
+                matrix[(first, second)] += 1
+    return dict(matrix)
+
+
+def conditional_label_probability(
+    corpus: Corpus, given: str, target: str, split: str = "train"
+) -> float:
+    """P(target label | given label) over documents."""
+    docs = corpus.train_documents if split == "train" else corpus.test_documents
+    with_given = [d for d in docs if d.has_topic(given)]
+    if not with_given:
+        return 0.0
+    return sum(1 for d in with_given if d.has_topic(target)) / len(with_given)
+
+
+def vocabulary_overlap(
+    tokenized: TokenizedCorpus, category_a: str, category_b: str
+) -> float:
+    """Jaccard overlap of two categories' training vocabularies.
+
+    The paper attributes its weak money-fx/interest scores to exactly this
+    quantity being high.
+    """
+    vocab = {}
+    for category in (category_a, category_b):
+        terms = set()
+        for tokens in tokenized.train_tokens_for(category):
+            terms.update(tokens)
+        vocab[category] = terms
+    union = vocab[category_a] | vocab[category_b]
+    if not union:
+        return 0.0
+    return len(vocab[category_a] & vocab[category_b]) / len(union)
+
+
+def overlap_report(tokenized: TokenizedCorpus) -> Mapping[Tuple[str, str], float]:
+    """Pairwise vocabulary overlap for every category pair."""
+    categories = tokenized.categories
+    report = {}
+    for i, first in enumerate(categories):
+        for second in categories[i + 1 :]:
+            report[(first, second)] = vocabulary_overlap(tokenized, first, second)
+    return report

@@ -1,0 +1,48 @@
+"""The document record shared across the whole system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Document:
+    """A single news story.
+
+    Attributes:
+        doc_id: unique integer identifier (``NEWID`` in Reuters-21578).
+        title: headline text (may be empty).
+        body: main story text (may be empty).
+        topics: category labels, in file order.  Multi-label documents carry
+            more than one topic.
+        split: ``"train"`` or ``"test"`` under the ModApte split, or
+            ``"unused"`` for documents the split discards.
+    """
+
+    doc_id: int
+    title: str = ""
+    body: str = ""
+    topics: Tuple[str, ...] = field(default_factory=tuple)
+    split: str = "train"
+
+    @property
+    def text(self) -> str:
+        """Title and body joined, as fed to pre-processing."""
+        if self.title and self.body:
+            return self.title + "\n" + self.body
+        return self.title or self.body
+
+    def has_topic(self, topic: str) -> bool:
+        """Return True if the document is labelled with ``topic``."""
+        return topic in self.topics
+
+    def __post_init__(self) -> None:
+        if self.split not in ("train", "test", "unused"):
+            raise ValueError(f"invalid split {self.split!r}")
+        if self.doc_id < 0:
+            raise ValueError(f"doc_id must be non-negative, got {self.doc_id}")
+        # Normalise topics to a tuple so Document stays hashable even when a
+        # caller passes a list.
+        if not isinstance(self.topics, tuple):
+            object.__setattr__(self, "topics", tuple(self.topics))

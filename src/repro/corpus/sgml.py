@@ -1,0 +1,175 @@
+"""Parser and writer for the Reuters-21578 SGML distribution format.
+
+The genuine collection ships as 22 ``reut2-0XX.sgm`` files, each holding up
+to 1000 ``<REUTERS ...>`` elements.  This module parses that format (and the
+identically-formatted files produced by :mod:`repro.corpus.synthetic`) into
+:class:`~repro.corpus.document.Document` records, and can write documents
+back out, so the reproduction exercises the same I/O path a user of the real
+collection would.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.corpus.document import Document
+
+_REUTERS_RE = re.compile(r"<REUTERS\b(?P<attrs>[^>]*)>(?P<inner>.*?)</REUTERS>", re.DOTALL)
+_ATTR_RE = re.compile(r"(\w+)\s*=\s*\"([^\"]*)\"")
+_TOPICS_RE = re.compile(r"<TOPICS>(.*?)</TOPICS>", re.DOTALL)
+_D_RE = re.compile(r"<D>(.*?)</D>", re.DOTALL)
+_TITLE_RE = re.compile(r"<TITLE>(.*?)</TITLE>", re.DOTALL)
+_BODY_RE = re.compile(r"<BODY>(.*?)</BODY>", re.DOTALL)
+_TEXT_RE = re.compile(r"<TEXT\b[^>]*>(.*?)</TEXT>", re.DOTALL)
+_INNER_TAG_RE = re.compile(r"<[^>]+>")
+
+# The distribution brackets text with STX/ETX control characters.
+_ETX = "\x03"
+_STX = "\x02"
+
+
+class SgmlError(ValueError):
+    """Raised when an SGML file cannot be parsed."""
+
+
+def _unescape(text: str) -> str:
+    """Resolve SGML entities (&lt; &amp; &#3; ...), drop STX/ETX markers."""
+    return html.unescape(text).replace(_ETX, "").replace(_STX, "").strip()
+
+
+def _parse_attrs(attr_text: str) -> dict:
+    return {key.upper(): value for key, value in _ATTR_RE.findall(attr_text)}
+
+
+def _split_of(attrs: dict) -> str:
+    """Map Reuters LEWISSPLIT/TOPICS attributes to the ModApte split.
+
+    The ModApte split keeps documents with ``TOPICS="YES"``; LEWISSPLIT
+    ``TRAIN`` goes to training, ``TEST`` to test, and ``NOT-USED`` is
+    discarded.
+    """
+    lewis = attrs.get("LEWISSPLIT", "").upper()
+    has_topics = attrs.get("TOPICS", "").upper() == "YES"
+    if not has_topics or lewis == "NOT-USED":
+        return "unused"
+    if lewis == "TRAIN":
+        return "train"
+    if lewis == "TEST":
+        return "test"
+    return "unused"
+
+
+def parse_sgml(text: str) -> List[Document]:
+    """Parse the contents of one ``.sgm`` file into documents.
+
+    Args:
+        text: raw file contents.
+
+    Returns:
+        Documents in file order.
+
+    Raises:
+        SgmlError: if a REUTERS element lacks a NEWID attribute.
+    """
+    documents = []
+    for match in _REUTERS_RE.finditer(text):
+        attrs = _parse_attrs(match.group("attrs"))
+        if "NEWID" not in attrs:
+            raise SgmlError("REUTERS element without NEWID attribute")
+        inner = match.group("inner")
+
+        topics_match = _TOPICS_RE.search(inner)
+        topics: tuple = ()
+        if topics_match:
+            topics = tuple(_unescape(t) for t in _D_RE.findall(topics_match.group(1)))
+
+        title_match = _TITLE_RE.search(inner)
+        body_match = _BODY_RE.search(inner)
+        body = _unescape(body_match.group(1)) if body_match else ""
+        if not body_match:
+            # TYPE="UNPROC" (and some BRIEF) stories carry their text
+            # directly inside <TEXT> without TITLE/BODY markup; fall back
+            # to the TEXT content with any child tags stripped.
+            text_match = _TEXT_RE.search(inner)
+            if text_match:
+                stripped = _INNER_TAG_RE.sub(" ", text_match.group(1))
+                if title_match:
+                    stripped = stripped.replace(title_match.group(1), " ", 1)
+                body = _unescape(stripped)
+        documents.append(
+            Document(
+                doc_id=int(attrs["NEWID"]),
+                title=_unescape(title_match.group(1)) if title_match else "",
+                body=body,
+                topics=topics,
+                split=_split_of(attrs),
+            )
+        )
+    return documents
+
+
+def parse_sgml_file(path: Union[str, Path]) -> List[Document]:
+    """Parse one ``.sgm`` file from disk (latin-1, as the real files are)."""
+    raw = Path(path).read_text(encoding="latin-1")
+    return parse_sgml(raw)
+
+
+def iter_sgml_dir(directory: Union[str, Path]) -> Iterator[Document]:
+    """Yield documents from every ``*.sgm`` file in ``directory``, sorted."""
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.sgm"))
+    if not paths:
+        raise SgmlError(f"no .sgm files found in {directory}")
+    for path in paths:
+        yield from parse_sgml_file(path)
+
+
+def _escape(text: str) -> str:
+    return html.escape(text, quote=False)
+
+
+def write_sgml(documents: Sequence[Document]) -> str:
+    """Render documents in the Reuters-21578 SGML format.
+
+    The output round-trips through :func:`parse_sgml`.
+    """
+    parts = ['<!DOCTYPE lewis SYSTEM "lewis.dtd">']
+    for doc in documents:
+        lewis = {"train": "TRAIN", "test": "TEST", "unused": "NOT-USED"}[doc.split]
+        topics = "".join(f"<D>{_escape(t)}</D>" for t in doc.topics)
+        parts.append(
+            f'<REUTERS TOPICS="YES" LEWISSPLIT="{lewis}" '
+            f'CGISPLIT="TRAINING-SET" OLDID="{doc.doc_id}" NEWID="{doc.doc_id}">\n'
+            f"<DATE> 1-JAN-1987 00:00:00.00</DATE>\n"
+            f"<TOPICS>{topics}</TOPICS>\n"
+            f'<TEXT TYPE="NORM">\n'
+            f"<TITLE>{_escape(doc.title)}</TITLE>\n"
+            f"<BODY>{_escape(doc.body)}{_ETX}</BODY>\n"
+            f"</TEXT>\n"
+            f"</REUTERS>"
+        )
+    return "\n".join(parts) + "\n"
+
+
+def write_sgml_files(
+    documents: Iterable[Document],
+    directory: Union[str, Path],
+    docs_per_file: int = 1000,
+) -> List[Path]:
+    """Write documents into numbered ``reut2-0XX.sgm`` files.
+
+    Mirrors the real distribution's 1000-documents-per-file layout.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    documents = list(documents)
+    paths = []
+    for index in range(0, max(len(documents), 1), docs_per_file):
+        chunk = documents[index : index + docs_per_file]
+        path = directory / f"reut2-{index // docs_per_file:03d}.sgm"
+        path.write_text(write_sgml(chunk), encoding="latin-1")
+        paths.append(path)
+    return paths

@@ -1,0 +1,44 @@
+"""English stop-word list.
+
+The paper removes stop words using a list hosted at a now-dead URL
+(reference [1]).  We embed a standard English stop-word list of comparable
+size (the SMART/Lewis style list trimmed to common function words), which is
+what such lists contained.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+_STOPWORD_TEXT = """
+a about above across after afterwards again against all almost alone along
+already also although always am among amongst an and another any anybody
+anyhow anyone anything anyway anywhere are around as at back be became
+because become becomes becoming been before beforehand behind being below
+beside besides between beyond both but by can cannot could did do does doing
+done down during each either else elsewhere enough etc even ever every
+everybody everyone everything everywhere except few for former formerly from
+further had has have having he hence her here hereafter hereby herein
+hereupon hers herself him himself his how however i if in indeed instead
+into is it its itself just last latter latterly least less let like likely
+may me meanwhile might mine more moreover most mostly much must my myself
+namely neither never nevertheless next no nobody none nonetheless nor not
+nothing now nowhere of off often on once one only onto or other others
+otherwise our ours ourselves out over own per perhaps rather same seem
+seemed seeming seems several she should since so some somebody somehow
+someone something sometime sometimes somewhere still such than that the
+their theirs them themselves then thence there thereafter thereby therefore
+therein thereupon these they this those though through throughout thru thus
+to together too toward towards under until unto up upon us very via was we
+well were what whatever when whence whenever where whereafter whereas
+whereby wherein whereupon wherever whether which while whither who whoever
+whole whom whose why will with within without would yet you your yours
+yourself yourselves
+"""
+
+STOPWORDS: FrozenSet[str] = frozenset(_STOPWORD_TEXT.split())
+
+
+def is_stopword(token: str) -> bool:
+    """Return True if ``token`` (case-insensitive) is a stop word."""
+    return token.lower() in STOPWORDS

@@ -1,0 +1,35 @@
+"""Hierarchical SOM encoding (paper Secs. 5-6).
+
+The pipeline:
+
+1. characters -> 2-D vectors ``(letter index, scaled position)``;
+2. a 7x13 first-level SOM learns character patterns over the whole corpus;
+3. each word becomes a 91-D vector via the 3 most affected BMUs of each of
+   its characters (contributions 1, 1/2, 1/3);
+4. an 8x8 second-level SOM per category learns word patterns;
+5. informative BMUs are selected from the hit histogram (smallest most-hit
+   set that still covers every training document of the category);
+6. Gaussian membership functions (Eq. 3) are fitted on each selected BMU;
+7. a document becomes an ordered sequence of 2-D vectors
+   ``(normalised BMU index, membership value)``.
+"""
+
+from repro.encoding.characters import CharacterEncoder, character_inputs, encode_word_characters
+from repro.encoding.hierarchy import CategoryEncoder, HierarchicalSomEncoder
+from repro.encoding.membership import GaussianMembership, fit_memberships
+from repro.encoding.representation import EncodedDocument, EncodedDataset
+from repro.encoding.words import WordVectorizer, select_informative_bmus
+
+__all__ = [
+    "CharacterEncoder",
+    "character_inputs",
+    "encode_word_characters",
+    "WordVectorizer",
+    "select_informative_bmus",
+    "GaussianMembership",
+    "fit_memberships",
+    "CategoryEncoder",
+    "HierarchicalSomEncoder",
+    "EncodedDocument",
+    "EncodedDataset",
+]

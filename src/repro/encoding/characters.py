@@ -1,0 +1,158 @@
+"""Character-level encoding and the first-level SOM (paper Sec. 5).
+
+Each character of a word is a 2-D vector:
+
+* dimension 1: the letter enumerated 1..26 (case-folded);
+* dimension 2: ``2 * position - 1`` where position is the 1-based time
+  index of the character in the word.  The paper scales the index so both
+  dimensions span a similar range (letters reach 26, and words are at most
+  about 13 characters, so positions reach about 25), avoiding bias toward
+  either dimension during SOM training.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.som.map import SelfOrganizingMap
+from repro.som.training import SomTrainer, TrainingHistory
+
+#: Paper's first-level map size, chosen by observing AWC.
+CHAR_SOM_SHAPE: Tuple[int, int] = (7, 13)
+
+
+def expand_with_multiplicity(
+    vectors: np.ndarray, multiplicities: np.ndarray, cap: int
+) -> np.ndarray:
+    """Repeat each row by its multiplicity, down-scaled to fit ``cap``.
+
+    Online SOM training consumes individual samples; this rebuilds the
+    repeated stream from the (unique, count) form while bounding its size.
+    Counts are scaled proportionally and floored at 1 so rare inputs stay
+    represented.
+    """
+    multiplicities = np.asarray(multiplicities, dtype=float)
+    total = multiplicities.sum()
+    if total > cap:
+        multiplicities = np.maximum(multiplicities * (cap / total), 1.0)
+    repeats = multiplicities.astype(int)
+    return np.repeat(vectors, repeats, axis=0)
+
+
+def encode_word_characters(word: str) -> np.ndarray:
+    """The ``(len(word), 2)`` character vectors of one word.
+
+    Raises:
+        ValueError: if the word contains non-alphabetic characters (the
+            pre-processing pipeline guarantees it never does).
+    """
+    word = word.lower()
+    if not word or not word.isalpha() or not word.isascii():
+        raise ValueError(f"expected a non-empty ASCII alphabetic word, got {word!r}")
+    letters = [ord(ch) - ord("a") + 1 for ch in word]
+    positions = [2 * (index + 1) - 1 for index in range(len(word))]
+    return np.column_stack([letters, positions]).astype(float)
+
+
+def character_inputs(words: Iterable[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique character vectors and their occurrence counts.
+
+    The paper repeats each character as often as it occurs so that the map
+    reflects data density; because the character space is tiny (26 letters x
+    ~13 positions) we return unique vectors plus multiplicities, which the
+    weighted batch trainer treats identically.
+
+    Returns:
+        ``(vectors, counts)`` where ``vectors`` is ``(n_unique, 2)``.
+    """
+    counts: Counter = Counter()
+    for word in words:
+        word = word.lower()
+        for index, ch in enumerate(word):
+            counts[(ord(ch) - ord("a") + 1, 2 * (index + 1) - 1)] += 1
+    if not counts:
+        raise ValueError("no characters to encode")
+    pairs = sorted(counts)
+    vectors = np.array(pairs, dtype=float)
+    multiplicities = np.array([counts[p] for p in pairs], dtype=float)
+    return vectors, multiplicities
+
+
+class CharacterEncoder:
+    """The trained first-level SOM plus its character queries.
+
+    Args:
+        rows/cols: map size (paper: 7x13).
+        epochs: training epochs.
+        training: ``"batch"`` (weighted batch updates -- fast, the
+            default) or ``"online"`` (sequential Kohonen updates over the
+            repeated character stream -- the paper's literal procedure).
+        max_online_samples: cap on the expanded online stream.
+        seed: initialisation seed.
+    """
+
+    def __init__(
+        self,
+        rows: int = CHAR_SOM_SHAPE[0],
+        cols: int = CHAR_SOM_SHAPE[1],
+        epochs: int = 20,
+        training: str = "batch",
+        max_online_samples: int = 50000,
+        seed: int = 0,
+    ) -> None:
+        if training not in ("batch", "online"):
+            raise ValueError(f"training must be 'batch' or 'online', got {training!r}")
+        self.rows = rows
+        self.cols = cols
+        self.epochs = epochs
+        self.training = training
+        self.max_online_samples = max_online_samples
+        self.seed = seed
+        self.som: SelfOrganizingMap = None
+        self.history: TrainingHistory = None
+        self._top3_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.som is not None
+
+    def fit(self, words: Iterable[str]) -> "CharacterEncoder":
+        """Train the map on every character occurrence of ``words``."""
+        vectors, multiplicities = character_inputs(words)
+        self.som = SelfOrganizingMap(self.rows, self.cols, 2, seed=self.seed, data=vectors)
+        trainer = SomTrainer(epochs=self.epochs, seed=self.seed)
+        if self.training == "online":
+            expanded = expand_with_multiplicity(
+                vectors, multiplicities, self.max_online_samples
+            )
+            self.history = trainer.train_online(self.som, expanded)
+        else:
+            self.history = trainer.train_batch(
+                self.som, vectors, sample_weights=multiplicities
+            )
+        self._top3_cache.clear()
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("CharacterEncoder is not fitted")
+
+    def top3_units(self, letter: int, position: int) -> np.ndarray:
+        """Three most affected units for one (letter, scaled position) input."""
+        self._require_fitted()
+        key = (letter, position)
+        cached = self._top3_cache.get(key)
+        if cached is None:
+            cached = self.som.top_k_bmus(np.array([letter, position], float), k=3)
+            self._top3_cache[key] = cached
+        return cached
+
+    def word_character_bmus(self, word: str) -> List[np.ndarray]:
+        """Per character of ``word``, the 3 most affected unit indices."""
+        vectors = encode_word_characters(word)
+        return [
+            self.top3_units(int(letter), int(position)) for letter, position in vectors
+        ]

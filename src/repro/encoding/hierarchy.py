@@ -1,0 +1,358 @@
+"""The full hierarchical SOM encoder (paper Fig. 2).
+
+:class:`HierarchicalSomEncoder` owns the shared first-level character SOM
+and one :class:`CategoryEncoder` (second-level word SOM + BMU selection +
+Gaussian memberships) per category.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.document import Document
+from repro.encoding.characters import CharacterEncoder
+from repro.encoding.membership import GaussianMembership, fit_memberships
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.encoding.words import WordVectorizer, select_informative_bmus
+from repro.features.base import FeatureSet
+from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.som.map import SelfOrganizingMap
+from repro.som.metrics import hit_histogram
+from repro.som.training import SomTrainer
+
+#: Paper's second-level map size, chosen by observing AWC.
+WORD_SOM_SHAPE: Tuple[int, int] = (8, 8)
+
+
+class CategoryEncoder:
+    """Second-level word SOM of one category, with selection + memberships.
+
+    Args:
+        category: the category this encoder models.
+        vectorizer: shared word vectorizer over the first-level SOM.
+        rows/cols: word-SOM size (paper: 8x8).
+        epochs: training epochs.
+        min_hit_mass: hit fraction the selected BMUs must retain (see
+            :func:`~repro.encoding.words.select_informative_bmus`).
+        training: ``"batch"`` (weighted, fast) or ``"online"``
+            (sequential, the paper's literal procedure).
+        member_word_filter: apply the paper's Sec. 6.2 member-word test --
+            a word whose Gaussian membership falls below the BMU's training
+            minimum "is not a member word of C_i" and is dropped from the
+            sequence.  This is what keeps out-of-class documents' sequences
+            short even under corpus-wide feature selections.
+        seed: initialisation seed.
+    """
+
+    def __init__(
+        self,
+        category: str,
+        vectorizer: WordVectorizer,
+        rows: int = WORD_SOM_SHAPE[0],
+        cols: int = WORD_SOM_SHAPE[1],
+        epochs: int = 20,
+        min_hit_mass: float = 0.5,
+        training: str = "batch",
+        member_word_filter: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if training not in ("batch", "online"):
+            raise ValueError(f"training must be 'batch' or 'online', got {training!r}")
+        self.category = category
+        self.vectorizer = vectorizer
+        self.rows = rows
+        self.cols = cols
+        self.epochs = epochs
+        self.min_hit_mass = min_hit_mass
+        self.training = training
+        self.member_word_filter = member_word_filter
+        self.seed = seed
+        self.som: Optional[SelfOrganizingMap] = None
+        self.selected_units: List[int] = []
+        self.memberships: Dict[int, GaussianMembership] = {}
+        self._word_bmu_cache: Dict[str, int] = {}
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.som is not None
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, document_word_streams: Sequence[Sequence[str]]) -> "CategoryEncoder":
+        """Train on the ordered word streams of the category's documents.
+
+        Words are weighted by their occurrence counts (equivalent to the
+        paper's "input words as many times as they occur"), the hit
+        histogram selects the informative BMUs under the every-document-
+        covered constraint, and Gaussian memberships are fitted per kept
+        unit.
+        """
+        counts: Counter = Counter()
+        for stream in document_word_streams:
+            counts.update(stream)
+        if not counts:
+            raise ValueError(
+                f"category {self.category!r} has no words to train on; "
+                "check feature selection"
+            )
+        unique_words = sorted(counts)
+        vectors = self.vectorizer.vectors(unique_words)
+        multiplicities = np.array([counts[w] for w in unique_words], dtype=float)
+
+        self.som = SelfOrganizingMap(
+            self.rows, self.cols, vectors.shape[1], seed=self.seed, data=vectors
+        )
+        trainer = SomTrainer(epochs=self.epochs, seed=self.seed)
+        if self.training == "online":
+            from repro.encoding.characters import expand_with_multiplicity
+
+            expanded = expand_with_multiplicity(vectors, multiplicities, 20000)
+            trainer.train_online(self.som, expanded)
+        else:
+            trainer.train_batch(self.som, vectors, sample_weights=multiplicities)
+
+        bmus = self.som.bmus(vectors)
+        self._word_bmu_cache = dict(zip(unique_words, (int(b) for b in bmus)))
+
+        hits = np.zeros(self.som.n_units)
+        np.add.at(hits, bmus, multiplicities)
+        document_bmu_sets = [
+            {self._word_bmu_cache[w] for w in stream if w in self._word_bmu_cache}
+            for stream in document_word_streams
+        ]
+        self.selected_units = select_informative_bmus(
+            hits, document_bmu_sets, min_hit_mass=self.min_hit_mass
+        )
+
+        unit_member_vectors: Dict[int, np.ndarray] = {}
+        for unit in self.selected_units:
+            member = [v for v, b in zip(vectors, bmus) if int(b) == unit]
+            if member:
+                unit_member_vectors[unit] = np.stack(member)
+        self.memberships = fit_memberships(self.selected_units, unit_member_vectors)
+        return self
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def word_bmu(self, word: str) -> int:
+        """BMU of ``word`` on this category's word SOM (cached)."""
+        self._require_fitted()
+        cached = self._word_bmu_cache.get(word)
+        if cached is None:
+            cached = int(self.som.bmu(self.vectorizer.vector(word)))
+            self._word_bmu_cache[word] = cached
+        return cached
+
+    def bmu_trajectory(self, words: Sequence[str]) -> List[int]:
+        """The ordered-BMU view of a word stream (paper Fig. 3)."""
+        return [self.word_bmu(word) for word in words]
+
+    def encode(
+        self,
+        doc_id: int,
+        words: Sequence[str],
+        label: int = 0,
+        positions: Optional[Sequence[int]] = None,
+        max_words: Optional[int] = None,
+    ) -> EncodedDocument:
+        """Encode an ordered word stream into the 2-D temporal sequence.
+
+        Words whose BMU was not selected are ignored (the paper's volume
+        reduction); surviving words become ``(normalised BMU index,
+        membership value)`` rows.
+
+        Args:
+            positions: optional original-stream index per word, propagated
+                to the surviving words for cross-category alignment.
+            max_words: optional cap on the surviving sequence length (keeps
+                the first ``max_words`` encoded words).  The paper has no
+                cap; this is a compute knob for reduced-budget runs, since
+                RLGP evaluation cost is linear in sequence length.
+        """
+        self._require_fitted()
+        if positions is None:
+            positions = range(len(words))
+        selected = set(self.memberships)
+        rows: List[Tuple[float, float]] = []
+        kept_words: List[str] = []
+        kept_units: List[int] = []
+        kept_positions: List[int] = []
+        denominator = max(self.som.n_units - 1, 1)
+        for position, word in zip(positions, words):
+            if max_words is not None and len(rows) >= max_words:
+                break
+            unit = self.word_bmu(word)
+            membership = self.memberships.get(unit)
+            if unit not in selected or membership is None:
+                continue
+            vector = self.vectorizer.vector(word)
+            value = membership.value(vector)
+            # Sec. 6.2's member-word test: below the BMU's training
+            # minimum, the word is not a member word of this category.
+            if (
+                self.member_word_filter
+                and value < membership.min_training_value - 1e-12
+            ):
+                continue
+            rows.append((unit / denominator, value))
+            kept_words.append(word)
+            kept_units.append(unit)
+            kept_positions.append(int(position))
+        sequence = np.array(rows, dtype=float).reshape(-1, 2)
+        return EncodedDocument(
+            doc_id=doc_id,
+            category=self.category,
+            sequence=sequence,
+            words=tuple(kept_words),
+            units=tuple(kept_units),
+            label=label,
+            positions=tuple(kept_positions),
+        )
+
+    def hit_counts(self, words: Sequence[str]) -> np.ndarray:
+        """Hit histogram of a word stream over this SOM's units."""
+        self._require_fitted()
+        vectors = self.vectorizer.vectors(list(words))
+        return hit_histogram(self.som, vectors)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"CategoryEncoder({self.category!r}) is not fitted")
+
+
+@dataclass
+class HierarchicalSomEncoder:
+    """First-level character SOM plus per-category second-level encoders.
+
+    Typical use::
+
+        encoder = HierarchicalSomEncoder()
+        encoder.fit(tokenized, feature_set)
+        dataset = encoder.encode_dataset(tokenized, feature_set, "earn", "train")
+
+    Attributes:
+        char_rows/char_cols: first-level size (paper: 7x13).
+        word_rows/word_cols: second-level size (paper: 8x8).
+        epochs: SOM training epochs for both levels.
+        min_hit_mass: per-category BMU-selection hit-mass floor.
+        seed: base seed; per-category encoders derive their own.
+    """
+
+    char_rows: int = 7
+    char_cols: int = 13
+    word_rows: int = WORD_SOM_SHAPE[0]
+    word_cols: int = WORD_SOM_SHAPE[1]
+    epochs: int = 20
+    min_hit_mass: float = 0.5
+    max_sequence_length: Optional[int] = None
+    training: str = "batch"
+    member_word_filter: bool = True
+    seed: int = 0
+    character_encoder: CharacterEncoder = field(init=False, default=None)
+    vectorizer: WordVectorizer = field(init=False, default=None)
+    category_encoders: Dict[str, CategoryEncoder] = field(init=False, default_factory=dict)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.character_encoder is not None and bool(self.category_encoders)
+
+    def fit(
+        self,
+        tokenized: TokenizedCorpus,
+        feature_set: FeatureSet,
+        categories: Optional[Sequence[str]] = None,
+    ) -> "HierarchicalSomEncoder":
+        """Train the full hierarchy on the training split.
+
+        The character SOM sees every training token of the whole corpus
+        (before feature selection -- it is a corpus-level code book); each
+        category's word SOM sees that category's feature-selected word
+        streams.
+        """
+        categories = tuple(categories) if categories is not None else tokenized.categories
+
+        all_words: List[str] = []
+        for doc in tokenized.train_documents:
+            all_words.extend(tokenized.tokens(doc))
+        self.character_encoder = CharacterEncoder(
+            rows=self.char_rows,
+            cols=self.char_cols,
+            epochs=self.epochs,
+            training=self.training,
+            seed=self.seed,
+        ).fit(all_words)
+        self.vectorizer = WordVectorizer(self.character_encoder)
+
+        self.category_encoders = {}
+        for offset, category in enumerate(categories):
+            streams = [
+                feature_set.filter_tokens(tokens, category)
+                for tokens in tokenized.train_tokens_for(category)
+            ]
+            streams = [s for s in streams if s]
+            encoder = CategoryEncoder(
+                category,
+                self.vectorizer,
+                rows=self.word_rows,
+                cols=self.word_cols,
+                epochs=self.epochs,
+                min_hit_mass=self.min_hit_mass,
+                training=self.training,
+                member_word_filter=self.member_word_filter,
+                seed=self.seed + 1 + offset,
+            )
+            encoder.fit(streams)
+            self.category_encoders[category] = encoder
+        return self
+
+    def encoder_for(self, category: str) -> CategoryEncoder:
+        if category not in self.category_encoders:
+            raise KeyError(f"no encoder fitted for category {category!r}")
+        return self.category_encoders[category]
+
+    def encode_document(
+        self,
+        doc: Document,
+        tokenized: TokenizedCorpus,
+        feature_set: FeatureSet,
+        category: str,
+    ) -> EncodedDocument:
+        """Encode one document against ``category``'s word SOM."""
+        indexed = feature_set.filter_tokens_with_positions(
+            tokenized.tokens(doc), category
+        )
+        positions = [index for index, _ in indexed]
+        words = [word for _, word in indexed]
+        label = 1 if doc.has_topic(category) else -1
+        return self.encoder_for(category).encode(
+            doc.doc_id,
+            words,
+            label=label,
+            positions=positions,
+            max_words=self.max_sequence_length,
+        )
+
+    def encode_dataset(
+        self,
+        tokenized: TokenizedCorpus,
+        feature_set: FeatureSet,
+        category: str,
+        split: str = "train",
+    ) -> EncodedDataset:
+        """Encode a whole split into the category's binary problem."""
+        if split == "train":
+            docs = tokenized.train_documents
+        elif split == "test":
+            docs = tokenized.test_documents
+        else:
+            raise ValueError(f"unknown split {split!r}")
+        documents = tuple(
+            self.encode_document(doc, tokenized, feature_set, category) for doc in docs
+        )
+        return EncodedDataset(category=category, documents=documents)

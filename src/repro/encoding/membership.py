@@ -1,0 +1,88 @@
+"""Gaussian membership functions on selected BMUs (paper Sec. 6.2, Eq. 3).
+
+Each selected BMU of a category's word SOM becomes a Gaussian: the unit is
+the "Gaussian centre" of the words that affect it.  Equation 3 evaluates
+
+    G(x, W_i) = 1 / (sigma sqrt(2 pi)) * exp(-(x - M)^2 / (2 sigma^2))
+
+with ``M`` and ``sigma^2`` the mean and variance "of all words that affect
+BMU W_i".  Word vectors are 91-dimensional, so we realise the scalar
+``(x - M)^2`` as the squared Euclidean distance to the member-word mean
+vector, and ``sigma^2`` as the mean of those squared distances -- the
+standard isotropic-Gaussian reading, and the only one that makes Eq. 3 a
+scalar.  A word is a *member word* of the category if its membership value
+is at least the smallest membership among the BMU's training words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+import numpy as np
+
+# Floor on sigma: a unit that attracted a single distinct word has zero
+# empirical variance, and Eq. 3's density would explode.  0.5 keeps peak
+# membership values O(1), the same scale as the normalised BMU index that
+# shares the classifier's input vector.
+_MIN_SIGMA = 0.5
+_SQRT_2PI = float(np.sqrt(2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class GaussianMembership:
+    """The fitted Gaussian of one BMU.
+
+    Attributes:
+        unit: the BMU's unit index on the word SOM.
+        mean: member-word mean vector (the Gaussian centre M).
+        sigma: isotropic standard deviation (floored to keep Eq. 3 finite
+            when a unit attracted a single distinct word).
+        min_training_value: smallest membership among the training words;
+            the membership threshold of the member-word test.
+    """
+
+    unit: int
+    mean: np.ndarray
+    sigma: float
+    min_training_value: float
+
+    def value(self, word_vector: np.ndarray) -> float:
+        """Eq. 3 membership of one word vector."""
+        distance2 = float(np.sum((np.asarray(word_vector, float) - self.mean) ** 2))
+        return (1.0 / (self.sigma * _SQRT_2PI)) * float(
+            np.exp(-distance2 / (2.0 * self.sigma**2))
+        )
+
+    def is_member(self, word_vector: np.ndarray) -> bool:
+        """The paper's member-word test against the training minimum."""
+        return self.value(word_vector) >= self.min_training_value - 1e-12
+
+
+def fit_membership(unit: int, member_vectors: np.ndarray) -> GaussianMembership:
+    """Fit one BMU's Gaussian from the vectors of the words affecting it."""
+    member_vectors = np.atleast_2d(np.asarray(member_vectors, float))
+    if member_vectors.size == 0:
+        raise ValueError("a membership function needs at least one member word")
+    mean = member_vectors.mean(axis=0)
+    distance2 = np.sum((member_vectors - mean) ** 2, axis=1)
+    sigma = max(float(np.sqrt(distance2.mean())), _MIN_SIGMA)
+    fitted = GaussianMembership(unit=unit, mean=mean, sigma=sigma, min_training_value=0.0)
+    min_value = min(fitted.value(v) for v in member_vectors)
+    return GaussianMembership(
+        unit=unit, mean=mean, sigma=sigma, min_training_value=min_value
+    )
+
+
+def fit_memberships(
+    selected_units: Iterable[int],
+    unit_member_vectors: Mapping[int, np.ndarray],
+) -> Dict[int, GaussianMembership]:
+    """Fit Gaussians for every selected unit (Fig. 4's algorithm)."""
+    memberships: Dict[int, GaussianMembership] = {}
+    for unit in selected_units:
+        vectors = unit_member_vectors.get(unit)
+        if vectors is None or len(vectors) == 0:
+            continue
+        memberships[unit] = fit_membership(unit, vectors)
+    return memberships

@@ -1,0 +1,108 @@
+"""Encoded document records -- the temporal representation fed to RLGP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EncodedDocument:
+    """One document encoded against one category's word SOM.
+
+    Attributes:
+        doc_id: source document id.
+        category: the category whose encoder produced this sequence.
+        sequence: ``(T, 2)`` array of ``(normalised BMU index, Gaussian
+            membership value)`` rows, in word order.  ``T`` can be 0 when
+            none of the document's words hit a selected BMU (common for
+            out-of-class documents -- exactly the signal the classifier
+            uses).
+        words: the words that survived encoding, aligned with ``sequence``.
+        units: the BMU index of each surviving word, aligned with
+            ``sequence`` (Figure 3's ordered-BMU view of the document).
+        label: +1 (in class), -1 (out of class), or 0 when unknown.
+        positions: index of each surviving word in the *original* token
+            stream (before feature selection).  Lets per-category traces
+            be aligned on a common axis (topic tracking); defaults to
+            0..T-1 when the caller does not track origins.
+    """
+
+    doc_id: int
+    category: str
+    sequence: np.ndarray
+    words: Tuple[str, ...]
+    units: Tuple[int, ...]
+    label: int = 0
+    positions: Tuple[int, ...] = None
+
+    def __post_init__(self) -> None:
+        sequence = np.asarray(self.sequence, dtype=float)
+        if sequence.ndim != 2 or sequence.shape[1] != 2:
+            sequence = sequence.reshape(-1, 2)
+        object.__setattr__(self, "sequence", sequence)
+        if self.positions is None:
+            object.__setattr__(self, "positions", tuple(range(len(sequence))))
+        else:
+            object.__setattr__(self, "positions", tuple(self.positions))
+        if (
+            len(self.words) != len(sequence)
+            or len(self.units) != len(sequence)
+            or len(self.positions) != len(sequence)
+        ):
+            raise ValueError("words/units/positions must align with the sequence")
+        if self.label not in (-1, 0, 1):
+            raise ValueError(f"label must be -1, 0 or +1, got {self.label}")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def with_label(self, label: int) -> "EncodedDocument":
+        """A copy carrying a supervision label."""
+        return EncodedDocument(
+            doc_id=self.doc_id,
+            category=self.category,
+            sequence=self.sequence,
+            words=self.words,
+            units=self.units,
+            label=label,
+            positions=self.positions,
+        )
+
+
+@dataclass(frozen=True)
+class EncodedDataset:
+    """A labelled set of encoded documents for one binary problem.
+
+    Attributes:
+        category: the one-vs-rest target category.
+        documents: encoded documents, each carrying a +/-1 label.
+    """
+
+    category: str
+    documents: Tuple[EncodedDocument, ...]
+
+    def __post_init__(self) -> None:
+        for doc in self.documents:
+            if doc.label == 0:
+                raise ValueError("EncodedDataset requires labelled documents")
+
+    @property
+    def sequences(self) -> List[np.ndarray]:
+        return [doc.sequence for doc in self.documents]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([doc.label for doc in self.documents], dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def subset(self, indices: Sequence[int]) -> "EncodedDataset":
+        """The dataset restricted to ``indices`` (used by DSS)."""
+        return EncodedDataset(
+            category=self.category,
+            documents=tuple(self.documents[i] for i in indices),
+        )

@@ -1,0 +1,41 @@
+"""Evaluation measures and table formatting (paper Table 3).
+
+Beyond the paper's recall/precision/F1: precision-recall curves and the
+break-even point (:mod:`repro.evaluation.curves`) and paired significance
+tests (:mod:`repro.evaluation.significance`).
+"""
+
+from repro.evaluation.curves import (
+    average_precision,
+    breakeven_point,
+    precision_recall_curve,
+)
+from repro.evaluation.significance import paired_bootstrap, sign_test
+from repro.evaluation.metrics import (
+    BinaryCounts,
+    MultiLabelScores,
+    Scores,
+    f1_score,
+    precision,
+    recall,
+    score_binary,
+    score_multilabel,
+)
+from repro.evaluation.reporting import format_table
+
+__all__ = [
+    "BinaryCounts",
+    "Scores",
+    "MultiLabelScores",
+    "precision",
+    "recall",
+    "f1_score",
+    "score_binary",
+    "score_multilabel",
+    "format_table",
+    "precision_recall_curve",
+    "breakeven_point",
+    "average_precision",
+    "paired_bootstrap",
+    "sign_test",
+]

@@ -1,0 +1,100 @@
+"""Precision-recall curves and the break-even point.
+
+Reuters-21578 results are historically reported either as F1 (this paper)
+or as the precision/recall break-even point (Dumais et al. [5]).  These
+utilities compute both from decision values, so the reproduction can be
+compared against either convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrecisionRecallCurve:
+    """Precision/recall at every distinct decision threshold.
+
+    Attributes:
+        thresholds: decision values sorted from most to least confident;
+            point ``i`` scores the classifier that accepts exactly the
+            ``i + 1`` highest-scoring documents.
+        precision / recall: curve points aligned with ``thresholds``.
+    """
+
+    thresholds: np.ndarray
+    precision: np.ndarray
+    recall: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+
+def precision_recall_curve(
+    labels: np.ndarray, decision_values: np.ndarray
+) -> PrecisionRecallCurve:
+    """Compute the curve from +/-1 labels and real-valued scores."""
+    labels = np.asarray(labels, dtype=float)
+    decision_values = np.asarray(decision_values, dtype=float)
+    if labels.shape != decision_values.shape:
+        raise ValueError("labels and decision values must align")
+    n_positive = float(np.sum(labels > 0))
+    if n_positive == 0:
+        raise ValueError("need at least one positive example")
+
+    order = np.argsort(-decision_values, kind="stable")
+    sorted_labels = labels[order] > 0
+    true_positive = np.cumsum(sorted_labels)
+    predicted = np.arange(1, len(labels) + 1)
+
+    precision = true_positive / predicted
+    recall = true_positive / n_positive
+    return PrecisionRecallCurve(
+        thresholds=decision_values[order],
+        precision=precision,
+        recall=recall,
+    )
+
+
+def breakeven_point(labels: np.ndarray, decision_values: np.ndarray) -> float:
+    """The precision/recall break-even point.
+
+    Walking the curve from the most confident document onward, precision
+    starts high and falls while recall rises from zero; the break-even is
+    the first point (with at least one true positive) where recall catches
+    precision, reported as the midpoint of the pair.  Recall reaches 1.0
+    at the end of the curve, so a crossing always exists.
+    """
+    curve = precision_recall_curve(labels, decision_values)
+    has_tp = curve.recall > 0
+    crossed = has_tp & (curve.recall >= curve.precision)
+    if not crossed.any():
+        index = len(curve) - 1
+    else:
+        index = int(np.flatnonzero(crossed)[0])
+    return float((curve.precision[index] + curve.recall[index]) / 2.0)
+
+
+def average_precision(labels: np.ndarray, decision_values: np.ndarray) -> float:
+    """Area under the precision-recall curve (step interpolation)."""
+    curve = precision_recall_curve(labels, decision_values)
+    recall_steps = np.diff(curve.recall, prepend=0.0)
+    return float(np.sum(curve.precision * recall_steps))
+
+
+def f1_at_threshold(
+    labels: np.ndarray, decision_values: np.ndarray, threshold: float
+) -> Tuple[float, float, float]:
+    """(recall, precision, F1) of thresholding at ``threshold``."""
+    labels = np.asarray(labels, dtype=float)
+    predictions = np.where(np.asarray(decision_values) > threshold, 1.0, -1.0)
+    positive = labels > 0
+    predicted = predictions > 0
+    tp = float(np.sum(positive & predicted))
+    recall = tp / max(float(np.sum(positive)), 1.0)
+    precision = tp / max(float(np.sum(predicted)), 1.0)
+    f1 = 2 * recall * precision / (recall + precision) if (recall + precision) else 0.0
+    return recall, precision, f1

@@ -1,0 +1,126 @@
+"""Recall, precision, F1, and micro/macro averaging (paper Table 3).
+
+TP: in-class documents classified in class; FN: in-class classified out;
+FP: out-class classified in.  Micro-averaging pools the counts over all
+categories; macro-averaging means the per-category F1 values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinaryCounts:
+    """Confusion counts of one binary problem."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @classmethod
+    def from_predictions(
+        cls, labels: np.ndarray, predictions: np.ndarray
+    ) -> "BinaryCounts":
+        """Counts from aligned +/-1 label and prediction vectors."""
+        labels = np.asarray(labels)
+        predictions = np.asarray(predictions)
+        if labels.shape != predictions.shape:
+            raise ValueError("labels and predictions must align")
+        positive = labels > 0
+        predicted = predictions > 0
+        return cls(
+            true_positive=int(np.sum(positive & predicted)),
+            false_positive=int(np.sum(~positive & predicted)),
+            false_negative=int(np.sum(positive & ~predicted)),
+            true_negative=int(np.sum(~positive & ~predicted)),
+        )
+
+    def __add__(self, other: "BinaryCounts") -> "BinaryCounts":
+        return BinaryCounts(
+            self.true_positive + other.true_positive,
+            self.false_positive + other.false_positive,
+            self.false_negative + other.false_negative,
+            self.true_negative + other.true_negative,
+        )
+
+
+def recall(counts: BinaryCounts) -> float:
+    """TP / (TP + FN); 0 when the class is empty."""
+    denominator = counts.true_positive + counts.false_negative
+    return counts.true_positive / denominator if denominator else 0.0
+
+
+def precision(counts: BinaryCounts) -> float:
+    """TP / (TP + FP); 0 when nothing was predicted positive."""
+    denominator = counts.true_positive + counts.false_positive
+    return counts.true_positive / denominator if denominator else 0.0
+
+
+def f1_score(counts: BinaryCounts) -> float:
+    """Harmonic mean of recall and precision."""
+    r = recall(counts)
+    p = precision(counts)
+    return 2 * r * p / (r + p) if (r + p) else 0.0
+
+
+@dataclass(frozen=True)
+class Scores:
+    """Recall/precision/F1 of one binary problem."""
+
+    recall: float
+    precision: float
+    f1: float
+    counts: BinaryCounts
+
+    @classmethod
+    def from_counts(cls, counts: BinaryCounts) -> "Scores":
+        return cls(
+            recall=recall(counts),
+            precision=precision(counts),
+            f1=f1_score(counts),
+            counts=counts,
+        )
+
+
+def score_binary(labels: np.ndarray, predictions: np.ndarray) -> Scores:
+    """Scores from aligned +/-1 labels and predictions."""
+    return Scores.from_counts(BinaryCounts.from_predictions(labels, predictions))
+
+
+@dataclass(frozen=True)
+class MultiLabelScores:
+    """Per-category scores plus the paper's two averages.
+
+    Attributes:
+        per_category: category -> :class:`Scores`.
+        macro_f1: mean of the per-category F1 values.
+        micro_f1: F1 of the pooled confusion counts.
+    """
+
+    per_category: Mapping[str, Scores]
+    macro_f1: float
+    micro_f1: float
+
+    def f1(self, category: str) -> float:
+        return self.per_category[category].f1
+
+
+def score_multilabel(per_category_counts: Mapping[str, BinaryCounts]) -> MultiLabelScores:
+    """Aggregate per-category counts into the paper's table rows."""
+    if not per_category_counts:
+        raise ValueError("need at least one category")
+    per_category: Dict[str, Scores] = {
+        category: Scores.from_counts(counts)
+        for category, counts in per_category_counts.items()
+    }
+    macro = float(np.mean([s.f1 for s in per_category.values()]))
+    pooled = None
+    for counts in per_category_counts.values():
+        pooled = counts if pooled is None else pooled + counts
+    micro = f1_score(pooled)
+    return MultiLabelScores(per_category=per_category, macro_f1=macro, micro_f1=micro)

@@ -1,0 +1,52 @@
+"""Plain-text table formatting in the paper's layout.
+
+Benchmarks print Tables 4-6 through this helper so every reproduction run
+emits the same rows the paper reports (categories down the side, systems
+or feature-selection methods across the top, micro/macro averages at the
+bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    row_labels: Sequence[str],
+    columns: Mapping[str, Mapping[str, float]],
+    decimals: int = 2,
+) -> str:
+    """Render a category x method table of F1 values.
+
+    Args:
+        title: heading line.
+        row_labels: category names in display order (averages included if
+            present in every column).
+        columns: column name -> (row label -> value).
+        decimals: value precision.
+
+    Returns:
+        A printable multi-line string.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    column_names = list(columns)
+    label_width = max(len(label) for label in list(row_labels) + ["Category"]) + 2
+    value_width = max(max(len(name) for name in column_names) + 2, decimals + 4)
+
+    lines = [title]
+    header = "Category".ljust(label_width) + "".join(
+        name.rjust(value_width) for name in column_names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in row_labels:
+        cells = []
+        for name in column_names:
+            value = columns[name].get(label)
+            cells.append(
+                ("-" if value is None else f"{value:.{decimals}f}").rjust(value_width)
+            )
+        lines.append(label.ljust(label_width) + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Statistical comparison of classifier runs.
+
+Paired bootstrap and sign tests over per-document decisions, for claims of
+the form "system A's F1 beats system B's" on the same test split.  The
+paper reports point estimates only; these utilities let the reproduction
+say whether its measured gaps are distinguishable from sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.evaluation.metrics import BinaryCounts, f1_score
+
+
+def _f1_from_vectors(labels: np.ndarray, predictions: np.ndarray) -> float:
+    return f1_score(BinaryCounts.from_predictions(labels, predictions))
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison.
+
+    Attributes:
+        observed_delta: F1(A) - F1(B) on the full test set.
+        p_value: fraction of bootstrap resamples where the delta's sign
+            reverses (two-sided via doubling, capped at 1).
+        n_resamples: bootstrap iterations used.
+    """
+
+    observed_delta: float
+    p_value: float
+    n_resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """Conventional 5% level."""
+        return self.p_value < 0.05
+
+
+def paired_bootstrap(
+    labels: np.ndarray,
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    n_resamples: int = 2000,
+    seed: int = 0,
+    metric: Callable[[np.ndarray, np.ndarray], float] = _f1_from_vectors,
+) -> BootstrapResult:
+    """Paired bootstrap test of ``metric(A) - metric(B)``.
+
+    Documents are resampled with replacement *jointly*, preserving the
+    pairing between the systems' decisions.
+    """
+    labels = np.asarray(labels)
+    predictions_a = np.asarray(predictions_a)
+    predictions_b = np.asarray(predictions_b)
+    if not (labels.shape == predictions_a.shape == predictions_b.shape):
+        raise ValueError("labels and both prediction vectors must align")
+    if len(labels) == 0:
+        raise ValueError("empty test set")
+
+    observed = metric(labels, predictions_a) - metric(labels, predictions_b)
+    rng = np.random.default_rng(seed)
+    n_docs = len(labels)
+    reversals = 0
+    for _ in range(n_resamples):
+        sample = rng.integers(0, n_docs, size=n_docs)
+        delta = metric(labels[sample], predictions_a[sample]) - metric(
+            labels[sample], predictions_b[sample]
+        )
+        if observed > 0 and delta <= 0:
+            reversals += 1
+        elif observed < 0 and delta >= 0:
+            reversals += 1
+        elif observed == 0:
+            reversals += 1
+    p_value = min(2.0 * reversals / n_resamples, 1.0)
+    return BootstrapResult(
+        observed_delta=float(observed), p_value=float(p_value), n_resamples=n_resamples
+    )
+
+
+def sign_test(
+    labels: np.ndarray,
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+) -> float:
+    """Two-sided sign test over per-document correctness disagreements.
+
+    Returns:
+        The exact binomial p-value of the observed win/loss split on the
+        documents where exactly one system is correct.
+    """
+    labels = np.asarray(labels)
+    correct_a = np.asarray(predictions_a) == labels
+    correct_b = np.asarray(predictions_b) == labels
+    wins_a = int(np.sum(correct_a & ~correct_b))
+    wins_b = int(np.sum(correct_b & ~correct_a))
+    n = wins_a + wins_b
+    if n == 0:
+        return 1.0
+    k = max(wins_a, wins_b)
+    # Two-sided exact binomial tail at p = 1/2.
+    from math import comb
+
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return float(min(2.0 * tail, 1.0))

@@ -1,0 +1,42 @@
+"""Feature selection (paper Sec. 4).
+
+Four selectors are provided, matching the paper's Table 1:
+
+======================  =========================
+Document Frequency      1000 features, whole corpus
+Information Gain        1000 features, whole corpus
+Mutual Information      300 features per category
+Frequent Nouns          100 features per category
+======================  =========================
+"""
+
+from repro.features.base import CorpusStatistics, FeatureSelector, FeatureSet
+from repro.features.chi_square import ChiSquareSelector
+from repro.features.document_frequency import DocumentFrequencySelector
+from repro.features.frequent_nouns import FrequentNounsSelector
+from repro.features.information_gain import InformationGainSelector
+from repro.features.mutual_information import MutualInformationSelector
+from repro.features.pos import PosTagger, tag_tokens
+
+ALL_SELECTORS = {
+    "df": DocumentFrequencySelector,
+    "ig": InformationGainSelector,
+    "mi": MutualInformationSelector,
+    "nouns": FrequentNounsSelector,
+    # Extension beyond the paper's four (Yang & Pedersen's chi-max).
+    "chi2": ChiSquareSelector,
+}
+
+__all__ = [
+    "CorpusStatistics",
+    "FeatureSelector",
+    "FeatureSet",
+    "DocumentFrequencySelector",
+    "InformationGainSelector",
+    "MutualInformationSelector",
+    "FrequentNounsSelector",
+    "ChiSquareSelector",
+    "PosTagger",
+    "tag_tokens",
+    "ALL_SELECTORS",
+]

@@ -1,0 +1,153 @@
+"""Shared infrastructure for feature selection.
+
+:class:`CorpusStatistics` gathers the document-frequency and per-category
+contingency counts every selector needs; :class:`FeatureSet` is the common
+result type; :class:`FeatureSelector` is the abstract interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Term/category counts over the *training* split.
+
+    Attributes:
+        n_docs: number of training documents.
+        document_frequency: term -> number of training docs containing it.
+        docs_per_category: category -> number of training docs labelled
+            with it (multi-label docs count once per label).
+        df_in_category: category -> (term -> number of that category's docs
+            containing the term).
+        tf_in_category: category -> (term -> total occurrences of the term
+            in that category's docs).
+        categories: label universe, in corpus order.
+    """
+
+    n_docs: int
+    document_frequency: Mapping[str, int]
+    docs_per_category: Mapping[str, int]
+    df_in_category: Mapping[str, Mapping[str, int]]
+    tf_in_category: Mapping[str, Mapping[str, int]]
+    categories: Tuple[str, ...]
+
+    @classmethod
+    def from_tokenized(cls, tokenized: TokenizedCorpus) -> "CorpusStatistics":
+        """Compute statistics over the training split of ``tokenized``."""
+        document_frequency: Counter = Counter()
+        docs_per_category: Counter = Counter()
+        df_in_category: Dict[str, Counter] = {c: Counter() for c in tokenized.categories}
+        tf_in_category: Dict[str, Counter] = {c: Counter() for c in tokenized.categories}
+
+        for doc in tokenized.train_documents:
+            tokens = tokenized.tokens(doc)
+            unique = set(tokens)
+            document_frequency.update(unique)
+            for category in doc.topics:
+                docs_per_category[category] += 1
+                df_in_category[category].update(unique)
+                tf_in_category[category].update(tokens)
+
+        return cls(
+            n_docs=len(tokenized.train_documents),
+            document_frequency=dict(document_frequency),
+            docs_per_category=dict(docs_per_category),
+            df_in_category={c: dict(v) for c, v in df_in_category.items()},
+            tf_in_category={c: dict(v) for c, v in tf_in_category.items()},
+            categories=tokenized.categories,
+        )
+
+    @property
+    def vocabulary(self) -> FrozenSet[str]:
+        """Every term seen in the training split."""
+        return frozenset(self.document_frequency)
+
+
+def top_terms(scores: Mapping[str, float], n_features: int) -> FrozenSet[str]:
+    """The ``n_features`` highest-scoring terms (ties broken alphabetically
+    so selection is deterministic)."""
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return frozenset(term for term, _ in ranked[:n_features])
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """The outcome of feature selection.
+
+    For corpus-wide methods (DF, IG) every category maps to the same term
+    set; per-category methods (MI, Frequent Nouns) select independently.
+
+    Attributes:
+        method: selector name (``"df"``, ``"ig"``, ``"mi"``, ``"nouns"``).
+        per_category: category -> selected terms.
+        scope: ``"corpus"`` or ``"category"`` (Table 1's two regimes).
+    """
+
+    method: str
+    per_category: Mapping[str, FrozenSet[str]]
+    scope: str = "corpus"
+
+    def vocabulary(self, category: str) -> FrozenSet[str]:
+        """Selected terms for ``category``."""
+        return self.per_category[category]
+
+    def filter_tokens(self, tokens: Iterable[str], category: str) -> List[str]:
+        """Keep only selected terms, preserving document order.
+
+        This is the step that turns a pre-processed document into the
+        ordered word sequence the SOM encoder consumes.
+        """
+        selected = self.per_category[category]
+        return [token for token in tokens if token in selected]
+
+    def filter_tokens_with_positions(
+        self, tokens: Iterable[str], category: str
+    ) -> List[Tuple[int, str]]:
+        """Like :meth:`filter_tokens` but keeping each token's original
+        stream index, so per-category sequences can be re-aligned on the
+        shared token axis (used by topic tracking)."""
+        selected = self.per_category[category]
+        return [
+            (index, token)
+            for index, token in enumerate(tokens)
+            if token in selected
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Number of selected features per category (Table 1 data)."""
+        return {category: len(terms) for category, terms in self.per_category.items()}
+
+    def union_vocabulary(self) -> FrozenSet[str]:
+        """All terms selected for any category."""
+        result: FrozenSet[str] = frozenset()
+        for terms in self.per_category.values():
+            result |= terms
+        return result
+
+
+class FeatureSelector(ABC):
+    """Abstract feature selector.
+
+    Subclasses set :attr:`name` and implement :meth:`select`.
+    """
+
+    name: str = "base"
+
+    def __init__(self, n_features: int) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.n_features = n_features
+
+    @abstractmethod
+    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
+        """Select features from the training split of ``tokenized``."""
+
+    def _statistics(self, tokenized: TokenizedCorpus) -> CorpusStatistics:
+        return CorpusStatistics.from_tokenized(tokenized)

@@ -1,0 +1,29 @@
+"""Document Frequency feature selection (paper Sec. 4, [11]).
+
+Features occurring in the most training documents are kept; the paper uses
+the top 1000 over the whole corpus.
+"""
+
+from __future__ import annotations
+
+from repro.features.base import FeatureSelector, FeatureSet, top_terms
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+class DocumentFrequencySelector(FeatureSelector):
+    """Select the ``n_features`` terms with highest document frequency."""
+
+    name = "df"
+
+    def __init__(self, n_features: int = 1000) -> None:
+        super().__init__(n_features)
+
+    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
+        stats = self._statistics(tokenized)
+        scores = {term: float(df) for term, df in stats.document_frequency.items()}
+        selected = top_terms(scores, self.n_features)
+        return FeatureSet(
+            method=self.name,
+            per_category={category: selected for category in stats.categories},
+            scope="corpus",
+        )

@@ -1,0 +1,43 @@
+"""Frequent Nouns feature selection (paper Sec. 4).
+
+Nouns are assumed to be more informative than other parts of speech.  All
+tokens tagged ``NN``/``NNS`` in a category's training documents are ranked
+by frequency and the top 100 per category are kept.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.features.base import FeatureSelector, FeatureSet, top_terms
+from repro.features.pos import PosTagger
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+class FrequentNounsSelector(FeatureSelector):
+    """Select the ``n_features`` most frequent nouns per category."""
+
+    name = "nouns"
+
+    def __init__(self, n_features: int = 100, tagger: PosTagger = None) -> None:
+        super().__init__(n_features)
+        self.tagger = tagger if tagger is not None else PosTagger()
+
+    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
+        noun_counts: Dict[str, Counter] = {
+            category: Counter() for category in tokenized.categories
+        }
+        for doc in tokenized.train_documents:
+            nouns = self.tagger.nouns(tokenized.tokens(doc))
+            for category in doc.topics:
+                noun_counts[category].update(nouns)
+
+        per_category = {
+            category: top_terms(
+                {term: float(count) for term, count in counts.items()},
+                self.n_features,
+            )
+            for category, counts in noun_counts.items()
+        }
+        return FeatureSet(method=self.name, per_category=per_category, scope="category")

@@ -1,0 +1,70 @@
+"""Information Gain feature selection (paper Sec. 4, Eq. 1, [11][14]).
+
+IG measures the decrease in category entropy due to observing the presence
+or absence of a term:
+
+    IG(f) = -sum_j P(Cj) log P(Cj)
+            + P(f)    sum_j P(Cj|f)    log P(Cj|f)
+            + P(!f)   sum_j P(Cj|!f)   log P(Cj|!f)
+
+The paper keeps the top 1000 terms over the whole corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.features.base import CorpusStatistics, FeatureSelector, FeatureSet, top_terms
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+_EPS = 1e-12
+
+
+def _entropy_term(probability: float) -> float:
+    """p * log2(p), with 0 log 0 = 0."""
+    if probability <= _EPS:
+        return 0.0
+    return probability * math.log2(probability)
+
+
+def information_gain(stats: CorpusStatistics, term: str) -> float:
+    """IG of one term under Eq. 1 (multi-label counts, base-2 logs)."""
+    n_docs = stats.n_docs
+    df = stats.document_frequency.get(term, 0)
+    p_f = df / n_docs
+    p_not_f = 1.0 - p_f
+
+    prior = 0.0
+    with_f = 0.0
+    without_f = 0.0
+    for category in stats.categories:
+        n_cat = stats.docs_per_category.get(category, 0)
+        n_cat_f = stats.df_in_category[category].get(term, 0)
+        prior -= _entropy_term(n_cat / n_docs)
+        if df:
+            with_f += _entropy_term(n_cat_f / df)
+        if n_docs - df:
+            without_f += _entropy_term((n_cat - n_cat_f) / (n_docs - df))
+    return prior + p_f * with_f + p_not_f * without_f
+
+
+class InformationGainSelector(FeatureSelector):
+    """Select the ``n_features`` terms with the highest information gain."""
+
+    name = "ig"
+
+    def __init__(self, n_features: int = 1000) -> None:
+        super().__init__(n_features)
+
+    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
+        stats = self._statistics(tokenized)
+        scores: Dict[str, float] = {
+            term: information_gain(stats, term) for term in stats.vocabulary
+        }
+        selected = top_terms(scores, self.n_features)
+        return FeatureSet(
+            method=self.name,
+            per_category={category: selected for category in stats.categories},
+            scope="corpus",
+        )

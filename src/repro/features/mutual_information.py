@@ -1,0 +1,64 @@
+"""Mutual Information feature selection (paper Sec. 4, Eq. 2, [5][6]).
+
+MI between term presence and category membership:
+
+    MI(f, Cj) = sum over {f, !f} x {Cj, !Cj} of
+                P(x, y) log [ P(x, y) / (P(x) P(y)) ]
+
+computed from the 2x2 document-count contingency table with add-one
+smoothing (so empty cells do not produce log 0).  The paper keeps the top
+300 terms *per category*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.features.base import CorpusStatistics, FeatureSelector, FeatureSet, top_terms
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def mutual_information(stats: CorpusStatistics, term: str, category: str) -> float:
+    """MI(f, Cj) over the smoothed 2x2 contingency table (base-2 logs)."""
+    n_docs = stats.n_docs
+    df = stats.document_frequency.get(term, 0)
+    n_cat = stats.docs_per_category.get(category, 0)
+    both = stats.df_in_category[category].get(term, 0)
+
+    # Contingency cells: [term?][category?] document counts, smoothed.
+    cells = {
+        (True, True): both + 1,
+        (True, False): df - both + 1,
+        (False, True): n_cat - both + 1,
+        (False, False): n_docs - df - n_cat + both + 1,
+    }
+    total = n_docs + 4
+
+    score = 0.0
+    for (has_term, in_cat), count in cells.items():
+        p_xy = count / total
+        p_x = (cells[(has_term, True)] + cells[(has_term, False)]) / total
+        p_y = (cells[(True, in_cat)] + cells[(False, in_cat)]) / total
+        score += p_xy * math.log2(p_xy / (p_x * p_y))
+    return score
+
+
+class MutualInformationSelector(FeatureSelector):
+    """Select the ``n_features`` highest-MI terms independently per category."""
+
+    name = "mi"
+
+    def __init__(self, n_features: int = 300) -> None:
+        super().__init__(n_features)
+
+    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
+        stats = self._statistics(tokenized)
+        per_category: Dict[str, frozenset] = {}
+        for category in stats.categories:
+            scores = {
+                term: mutual_information(stats, term, category)
+                for term in stats.vocabulary
+            }
+            per_category[category] = top_terms(scores, self.n_features)
+        return FeatureSet(method=self.name, per_category=per_category, scope="category")

@@ -1,0 +1,139 @@
+"""Rule-based part-of-speech tagger (substitute for Brill's tagger [2]).
+
+The paper uses POS tagging solely to find common nouns (``NN``/``NNS``) for
+the Frequent Nouns selector.  This tagger follows the structure of Brill's
+initial-state annotator: a seed lexicon for closed-class and very common
+words, suffix rules for open-class words, and a default tag of ``NN`` for
+unknown words -- which is exactly Brill's default and is what makes this
+tagger a faithful stand-in for the frequent-noun use case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+# Seed lexicon: closed-class words and common verbs/adjectives that suffix
+# rules would otherwise mis-tag as nouns.
+_LEXICON: Dict[str, str] = {}
+
+
+def _add(tag: str, words: str) -> None:
+    for word in words.split():
+        _LEXICON[word] = tag
+
+
+_add("DT", "the a an this that these those each every some any no all both")
+_add("IN", "of in to for on with at by from as into over under after before "
+           "between against during about through above below")
+_add("CC", "and or but nor yet so")
+_add("PRP", "it he she they we you i them him her us me")
+_add("MD", "will would can could may might must shall should")
+_add("VB", "be have do make take get give go come put see say tell buy sell "
+           "pay cut raise keep hold meet set rise fall expect remain include")
+_add("VBD", "was were had did made took gave went came put saw said told "
+            "bought sold paid rose fell met held kept reported announced "
+            "added expected included")
+_add("VBZ", "is has does says makes takes expects reports remains includes "
+            "rises falls")
+_add("JJ", "new old good bad big small high low strong weak major minor "
+           "net gross foreign domestic international national annual "
+           "quarterly monthly weekly daily current previous early late "
+           "common effective due prior")
+_add("RB", "not very also only just still already yesterday today now then "
+           "here there immediately recently sharply slightly")
+_add("NN", "company year market price government week official statement "
+           "report industry economy growth policy meeting agreement "
+           "program level total increase decline forecast demand supply "
+           "sector plan group president minister spokesman chairman "
+           "board quarter share dividend profit loss revenue oil grain "
+           "wheat corn trade interest money bank rate ship port cargo")
+
+# Suffix rules, tried longest-first.  (suffix, tag)
+_SUFFIX_RULES: Tuple[Tuple[str, str], ...] = (
+    ("ational", "JJ"),
+    ("ization", "NN"),
+    ("ments", "NNS"),
+    ("nesses", "NNS"),
+    ("tions", "NNS"),
+    ("ities", "NNS"),
+    ("ingly", "RB"),
+    ("tion", "NN"),
+    ("ment", "NN"),
+    ("ness", "NN"),
+    ("ship", "NN"),
+    ("ity", "NN"),
+    ("ance", "NN"),
+    ("ence", "NN"),
+    ("ious", "JJ"),
+    ("eous", "JJ"),
+    ("able", "JJ"),
+    ("ible", "JJ"),
+    ("ful", "JJ"),
+    ("ive", "JJ"),
+    ("ous", "JJ"),
+    ("ical", "JJ"),
+    ("ary", "JJ"),
+    ("ing", "VBG"),
+    ("ed", "VBD"),
+    ("ly", "RB"),
+    ("er", "NN"),
+    ("or", "NN"),
+    ("ist", "NN"),
+    ("ism", "NN"),
+)
+
+#: Suffixes that block the plural rule (``-s`` after these is not a plural).
+_NON_PLURAL_ENDINGS = ("ss", "us", "is", "ous")
+
+
+class PosTagger:
+    """Lexicon + suffix + default-NN tagger with light contextual repair."""
+
+    def tag_word(self, word: str) -> str:
+        """Tag a single word out of context."""
+        word = word.lower()
+        if word in _LEXICON:
+            return _LEXICON[word]
+        for suffix, tag in _SUFFIX_RULES:
+            if len(word) > len(suffix) + 2 and word.endswith(suffix):
+                return tag
+        if (
+            word.endswith("s")
+            and len(word) > 3
+            and not word.endswith(_NON_PLURAL_ENDINGS)
+        ):
+            return "NNS"
+        return "NN"
+
+    def tag(self, tokens: Sequence[str]) -> List[Tuple[str, str]]:
+        """Tag a token sequence.
+
+        Two Brill-style contextual transformations repair the most common
+        initial-state errors for this corpus:
+
+        * ``to <NN>`` -> the word after infinitival ``to`` becomes ``VB``
+          when the lexicon lists it as a verb elsewhere;
+        * ``<DT> <VBD/VBG>`` -> a participle directly after a determiner is
+          re-tagged ``JJ`` (e.g. "the revised figures").
+        """
+        tagged = [(token, self.tag_word(token)) for token in tokens]
+        for index in range(1, len(tagged)):
+            prev_word, prev_tag = tagged[index - 1]
+            word, tag = tagged[index]
+            if prev_word == "to" and _LEXICON.get(word) == "VB":
+                tagged[index] = (word, "VB")
+            elif prev_tag == "DT" and tag in ("VBD", "VBG"):
+                tagged[index] = (word, "JJ")
+        return tagged
+
+    def nouns(self, tokens: Sequence[str]) -> List[str]:
+        """The tokens tagged as common nouns (NN or NNS), in order."""
+        return [word for word, tag in self.tag(tokens) if tag in ("NN", "NNS")]
+
+
+_DEFAULT_TAGGER = PosTagger()
+
+
+def tag_tokens(tokens: Sequence[str]) -> List[Tuple[str, str]]:
+    """Tag ``tokens`` with the default tagger."""
+    return _DEFAULT_TAGGER.tag(tokens)

@@ -1,0 +1,146 @@
+"""Dynamic Subset Selection (paper Sec. 7.3, after Gathercole & Ross via [13]).
+
+Instead of evaluating every tournament on the full training set, fitness is
+computed on a small subset that is re-drawn periodically.  Each exemplar
+carries a *difficulty* (how often the current best program misclassified it
+when it was last in the subset) and an *age* (how many re-selections since
+it last appeared).  Selection probability is a weighted blend of both, so
+hard and long-unseen exemplars keep cycling through the subset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class DynamicSubsetSelector:
+    """Maintains the DSS state and draws subsets.
+
+    Args:
+        n_exemplars: size of the full training set.
+        subset_size: exemplars per subset (if >= n_exemplars, DSS is a
+            no-op returning the full set).
+        interval: tournaments between re-selections.
+        difficulty_weight / age_weight: blend of the two pressures.
+        labels: optional +/-1 exemplar labels enabling *stratified* DSS --
+            every subset is guaranteed a minority-class quota.  One-vs-rest
+            text problems are heavily skewed (the smallest Reuters category
+            has ~2% positives), and an unstratified random subset routinely
+            contains no positives at all, leaving SSE fitness nothing to
+            learn from.
+        min_positive_fraction: minority quota under stratification.
+        seed: PRNG seed.
+    """
+
+    def __init__(
+        self,
+        n_exemplars: int,
+        subset_size: int = 50,
+        interval: int = 50,
+        difficulty_weight: float = 0.7,
+        age_weight: float = 0.3,
+        labels: Optional[np.ndarray] = None,
+        min_positive_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if n_exemplars <= 0:
+            raise ValueError("n_exemplars must be positive")
+        if subset_size <= 0:
+            raise ValueError("subset_size must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if difficulty_weight < 0 or age_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if difficulty_weight + age_weight == 0:
+            raise ValueError("at least one weight must be positive")
+        self.n_exemplars = n_exemplars
+        self.subset_size = min(subset_size, n_exemplars)
+        self.interval = interval
+        self.difficulty_weight = difficulty_weight
+        self.age_weight = age_weight
+        if not 0.0 <= min_positive_fraction <= 1.0:
+            raise ValueError("min_positive_fraction must be in [0, 1]")
+        self.labels = None if labels is None else np.asarray(labels, dtype=float)
+        if self.labels is not None and self.labels.shape != (n_exemplars,):
+            raise ValueError("labels must align with n_exemplars")
+        self.min_positive_fraction = min_positive_fraction
+        self.difficulty = np.ones(n_exemplars)
+        self.age = np.ones(n_exemplars)
+        self._rng = np.random.default_rng(seed)
+        self._subset: Optional[np.ndarray] = None
+        self._version = 0
+        self._next_reselect = 0
+
+    @property
+    def version(self) -> int:
+        """Bumps whenever the subset changes (fitness caches key on this)."""
+        return self._version
+
+    @property
+    def full_set(self) -> bool:
+        """True when the subset is the whole training set."""
+        return self.subset_size >= self.n_exemplars
+
+    def subset(self, tournament: int) -> np.ndarray:
+        """The subset to use for ``tournament`` (re-drawn every interval)."""
+        if self._subset is None or tournament >= self._next_reselect:
+            self._reselect()
+            self._next_reselect = tournament + self.interval
+        return self._subset
+
+    def _reselect(self) -> None:
+        if self.full_set:
+            self._subset = np.arange(self.n_exemplars)
+            self._version += 1
+            return
+        if self.labels is None:
+            self._subset = self._draw(np.arange(self.n_exemplars), self.subset_size)
+        else:
+            self._subset = self._draw_stratified()
+        self.age += 1.0
+        self.age[self._subset] = 1.0
+        self._version += 1
+
+    def _draw(self, pool: np.ndarray, size: int) -> np.ndarray:
+        """Roulette draw of ``size`` exemplars from ``pool`` without
+        replacement, weighted by the difficulty/age blend."""
+        size = min(size, len(pool))
+        if size == 0:
+            return np.zeros(0, dtype=int)
+        scores = (
+            self.difficulty_weight * self.difficulty[pool]
+            + self.age_weight * self.age[pool]
+        )
+        probabilities = scores / scores.sum()
+        return pool[
+            self._rng.choice(len(pool), size=size, replace=False, p=probabilities)
+        ]
+
+    def _draw_stratified(self) -> np.ndarray:
+        positives = np.flatnonzero(self.labels > 0)
+        negatives = np.flatnonzero(self.labels < 0)
+        quota = min(
+            len(positives),
+            max(int(round(self.subset_size * self.min_positive_fraction)), 1),
+        )
+        chosen_pos = self._draw(positives, quota)
+        chosen_neg = self._draw(negatives, self.subset_size - len(chosen_pos))
+        return np.concatenate([chosen_pos, chosen_neg])
+
+    def report(self, subset_indices: np.ndarray, misclassified: np.ndarray) -> None:
+        """Update difficulties from the tournament best's errors.
+
+        Args:
+            subset_indices: the subset the tournament evaluated on.
+            misclassified: boolean mask aligned with ``subset_indices``.
+        """
+        subset_indices = np.asarray(subset_indices)
+        misclassified = np.asarray(misclassified, dtype=bool)
+        if subset_indices.shape != misclassified.shape:
+            raise ValueError("subset_indices and misclassified must align")
+        self.difficulty[subset_indices[misclassified]] += 1.0
+        # Correctly classified exemplars relax back toward the floor.
+        correct = subset_indices[~misclassified]
+        self.difficulty[correct] = np.maximum(self.difficulty[correct] * 0.9, 1.0)

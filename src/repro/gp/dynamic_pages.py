@@ -1,0 +1,57 @@
+"""Dynamic page-size control (paper Sec. 7.1, after [13]).
+
+Crossover always exchanges one *page* (a block of instructions) per parent.
+The dynamic scheme starts at page size 1, doubles the page size whenever
+the fitness plateaus, caps at ``max_page_size``, and wraps back to 1 after
+a plateau at the maximum.
+
+A plateau is defined over consecutive non-overlapping windows of
+``window`` tournaments: the per-tournament best fitness is summed over the
+window; two consecutive equal sums mean a plateau.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+class DynamicPageController:
+    """Tracks tournament-best fitness and exposes the current page size."""
+
+    def __init__(self, max_page_size: int, window: int = 10) -> None:
+        if max_page_size < 1 or (max_page_size & (max_page_size - 1)):
+            raise ValueError("max_page_size must be a positive power of 2")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.max_page_size = max_page_size
+        self.window = window
+        self.page_size = 1
+        self.history: List[int] = []
+        self._previous_sum: Optional[float] = None
+        self._accumulator = 0.0
+        self._count = 0
+
+    def record(self, best_fitness: float) -> int:
+        """Feed one tournament's best fitness; returns the page size to use."""
+        self._accumulator += float(best_fitness)
+        self._count += 1
+        if self._count == self.window:
+            self._close_window()
+        self.history.append(self.page_size)
+        return self.page_size
+
+    def _close_window(self) -> None:
+        window_sum = self._accumulator
+        self._accumulator = 0.0
+        self._count = 0
+        plateaued = self._previous_sum is not None and math.isclose(
+            window_sum, self._previous_sum, rel_tol=1e-12, abs_tol=1e-12
+        )
+        self._previous_sum = window_sum
+        if not plateaued:
+            return
+        if self.page_size >= self.max_page_size:
+            self.page_size = 1
+        else:
+            self.page_size *= 2

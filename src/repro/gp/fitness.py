@@ -1,0 +1,86 @@
+"""Output squashing (Eq. 4) and the SSE fitness function (Eq. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: exp() overflow guard; tanh saturates long before this anyway.
+_CLIP = 500.0
+
+
+def squash_output(raw: np.ndarray) -> np.ndarray:
+    """Eq. 4: project the raw output register into [-1, 1].
+
+        GPoutNew = 2 / (1 + e^-GPout) - 1
+
+    (A scaled sigmoid; equivalently ``tanh(GPout / 2)``.)
+    """
+    raw = np.clip(np.asarray(raw, dtype=float), -_CLIP, _CLIP)
+    return 2.0 / (1.0 + np.exp(-raw)) - 1.0
+
+
+def sum_squared_error(labels: np.ndarray, squashed: np.ndarray) -> float:
+    """Eq. 5: sum of squared errors against the +/-1 labels."""
+    labels = np.asarray(labels, dtype=float)
+    squashed = np.asarray(squashed, dtype=float)
+    if labels.shape != squashed.shape:
+        raise ValueError("labels and outputs must align")
+    return float(np.sum((labels - squashed) ** 2))
+
+
+def balanced_sse(labels: np.ndarray, squashed: np.ndarray) -> float:
+    """Class-balanced SSE: each class contributes its *mean* squared error,
+    scaled back to the Eq. 5 range.
+
+    One-vs-rest text problems are skewed up to 50:1; plain SSE's optimum is
+    then to sacrifice the positive class entirely.  The paper counteracts
+    the skew implicitly -- DSS difficulty weighting concentrates subsets on
+    the misclassified minority over its 48000 tournaments.  At reduced
+    budgets we make the same pressure explicit and use this criterion for
+    *model selection* (choosing the best individual / restart); the
+    per-tournament fitness remains Eq. 5 on the (stratified) DSS subset.
+    """
+    labels = np.asarray(labels, dtype=float)
+    squashed = np.asarray(squashed, dtype=float)
+    if labels.shape != squashed.shape:
+        raise ValueError("labels and outputs must align")
+    errors = (labels - squashed) ** 2
+    positive = labels > 0
+    parts = []
+    if positive.any():
+        parts.append(float(errors[positive].mean()))
+    if (~positive).any():
+        parts.append(float(errors[~positive].mean()))
+    return float(np.mean(parts)) * len(labels)
+
+
+def f1_fitness(labels: np.ndarray, squashed: np.ndarray) -> float:
+    """F1-based fitness (the paper's Sec. 9 future-work suggestion).
+
+    Decisions are taken at the squashed output's natural 0 threshold and
+    scored as ``(1 - F1) * n`` so that, like Eq. 5, lower is better and the
+    magnitude scales with the evaluation-set size (keeping DSS plateau
+    detection comparable between the two fitness functions).
+    """
+    labels = np.asarray(labels, dtype=float)
+    squashed = np.asarray(squashed, dtype=float)
+    if labels.shape != squashed.shape:
+        raise ValueError("labels and outputs must align")
+    predictions = squashed > 0.0
+    positives = labels > 0
+    true_positive = float(np.sum(predictions & positives))
+    false_positive = float(np.sum(predictions & ~positives))
+    false_negative = float(np.sum(~predictions & positives))
+    denominator = 2 * true_positive + false_positive + false_negative
+    f1 = (2 * true_positive / denominator) if denominator else 0.0
+    return (1.0 - f1) * len(labels)
+
+
+def classification_error(labels: np.ndarray, squashed: np.ndarray) -> np.ndarray:
+    """Boolean mask of misclassified examples at the natural 0 threshold.
+
+    Used by Dynamic Subset Selection to update per-exemplar difficulty.
+    """
+    labels = np.asarray(labels, dtype=float)
+    predictions = np.where(np.asarray(squashed, dtype=float) > 0.0, 1.0, -1.0)
+    return predictions != labels

@@ -1,0 +1,144 @@
+"""The 2-address instruction set (paper Sec. 7.1).
+
+Individuals are sequences of integers, each decoded into a valid
+instruction through a fixed field layout (syntactic closure: *every*
+integer decodes to something executable):
+
+    bits 15..14  mode    (0 internal, 1 external, 2 constant)
+    bits 13..12  opcode  (+, -, *, /)
+    bits 11..8   destination register
+    bits  7..0   source field
+
+The instruction semantics is ``R[dst] = R[dst] op source`` where the source
+is a register (internal mode), an input port (external mode, e.g.
+``R1 = R1 + IP0``), or an integer constant.  Out-of-range register/input
+indices wrap modulo the configured counts, preserving closure under
+mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Sequence
+
+from repro.gp.config import GpConfig
+
+MODE_INTERNAL = 0
+MODE_EXTERNAL = 1
+MODE_CONSTANT = 2
+
+OP_ADD = 0
+OP_SUB = 1
+OP_MUL = 2
+OP_DIV = 3
+
+OP_SYMBOLS = ("+", "-", "*", "/")
+
+_MODE_SHIFT = 14
+_OP_SHIFT = 12
+_DST_SHIFT = 8
+_SRC_MASK = 0xFF
+_DST_MASK = 0xF
+_OP_MASK = 0x3
+_MODE_MASK = 0x3
+
+#: Every encoded instruction fits in 16 bits.
+INSTRUCTION_BITS = 16
+INSTRUCTION_MASK = (1 << INSTRUCTION_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    Attributes:
+        mode: MODE_INTERNAL / MODE_EXTERNAL / MODE_CONSTANT.
+        opcode: OP_ADD / OP_SUB / OP_MUL / OP_DIV.
+        dst: destination (and first source) register index.
+        src: source register index, input-port index, or constant value
+            depending on ``mode``.
+    """
+
+    mode: int
+    opcode: int
+    dst: int
+    src: int
+
+
+def encode_instruction(mode: int, opcode: int, dst: int, src: int) -> int:
+    """Pack fields into an instruction integer."""
+    if not 0 <= mode <= 2:
+        raise ValueError(f"mode must be 0..2, got {mode}")
+    if not 0 <= opcode <= 3:
+        raise ValueError(f"opcode must be 0..3, got {opcode}")
+    if not 0 <= dst <= _DST_MASK:
+        raise ValueError(f"dst must fit in 4 bits, got {dst}")
+    if not 0 <= src <= _SRC_MASK:
+        raise ValueError(f"src must fit in 8 bits, got {src}")
+    return (mode << _MODE_SHIFT) | (opcode << _OP_SHIFT) | (dst << _DST_SHIFT) | src
+
+
+def decode_instruction(value: int, config: GpConfig) -> Instruction:
+    """Decode an integer into a valid instruction (total function).
+
+    A mode field of 3 (unreachable via :func:`random_instruction` but
+    reachable via XOR mutation) wraps onto the three valid modes, and
+    register/input indices wrap modulo their configured counts.
+    """
+    value &= INSTRUCTION_MASK
+    mode = ((value >> _MODE_SHIFT) & _MODE_MASK) % 3
+    opcode = (value >> _OP_SHIFT) & _OP_MASK
+    dst = ((value >> _DST_SHIFT) & _DST_MASK) % config.n_registers
+    raw_src = value & _SRC_MASK
+    if mode == MODE_INTERNAL:
+        src = raw_src % config.n_registers
+    elif mode == MODE_EXTERNAL:
+        src = raw_src % config.n_inputs
+    else:
+        src = raw_src % config.constant_range
+    return Instruction(mode=mode, opcode=opcode, dst=dst, src=src)
+
+
+def random_instruction(rng: Random, config: GpConfig) -> int:
+    """Draw an instruction: roulette over the mode ratio, uniform fields.
+
+    The two-stage draw is the paper's initialisation scheme -- without it,
+    uniform integers would make half the population constant-loads.
+    """
+    weights = config.instruction_ratio
+    total = sum(weights)
+    roll = rng.random() * total
+    if roll < weights[0]:
+        mode = MODE_CONSTANT
+    elif roll < weights[0] + weights[1]:
+        mode = MODE_INTERNAL
+    else:
+        mode = MODE_EXTERNAL
+    opcode = rng.randrange(4)
+    dst = rng.randrange(config.n_registers)
+    if mode == MODE_INTERNAL:
+        src = rng.randrange(config.n_registers)
+    elif mode == MODE_EXTERNAL:
+        src = rng.randrange(config.n_inputs)
+    else:
+        src = rng.randrange(config.constant_range)
+    return encode_instruction(mode, opcode, dst, src)
+
+
+def disassemble_one(value: int, config: GpConfig) -> str:
+    """Human-readable form of one instruction, paper style (``R0=R0+I1``)."""
+    instr = decode_instruction(value, config)
+    op = OP_SYMBOLS[instr.opcode]
+    if instr.mode == MODE_INTERNAL:
+        source = f"R{instr.src}"
+    elif instr.mode == MODE_EXTERNAL:
+        source = f"I{instr.src}"
+    else:
+        source = str(instr.src)
+    return f"R{instr.dst}=R{instr.dst}{op}{source}"
+
+
+def disassemble(code: Sequence[int], config: GpConfig) -> List[str]:
+    """Disassemble a whole program."""
+    return [disassemble_one(value, config) for value in code]

@@ -1,0 +1,75 @@
+"""Variation operators (paper Sec. 7.1).
+
+Three operators, applied *additively* (a child may undergo all three):
+
+* **Crossover** -- swap one page between the parents.  Pages are blocks of
+  the current (dynamic) page size; they need not be aligned but always
+  contain the same number of instructions, so program lengths never change.
+* **Mutation** -- XOR one instruction with a freshly drawn instruction.
+* **Swap** -- interchange two instructions within the same individual.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Tuple
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import INSTRUCTION_MASK, random_instruction
+from repro.gp.program import Program
+
+
+def page_crossover(
+    rng: Random,
+    code_a: List[int],
+    code_b: List[int],
+    page_size: int,
+) -> None:
+    """Swap one equal-size block between the two code lists, in place."""
+    block = min(page_size, len(code_a), len(code_b))
+    if block <= 0:
+        return
+    start_a = rng.randrange(len(code_a) - block + 1)
+    start_b = rng.randrange(len(code_b) - block + 1)
+    slice_a = code_a[start_a : start_a + block]
+    code_a[start_a : start_a + block] = code_b[start_b : start_b + block]
+    code_b[start_b : start_b + block] = slice_a
+
+
+def xor_mutation(rng: Random, code: List[int], config: GpConfig) -> None:
+    """XOR one instruction with a new random instruction, in place."""
+    index = rng.randrange(len(code))
+    code[index] = (code[index] ^ random_instruction(rng, config)) & INSTRUCTION_MASK
+
+
+def swap_mutation(rng: Random, code: List[int]) -> None:
+    """Interchange two uniformly chosen instructions, in place.
+
+    The motivation (paper): an individual may have the right instruction
+    mix in the wrong order.
+    """
+    if len(code) < 2:
+        return
+    i = rng.randrange(len(code))
+    j = rng.randrange(len(code))
+    code[i], code[j] = code[j], code[i]
+
+
+def breed(
+    rng: Random,
+    parent_a: Program,
+    parent_b: Program,
+    page_size: int,
+    config: GpConfig,
+) -> Tuple[Program, Program]:
+    """Produce two children from two parents with the additive operators."""
+    code_a = list(parent_a.code)
+    code_b = list(parent_b.code)
+    if rng.random() < config.p_crossover:
+        page_crossover(rng, code_a, code_b, page_size)
+    for code in (code_a, code_b):
+        if rng.random() < config.p_mutation:
+            xor_mutation(rng, code, config)
+        if rng.random() < config.p_swap:
+            swap_mutation(rng, code)
+    return Program(code_a, config), Program(code_b, config)

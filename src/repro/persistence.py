@@ -1,0 +1,274 @@
+"""Saving and loading trained pipelines.
+
+A fitted :class:`~repro.pipeline.ProSysPipeline` serialises to a directory:
+
+* ``manifest.json`` -- configuration, feature selection, selected BMUs,
+  Gaussian membership scalars, evolved programs and thresholds;
+* ``arrays.npz``    -- SOM weight matrices and membership mean vectors.
+
+The corpus itself is *not* stored (data and model are separate concerns);
+:func:`load_pipeline` takes the corpus to re-attach.  Loading restores
+byte-identical behaviour: encodings, decision values, predictions and
+tracking traces all match the pipeline that was saved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.corpus.reuters import Corpus
+from repro.encoding.characters import CharacterEncoder
+from repro.encoding.hierarchy import CategoryEncoder, HierarchicalSomEncoder
+from repro.encoding.membership import GaussianMembership
+from repro.encoding.words import WordVectorizer
+from repro.features.base import FeatureSet
+from repro.gp.config import GpConfig
+from repro.gp.program import Program
+from repro.pipeline import ProSysConfig, ProSysPipeline
+from repro.preprocessing.pipeline import Preprocessor
+from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.som.map import SelfOrganizingMap
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a model directory is missing or malformed."""
+
+
+def _gp_config_to_dict(config: GpConfig) -> dict:
+    return {
+        "population_size": config.population_size,
+        "tournaments": config.tournaments,
+        "n_registers": config.n_registers,
+        "n_inputs": config.n_inputs,
+        "output_register": config.output_register,
+        "node_limit": config.node_limit,
+        "max_page_size": config.max_page_size,
+        "p_crossover": config.p_crossover,
+        "p_mutation": config.p_mutation,
+        "p_swap": config.p_swap,
+        "instruction_ratio": list(config.instruction_ratio),
+        "plateau_window": config.plateau_window,
+        "constant_range": config.constant_range,
+        "seed": config.seed,
+    }
+
+
+def _gp_config_from_dict(payload: dict) -> GpConfig:
+    payload = dict(payload)
+    payload["instruction_ratio"] = tuple(payload["instruction_ratio"])
+    return GpConfig(**payload)
+
+
+def save_pipeline(pipeline: ProSysPipeline, directory: Union[str, Path]) -> Path:
+    """Serialise a fitted pipeline into ``directory``.
+
+    Returns:
+        The directory path.
+
+    Raises:
+        PersistenceError: if the pipeline is not fitted.
+    """
+    if not pipeline.is_fitted:
+        raise PersistenceError("cannot save an unfitted pipeline")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {}
+    manifest: dict = {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "feature_method": pipeline.config.feature_method,
+            "n_features": pipeline.config.n_features,
+            "som_epochs": pipeline.config.som_epochs,
+            "char_shape": list(pipeline.config.char_shape),
+            "word_shape": list(pipeline.config.word_shape),
+            "min_hit_mass": pipeline.config.min_hit_mass,
+            "max_sequence_length": pipeline.config.max_sequence_length,
+            "n_restarts": pipeline.config.n_restarts,
+            "use_dss": pipeline.config.use_dss,
+            "dynamic_pages": pipeline.config.dynamic_pages,
+            "recurrent": pipeline.config.recurrent,
+            "fitness": pipeline.config.fitness,
+            "member_word_filter": pipeline.config.member_word_filter,
+            "stem": pipeline.config.stem,
+            "seed": pipeline.config.seed,
+            "gp": _gp_config_to_dict(pipeline.config.gp),
+        },
+        "feature_set": {
+            "method": pipeline.feature_set.method,
+            "scope": pipeline.feature_set.scope,
+            "per_category": {
+                category: sorted(terms)
+                for category, terms in pipeline.feature_set.per_category.items()
+            },
+        },
+        "categories": list(pipeline.suite.categories),
+        "classifiers": {},
+        "encoders": {},
+    }
+
+    char_encoder = pipeline.encoder.character_encoder
+    arrays["char_som_weights"] = char_encoder.som.weights
+    manifest["char_som"] = {
+        "rows": char_encoder.rows,
+        "cols": char_encoder.cols,
+        "epochs": char_encoder.epochs,
+        "seed": char_encoder.seed,
+    }
+
+    for category, encoder in pipeline.encoder.category_encoders.items():
+        key = f"word_som_{category}"
+        arrays[f"{key}_weights"] = encoder.som.weights
+        memberships = {}
+        for unit, membership in encoder.memberships.items():
+            arrays[f"{key}_mean_{unit}"] = membership.mean
+            memberships[str(unit)] = {
+                "sigma": membership.sigma,
+                "min_training_value": membership.min_training_value,
+            }
+        manifest["encoders"][category] = {
+            "rows": encoder.rows,
+            "cols": encoder.cols,
+            "epochs": encoder.epochs,
+            "seed": encoder.seed,
+            "selected_units": [int(u) for u in encoder.selected_units],
+            "memberships": memberships,
+        }
+
+    for category, classifier in pipeline.suite.classifiers.items():
+        manifest["classifiers"][category] = {
+            "code": list(classifier.program.code),
+            "threshold": classifier.threshold,
+            "train_fitness": classifier.train_fitness,
+            "gp": _gp_config_to_dict(classifier.config),
+        }
+
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    np.savez_compressed(directory / "arrays.npz", **arrays)
+    return directory
+
+
+def load_pipeline(directory: Union[str, Path], corpus: Corpus) -> ProSysPipeline:
+    """Restore a pipeline saved by :func:`save_pipeline`.
+
+    Args:
+        directory: the model directory.
+        corpus: the corpus to attach (the same one used at fit time for
+            identical evaluation, or a new one for pure inference).
+
+    Raises:
+        PersistenceError: on a missing or incompatible model directory.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    arrays_path = directory / "arrays.npz"
+    if not manifest_path.exists() or not arrays_path.exists():
+        raise PersistenceError(f"no saved pipeline in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported model format {manifest.get('format_version')!r}"
+        )
+    arrays = np.load(arrays_path)
+
+    config_payload = manifest["config"]
+    config = ProSysConfig(
+        feature_method=config_payload["feature_method"],
+        n_features=config_payload["n_features"],
+        som_epochs=config_payload["som_epochs"],
+        char_shape=tuple(config_payload["char_shape"]),
+        word_shape=tuple(config_payload["word_shape"]),
+        min_hit_mass=config_payload.get("min_hit_mass", 0.5),
+        max_sequence_length=config_payload.get("max_sequence_length"),
+        gp=_gp_config_from_dict(config_payload["gp"]),
+        n_restarts=config_payload["n_restarts"],
+        use_dss=config_payload["use_dss"],
+        dynamic_pages=config_payload["dynamic_pages"],
+        recurrent=config_payload["recurrent"],
+        fitness=config_payload.get("fitness", "sse"),
+        member_word_filter=config_payload.get("member_word_filter", True),
+        stem=config_payload.get("stem", False),
+        seed=config_payload["seed"],
+    )
+    pipeline = ProSysPipeline(config)
+    pipeline.tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
+    pipeline.feature_set = FeatureSet(
+        method=manifest["feature_set"]["method"],
+        per_category={
+            category: frozenset(terms)
+            for category, terms in manifest["feature_set"]["per_category"].items()
+        },
+        scope=manifest["feature_set"]["scope"],
+    )
+
+    char_payload = manifest["char_som"]
+    char_encoder = CharacterEncoder(
+        rows=char_payload["rows"],
+        cols=char_payload["cols"],
+        epochs=char_payload["epochs"],
+        seed=char_payload["seed"],
+    )
+    char_encoder.som = SelfOrganizingMap(char_payload["rows"], char_payload["cols"], 2)
+    char_encoder.som.weights = arrays["char_som_weights"]
+
+    encoder = HierarchicalSomEncoder(
+        char_rows=char_payload["rows"],
+        char_cols=char_payload["cols"],
+        word_rows=config.word_shape[0],
+        word_cols=config.word_shape[1],
+        epochs=config.som_epochs,
+        min_hit_mass=config.min_hit_mass,
+        max_sequence_length=config.max_sequence_length,
+        seed=config.seed,
+    )
+    encoder.character_encoder = char_encoder
+    encoder.vectorizer = WordVectorizer(char_encoder)
+    encoder.category_encoders = {}
+
+    for category, payload in manifest["encoders"].items():
+        category_encoder = CategoryEncoder(
+            category,
+            encoder.vectorizer,
+            rows=payload["rows"],
+            cols=payload["cols"],
+            epochs=payload["epochs"],
+            seed=payload["seed"],
+        )
+        key = f"word_som_{category}"
+        som = SelfOrganizingMap(
+            payload["rows"], payload["cols"], encoder.vectorizer.dim
+        )
+        som.weights = arrays[f"{key}_weights"]
+        category_encoder.som = som
+        category_encoder.selected_units = list(payload["selected_units"])
+        category_encoder.memberships = {
+            int(unit): GaussianMembership(
+                unit=int(unit),
+                mean=arrays[f"{key}_mean_{unit}"],
+                sigma=scalars["sigma"],
+                min_training_value=scalars["min_training_value"],
+            )
+            for unit, scalars in payload["memberships"].items()
+        }
+        encoder.category_encoders[category] = category_encoder
+    pipeline.encoder = encoder
+
+    for category, payload in manifest["classifiers"].items():
+        gp_config = _gp_config_from_dict(payload["gp"])
+        pipeline.suite.add(
+            RlgpBinaryClassifier(
+                category=category,
+                program=Program(payload["code"], gp_config),
+                config=gp_config,
+                threshold=payload["threshold"],
+                train_fitness=payload["train_fitness"],
+            )
+        )
+    return pipeline

@@ -1,0 +1,207 @@
+"""The full ProSys pipeline (paper Fig. 1).
+
+Chains pre-processing, feature selection, hierarchical SOM encoding, and
+per-category RLGP training into one object::
+
+    corpus = make_corpus(scale=0.05)
+    pipeline = ProSysPipeline(ProSysConfig(feature_method="ig"))
+    pipeline.fit(corpus)
+    scores = pipeline.evaluate("test")
+    print(scores.micro_f1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.multilabel import OneVsRestRlgp
+from repro.classify.tracking import TrackingTrace, track_document, track_multi_label
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.encoding.hierarchy import HierarchicalSomEncoder
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.evaluation.metrics import BinaryCounts, MultiLabelScores, score_multilabel
+from repro.features import ALL_SELECTORS
+from repro.features.base import FeatureSet
+from repro.gp.config import GpConfig
+from repro.gp.trainer import RlgpTrainer
+from repro.preprocessing.pipeline import Preprocessor
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+#: Table 1 defaults: method -> features selected (chi2 is an extension,
+#: given the same corpus-wide budget as DF/IG).
+DEFAULT_FEATURE_COUNTS = {"df": 1000, "ig": 1000, "mi": 300, "nouns": 100, "chi2": 1000}
+
+
+@dataclass(frozen=True)
+class ProSysConfig:
+    """End-to-end configuration.
+
+    Attributes:
+        feature_method: ``"df"``, ``"ig"``, ``"mi"`` or ``"nouns"``.
+        n_features: override of the method's Table 1 default.
+        som_epochs: SOM training epochs for both hierarchy levels.
+        char_shape / word_shape: SOM grid sizes (paper: 7x13 and 8x8).
+        min_hit_mass: BMU-selection hit-mass floor (volume-reduction
+            strength; 0 = bare minimal-coverage reading of the paper).
+        max_sequence_length: optional cap on encoded sequence length (a
+            compute knob for reduced budgets; the paper has no cap).
+        member_word_filter: the Sec. 6.2 member-word test (paper: on).
+        stem: Porter-stem tokens before everything else (paper: off; the
+            stemming ablation tests the SOM-groups-base-forms claim).
+        gp: the GP engine configuration.
+        n_restarts: independent evolutions per category (paper: 20).
+        use_dss / dynamic_pages / recurrent: trainer switches (paper: all
+            on; turning one off is the corresponding ablation).
+        fitness: per-tournament fitness function -- ``"sse"`` (Eq. 5,
+            paper), ``"balanced_sse"``, or ``"f1"`` (Sec. 9 future work).
+        seed: base seed for the whole pipeline.
+    """
+
+    feature_method: str = "mi"
+    n_features: Optional[int] = None
+    som_epochs: int = 20
+    char_shape: tuple = (7, 13)
+    word_shape: tuple = (8, 8)
+    min_hit_mass: float = 0.5
+    max_sequence_length: Optional[int] = None
+    member_word_filter: bool = True
+    stem: bool = False
+    gp: GpConfig = field(default_factory=lambda: GpConfig().small())
+    n_restarts: int = 1
+    use_dss: bool = True
+    dynamic_pages: bool = True
+    recurrent: bool = True
+    fitness: str = "sse"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.feature_method not in ALL_SELECTORS:
+            raise ValueError(
+                f"unknown feature method {self.feature_method!r}; "
+                f"choose one of {sorted(ALL_SELECTORS)}"
+            )
+
+    def selector(self):
+        """Instantiate the configured feature selector."""
+        cls = ALL_SELECTORS[self.feature_method]
+        n = self.n_features or DEFAULT_FEATURE_COUNTS[self.feature_method]
+        return cls(n)
+
+
+class ProSysPipeline:
+    """Fits and evaluates the proposed system on a corpus."""
+
+    def __init__(self, config: Optional[ProSysConfig] = None) -> None:
+        self.config = config if config is not None else ProSysConfig()
+        self.tokenized: Optional[TokenizedCorpus] = None
+        self.feature_set: Optional[FeatureSet] = None
+        self.encoder: Optional[HierarchicalSomEncoder] = None
+        self.suite = OneVsRestRlgp()
+        self._train_datasets: Dict[str, EncodedDataset] = {}
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.suite.classifiers)
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        corpus: Corpus,
+        categories: Optional[Sequence[str]] = None,
+    ) -> "ProSysPipeline":
+        """Run the whole training pipeline on ``corpus``'s training split."""
+        config = self.config
+        categories = tuple(categories) if categories else corpus.categories
+
+        self.tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
+        self.feature_set = config.selector().select(self.tokenized)
+        self.encoder = HierarchicalSomEncoder(
+            char_rows=config.char_shape[0],
+            char_cols=config.char_shape[1],
+            word_rows=config.word_shape[0],
+            word_cols=config.word_shape[1],
+            epochs=config.som_epochs,
+            min_hit_mass=config.min_hit_mass,
+            max_sequence_length=config.max_sequence_length,
+            member_word_filter=config.member_word_filter,
+            seed=config.seed,
+        ).fit(self.tokenized, self.feature_set, categories)
+
+        for offset, category in enumerate(categories):
+            dataset = self.encoder.encode_dataset(
+                self.tokenized, self.feature_set, category, "train"
+            )
+            self._train_datasets[category] = dataset
+            trainer = RlgpTrainer(
+                replace(config.gp, seed=config.seed + 101 * (offset + 1)),
+                use_dss=config.use_dss,
+                dynamic_pages=config.dynamic_pages,
+                recurrent=config.recurrent,
+                fitness=config.fitness,
+            )
+            classifier = RlgpBinaryClassifier.fit(
+                dataset,
+                trainer,
+                n_restarts=config.n_restarts,
+                base_seed=config.seed + 101 * (offset + 1),
+            )
+            self.suite.add(classifier)
+        return self
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, split: str = "test") -> MultiLabelScores:
+        """Per-category and averaged F1 on a split (paper Tables 4-6)."""
+        self._require_fitted()
+        counts: Dict[str, BinaryCounts] = {}
+        for category, classifier in self.suite.classifiers.items():
+            dataset = self.encoder.encode_dataset(
+                self.tokenized, self.feature_set, category, split
+            )
+            predictions = classifier.predict(dataset)
+            counts[category] = BinaryCounts.from_predictions(
+                dataset.labels, predictions
+            )
+        return score_multilabel(counts)
+
+    def predict_topics(self, doc: Document) -> list:
+        """Multi-label prediction for one document."""
+        self._require_fitted()
+        return self.suite.predict_topics(self._encode_all(doc))
+
+    # ------------------------------------------------------------------
+    # tracking (paper Sec. 8.2)
+    # ------------------------------------------------------------------
+    def track(self, doc: Document, category: str) -> TrackingTrace:
+        """Per-word output-register trace of one classifier (Fig. 5)."""
+        self._require_fitted()
+        encoded = self.encoder.encode_document(
+            doc, self.tokenized, self.feature_set, category
+        )
+        return track_document(self.suite.classifiers[category], encoded)
+
+    def track_all(self, doc: Document) -> Mapping[str, TrackingTrace]:
+        """Traces of every category classifier in parallel (Fig. 6)."""
+        self._require_fitted()
+        return track_multi_label(self.suite.classifiers, self._encode_all(doc))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _encode_all(self, doc: Document) -> Dict[str, EncodedDocument]:
+        return {
+            category: self.encoder.encode_document(
+                doc, self.tokenized, self.feature_set, category
+            )
+            for category in self.suite.categories
+        }
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("pipeline is not fitted; call fit() first")

@@ -1,0 +1,18 @@
+"""Document pre-processing (paper Sec. 4).
+
+Markup tags and non-textual data are removed, stop words are dropped, and --
+deliberately, per the paper -- **no stemming** is applied (the second-level
+SOM groups same-base-form words topologically instead).
+"""
+
+from repro.preprocessing.cleaning import remove_markup, remove_non_text
+from repro.preprocessing.pipeline import Preprocessor, preprocess
+from repro.preprocessing.tokenizer import tokenize
+
+__all__ = [
+    "remove_markup",
+    "remove_non_text",
+    "tokenize",
+    "Preprocessor",
+    "preprocess",
+]

@@ -1,0 +1,32 @@
+"""Text cleaning: markup-tag and non-textual-data removal."""
+
+from __future__ import annotations
+
+import re
+
+_TAG_RE = re.compile(r"<[^>]*>")
+_NON_ALPHA_RE = re.compile(r"[^a-zA-Z]+")
+
+
+def remove_markup(text: str) -> str:
+    """Strip markup tags such as ``<title>`` and ``<body>``.
+
+    Tags are replaced with a space so that words separated only by tags do
+    not merge.
+    """
+    return _TAG_RE.sub(" ", text)
+
+
+def remove_non_text(text: str) -> str:
+    """Replace every non-alphabetic run (digits, punctuation) with a space.
+
+    The paper keeps only textual data; numbers and special signs are
+    removed.  Hyphenated and apostrophised forms therefore split into their
+    alphabetic parts (``shareholders' -> shareholders``).
+    """
+    return _NON_ALPHA_RE.sub(" ", text)
+
+
+def clean(text: str) -> str:
+    """Full cleaning pass: markup removal then non-text removal."""
+    return remove_non_text(remove_markup(text))

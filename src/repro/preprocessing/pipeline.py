@@ -1,0 +1,62 @@
+"""The full pre-processing pipeline applied before feature selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.corpus.document import Document
+from repro.corpus.stopwords import STOPWORDS
+from repro.preprocessing.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class Preprocessor:
+    """Configurable pre-processing: clean, tokenise, drop stop words.
+
+    Stemming is OFF by default (paper Sec. 4): words sharing a base form
+    are grouped by the second-level SOM topology instead.  ``stem=True``
+    enables the Porter stemmer so that claim can be ablated
+    (``benchmarks/test_ablation_stemming.py``).
+
+    Attributes:
+        lowercase: fold case before tokenising.
+        remove_stopwords: drop tokens found in the embedded stop-word list.
+        stem: apply the Porter stemmer (paper: off).
+        max_word_length: truncate pathologically long tokens (the paper
+            notes the maximum useful word length is about 13; we keep a
+            safety margin rather than losing the token entirely).
+    """
+
+    lowercase: bool = True
+    remove_stopwords: bool = True
+    stem: bool = False
+    max_word_length: int = 20
+
+    def tokens(self, text: str) -> List[str]:
+        """Ordered tokens of ``text`` after the full pipeline."""
+        result = []
+        for token in tokenize(text, lowercase=self.lowercase):
+            if self.remove_stopwords and token in STOPWORDS:
+                continue
+            if self.stem:
+                from repro.preprocessing.stemmer import porter_stem
+
+                token = porter_stem(token)
+                if len(token) < 2:
+                    continue
+            result.append(token[: self.max_word_length])
+        return result
+
+    def document_tokens(self, doc: Document) -> List[str]:
+        """Ordered tokens of a document (title then body)."""
+        return self.tokens(doc.text)
+
+
+#: Module-level default pipeline, matching the paper's settings.
+_DEFAULT = Preprocessor()
+
+
+def preprocess(text: str) -> List[str]:
+    """Tokenise ``text`` with the paper's default pre-processing."""
+    return _DEFAULT.tokens(text)

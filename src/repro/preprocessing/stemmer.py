@@ -1,0 +1,168 @@
+"""Porter stemmer (extension).
+
+The paper deliberately skips stemming (Sec. 4), arguing the second-level
+SOM groups words sharing a base form by character-pattern similarity.  A
+real stemmer makes that claim *testable*: run the pipeline with and
+without stemming and compare (see
+``benchmarks/test_ablation_stemming.py``).
+
+This is the classic Porter (1980) algorithm, steps 1a-5b, implemented
+directly from the paper's rules.
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    ch = word[index]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's m: the number of VC blocks in C?(VC)^m V?."""
+    forms = []
+    for index in range(len(stem)):
+        consonant = _is_consonant(stem, index)
+        if not forms or forms[-1] != consonant:
+            forms.append(consonant)
+    # forms like [True, False, True, ...]; count False->True transitions.
+    return sum(
+        1
+        for i in range(1, len(forms))
+        if forms[i - 1] is False and forms[i] is True
+    )
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace(word: str, suffix: str, replacement: str, min_measure: int) -> str:
+    stem = word[: -len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word
+
+
+_STEP2 = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+)
+_STEP3 = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+)
+_STEP4 = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word with Porter's algorithm."""
+    word = word.lower()
+    if len(word) <= 2:
+        return word
+
+    # Step 1a: plurals.
+    if word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("ies"):
+        word = word[:-2]
+    elif word.endswith("ss"):
+        pass
+    elif word.endswith("s"):
+        word = word[:-1]
+
+    # Step 1b: -ed / -ing.
+    if word.endswith("eed"):
+        if _measure(word[:-3]) > 0:
+            word = word[:-1]
+    else:
+        stripped = None
+        if word.endswith("ed") and _contains_vowel(word[:-2]):
+            stripped = word[:-2]
+        elif word.endswith("ing") and _contains_vowel(word[:-3]):
+            stripped = word[:-3]
+        if stripped is not None:
+            word = stripped
+            if word.endswith(("at", "bl", "iz")):
+                word += "e"
+            elif _ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+                word = word[:-1]
+            elif _measure(word) == 1 and _ends_cvc(word):
+                word += "e"
+
+    # Step 1c: y -> i.
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        word = word[:-1] + "i"
+
+    # Step 2.
+    for suffix, replacement in _STEP2:
+        if word.endswith(suffix):
+            word = _replace(word, suffix, replacement, 0)
+            break
+
+    # Step 3.
+    for suffix, replacement in _STEP3:
+        if word.endswith(suffix):
+            word = _replace(word, suffix, replacement, 0)
+            break
+
+    # Step 4 ("-ion" needs its stem to end in s/t and is handled apart).
+    for suffix in _STEP4:
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if _measure(stem) > 1:
+                word = stem
+            break
+    else:
+        if word.endswith("ion") and len(word) > 3 and word[-4] in "st":
+            stem = word[:-3]
+            if _measure(stem) > 1:
+                word = stem
+
+    # Step 5a: drop trailing e.
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            word = stem
+
+    # Step 5b: -ll -> -l.
+    if word.endswith("ll") and _measure(word) > 1:
+        word = word[:-1]
+    return word
+
+
+def stem_tokens(tokens) -> list:
+    """Stem a token list, preserving order."""
+    return [porter_stem(token) for token in tokens]

@@ -1,0 +1,52 @@
+"""Cached tokenisation of a whole corpus.
+
+Feature selection, SOM training and classification all need the ordered
+token lists of every document; this wrapper computes them once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.preprocessing.pipeline import Preprocessor
+
+
+@dataclass
+class TokenizedCorpus:
+    """A corpus plus the ordered tokens of each document.
+
+    Attributes:
+        corpus: the underlying document collection.
+        preprocessor: the pipeline used to produce the tokens.
+    """
+
+    corpus: Corpus
+    preprocessor: Preprocessor = field(default_factory=Preprocessor)
+    _cache: Dict[int, List[str]] = field(default_factory=dict, repr=False)
+
+    def tokens(self, doc: Document) -> List[str]:
+        """Ordered tokens of ``doc`` (cached by doc_id)."""
+        cached = self._cache.get(doc.doc_id)
+        if cached is None:
+            cached = self.preprocessor.document_tokens(doc)
+            self._cache[doc.doc_id] = cached
+        return cached
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        return self.corpus.categories
+
+    @property
+    def train_documents(self) -> Tuple[Document, ...]:
+        return self.corpus.train_documents
+
+    @property
+    def test_documents(self) -> Tuple[Document, ...]:
+        return self.corpus.test_documents
+
+    def train_tokens_for(self, category: str) -> List[List[str]]:
+        """Token lists of the training documents labelled ``category``."""
+        return [self.tokens(d) for d in self.corpus.train_for(category)]

@@ -1,0 +1,26 @@
+"""Whitespace tokenisation over cleaned text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.preprocessing.cleaning import clean
+
+
+def tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Clean ``text`` and split it into word tokens, preserving order.
+
+    Args:
+        text: raw document text (may still contain markup).
+        lowercase: fold case; the paper's character encoding does not
+            distinguish upper and lower case, so this defaults to True.
+
+    Returns:
+        Tokens in document order.  Single-letter fragments left over from
+        punctuation stripping are dropped -- they carry no word identity and
+        would pollute the character SOM.
+    """
+    cleaned = clean(text)
+    if lowercase:
+        cleaned = cleaned.lower()
+    return [token for token in cleaned.split() if len(token) > 1]

@@ -1,0 +1,36 @@
+"""Self-Organizing Map substrate (paper Sec. 5).
+
+A from-scratch SOM with:
+
+* online (sequential) training with a Gaussian neighbourhood kernel -- the
+  paper's setting;
+* an exact weighted-batch trainer used as a fast path when inputs repeat
+  (character inputs are drawn from a tiny discrete set, so batching unique
+  inputs with multiplicities is equivalent and much faster);
+* the Average Weight Change (AWC) convergence measure the paper uses to
+  choose map sizes (7x13 characters, 8x8 words);
+* hit histograms, quantization error, and topographic error.
+"""
+
+from repro.som.map import SelfOrganizingMap
+from repro.som.metrics import (
+    average_weight_change,
+    awc_curve,
+    hit_histogram,
+    quantization_error,
+    recommend_map_size,
+    topographic_error,
+)
+from repro.som.training import SomTrainer, TrainingHistory
+
+__all__ = [
+    "SelfOrganizingMap",
+    "SomTrainer",
+    "TrainingHistory",
+    "average_weight_change",
+    "awc_curve",
+    "hit_histogram",
+    "quantization_error",
+    "topographic_error",
+    "recommend_map_size",
+]

@@ -1,0 +1,138 @@
+"""The Self-Organizing Map data structure and queries."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class SelfOrganizingMap:
+    """A rectangular SOM with Euclidean input metric.
+
+    Units are indexed row-major: unit ``i`` sits at grid position
+    ``(i // cols, i % cols)``.  Weights live in a ``(rows * cols, dim)``
+    array.
+
+    Args:
+        rows: grid height.
+        cols: grid width.
+        dim: input dimensionality.
+        seed: PRNG seed for weight initialisation.
+        data: optional sample of inputs; if given, weights are initialised
+            uniformly inside the data's bounding box (faster ordering), else
+            in [0, 1).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        dim: int,
+        seed: int = 0,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0 or dim <= 0:
+            raise ValueError("rows, cols and dim must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        if data is not None:
+            data = np.asarray(data, dtype=float)
+            low = data.min(axis=0)
+            high = data.max(axis=0)
+            span = np.where(high > low, high - low, 1.0)
+            self.weights = low + rng.random((rows * cols, dim)) * span
+        else:
+            self.weights = rng.random((rows * cols, dim))
+        # Grid coordinates of each unit, used for neighbourhood distances.
+        coords = np.indices((rows, cols)).reshape(2, -1).T
+        self._grid = coords.astype(float)
+        # Pairwise squared grid distances between units (n_units, n_units).
+        diff = self._grid[:, None, :] - self._grid[None, :, :]
+        self._grid_dist2 = np.sum(diff**2, axis=2)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_units(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def unit_position(self, unit: int) -> Tuple[int, int]:
+        """Grid (row, col) of ``unit``."""
+        if not 0 <= unit < self.n_units:
+            raise IndexError(f"unit {unit} out of range")
+        return (unit // self.cols, unit % self.cols)
+
+    def grid_distance(self, unit_a: int, unit_b: int) -> float:
+        """Euclidean distance between two units on the grid."""
+        return float(np.sqrt(self._grid_dist2[unit_a, unit_b]))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distances(self, inputs: np.ndarray) -> np.ndarray:
+        """Euclidean distances from each input row to each unit.
+
+        Args:
+            inputs: ``(n, dim)`` array (a single ``(dim,)`` vector is
+                promoted).
+
+        Returns:
+            ``(n, n_units)`` distance matrix.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {inputs.shape[1]}")
+        diff = inputs[:, None, :] - self.weights[None, :, :]
+        return np.sqrt(np.sum(diff**2, axis=2))
+
+    def bmu(self, vector: np.ndarray) -> int:
+        """Index of the best-matching unit for one input."""
+        return int(self.distances(vector)[0].argmin())
+
+    def bmus(self, inputs: np.ndarray) -> np.ndarray:
+        """BMU index for each input row."""
+        return self.distances(inputs).argmin(axis=1)
+
+    def top_k_bmus(self, vector: np.ndarray, k: int = 3) -> np.ndarray:
+        """The ``k`` most affected units for one input, nearest first.
+
+        This is the paper's "three most affected BMUs" query used to build
+        word vectors from characters.
+        """
+        if not 1 <= k <= self.n_units:
+            raise ValueError(f"k must be in [1, {self.n_units}]")
+        dist = self.distances(vector)[0]
+        order = np.argsort(dist, kind="stable")
+        return order[:k]
+
+    def top_k_bmus_batch(self, inputs: np.ndarray, k: int = 3) -> np.ndarray:
+        """``(n, k)`` most affected units for each input row, nearest first."""
+        if not 1 <= k <= self.n_units:
+            raise ValueError(f"k must be in [1, {self.n_units}]")
+        dist = self.distances(inputs)
+        return np.argsort(dist, axis=1, kind="stable")[:, :k]
+
+    # ------------------------------------------------------------------
+    # updates (used by the trainer)
+    # ------------------------------------------------------------------
+    def neighborhood(self, bmu: int, radius: float) -> np.ndarray:
+        """Gaussian neighbourhood weights of every unit around ``bmu``."""
+        if radius <= 0:
+            influence = np.zeros(self.n_units)
+            influence[bmu] = 1.0
+            return influence
+        return np.exp(-self._grid_dist2[bmu] / (2.0 * radius**2))
+
+    def copy(self) -> "SelfOrganizingMap":
+        """An independent copy (weights included)."""
+        clone = SelfOrganizingMap(self.rows, self.cols, self.dim)
+        clone.weights = self.weights.copy()
+        return clone

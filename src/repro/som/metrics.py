@@ -1,0 +1,105 @@
+"""SOM quality metrics and the AWC map-sizing heuristic."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.som.map import SelfOrganizingMap
+from repro.som.training import SomTrainer
+
+
+def quantization_error(
+    som: SelfOrganizingMap,
+    data: np.ndarray,
+    sample_weights: Optional[np.ndarray] = None,
+) -> float:
+    """Mean distance from each input to its BMU."""
+    min_dist = som.distances(data).min(axis=1)
+    if sample_weights is not None:
+        return float(np.average(min_dist, weights=np.asarray(sample_weights, float)))
+    return float(min_dist.mean())
+
+
+def topographic_error(som: SelfOrganizingMap, data: np.ndarray) -> float:
+    """Fraction of inputs whose two best units are not grid neighbours."""
+    top2 = som.top_k_bmus_batch(np.atleast_2d(np.asarray(data, float)), k=2)
+    errors = 0
+    for first, second in top2:
+        if som.grid_distance(int(first), int(second)) > np.sqrt(2) + 1e-9:
+            errors += 1
+    return errors / len(top2)
+
+
+def hit_histogram(
+    som: SelfOrganizingMap,
+    data: np.ndarray,
+    sample_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Hits (optionally weighted) received by each unit.
+
+    The paper selects "informative BMUs" of the second-level word SOMs from
+    exactly this histogram.
+    """
+    bmus = som.bmus(np.atleast_2d(np.asarray(data, float)))
+    hits = np.zeros(som.n_units)
+    if sample_weights is None:
+        np.add.at(hits, bmus, 1.0)
+    else:
+        np.add.at(hits, bmus, np.asarray(sample_weights, dtype=float))
+    return hits
+
+
+def average_weight_change(before: np.ndarray, after: np.ndarray) -> float:
+    """AWC between two weight snapshots (mean absolute per-weight change)."""
+    before = np.asarray(before, float)
+    after = np.asarray(after, float)
+    if before.shape != after.shape:
+        raise ValueError("weight snapshots must have the same shape")
+    return float(np.abs(after - before).mean())
+
+
+def awc_curve(
+    data: np.ndarray,
+    sizes: Sequence[Tuple[int, int]],
+    sample_weights: Optional[np.ndarray] = None,
+    epochs: int = 15,
+    seed: int = 0,
+) -> Dict[Tuple[int, int], float]:
+    """Final AWC for each candidate map size (the paper's sizing signal).
+
+    Trains one SOM per size on the same data and reports the last epoch's
+    AWC.  A map that is too small keeps moving (high AWC); once the map is
+    large enough the AWC settles.
+    """
+    data = np.atleast_2d(np.asarray(data, float))
+    results: Dict[Tuple[int, int], float] = {}
+    for rows, cols in sizes:
+        som = SelfOrganizingMap(rows, cols, data.shape[1], seed=seed, data=data)
+        history = SomTrainer(epochs=epochs, seed=seed).train_batch(
+            som, data, sample_weights=sample_weights
+        )
+        results[(rows, cols)] = history.final_awc
+    return results
+
+
+def recommend_map_size(
+    data: np.ndarray,
+    sizes: Sequence[Tuple[int, int]],
+    sample_weights: Optional[np.ndarray] = None,
+    epochs: int = 15,
+    tolerance: float = 0.10,
+    seed: int = 0,
+) -> Tuple[int, int]:
+    """Smallest candidate whose final AWC is within ``tolerance`` of the best.
+
+    Implements the paper's "based on the observation of AWC" heuristic as a
+    concrete rule: prefer the smallest (cheapest) map whose convergence is
+    essentially as good as the best candidate's.
+    """
+    curve = awc_curve(data, sizes, sample_weights, epochs=epochs, seed=seed)
+    best = min(curve.values())
+    threshold = best * (1.0 + tolerance) + 1e-12
+    eligible = [size for size, awc in curve.items() if awc <= threshold]
+    return min(eligible, key=lambda size: size[0] * size[1])

@@ -1,0 +1,125 @@
+"""Text-mode SOM visualisation.
+
+Renders the structures the paper inspects visually: hit histograms
+(Sec. 6's informative-BMU selection), the U-matrix (cluster boundaries),
+and word maps (Fig. 3's "similar words project to close BMUs").
+Everything returns plain strings so it works in logs and terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.som.map import SelfOrganizingMap
+
+#: Density ramp used for single-character cell rendering.
+_RAMP = " .:-=+*#%@"
+
+
+def _as_grid(som: SelfOrganizingMap, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.shape != (som.n_units,):
+        raise ValueError(f"expected {som.n_units} values, got {values.shape}")
+    return values.reshape(som.rows, som.cols)
+
+
+def render_heatmap(som: SelfOrganizingMap, values: np.ndarray, title: str = "") -> str:
+    """Render per-unit values as an ASCII density grid."""
+    grid = _as_grid(som, values)
+    peak = grid.max()
+    lines = [title] if title else []
+    for row in range(som.rows):
+        cells = []
+        for col in range(som.cols):
+            level = 0 if peak <= 0 else grid[row, col] / peak
+            cells.append(_RAMP[min(int(level * (len(_RAMP) - 1)), len(_RAMP) - 1)])
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_hit_histogram(
+    som: SelfOrganizingMap,
+    hits: np.ndarray,
+    selected_units: Optional[Sequence[int]] = None,
+    title: str = "hit histogram",
+) -> str:
+    """Numeric hit counts per unit; selected BMUs are bracketed.
+
+    This is the view behind the paper's informative-BMU selection: the
+    most-hit units, with the kept set marked.
+    """
+    grid = _as_grid(som, hits)
+    selected = set(int(u) for u in selected_units) if selected_units else set()
+    width = max(len(str(int(grid.max()))), 3) + 2
+    lines = [title]
+    for row in range(som.rows):
+        cells = []
+        for col in range(som.cols):
+            unit = row * som.cols + col
+            text = str(int(grid[row, col]))
+            if unit in selected:
+                text = f"[{text}]"
+            cells.append(text.rjust(width))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def u_matrix(som: SelfOrganizingMap) -> np.ndarray:
+    """Mean weight distance from each unit to its grid neighbours.
+
+    High values mark cluster boundaries on the map.
+    """
+    matrix = np.zeros(som.n_units)
+    for unit in range(som.n_units):
+        row, col = som.unit_position(unit)
+        distances = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = row + dr, col + dc
+            if 0 <= nr < som.rows and 0 <= nc < som.cols:
+                neighbour = nr * som.cols + nc
+                distances.append(
+                    float(np.linalg.norm(som.weights[unit] - som.weights[neighbour]))
+                )
+        matrix[unit] = float(np.mean(distances)) if distances else 0.0
+    return matrix
+
+
+def render_u_matrix(som: SelfOrganizingMap, title: str = "U-matrix") -> str:
+    """ASCII rendering of the U-matrix."""
+    return render_heatmap(som, u_matrix(som), title=title)
+
+
+def word_map(
+    som: SelfOrganizingMap,
+    word_bmus: Mapping[str, int],
+    max_words_per_unit: int = 2,
+) -> str:
+    """Place words on their BMU cells (the paper's Fig. 3 layout).
+
+    Args:
+        som: the (word) SOM.
+        word_bmus: word -> BMU unit index.
+        max_words_per_unit: truncate crowded cells, appending ``+N``.
+    """
+    cells: Dict[int, List[str]] = {}
+    for word, unit in sorted(word_bmus.items()):
+        cells.setdefault(int(unit), []).append(word)
+
+    rendered: Dict[int, str] = {}
+    for unit, words in cells.items():
+        shown = words[:max_words_per_unit]
+        extra = len(words) - len(shown)
+        text = ",".join(shown) + (f"+{extra}" if extra > 0 else "")
+        rendered[unit] = text
+
+    width = max((len(t) for t in rendered.values()), default=1) + 2
+    lines = []
+    for row in range(som.rows):
+        cells_out = []
+        for col in range(som.cols):
+            unit = row * som.cols + col
+            cells_out.append(rendered.get(unit, ".").ljust(width))
+        lines.append("".join(cells_out).rstrip())
+    return "\n".join(lines)

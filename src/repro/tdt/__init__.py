@@ -1,0 +1,18 @@
+"""Topic Detection and Tracking extension (paper Sec. 9's next step).
+
+* :mod:`repro.tdt.tracker` -- document segmentation and first-story
+  detection on top of a fitted pipeline;
+* :mod:`repro.tdt.metrics` -- the TDT evaluation methodology (miss /
+  false-alarm rates and the normalised detection cost C_det).
+"""
+
+from repro.tdt.metrics import DetectionScores, detection_cost, score_detection
+from repro.tdt.tracker import TopicSegment, TopicTracker
+
+__all__ = [
+    "TopicTracker",
+    "TopicSegment",
+    "DetectionScores",
+    "detection_cost",
+    "score_detection",
+]

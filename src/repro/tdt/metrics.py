@@ -1,0 +1,82 @@
+"""TDT evaluation measures.
+
+The Topic Detection and Tracking programme scores systems by the
+normalised detection cost
+
+    C_det = C_miss * P_miss * P_target + C_fa * P_fa * (1 - P_target)
+
+normalised by ``min(C_miss * P_target, C_fa * (1 - P_target))`` so that 1.0
+is the cost of the trivial always-yes/always-no system.  The standard TDT
+parameters are C_miss = 1, C_fa = 0.1, P_target = 0.02.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Standard TDT cost parameters.
+C_MISS = 1.0
+C_FA = 0.1
+P_TARGET = 0.02
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Miss/false-alarm rates and the normalised detection cost.
+
+    Attributes:
+        p_miss: fraction of on-topic stories the system missed.
+        p_false_alarm: fraction of off-topic stories flagged.
+        cost: normalised C_det (lower is better; 1.0 = trivial system).
+    """
+
+    p_miss: float
+    p_false_alarm: float
+    cost: float
+
+
+def detection_cost(
+    p_miss: float,
+    p_false_alarm: float,
+    c_miss: float = C_MISS,
+    c_fa: float = C_FA,
+    p_target: float = P_TARGET,
+) -> float:
+    """Normalised detection cost from miss/false-alarm probabilities."""
+    if not 0.0 <= p_miss <= 1.0 or not 0.0 <= p_false_alarm <= 1.0:
+        raise ValueError("probabilities must be in [0, 1]")
+    raw = c_miss * p_miss * p_target + c_fa * p_false_alarm * (1.0 - p_target)
+    floor = min(c_miss * p_target, c_fa * (1.0 - p_target))
+    return raw / floor
+
+
+def score_detection(
+    on_topic: Sequence[bool],
+    flagged: Sequence[bool],
+    c_miss: float = C_MISS,
+    c_fa: float = C_FA,
+    p_target: float = P_TARGET,
+) -> DetectionScores:
+    """Score a detection run.
+
+    Args:
+        on_topic: ground truth per story (True = the story belongs to the
+            tracked topic / is novel, depending on the task).
+        flagged: system decisions, aligned with ``on_topic``.
+    """
+    on_topic = np.asarray(on_topic, dtype=bool)
+    flagged = np.asarray(flagged, dtype=bool)
+    if on_topic.shape != flagged.shape:
+        raise ValueError("on_topic and flagged must align")
+    n_on = int(on_topic.sum())
+    n_off = int((~on_topic).sum())
+    p_miss = float(np.sum(on_topic & ~flagged) / n_on) if n_on else 0.0
+    p_fa = float(np.sum(~on_topic & flagged) / n_off) if n_off else 0.0
+    return DetectionScores(
+        p_miss=p_miss,
+        p_false_alarm=p_fa,
+        cost=detection_cost(p_miss, p_fa, c_miss, c_fa, p_target),
+    )

@@ -1,0 +1,56 @@
+"""Unit tests for the bag-of-words vectorizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BowVectorizer
+
+
+def test_counts():
+    vectorizer = BowVectorizer(["apple", "banana"])
+    matrix = vectorizer.transform([["apple", "apple", "cherry"], ["banana"]])
+    np.testing.assert_array_equal(matrix, [[2.0, 0.0], [0.0, 1.0]])
+
+
+def test_unknown_terms_ignored():
+    vectorizer = BowVectorizer(["apple"])
+    matrix = vectorizer.transform([["cherry", "durian"]])
+    np.testing.assert_array_equal(matrix, [[0.0]])
+
+
+def test_vocabulary_deduplicated_and_sorted():
+    vectorizer = BowVectorizer(["b", "a", "b"])
+    assert vectorizer.terms == ["a", "b"]
+    assert vectorizer.dim == 2
+
+
+def test_empty_vocabulary_rejected():
+    with pytest.raises(ValueError):
+        BowVectorizer([])
+
+
+def test_tfidf_rows_normalised():
+    vectorizer = BowVectorizer(["a", "b", "c"], use_tfidf=True)
+    matrix = vectorizer.fit_transform([["a", "b"], ["a", "c"], ["a"]])
+    norms = np.linalg.norm(matrix, axis=1)
+    np.testing.assert_allclose(norms, 1.0)
+
+
+def test_tfidf_downweights_ubiquitous_terms():
+    vectorizer = BowVectorizer(["common", "rare"], use_tfidf=True)
+    vectorizer.fit([["common"], ["common"], ["common", "rare"]])
+    assert vectorizer.idf[vectorizer.terms.index("rare")] > vectorizer.idf[
+        vectorizer.terms.index("common")
+    ]
+
+
+def test_tfidf_transform_before_fit_raises():
+    vectorizer = BowVectorizer(["a"], use_tfidf=True)
+    with pytest.raises(RuntimeError):
+        vectorizer.transform([["a"]])
+
+
+def test_empty_document_row_is_zero():
+    vectorizer = BowVectorizer(["a"], use_tfidf=True)
+    matrix = vectorizer.fit_transform([["a"], []])
+    np.testing.assert_array_equal(matrix[1], [0.0])

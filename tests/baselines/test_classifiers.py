@@ -1,0 +1,137 @@
+"""Unit tests for the five baseline classifiers on controlled data."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTreeClassifier,
+    LinearSvmClassifier,
+    NaiveBayesClassifier,
+    RocchioClassifier,
+    TreeGpClassifier,
+)
+
+
+def _separable(seed=0, n=100, dim=12):
+    """Counts where features 0-2 mark the positive class, 3-5 the negative."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.poisson(0.2, size=(n, dim)).astype(float)
+    labels = np.where(rng.random(n) < 0.4, 1, -1)
+    for row in range(n):
+        if labels[row] > 0:
+            matrix[row, :3] += rng.poisson(3.0, 3)
+        else:
+            matrix[row, 3:6] += rng.poisson(3.0, 3)
+    return matrix, labels.astype(float)
+
+
+def _tfidf_rows(matrix):
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.divide(matrix, norms, out=np.zeros_like(matrix), where=norms > 0)
+
+
+@pytest.mark.parametrize(
+    "factory,needs_tfidf",
+    [
+        (lambda: NaiveBayesClassifier(), False),
+        (lambda: RocchioClassifier(), True),
+        (lambda: DecisionTreeClassifier(max_depth=6), False),
+        (lambda: LinearSvmClassifier(epochs=20, seed=0), True),
+        (lambda: TreeGpClassifier(tournaments=250, seed=0), False),
+    ],
+    ids=["nb", "rocchio", "dt", "svm", "treegp"],
+)
+def test_learns_separable_problem(factory, needs_tfidf):
+    matrix, labels = _separable()
+    features = _tfidf_rows(matrix) if needs_tfidf else matrix
+    classifier = factory().fit(features, labels)
+    accuracy = float(np.mean(classifier.predict(features) == labels))
+    assert accuracy >= 0.9, type(classifier).__name__
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: NaiveBayesClassifier(),
+        lambda: RocchioClassifier(),
+        lambda: DecisionTreeClassifier(),
+        lambda: LinearSvmClassifier(),
+        lambda: TreeGpClassifier(tournaments=10),
+    ],
+    ids=["nb", "rocchio", "dt", "svm", "treegp"],
+)
+def test_unfitted_raises(factory):
+    with pytest.raises(RuntimeError):
+        factory().decision_values(np.zeros((1, 3)))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: NaiveBayesClassifier(), lambda: RocchioClassifier()],
+    ids=["nb", "rocchio"],
+)
+def test_single_class_rejected(factory):
+    with pytest.raises(ValueError):
+        factory().fit(np.ones((4, 2)), np.ones(4))
+
+
+def test_nb_prior_reflects_imbalance():
+    matrix = np.ones((10, 2))
+    labels = np.array([1.0] * 8 + [-1.0] * 2)
+    nb = NaiveBayesClassifier().fit(matrix, labels)
+    assert nb.log_prior > 0
+
+
+def test_nb_alpha_validation():
+    with pytest.raises(ValueError):
+        NaiveBayesClassifier(alpha=0.0)
+
+
+def test_rocchio_prototype_normalised():
+    matrix, labels = _separable(seed=1)
+    rocchio = RocchioClassifier().fit(_tfidf_rows(matrix), labels)
+    assert np.linalg.norm(rocchio.prototype) == pytest.approx(1.0)
+
+
+def test_dt_depth_respected():
+    matrix, labels = _separable(seed=2)
+    tree = DecisionTreeClassifier(max_depth=2).fit(matrix, labels)
+    assert tree.depth() <= 2
+
+
+def test_dt_pure_node_is_leaf():
+    matrix = np.array([[1.0], [2.0], [3.0]])
+    labels = np.array([1.0, 1.0, 1.0])
+    tree = DecisionTreeClassifier().fit(matrix, labels)
+    assert tree.root.is_leaf
+
+
+def test_svm_labels_validated():
+    with pytest.raises(ValueError):
+        LinearSvmClassifier().fit(np.ones((3, 2)), np.array([0.0, 1.0, 2.0]))
+
+
+def test_svm_deterministic_per_seed():
+    matrix, labels = _separable(seed=3)
+    features = _tfidf_rows(matrix)
+    a = LinearSvmClassifier(epochs=5, seed=7).fit(features, labels)
+    b = LinearSvmClassifier(epochs=5, seed=7).fit(features, labels)
+    np.testing.assert_array_equal(a.weights, b.weights)
+
+
+def test_treegp_deterministic_per_seed():
+    matrix, labels = _separable(seed=4)
+    a = TreeGpClassifier(tournaments=60, seed=9).fit(matrix, labels)
+    b = TreeGpClassifier(tournaments=60, seed=9).fit(matrix, labels)
+    np.testing.assert_array_equal(a.decision_values(matrix), b.decision_values(matrix))
+
+
+def test_treegp_depth_cap():
+    matrix, labels = _separable(seed=5)
+    gp = TreeGpClassifier(tournaments=100, max_depth=4, seed=1).fit(matrix, labels)
+    assert gp.best_tree.depth() <= 4
+
+
+def test_treegp_population_validation():
+    with pytest.raises(ValueError):
+        TreeGpClassifier(population_size=2)

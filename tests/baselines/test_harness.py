@@ -1,0 +1,63 @@
+"""Integration tests for the one-vs-rest baseline harness."""
+
+import pytest
+
+from repro.baselines import NaiveBayesClassifier, evaluate_baseline
+from repro.baselines.harness import _bigram_tokens
+
+
+def test_bigram_tokens():
+    assert _bigram_tokens(["a", "b", "c"]) == ["a", "b", "c", "a_b", "b_c"]
+    assert _bigram_tokens(["solo"]) == ["solo"]
+    assert _bigram_tokens([]) == []
+
+
+def test_nb_beats_chance_on_earn(tokenized, mi_features):
+    scores = evaluate_baseline(
+        lambda: NaiveBayesClassifier(), tokenized, mi_features, categories=["earn"]
+    )
+    assert scores.f1("earn") > 0.5
+
+
+def test_scores_cover_requested_categories(tokenized, mi_features):
+    scores = evaluate_baseline(
+        lambda: NaiveBayesClassifier(),
+        tokenized,
+        mi_features,
+        categories=["earn", "grain"],
+    )
+    assert set(scores.per_category) == {"earn", "grain"}
+    assert 0.0 <= scores.micro_f1 <= 1.0
+    assert 0.0 <= scores.macro_f1 <= 1.0
+
+
+def test_max_features_caps_vocabulary(tokenized, mi_features):
+    # Should not raise and should still produce scores.
+    scores = evaluate_baseline(
+        lambda: NaiveBayesClassifier(),
+        tokenized,
+        mi_features,
+        categories=["earn"],
+        max_features=20,
+    )
+    assert scores.f1("earn") >= 0.0
+
+
+def test_bigrams_enlarge_feature_space(tokenized, mi_features):
+    scores = evaluate_baseline(
+        lambda: NaiveBayesClassifier(),
+        tokenized,
+        mi_features,
+        categories=["earn"],
+        use_bigrams=True,
+    )
+    assert scores.f1("earn") >= 0.0
+
+
+def test_knn_through_harness(tokenized, mi_features):
+    from repro.baselines import KnnClassifier
+
+    scores = evaluate_baseline(
+        lambda: KnnClassifier(k=3), tokenized, mi_features, categories=["earn"]
+    )
+    assert scores.f1("earn") > 0.5

@@ -1,0 +1,55 @@
+"""Unit tests for the kNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.knn import KnnClassifier
+
+
+def _two_clusters(seed=0, n=30):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal([1.0, 0.0, 0.0], 0.1, size=(n, 3))
+    neg = rng.normal([0.0, 0.0, 1.0], 0.1, size=(n, 3))
+    matrix = np.vstack([pos, neg])
+    labels = np.array([1.0] * n + [-1.0] * n)
+    return matrix, labels
+
+
+def test_separates_clusters():
+    matrix, labels = _two_clusters()
+    knn = KnnClassifier(k=3).fit(matrix, labels)
+    assert np.mean(knn.predict(matrix) == labels) == 1.0
+
+
+def test_k_validated():
+    with pytest.raises(ValueError):
+        KnnClassifier(k=0)
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        KnnClassifier().decision_values(np.ones((1, 3)))
+
+
+def test_k_larger_than_training_set():
+    matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+    labels = np.array([1.0, -1.0])
+    knn = KnnClassifier(k=10).fit(matrix, labels)
+    values = knn.decision_values(matrix)
+    assert values[0] > values[1]
+
+
+def test_zero_vector_query_safe():
+    matrix, labels = _two_clusters(seed=1)
+    knn = KnnClassifier(k=3).fit(matrix, labels)
+    values = knn.decision_values(np.zeros((1, 3)))
+    assert np.isfinite(values[0])
+
+
+def test_decision_value_is_similarity_weighted_vote():
+    matrix = np.array([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0]])
+    labels = np.array([1.0, 1.0, -1.0])
+    knn = KnnClassifier(k=2).fit(matrix, labels)
+    # A query aligned with the positive cluster picks the two positives.
+    value = knn.decision_values(np.array([[1.0, 0.0]]))[0]
+    assert value > 1.5

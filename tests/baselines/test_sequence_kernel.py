@@ -1,0 +1,136 @@
+"""Unit and property tests for the word-sequence kernel ([3])."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sequence_kernel import (
+    SequenceKernelClassifier,
+    normalized_kernel,
+    subsequence_kernel,
+)
+
+_words = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=7)
+
+
+def brute_force(s, t, n, decay):
+    """Direct enumeration of gap-weighted shared subsequences."""
+    total = 0.0
+    for i_tuple in itertools.combinations(range(len(s)), n):
+        u = tuple(s[i] for i in i_tuple)
+        span_i = i_tuple[-1] - i_tuple[0] + 1
+        for j_tuple in itertools.combinations(range(len(t)), n):
+            if tuple(t[j] for j in j_tuple) == u:
+                span_j = j_tuple[-1] - j_tuple[0] + 1
+                total += decay ** (span_i + span_j)
+    return total
+
+
+def test_known_value_contiguous_bigram():
+    # "a b" vs "a b": one shared bigram, spans 2 and 2 -> decay^4.
+    assert subsequence_kernel(["a", "b"], ["a", "b"], n=2, decay=0.5) == (
+        pytest.approx(0.5**4)
+    )
+
+
+def test_known_value_gapped_match():
+    # "a x b" vs "a b": shared "ab" with spans 3 and 2 -> decay^5.
+    assert subsequence_kernel(["a", "x", "b"], ["a", "b"], n=2, decay=0.5) == (
+        pytest.approx(0.5**5)
+    )
+
+
+def test_no_shared_subsequence():
+    assert subsequence_kernel(["a", "b"], ["c", "d"], n=2, decay=0.5) == 0.0
+
+
+def test_too_short_sequences():
+    assert subsequence_kernel(["a"], ["a", "b"], n=2, decay=0.5) == 0.0
+    assert subsequence_kernel([], [], n=1, decay=0.5) == 0.0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        subsequence_kernel(["a"], ["a"], n=0)
+    with pytest.raises(ValueError):
+        subsequence_kernel(["a"], ["a"], n=1, decay=0.0)
+    with pytest.raises(ValueError):
+        subsequence_kernel(["a"], ["a"], n=1, decay=1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(s=_words, t=_words, n=st.integers(1, 3), decay=st.floats(0.2, 0.9))
+def test_dp_matches_brute_force(s, t, n, decay):
+    """The DP equals direct subsequence enumeration."""
+    dp = subsequence_kernel(s, t, n, decay)
+    bf = brute_force(s, t, n, decay)
+    assert dp == pytest.approx(bf, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(s=_words, t=_words, n=st.integers(1, 3), decay=st.floats(0.2, 0.9))
+def test_kernel_symmetric(s, t, n, decay):
+    assert subsequence_kernel(s, t, n, decay) == pytest.approx(
+        subsequence_kernel(t, s, n, decay), rel=1e-9, abs=1e-12
+    )
+
+
+def test_normalized_self_similarity_is_one():
+    s = ["wheat", "crop", "harvest"]
+    assert normalized_kernel(s, s) == pytest.approx(1.0)
+
+
+def test_normalized_bounded():
+    s = ["a", "b", "c"]
+    t = ["a", "c", "b", "a"]
+    value = normalized_kernel(s, t)
+    assert 0.0 <= value <= 1.0 + 1e-12
+
+
+def test_contiguity_scores_higher():
+    """Contiguous shared bigrams beat gapped ones (the decay at work)."""
+    base = ["profit", "rose"]
+    contiguous = ["profit", "rose", "x", "y"]
+    gapped = ["profit", "x", "y", "rose"]
+    assert normalized_kernel(base, contiguous) > normalized_kernel(base, gapped)
+
+
+def test_classifier_learns_order_sensitive_problem():
+    """Sequences separable ONLY by order: bag-of-words sees identical
+    bags, the sequence kernel does not."""
+    positive = [["buy", "then", "sell"]] * 8
+    negative = [["sell", "then", "buy"]] * 8
+    sequences = positive + negative
+    labels = [1.0] * 8 + [-1.0] * 8
+    classifier = SequenceKernelClassifier(n=2, decay=0.7, epochs=10, seed=0)
+    classifier.fit(sequences, labels)
+    assert classifier.decision_value(["buy", "then", "sell"]) > 0
+    assert classifier.decision_value(["sell", "then", "buy"]) < 0
+
+
+def test_classifier_predicts_batch():
+    sequences = [["a", "b"]] * 5 + [["c", "d"]] * 5
+    labels = [1.0] * 5 + [-1.0] * 5
+    classifier = SequenceKernelClassifier(n=2, epochs=5, seed=1).fit(
+        sequences, labels
+    )
+    predictions = classifier.predict([["a", "b"], ["c", "d"]])
+    np.testing.assert_array_equal(predictions, [1, -1])
+
+
+def test_classifier_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        SequenceKernelClassifier().decision_value(["a"])
+
+
+def test_classifier_alignment_validated():
+    with pytest.raises(ValueError):
+        SequenceKernelClassifier().fit([["a"]], [1.0, -1.0])
+
+
+def test_truncation_applied():
+    classifier = SequenceKernelClassifier(max_sequence_length=3)
+    assert classifier._truncate(["a"] * 10) == ("a", "a", "a")

@@ -1,0 +1,63 @@
+"""Integration tests for the binary RLGP classifier on the earn problem."""
+
+import numpy as np
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.threshold import median_threshold
+from repro.gp.trainer import RlgpTrainer
+
+
+@pytest.fixture(scope="module")
+def classifier(earn_train, small_config):
+    return RlgpBinaryClassifier.fit(
+        earn_train, RlgpTrainer(small_config), n_restarts=1, base_seed=5
+    )
+
+
+def test_threshold_fitted_via_eq6(classifier, earn_train):
+    outputs = classifier.decision_values(earn_train.sequences)
+    expected = median_threshold(outputs, earn_train.labels)
+    assert classifier.threshold == pytest.approx(expected)
+
+
+def test_predictions_are_plus_minus_one(classifier, earn_test):
+    predictions = classifier.predict(earn_test)
+    assert set(np.unique(predictions)) <= {-1, 1}
+
+
+def test_better_than_chance_on_test(classifier, earn_test):
+    """A trained earn classifier must clearly beat coin flipping."""
+    predictions = classifier.predict(earn_test)
+    accuracy = float(np.mean(predictions == earn_test.labels))
+    assert accuracy > 0.65
+
+
+def test_decision_values_in_squashed_range(classifier, earn_test):
+    values = classifier.decision_values(earn_test.sequences)
+    assert np.all(values >= -1.0)
+    assert np.all(values <= 1.0)
+
+
+def test_predict_document_matches_batch(classifier, earn_test):
+    doc = earn_test.documents[0]
+    single = classifier.predict_document(doc)
+    batch = classifier.predict(earn_test)[0]
+    assert single == batch
+
+
+def test_rule_listing_is_disassembly(classifier):
+    listing = classifier.rule_listing()
+    assert len(listing) == len(classifier.program)
+    assert all(line.startswith("R") for line in listing)
+
+
+def test_restarts_no_worse_than_single(earn_train, small_config):
+    trainer = RlgpTrainer(small_config)
+    single = RlgpBinaryClassifier.fit(earn_train, trainer, n_restarts=1, base_seed=50)
+    multi = RlgpBinaryClassifier.fit(earn_train, trainer, n_restarts=2, base_seed=50)
+    assert multi.train_fitness <= single.train_fitness + 1e-9
+
+
+def test_category_recorded(classifier):
+    assert classifier.category == "earn"

@@ -1,0 +1,72 @@
+"""Unit tests for the one-vs-rest suite."""
+
+import numpy as np
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.multilabel import OneVsRestRlgp
+from repro.encoding.representation import EncodedDocument
+from repro.gp.config import GpConfig
+from repro.gp.instructions import MODE_EXTERNAL, OP_ADD, OP_SUB, encode_instruction
+from repro.gp.program import Program
+
+CONFIG = GpConfig().small(tournaments=10)
+
+
+def _constant_classifier(category, positive=True):
+    """A hand-built rule: accumulate +I0 (or -I0); threshold 0."""
+    opcode = OP_ADD if positive else OP_SUB
+    program = Program([encode_instruction(MODE_EXTERNAL, opcode, 0, 0)], CONFIG)
+    return RlgpBinaryClassifier(
+        category=category, program=program, config=CONFIG, threshold=0.0
+    )
+
+
+def _encoded(category, value=0.5, n=3):
+    return EncodedDocument(
+        doc_id=1,
+        category=category,
+        sequence=np.full((n, 2), value),
+        words=tuple("w" for _ in range(n)),
+        units=tuple(0 for _ in range(n)),
+    )
+
+
+def test_predict_topics_union_of_positive_decisions():
+    suite = OneVsRestRlgp()
+    suite.add(_constant_classifier("earn", positive=True))
+    suite.add(_constant_classifier("acq", positive=False))
+    encoded = {"earn": _encoded("earn"), "acq": _encoded("acq")}
+    assert suite.predict_topics(encoded) == ["earn"]
+
+
+def test_multi_label_prediction():
+    suite = OneVsRestRlgp()
+    suite.add(_constant_classifier("grain", positive=True))
+    suite.add(_constant_classifier("wheat", positive=True))
+    suite.add(_constant_classifier("ship", positive=False))
+    encoded = {c: _encoded(c) for c in ("grain", "wheat", "ship")}
+    assert suite.predict_topics(encoded) == ["grain", "wheat"]
+
+
+def test_missing_encoding_skipped():
+    suite = OneVsRestRlgp()
+    suite.add(_constant_classifier("earn"))
+    assert suite.predict_topics({}) == []
+
+
+def test_decision_values_per_category():
+    suite = OneVsRestRlgp()
+    suite.add(_constant_classifier("earn", positive=True))
+    suite.add(_constant_classifier("acq", positive=False))
+    encoded = {"earn": _encoded("earn"), "acq": _encoded("acq")}
+    values = suite.decision_values(encoded)
+    assert values["earn"] > 0.0
+    assert values["acq"] < 0.0
+
+
+def test_categories_property():
+    suite = OneVsRestRlgp()
+    suite.add(_constant_classifier("earn"))
+    suite.add(_constant_classifier("acq"))
+    assert suite.categories == ("earn", "acq")

@@ -1,0 +1,84 @@
+"""Tests for the incremental streaming classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.streaming import StreamingClassifier
+from repro.gp.trainer import RlgpTrainer
+
+
+@pytest.fixture(scope="module")
+def classifier(earn_train, small_config):
+    return RlgpBinaryClassifier.fit(
+        earn_train, RlgpTrainer(small_config), base_seed=41
+    )
+
+
+@pytest.fixture()
+def stream(classifier, encoder):
+    return StreamingClassifier(classifier, encoder.encoder_for("earn"))
+
+
+def test_category_mismatch_rejected(classifier, encoder):
+    with pytest.raises(ValueError, match="encoder"):
+        StreamingClassifier(classifier, encoder.encoder_for("grain"))
+
+
+def test_initial_state(stream):
+    assert stream.words_seen == 0
+    assert stream.words_encoded == 0
+    assert stream.raw_output == 0.0
+    assert stream.decision_value == 0.0
+
+
+def test_streaming_matches_batch(stream, classifier, encoder, tokenized, mi_features):
+    """Pushing a document word by word equals encoding it whole."""
+    doc = tokenized.train_documents[0]
+    words = mi_features.filter_tokens(tokenized.tokens(doc), "earn")
+    stream.push_many(words)
+
+    encoded = encoder.encoder_for("earn").encode(doc.doc_id, words)
+    batch_value = float(classifier.decision_values([encoded.sequence])[0])
+    assert stream.decision_value == pytest.approx(batch_value)
+    assert stream.words_encoded == len(encoded)
+
+
+def test_dropped_words_leave_state_unchanged(stream):
+    # A word the encoder never saw (noise) usually maps to an unselected
+    # BMU; if dropped, push returns None and registers stay put.
+    before = stream.raw_output
+    result = stream.push("zzzzqqqq")
+    if result is None:
+        assert stream.raw_output == before
+        assert stream.words_seen == 1
+        assert stream.words_encoded == 0
+
+
+def test_reset_clears_state(stream, tokenized, mi_features):
+    words = mi_features.filter_tokens(
+        tokenized.tokens(tokenized.train_documents[0]), "earn"
+    )
+    stream.push_many(words)
+    stream.reset()
+    assert stream.words_seen == 0
+    assert stream.raw_output == 0.0
+
+
+def test_states_carry_positions(stream, tokenized, mi_features):
+    words = mi_features.filter_tokens(
+        tokenized.tokens(tokenized.train_documents[0]), "earn"
+    )
+    states = stream.push_many(words)
+    positions = [s.position for s in states]
+    assert positions == sorted(positions)
+    for state in states:
+        assert -1.0 <= state.value <= 1.0
+        assert isinstance(state.in_class, (bool, np.bool_))
+
+
+def test_repr_compact(stream):
+    state = stream.push("profit")
+    if state is not None:
+        text = repr(state)
+        assert "profit" in text

@@ -1,0 +1,39 @@
+"""Unit tests for the Eq. 6 median threshold."""
+
+import numpy as np
+import pytest
+
+from repro.classify.threshold import median_threshold
+
+
+def test_midpoint_of_class_medians():
+    outputs = np.array([0.8, 0.9, 1.0, -0.5, -0.7, -0.9])
+    labels = np.array([1, 1, 1, -1, -1, -1])
+    # median(in) = 0.9, median(out) = -0.7, midpoint = 0.1
+    assert median_threshold(outputs, labels) == pytest.approx(0.1)
+
+
+def test_separable_threshold_separates():
+    outputs = np.array([0.9, 0.8, -0.8, -0.9])
+    labels = np.array([1, 1, -1, -1])
+    threshold = median_threshold(outputs, labels)
+    assert np.all(outputs[labels > 0] > threshold)
+    assert np.all(outputs[labels < 0] < threshold)
+
+
+def test_empty_class_falls_back_to_zero():
+    assert median_threshold(np.array([0.5, 0.7]), np.array([1, 1])) == 0.0
+    assert median_threshold(np.array([-0.5]), np.array([-1])) == 0.0
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        median_threshold(np.ones(2), np.ones(3))
+
+
+def test_threshold_between_medians():
+    rng = np.random.default_rng(0)
+    outputs = np.concatenate([rng.uniform(0.2, 1.0, 30), rng.uniform(-1.0, 0.0, 70)])
+    labels = np.concatenate([np.ones(30), -np.ones(70)])
+    threshold = median_threshold(outputs, labels)
+    assert np.median(outputs[labels < 0]) <= threshold <= np.median(outputs[labels > 0])

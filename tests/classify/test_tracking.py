@@ -1,0 +1,119 @@
+"""Unit tests for word tracking (paper Sec. 8.2, Figs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.classify.tracking import TrackingTrace, track_document, track_multi_label
+from repro.encoding.representation import EncodedDocument
+from repro.gp.config import GpConfig
+from repro.gp.fitness import squash_output
+from repro.gp.instructions import MODE_EXTERNAL, OP_ADD, OP_SUB, encode_instruction
+from repro.gp.program import Program
+
+CONFIG = GpConfig().small(tournaments=10)
+
+
+def _classifier(category="earn", positive=True, threshold=0.0):
+    opcode = OP_ADD if positive else OP_SUB
+    program = Program([encode_instruction(MODE_EXTERNAL, opcode, 0, 0)], CONFIG)
+    return RlgpBinaryClassifier(
+        category=category, program=program, config=CONFIG, threshold=threshold
+    )
+
+
+def _encoded(values, category="earn"):
+    values = np.asarray(values, dtype=float)
+    sequence = np.column_stack([values, np.zeros_like(values)])
+    return EncodedDocument(
+        doc_id=1,
+        category=category,
+        sequence=sequence,
+        words=tuple(f"w{i}" for i in range(len(values))),
+        units=tuple(0 for _ in values),
+    )
+
+
+def test_trace_aligned_with_words():
+    trace = track_document(_classifier(), _encoded([0.5, 0.5, 0.5]))
+    assert len(trace) == 3
+    assert len(trace.raw) == 3
+    assert len(trace.squashed) == 3
+    assert trace.words == ("w0", "w1", "w2")
+
+
+def test_accumulator_trace_rises_toward_in_class():
+    """Paper Fig. 5: rising output register = context moving in class."""
+    trace = track_document(_classifier(), _encoded([1.0, 1.0, 1.0, 1.0]))
+    assert np.all(np.diff(trace.raw) > 0)
+    assert np.all(trace.direction[1:] == 1)
+
+
+def test_squashed_consistent_with_raw():
+    trace = track_document(_classifier(), _encoded([0.3, 0.7]))
+    np.testing.assert_allclose(trace.squashed, squash_output(trace.raw))
+
+
+def test_in_class_words_above_threshold():
+    trace = track_document(
+        _classifier(threshold=0.5), _encoded([1.0, 1.0, 1.0])
+    )
+    # Raw trace is 1, 2, 3 -> squashed ~0.462, 0.762, 0.905.
+    assert trace.in_class_words == ["w1", "w2"]
+
+
+def test_context_changes_detected():
+    """A document whose inputs flip sign flips the decision (Fig. 6)."""
+    trace = track_document(
+        _classifier(), _encoded([1.0, 1.0, -3.0, -3.0, 8.0])
+    )
+    flags = trace.in_class_flags
+    assert flags[0] and flags[1]
+    assert not flags[2] and not flags[3]
+    assert flags[4]
+    assert trace.context_changes == [2, 4]
+
+
+def test_empty_document_trace():
+    trace = track_document(_classifier(), _encoded([]))
+    assert len(trace) == 0
+    assert trace.context_changes == []
+    assert trace.in_class_words == []
+
+
+def test_track_multi_label_parallel_classifiers():
+    classifiers = {
+        "grain": _classifier("grain", positive=True),
+        "ship": _classifier("ship", positive=False),
+    }
+    encoded = {
+        "grain": _encoded([1.0, 1.0], category="grain"),
+        "ship": _encoded([1.0, 1.0], category="ship"),
+    }
+    traces = track_multi_label(classifiers, encoded)
+    assert set(traces) == {"grain", "ship"}
+    assert traces["grain"].in_class_words == ["w0", "w1"]
+    assert traces["ship"].in_class_words == []
+
+
+def test_track_multi_label_skips_missing_encoding():
+    classifiers = {"grain": _classifier("grain")}
+    assert track_multi_label(classifiers, {}) == {}
+
+
+def test_single_word_direction_flat():
+    trace = track_document(_classifier(), _encoded([0.5]))
+    assert np.all(trace.direction == 0)
+
+
+def test_trace_on_real_classifier(encoder, earn_train, small_config):
+    from repro.gp.trainer import RlgpTrainer
+
+    classifier = RlgpBinaryClassifier.fit(
+        earn_train, RlgpTrainer(small_config), base_seed=6
+    )
+    doc = next(d for d in earn_train.documents if len(d) >= 3)
+    trace = track_document(classifier, doc)
+    assert isinstance(trace, TrackingTrace)
+    assert len(trace) == len(doc)
+    assert np.all(np.abs(trace.squashed) <= 1.0)

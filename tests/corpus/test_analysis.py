@@ -1,0 +1,71 @@
+"""Unit tests for corpus diagnostics."""
+
+import pytest
+
+from repro.corpus.analysis import (
+    LengthSummary,
+    conditional_label_probability,
+    cooccurrence_matrix,
+    document_lengths,
+    label_cardinality,
+    overlap_report,
+    vocabulary_overlap,
+)
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def test_length_summary_basic():
+    summary = LengthSummary.from_lengths([1, 2, 3, 10])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(4.0)
+    assert summary.median == pytest.approx(2.5)
+    assert summary.minimum == 1
+    assert summary.maximum == 10
+
+
+def test_length_summary_empty():
+    summary = LengthSummary.from_lengths([])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+
+
+def test_document_lengths_positive(tokenized):
+    summary = document_lengths(tokenized, "train")
+    assert summary.count == len(tokenized.train_documents)
+    assert summary.minimum > 0
+
+
+def test_label_cardinality_at_least_one(corpus):
+    cardinality = label_cardinality(corpus, "train")
+    assert cardinality >= 1.0
+    # Multi-label documents exist, so strictly above 1.
+    assert cardinality > 1.0
+
+
+def test_cooccurrence_contains_wheat_grain(corpus):
+    matrix = cooccurrence_matrix(corpus, "train")
+    assert matrix.get(("grain", "wheat"), 0) > 0
+
+
+def test_conditional_probability_wheat_given_grain(corpus):
+    p = conditional_label_probability(corpus, given="wheat", target="grain")
+    assert p > 0.5  # wheat stories are almost always grain stories
+
+
+def test_conditional_probability_missing_category(corpus):
+    assert conditional_label_probability(corpus, "earn", "earn") == 1.0
+
+
+def test_vocabulary_overlap_structure(tokenized):
+    """money-fx/interest overlap must exceed unrelated pairs (the paper's
+    stated explanation for its weak scores on those categories)."""
+    confusable = vocabulary_overlap(tokenized, "money-fx", "interest")
+    unrelated = vocabulary_overlap(tokenized, "earn", "ship")
+    assert confusable > unrelated
+
+
+def test_overlap_report_covers_all_pairs(tokenized):
+    report = overlap_report(tokenized)
+    n = len(tokenized.categories)
+    assert len(report) == n * (n - 1) // 2
+    assert all(0.0 <= v <= 1.0 for v in report.values())

@@ -1,0 +1,54 @@
+"""Unit tests for the Document record."""
+
+import pytest
+
+from repro.corpus.document import Document
+
+
+def test_text_joins_title_and_body():
+    doc = Document(doc_id=1, title="HEADLINE", body="story text")
+    assert doc.text == "HEADLINE\nstory text"
+
+
+def test_text_with_only_title():
+    assert Document(doc_id=1, title="HEADLINE").text == "HEADLINE"
+
+
+def test_text_with_only_body():
+    assert Document(doc_id=1, body="story").text == "story"
+
+
+def test_text_empty_document():
+    assert Document(doc_id=1).text == ""
+
+
+def test_has_topic():
+    doc = Document(doc_id=1, topics=("earn", "acq"))
+    assert doc.has_topic("earn")
+    assert doc.has_topic("acq")
+    assert not doc.has_topic("grain")
+
+
+def test_topics_list_normalised_to_tuple():
+    doc = Document(doc_id=1, topics=["earn"])
+    assert doc.topics == ("earn",)
+    assert isinstance(doc.topics, tuple)
+
+
+def test_invalid_split_rejected():
+    with pytest.raises(ValueError, match="split"):
+        Document(doc_id=1, split="validation")
+
+
+def test_negative_doc_id_rejected():
+    with pytest.raises(ValueError, match="doc_id"):
+        Document(doc_id=-1)
+
+
+def test_document_is_hashable():
+    doc = Document(doc_id=1, topics=("earn",))
+    assert hash(doc) == hash(Document(doc_id=1, topics=("earn",)))
+
+
+def test_unused_split_allowed():
+    assert Document(doc_id=1, split="unused").split == "unused"

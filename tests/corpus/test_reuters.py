@@ -1,0 +1,89 @@
+"""Unit tests for the Corpus container and ModApte loader."""
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus, TOP10_CATEGORIES, load_corpus
+from repro.corpus.sgml import write_sgml_files
+
+
+def _doc(doc_id, topics, split="train"):
+    return Document(doc_id=doc_id, title="t", body="b", topics=topics, split=split)
+
+
+def test_top10_is_the_papers_list():
+    assert TOP10_CATEGORIES == (
+        "earn", "acq", "money-fx", "grain", "crude",
+        "trade", "interest", "wheat", "ship", "corn",
+    )
+
+
+def test_from_documents_splits():
+    corpus = Corpus.from_documents(
+        [_doc(1, ("earn",)), _doc(2, ("acq",), split="test")]
+    )
+    assert len(corpus.train_documents) == 1
+    assert len(corpus.test_documents) == 1
+
+
+def test_unused_documents_dropped():
+    corpus = Corpus.from_documents([_doc(1, ("earn",), split="unused")])
+    assert len(corpus) == 0
+
+
+def test_off_list_topics_removed():
+    corpus = Corpus.from_documents([_doc(1, ("earn", "cocoa"))])
+    assert corpus.train_documents[0].topics == ("earn",)
+
+
+def test_documents_without_top10_topic_dropped():
+    corpus = Corpus.from_documents([_doc(1, ("cocoa",))])
+    assert len(corpus) == 0
+
+
+def test_train_for_and_test_for():
+    corpus = Corpus.from_documents(
+        [
+            _doc(1, ("earn",)),
+            _doc(2, ("earn", "acq")),
+            _doc(3, ("acq",)),
+            _doc(4, ("earn",), split="test"),
+        ]
+    )
+    assert [d.doc_id for d in corpus.train_for("earn")] == [1, 2]
+    assert [d.doc_id for d in corpus.test_for("earn")] == [4]
+
+
+def test_unknown_category_raises():
+    corpus = Corpus.from_documents([_doc(1, ("earn",))])
+    with pytest.raises(KeyError):
+        corpus.train_for("cocoa")
+
+
+def test_category_counts_multilabel_counted_per_label():
+    corpus = Corpus.from_documents([_doc(1, ("earn", "acq"))])
+    counts = corpus.category_counts("train")
+    assert counts["earn"] == 1
+    assert counts["acq"] == 1
+
+
+def test_category_counts_invalid_split():
+    corpus = Corpus.from_documents([_doc(1, ("earn",))])
+    with pytest.raises(ValueError, match="split"):
+        corpus.category_counts("dev")
+
+
+def test_load_corpus_from_sgml_dir(tmp_path):
+    docs = [_doc(1, ("earn",)), _doc(2, ("grain", "wheat"), split="test")]
+    write_sgml_files(docs, tmp_path)
+    corpus = load_corpus(tmp_path)
+    assert len(corpus.train_documents) == 1
+    assert corpus.test_documents[0].topics == ("grain", "wheat")
+
+
+def test_custom_category_universe():
+    corpus = Corpus.from_documents(
+        [_doc(1, ("earn", "acq"))], categories=("earn",)
+    )
+    assert corpus.categories == ("earn",)
+    assert corpus.train_documents[0].topics == ("earn",)

@@ -1,0 +1,159 @@
+"""Unit and property tests for the Reuters-21578 SGML parser/writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.document import Document
+from repro.corpus.sgml import (
+    SgmlError,
+    iter_sgml_dir,
+    parse_sgml,
+    parse_sgml_file,
+    write_sgml,
+    write_sgml_files,
+)
+
+REAL_FORMAT_SAMPLE = """<!DOCTYPE lewis SYSTEM "lewis.dtd">
+<REUTERS TOPICS="YES" LEWISSPLIT="TRAIN" CGISPLIT="TRAINING-SET" OLDID="5544" NEWID="1">
+<DATE>26-FEB-1987 15:01:01.79</DATE>
+<TOPICS><D>cocoa</D></TOPICS>
+<PLACES><D>el-salvador</D></PLACES>
+<TEXT>&#2;
+<TITLE>BAHIA COCOA REVIEW</TITLE>
+<DATELINE>    SALVADOR, Feb 26 - </DATELINE><BODY>Showers continued with prices at 1,750 dlrs &lt;BFI&gt;.
+Final figures stand at 6.2 mln bags.&#3;</BODY>
+</TEXT>
+</REUTERS>
+<REUTERS TOPICS="NO" LEWISSPLIT="TEST" CGISPLIT="TRAINING-SET" OLDID="5545" NEWID="2">
+<DATE>26-FEB-1987 15:02:20.00</DATE>
+<TOPICS></TOPICS>
+<TEXT TYPE="BRIEF">&#2;
+<TITLE>STANDARD OIL TO FORM UNIT</TITLE>
+&#3;</TEXT>
+</REUTERS>
+<REUTERS TOPICS="YES" LEWISSPLIT="NOT-USED" CGISPLIT="TRAINING-SET" OLDID="5546" NEWID="3">
+<TOPICS><D>earn</D><D>acq</D></TOPICS>
+<TEXT><TITLE>TWO TOPICS</TITLE><BODY>body&#3;</BODY></TEXT>
+</REUTERS>
+"""
+
+
+def test_parses_real_format():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert len(docs) == 3
+    assert docs[0].doc_id == 1
+    assert docs[0].topics == ("cocoa",)
+    assert docs[0].title == "BAHIA COCOA REVIEW"
+    assert docs[0].split == "train"
+
+
+def test_entities_unescaped_and_etx_stripped():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert "<BFI>" in docs[0].body
+    assert "\x03" not in docs[0].body
+
+
+def test_topics_no_goes_unused():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert docs[1].split == "unused"
+
+
+def test_not_used_lewissplit_goes_unused():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert docs[2].split == "unused"
+    assert docs[2].topics == ("earn", "acq")
+
+
+def test_missing_body_yields_empty_string():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert docs[1].body == ""
+    assert docs[1].title == "STANDARD OIL TO FORM UNIT"
+
+
+def test_missing_newid_raises():
+    with pytest.raises(SgmlError, match="NEWID"):
+        parse_sgml('<REUTERS TOPICS="YES">x</REUTERS>')
+
+
+def test_empty_input_yields_no_documents():
+    assert parse_sgml("") == []
+
+
+def test_round_trip_simple():
+    original = [
+        Document(doc_id=7, title="T", body="B", topics=("earn",), split="train"),
+        Document(doc_id=8, title="", body="only body", topics=("acq", "earn"), split="test"),
+    ]
+    parsed = parse_sgml(write_sgml(original))
+    assert parsed == original
+
+
+def test_write_read_files(tmp_path):
+    docs = [
+        Document(doc_id=i, title=f"T{i}", body=f"body {i}", topics=("earn",))
+        for i in range(1, 6)
+    ]
+    paths = write_sgml_files(docs, tmp_path, docs_per_file=2)
+    assert len(paths) == 3
+    loaded = list(iter_sgml_dir(tmp_path))
+    assert loaded == docs
+
+
+def test_parse_file_latin1(tmp_path):
+    path = tmp_path / "reut2-000.sgm"
+    path.write_text(write_sgml([Document(doc_id=1, body="caf\xe9", topics=("earn",))]),
+                    encoding="latin-1")
+    assert parse_sgml_file(path)[0].body == "caf\xe9"
+
+
+def test_iter_empty_dir_raises(tmp_path):
+    with pytest.raises(SgmlError, match="no .sgm files"):
+        list(iter_sgml_dir(tmp_path))
+
+
+_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"), max_codepoint=0xFF),
+    max_size=80,
+).map(lambda s: " ".join(s.split()))
+_topic = st.sampled_from(["earn", "acq", "grain", "trade", "cocoa"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    doc_id=st.integers(min_value=0, max_value=10**6),
+    title=_text,
+    body=_text,
+    topics=st.lists(_topic, max_size=3, unique=True).map(tuple),
+    split=st.sampled_from(["train", "test", "unused"]),
+)
+def test_round_trip_property(doc_id, title, body, topics, split):
+    """write_sgml and parse_sgml are inverse for any document contents."""
+    original = Document(doc_id=doc_id, title=title, body=body, topics=topics, split=split)
+    parsed = parse_sgml(write_sgml([original]))
+    assert len(parsed) == 1
+    assert parsed[0] == original
+
+
+UNPROC_SAMPLE = """<!DOCTYPE lewis SYSTEM "lewis.dtd">
+<REUTERS TOPICS="YES" LEWISSPLIT="TRAIN" CGISPLIT="TRAINING-SET" OLDID="1" NEWID="42">
+<TOPICS><D>grain</D></TOPICS>
+<TEXT TYPE="UNPROC">&#2;Wheat shipments rose sharply this month
+as export demand firmed.&#3;</TEXT>
+</REUTERS>
+"""
+
+
+def test_unproc_text_falls_back_to_text_content():
+    docs = parse_sgml(UNPROC_SAMPLE)
+    assert len(docs) == 1
+    assert docs[0].title == ""
+    assert "Wheat shipments rose sharply" in docs[0].body
+    assert "\x02" not in docs[0].body
+    assert "\x03" not in docs[0].body
+
+
+def test_brief_title_not_duplicated_into_body():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    # Doc 2 is TYPE="BRIEF" with only a TITLE; its body must not repeat it.
+    assert docs[1].body == ""

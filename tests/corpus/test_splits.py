@@ -1,0 +1,68 @@
+"""Unit tests for stratified k-fold splitting."""
+
+import pytest
+
+from repro.corpus.splits import kfold_corpora, stratified_kfold
+
+
+def test_folds_partition_documents(corpus):
+    documents = corpus.train_documents
+    folds = stratified_kfold(documents, n_folds=4, seed=1)
+    ids = sorted(d.doc_id for fold in folds for d in fold)
+    assert ids == sorted(d.doc_id for d in documents)
+    assert len(folds) == 4
+
+
+def test_fold_sizes_balanced(corpus):
+    documents = corpus.train_documents
+    folds = stratified_kfold(documents, n_folds=4, seed=1)
+    sizes = [len(fold) for fold in folds]
+    assert max(sizes) - min(sizes) <= len(documents) // 4 + 2
+
+
+def test_rare_categories_spread(corpus):
+    """Stratification: corn docs must not all land in one fold."""
+    documents = corpus.train_documents
+    folds = stratified_kfold(documents, n_folds=3, seed=2)
+    corn_per_fold = [
+        sum(1 for d in fold if d.has_topic("corn")) for fold in folds
+    ]
+    assert max(corn_per_fold) - min(corn_per_fold) <= 2
+
+
+def test_common_category_spread(corpus):
+    documents = corpus.train_documents
+    total_earn = sum(1 for d in documents if d.has_topic("earn"))
+    folds = stratified_kfold(documents, n_folds=4, seed=3)
+    for fold in folds:
+        count = sum(1 for d in fold if d.has_topic("earn"))
+        assert count >= total_earn // 8  # no starving fold
+
+
+def test_parameter_validation(corpus):
+    with pytest.raises(ValueError):
+        stratified_kfold(corpus.train_documents, n_folds=1)
+    with pytest.raises(ValueError):
+        stratified_kfold(corpus.train_documents[:2], n_folds=5)
+
+
+def test_deterministic_per_seed(corpus):
+    documents = corpus.train_documents
+    a = stratified_kfold(documents, n_folds=3, seed=9)
+    b = stratified_kfold(documents, n_folds=3, seed=9)
+    assert [[d.doc_id for d in fold] for fold in a] == [
+        [d.doc_id for d in fold] for fold in b
+    ]
+
+
+def test_kfold_corpora_rotation(corpus):
+    documents = corpus.train_documents
+    seen_test_ids = set()
+    for fold_index, fold_corpus in kfold_corpora(documents, n_folds=3, seed=4):
+        test_ids = {d.doc_id for d in fold_corpus.test_documents}
+        assert test_ids.isdisjoint(seen_test_ids)
+        seen_test_ids |= test_ids
+        assert len(fold_corpus.train_documents) + len(
+            fold_corpus.test_documents
+        ) == len(documents)
+    assert seen_test_ids == {d.doc_id for d in documents}

@@ -1,0 +1,28 @@
+"""Unit tests for the embedded stop-word list."""
+
+from repro.corpus.stopwords import STOPWORDS, is_stopword
+
+
+def test_common_function_words_present():
+    for word in ("the", "a", "and", "of", "to", "in", "is", "was"):
+        assert word in STOPWORDS
+
+
+def test_content_words_absent():
+    for word in ("profit", "wheat", "oil", "bank", "ship", "acquisition"):
+        assert word not in STOPWORDS
+
+
+def test_is_stopword_case_insensitive():
+    assert is_stopword("The")
+    assert is_stopword("THE")
+    assert not is_stopword("Profit")
+
+
+def test_list_is_reasonably_sized():
+    # Standard English stop lists run a few hundred words.
+    assert 200 <= len(STOPWORDS) <= 600
+
+
+def test_all_lowercase_alpha():
+    assert all(word.isalpha() and word == word.lower() for word in STOPWORDS)

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.corpus.reuters import TOP10_CATEGORIES
+from repro.corpus.synthetic import (
+    CATEGORY_KEYWORDS,
+    MODAPTE_COUNTS,
+    SyntheticReutersGenerator,
+    make_corpus,
+)
+
+
+def test_deterministic_per_seed():
+    docs_a = SyntheticReutersGenerator(seed=42, scale=0.01).generate()
+    docs_b = SyntheticReutersGenerator(seed=42, scale=0.01).generate()
+    assert docs_a == docs_b
+
+
+def test_different_seeds_differ():
+    docs_a = SyntheticReutersGenerator(seed=1, scale=0.01).generate()
+    docs_b = SyntheticReutersGenerator(seed=2, scale=0.01).generate()
+    assert docs_a != docs_b
+
+
+def test_every_category_populated_in_both_splits():
+    corpus = make_corpus(scale=0.01, seed=5)
+    for split in ("train", "test"):
+        counts = corpus.category_counts(split)
+        for category in TOP10_CATEGORIES:
+            assert counts[category] > 0, (split, category)
+
+
+def test_category_size_ordering_matches_modapte():
+    """earn must dominate and corn stay smallest, like the real collection."""
+    corpus = make_corpus(scale=0.05, seed=5)
+    counts = corpus.category_counts("train")
+    assert counts["earn"] == max(counts.values())
+    assert counts["earn"] > 3 * counts["grain"]
+
+
+def test_scale_controls_size():
+    small = make_corpus(scale=0.01, seed=5)
+    large = make_corpus(scale=0.05, seed=5)
+    assert len(large.train_documents) > 2 * len(small.train_documents)
+
+
+def test_wheat_documents_mostly_grain_too():
+    corpus = make_corpus(scale=0.05, seed=5)
+    wheat_docs = [d for d in corpus.train_documents if d.has_topic("wheat")]
+    with_grain = sum(1 for d in wheat_docs if d.has_topic("grain"))
+    assert with_grain / len(wheat_docs) > 0.6
+
+
+def test_money_fx_interest_share_vocabulary():
+    """The overlap the paper blames for weak money-fx/interest scores."""
+    shared = set(CATEGORY_KEYWORDS["money-fx"]) & set(CATEGORY_KEYWORDS["interest"])
+    assert len(shared) >= 6
+    # earn and ship, by contrast, should barely overlap.
+    assert len(set(CATEGORY_KEYWORDS["earn"]) & set(CATEGORY_KEYWORDS["ship"])) <= 1
+
+
+def test_documents_have_title_and_body():
+    corpus = make_corpus(scale=0.01, seed=5)
+    for doc in corpus.documents[:20]:
+        assert doc.title
+        assert doc.body
+        assert doc.topics
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValueError, match="scale"):
+        SyntheticReutersGenerator(scale=0.0)
+
+
+def test_make_document_requires_topics():
+    generator = SyntheticReutersGenerator(seed=1)
+    with pytest.raises(ValueError, match="topic"):
+        generator.make_document([], "train")
+
+
+def test_multi_label_document_contains_all_topics():
+    generator = SyntheticReutersGenerator(seed=1)
+    doc = generator.make_document(["grain", "wheat", "trade"], "train")
+    assert doc.topics == ("grain", "wheat", "trade")
+
+
+def test_doc_ids_unique():
+    docs = SyntheticReutersGenerator(seed=3, scale=0.01).generate()
+    ids = [d.doc_id for d in docs]
+    assert len(ids) == len(set(ids))
+
+
+def test_modapte_counts_cover_top10():
+    assert set(MODAPTE_COUNTS) == set(TOP10_CATEGORIES)

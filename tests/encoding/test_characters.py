@@ -1,0 +1,135 @@
+"""Unit and property tests for character encoding and the first-level SOM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.characters import (
+    CharacterEncoder,
+    character_inputs,
+    encode_word_characters,
+)
+
+_words = st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                 min_size=1, max_size=13)
+
+
+def test_paper_example_cost():
+    """'cost': c@1, o@2, s@3, t@4 with positions scaled 2p-1."""
+    vectors = encode_word_characters("cost")
+    expected = np.array([[3, 1], [15, 3], [19, 5], [20, 7]], dtype=float)
+    np.testing.assert_array_equal(vectors, expected)
+
+
+def test_case_folded():
+    np.testing.assert_array_equal(
+        encode_word_characters("COST"), encode_word_characters("cost")
+    )
+
+
+def test_letter_range():
+    vectors = encode_word_characters("az")
+    assert vectors[0, 0] == 1.0   # 'a'
+    assert vectors[1, 0] == 26.0  # 'z'
+
+
+def test_position_scaling_balances_ranges():
+    """A 13-letter word's last position scales to 25, close to 26."""
+    vectors = encode_word_characters("a" * 13)
+    assert vectors[-1, 1] == 25.0
+
+
+def test_rejects_non_alpha():
+    with pytest.raises(ValueError):
+        encode_word_characters("ab1")
+    with pytest.raises(ValueError):
+        encode_word_characters("")
+
+
+@settings(max_examples=50, deadline=None)
+@given(word=_words)
+def test_encoding_shape_property(word):
+    vectors = encode_word_characters(word)
+    assert vectors.shape == (len(word), 2)
+    assert np.all(vectors[:, 0] >= 1) and np.all(vectors[:, 0] <= 26)
+    assert np.all(vectors[:, 1] == 2 * np.arange(1, len(word) + 1) - 1)
+
+
+def test_character_inputs_multiplicities():
+    vectors, counts = character_inputs(["ab", "ab", "ba"])
+    # ('a',pos1) occurs twice via "ab" and ('a',pos2) once via "ba", etc.
+    total = counts.sum()
+    assert total == 6  # six characters in all
+    lookup = {tuple(v): c for v, c in zip(vectors, counts)}
+    assert lookup[(1.0, 1.0)] == 2   # 'a' at position 1
+    assert lookup[(2.0, 3.0)] == 2   # 'b' at position 2
+
+
+def test_character_inputs_empty_raises():
+    with pytest.raises(ValueError):
+        character_inputs([])
+
+
+def test_encoder_fit_and_query():
+    encoder = CharacterEncoder(rows=4, cols=5, epochs=5, seed=1)
+    assert not encoder.is_fitted
+    encoder.fit(["profit", "dividend", "wheat", "profit"])
+    assert encoder.is_fitted
+    top3 = encoder.top3_units(3, 1)
+    assert len(top3) == 3
+    assert len(set(int(u) for u in top3)) == 3
+
+
+def test_encoder_query_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        CharacterEncoder().top3_units(1, 1)
+
+
+def test_word_character_bmus_length():
+    encoder = CharacterEncoder(rows=4, cols=5, epochs=3, seed=1)
+    encoder.fit(["profit", "wheat"])
+    assert len(encoder.word_character_bmus("wheat")) == 5
+
+
+def test_top3_cached():
+    encoder = CharacterEncoder(rows=4, cols=5, epochs=3, seed=1)
+    encoder.fit(["profit"])
+    first = encoder.top3_units(5, 3)
+    assert encoder.top3_units(5, 3) is first
+
+
+def test_default_shape_is_papers():
+    encoder = CharacterEncoder()
+    assert (encoder.rows, encoder.cols) == (7, 13)
+
+
+def test_online_training_mode():
+    encoder = CharacterEncoder(rows=4, cols=5, epochs=3, training="online", seed=1)
+    encoder.fit(["profit", "wheat", "profit"])
+    assert encoder.is_fitted
+    assert len(encoder.history.awc) == 3
+
+
+def test_invalid_training_mode_rejected():
+    with pytest.raises(ValueError, match="training"):
+        CharacterEncoder(training="stochastic")
+
+
+def test_expand_with_multiplicity_cap():
+    from repro.encoding.characters import expand_with_multiplicity
+
+    vectors = np.array([[1.0, 1.0], [2.0, 2.0]])
+    counts = np.array([1000.0, 10.0])
+    expanded = expand_with_multiplicity(vectors, counts, cap=100)
+    assert len(expanded) <= 110
+    # The rare input survives the down-scaling.
+    assert any((row == [2.0, 2.0]).all() for row in expanded)
+
+
+def test_expand_no_cap_needed():
+    from repro.encoding.characters import expand_with_multiplicity
+
+    vectors = np.array([[1.0, 1.0]])
+    expanded = expand_with_multiplicity(vectors, np.array([3.0]), cap=100)
+    assert len(expanded) == 3

@@ -1,0 +1,154 @@
+"""Unit and integration tests for the hierarchical SOM encoder."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.hierarchy import CategoryEncoder, HierarchicalSomEncoder
+from repro.encoding.words import WordVectorizer
+
+
+def test_default_shapes_match_paper():
+    encoder = HierarchicalSomEncoder()
+    assert (encoder.char_rows, encoder.char_cols) == (7, 13)
+    assert (encoder.word_rows, encoder.word_cols) == (8, 8)
+
+
+def test_fit_builds_requested_categories(encoder):
+    assert set(encoder.category_encoders) == {"earn", "grain", "trade"}
+    assert encoder.is_fitted
+
+
+def test_encoder_for_unknown_category(encoder):
+    with pytest.raises(KeyError):
+        encoder.encoder_for("cocoa")
+
+
+def test_selected_units_cover_every_training_document(
+    encoder, tokenized, mi_features
+):
+    """The paper's heuristic: every in-class training doc must keep >= 1 word."""
+    for category in ("earn", "grain", "trade"):
+        dataset = encoder.encode_dataset(tokenized, mi_features, category, "train")
+        for doc, label in zip(dataset.documents, dataset.labels):
+            if label > 0 and _had_words(tokenized, mi_features, doc, category):
+                assert len(doc) >= 1, (category, doc.doc_id)
+
+
+def _had_words(tokenized, feature_set, encoded_doc, category):
+    source = next(
+        d for d in tokenized.train_documents if d.doc_id == encoded_doc.doc_id
+    )
+    return bool(feature_set.filter_tokens(tokenized.tokens(source), category))
+
+
+def test_sequence_values_in_expected_ranges(earn_train):
+    for doc in earn_train.documents:
+        if len(doc) == 0:
+            continue
+        assert np.all(doc.sequence[:, 0] >= 0.0)
+        assert np.all(doc.sequence[:, 0] <= 1.0)
+        assert np.all(doc.sequence[:, 1] > 0.0)
+
+
+def test_out_of_class_sequences_shorter_on_average(earn_train):
+    lengths = np.array([len(d) for d in earn_train.documents])
+    labels = earn_train.labels
+    assert lengths[labels > 0].mean() > lengths[labels < 0].mean()
+
+
+def test_units_are_selected_units_only(encoder, earn_train):
+    selected = set(encoder.encoder_for("earn").memberships)
+    for doc in earn_train.documents:
+        assert set(doc.units) <= selected
+
+
+def test_bmu_trajectory_matches_encode(encoder, tokenized, mi_features):
+    category_encoder = encoder.encoder_for("earn")
+    doc = tokenized.train_documents[0]
+    words = mi_features.filter_tokens(tokenized.tokens(doc), "earn")
+    trajectory = category_encoder.bmu_trajectory(words)
+    assert len(trajectory) == len(words)
+    encoded = category_encoder.encode(doc.doc_id, words)
+    # Encoded units are the sub-sequence of the trajectory that hit
+    # selected BMUs.
+    selected = set(category_encoder.memberships)
+    expected_units = [u for u in trajectory if u in selected]
+    assert list(encoded.units) == expected_units
+
+
+def test_labels_assigned_from_topics(encoder, tokenized, mi_features):
+    dataset = encoder.encode_dataset(tokenized, mi_features, "earn", "test")
+    for doc, encoded in zip(tokenized.test_documents, dataset.documents):
+        expected = 1 if doc.has_topic("earn") else -1
+        assert encoded.label == expected
+
+
+def test_encode_dataset_unknown_split(encoder, tokenized, mi_features):
+    with pytest.raises(ValueError, match="split"):
+        encoder.encode_dataset(tokenized, mi_features, "earn", "dev")
+
+
+def test_category_encoder_requires_words(encoder):
+    fresh = CategoryEncoder("earn", encoder.vectorizer, epochs=2, seed=0)
+    with pytest.raises(ValueError, match="words"):
+        fresh.fit([])
+
+
+def test_category_encoder_unfitted_queries_raise(encoder):
+    fresh = CategoryEncoder("earn", encoder.vectorizer, epochs=2, seed=0)
+    with pytest.raises(RuntimeError):
+        fresh.word_bmu("profit")
+
+
+def test_word_bmu_cached_and_stable(encoder):
+    category_encoder = encoder.encoder_for("earn")
+    assert category_encoder.word_bmu("profit") == category_encoder.word_bmu("profit")
+
+
+def test_same_seed_reproducible(tokenized, mi_features):
+    a = HierarchicalSomEncoder(epochs=4, seed=9).fit(
+        tokenized, mi_features, categories=("wheat",)
+    )
+    b = HierarchicalSomEncoder(epochs=4, seed=9).fit(
+        tokenized, mi_features, categories=("wheat",)
+    )
+    np.testing.assert_array_equal(
+        a.encoder_for("wheat").som.weights, b.encoder_for("wheat").som.weights
+    )
+    assert a.encoder_for("wheat").selected_units == b.encoder_for("wheat").selected_units
+
+
+def test_max_words_caps_sequence(encoder, tokenized, mi_features):
+    category_encoder = encoder.encoder_for("earn")
+    doc = tokenized.train_documents[0]
+    words = mi_features.filter_tokens(tokenized.tokens(doc), "earn")
+    full = category_encoder.encode(doc.doc_id, words)
+    if len(full) < 2:
+        return
+    capped = category_encoder.encode(doc.doc_id, words, max_words=2)
+    assert len(capped) == 2
+    assert capped.words == full.words[:2]
+    assert capped.positions == full.positions[:2]
+
+
+def test_max_sequence_length_propagates(tokenized, mi_features):
+    from repro.encoding import HierarchicalSomEncoder
+
+    encoder = HierarchicalSomEncoder(
+        epochs=4, seed=2, max_sequence_length=3
+    ).fit(tokenized, mi_features, categories=("earn",))
+    dataset = encoder.encode_dataset(tokenized, mi_features, "earn", "train")
+    assert max(len(d) for d in dataset.documents) <= 3
+
+
+def test_online_hierarchy_trains(tokenized, mi_features):
+    encoder = HierarchicalSomEncoder(
+        epochs=3, seed=4, training="online"
+    ).fit(tokenized, mi_features, categories=("wheat",))
+    dataset = encoder.encode_dataset(tokenized, mi_features, "wheat", "train")
+    assert any(len(d) > 0 for d in dataset.documents)
+
+
+def test_invalid_training_mode_rejected(encoder):
+    with pytest.raises(ValueError, match="training"):
+        CategoryEncoder("earn", encoder.vectorizer, training="stochastic")

@@ -1,0 +1,73 @@
+"""Unit tests for Gaussian membership functions (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.membership import (
+    GaussianMembership,
+    fit_membership,
+    fit_memberships,
+)
+
+
+def test_peak_at_mean():
+    members = np.array([[0.0, 0.0], [2.0, 0.0]])
+    membership = fit_membership(unit=0, member_vectors=members)
+    at_mean = membership.value(np.array([1.0, 0.0]))
+    away = membership.value(np.array([5.0, 0.0]))
+    assert at_mean > away
+
+
+def test_value_positive(earn_train):
+    for doc in earn_train.documents[:10]:
+        assert np.all(doc.sequence[:, 1] > 0)
+
+
+def test_training_words_are_members():
+    members = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]])
+    membership = fit_membership(unit=3, member_vectors=members)
+    for vector in members:
+        assert membership.is_member(vector)
+
+
+def test_distant_word_not_member():
+    members = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]])
+    membership = fit_membership(unit=0, member_vectors=members)
+    assert not membership.is_member(np.array([50.0, 50.0]))
+
+
+def test_min_training_value_is_minimum():
+    members = np.array([[0.0, 0.0], [4.0, 0.0]])
+    membership = fit_membership(unit=0, member_vectors=members)
+    values = [membership.value(v) for v in members]
+    assert membership.min_training_value == pytest.approx(min(values))
+
+
+def test_single_member_sigma_floored():
+    membership = fit_membership(unit=0, member_vectors=np.array([[1.0, 2.0]]))
+    assert membership.sigma >= 0.5
+    assert np.isfinite(membership.value(np.array([1.0, 2.0])))
+    # Peak value stays O(1) -- comparable to the other classifier input.
+    assert membership.value(np.array([1.0, 2.0])) < 1.0
+
+
+def test_empty_members_rejected():
+    with pytest.raises(ValueError):
+        fit_membership(unit=0, member_vectors=np.zeros((0, 2)))
+
+
+def test_fit_memberships_skips_missing_units():
+    members = {1: np.array([[0.0, 0.0]])}
+    fitted = fit_memberships([0, 1], members)
+    assert set(fitted) == {1}
+    assert isinstance(fitted[1], GaussianMembership)
+
+
+def test_membership_decreases_with_distance():
+    members = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 0.5]])
+    membership = fit_membership(unit=0, member_vectors=members)
+    distances = [0.0, 1.0, 2.0, 4.0]
+    values = [
+        membership.value(membership.mean + np.array([d, 0.0])) for d in distances
+    ]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,82 @@
+"""Unit tests for EncodedDocument and EncodedDataset."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+
+
+def _encoded(doc_id=1, n=3, label=1, category="earn"):
+    return EncodedDocument(
+        doc_id=doc_id,
+        category=category,
+        sequence=np.random.default_rng(doc_id).random((n, 2)),
+        words=tuple(f"w{i}" for i in range(n)),
+        units=tuple(range(n)),
+        label=label,
+    )
+
+
+def test_alignment_enforced():
+    with pytest.raises(ValueError, match="align"):
+        EncodedDocument(
+            doc_id=1,
+            category="earn",
+            sequence=np.zeros((2, 2)),
+            words=("a",),
+            units=(0, 1),
+        )
+
+
+def test_label_validation():
+    with pytest.raises(ValueError, match="label"):
+        _encoded(label=2)
+
+
+def test_empty_sequence_allowed():
+    doc = EncodedDocument(
+        doc_id=1, category="earn", sequence=np.zeros((0, 2)), words=(), units=()
+    )
+    assert len(doc) == 0
+
+
+def test_with_label():
+    doc = _encoded(label=0)
+    labelled = doc.with_label(-1)
+    assert labelled.label == -1
+    assert labelled.doc_id == doc.doc_id
+    np.testing.assert_array_equal(labelled.sequence, doc.sequence)
+
+
+def test_dataset_requires_labels():
+    with pytest.raises(ValueError, match="label"):
+        EncodedDataset(category="earn", documents=(_encoded(label=0),))
+
+
+def test_dataset_labels_vector():
+    dataset = EncodedDataset(
+        category="earn",
+        documents=(_encoded(1, label=1), _encoded(2, label=-1)),
+    )
+    np.testing.assert_array_equal(dataset.labels, [1.0, -1.0])
+    assert len(dataset) == 2
+
+
+def test_dataset_subset():
+    dataset = EncodedDataset(
+        category="earn",
+        documents=tuple(_encoded(i, label=1 if i % 2 else -1) for i in range(1, 6)),
+    )
+    subset = dataset.subset([0, 2])
+    assert len(subset) == 2
+    assert subset.documents[0].doc_id == 1
+    assert subset.documents[1].doc_id == 3
+
+
+def test_sequences_list():
+    dataset = EncodedDataset(
+        category="earn", documents=(_encoded(1, n=4, label=1), _encoded(2, n=2, label=-1))
+    )
+    sequences = dataset.sequences
+    assert sequences[0].shape == (4, 2)
+    assert sequences[1].shape == (2, 2)

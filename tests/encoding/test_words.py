@@ -1,0 +1,116 @@
+"""Unit tests for word vectors and informative-BMU selection."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.characters import CharacterEncoder
+from repro.encoding.words import BMU_CONTRIBUTIONS, WordVectorizer, select_informative_bmus
+
+
+@pytest.fixture(scope="module")
+def vectorizer():
+    encoder = CharacterEncoder(rows=4, cols=5, epochs=5, seed=1)
+    encoder.fit(["profit", "dividend", "wheat", "shipment", "crude"])
+    return WordVectorizer(encoder)
+
+
+def test_contributions_match_paper():
+    assert BMU_CONTRIBUTIONS == (1.0, 0.5, 1.0 / 3.0)
+
+
+def test_vector_dimension_is_map_size(vectorizer):
+    assert vectorizer.vector("wheat").shape == (20,)
+
+
+def test_vector_total_mass(vectorizer):
+    """Each character adds exactly 1 + 1/2 + 1/3 across its three BMUs."""
+    vector = vectorizer.vector("wheat")
+    assert vector.sum() == pytest.approx(5 * sum(BMU_CONTRIBUTIONS))
+
+
+def test_vector_cached(vectorizer):
+    assert vectorizer.vector("profit") is vectorizer.vector("profit")
+
+
+def test_vectors_stacked_in_order(vectorizer):
+    matrix = vectorizer.vectors(["wheat", "crude"])
+    np.testing.assert_array_equal(matrix[0], vectorizer.vector("wheat"))
+    np.testing.assert_array_equal(matrix[1], vectorizer.vector("crude"))
+
+
+def test_vectors_empty(vectorizer):
+    assert vectorizer.vectors([]).shape == (0, 20)
+
+
+def test_similar_words_get_similar_vectors(vectorizer):
+    """Shared characters at shared positions pull vectors together -- the
+    mechanism that replaces stemming."""
+    base = vectorizer.vector("profit")
+    related = vectorizer.vector("profits")
+    unrelated = vectorizer.vector("wheat")
+    assert np.linalg.norm(base - related) < np.linalg.norm(base - unrelated)
+
+
+def test_unfitted_encoder_rejected():
+    with pytest.raises(ValueError):
+        WordVectorizer(CharacterEncoder())
+
+
+# ----------------------------------------------------------------------
+# informative-BMU selection
+# ----------------------------------------------------------------------
+def test_selection_orders_by_hits():
+    hits = np.array([5.0, 1.0, 10.0, 0.0])
+    docs = [{0}, {2}, {0, 2}]
+    selected = select_informative_bmus(hits, docs, min_hit_mass=0.0)
+    assert selected[0] == 2  # most hits first
+    assert 0 in selected     # needed to cover doc 0
+
+
+def test_selection_stops_once_documents_covered():
+    """min_hit_mass=0 reproduces the bare minimal-coverage reading."""
+    hits = np.array([10.0, 8.0, 5.0, 1.0])
+    docs = [{0}, {0, 1}]
+    selected = select_informative_bmus(hits, docs, min_hit_mass=0.0)
+    assert selected == [0]
+
+
+def test_selection_hit_mass_floor_extends_selection():
+    hits = np.array([10.0, 8.0, 5.0, 1.0])
+    docs = [{0}, {0, 1}]
+    selected = select_informative_bmus(hits, docs, min_hit_mass=0.5)
+    # Coverage needs only unit 0 (10 of 24 hits); the 50% floor (12) pulls
+    # in unit 1 as well.
+    assert selected == [0, 1]
+
+
+def test_selection_full_mass_keeps_all_hit_units():
+    hits = np.array([10.0, 8.0, 5.0, 0.0])
+    docs = [{0}]
+    selected = select_informative_bmus(hits, docs, min_hit_mass=1.0)
+    assert selected == [0, 1, 2]
+
+
+def test_selection_invalid_mass_rejected():
+    with pytest.raises(ValueError):
+        select_informative_bmus(np.array([1.0]), [{0}], min_hit_mass=1.5)
+
+
+def test_selection_every_document_covered():
+    hits = np.array([10.0, 8.0, 5.0, 1.0])
+    docs = [{3}, {0}, {2}]
+    selected = select_informative_bmus(hits, docs, min_hit_mass=0.0)
+    for doc in docs:
+        assert doc & set(selected)
+
+
+def test_selection_ignores_zero_hit_units():
+    hits = np.array([0.0, 3.0])
+    selected = select_informative_bmus(hits, [{1}], min_hit_mass=1.0)
+    assert selected == [1]
+
+
+def test_selection_empty_documents_skipped():
+    hits = np.array([2.0, 1.0])
+    selected = select_informative_bmus(hits, [set(), {0}], min_hit_mass=0.0)
+    assert selected == [0]

@@ -1,0 +1,71 @@
+"""Unit tests for precision-recall curves and break-even points."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.curves import (
+    average_precision,
+    breakeven_point,
+    f1_at_threshold,
+    precision_recall_curve,
+)
+
+
+def _perfect_ranking():
+    labels = np.array([1, 1, 1, -1, -1, -1], dtype=float)
+    values = np.array([0.9, 0.8, 0.7, 0.3, 0.2, 0.1])
+    return labels, values
+
+
+def test_curve_monotone_recall():
+    labels, values = _perfect_ranking()
+    curve = precision_recall_curve(labels, values)
+    assert np.all(np.diff(curve.recall) >= 0)
+    assert curve.recall[-1] == pytest.approx(1.0)
+
+
+def test_perfect_ranking_precision_one_until_positives_exhausted():
+    labels, values = _perfect_ranking()
+    curve = precision_recall_curve(labels, values)
+    np.testing.assert_allclose(curve.precision[:3], 1.0)
+
+
+def test_breakeven_perfect_ranking():
+    labels, values = _perfect_ranking()
+    assert breakeven_point(labels, values) == pytest.approx(1.0)
+
+
+def test_breakeven_random_scores_near_base_rate():
+    rng = np.random.default_rng(0)
+    labels = np.where(rng.random(2000) < 0.3, 1.0, -1.0)
+    values = rng.random(2000)
+    bep = breakeven_point(labels, values)
+    assert 0.2 < bep < 0.4  # near the 0.3 positive base rate
+
+
+def test_average_precision_perfect_is_one():
+    labels, values = _perfect_ranking()
+    assert average_precision(labels, values) == pytest.approx(1.0)
+
+
+def test_average_precision_inverted_is_low():
+    labels, values = _perfect_ranking()
+    assert average_precision(labels, -values) < 0.5
+
+
+def test_f1_at_threshold_consistency():
+    labels, values = _perfect_ranking()
+    recall, precision, f1 = f1_at_threshold(labels, values, 0.5)
+    assert recall == pytest.approx(1.0)
+    assert precision == pytest.approx(1.0)
+    assert f1 == pytest.approx(1.0)
+
+
+def test_alignment_validated():
+    with pytest.raises(ValueError):
+        precision_recall_curve(np.ones(2), np.ones(3))
+
+
+def test_no_positives_rejected():
+    with pytest.raises(ValueError):
+        precision_recall_curve(-np.ones(3), np.zeros(3))

@@ -1,0 +1,106 @@
+"""Unit tests for the paper's Table 3 measures."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    BinaryCounts,
+    Scores,
+    f1_score,
+    precision,
+    recall,
+    score_binary,
+    score_multilabel,
+)
+
+
+def test_counts_from_predictions():
+    labels = np.array([1, 1, 1, -1, -1])
+    predictions = np.array([1, 1, -1, 1, -1])
+    counts = BinaryCounts.from_predictions(labels, predictions)
+    assert counts.true_positive == 2
+    assert counts.false_negative == 1
+    assert counts.false_positive == 1
+    assert counts.true_negative == 1
+
+
+def test_counts_shape_mismatch():
+    with pytest.raises(ValueError):
+        BinaryCounts.from_predictions(np.ones(2), np.ones(3))
+
+
+def test_table3_definitions():
+    counts = BinaryCounts(true_positive=6, false_positive=2, false_negative=4,
+                          true_negative=8)
+    assert recall(counts) == pytest.approx(6 / 10)
+    assert precision(counts) == pytest.approx(6 / 8)
+    expected_f1 = 2 * 0.6 * 0.75 / (0.6 + 0.75)
+    assert f1_score(counts) == pytest.approx(expected_f1)
+
+
+def test_degenerate_cases_zero():
+    empty = BinaryCounts(0, 0, 0, 5)
+    assert recall(empty) == 0.0
+    assert precision(empty) == 0.0
+    assert f1_score(empty) == 0.0
+
+
+def test_perfect_scores():
+    counts = BinaryCounts(10, 0, 0, 10)
+    assert f1_score(counts) == 1.0
+
+
+def test_score_binary_wrapper():
+    labels = np.array([1, -1, 1, -1])
+    scores = score_binary(labels, labels)
+    assert isinstance(scores, Scores)
+    assert scores.f1 == 1.0
+
+
+def test_counts_addition():
+    a = BinaryCounts(1, 2, 3, 4)
+    b = BinaryCounts(10, 20, 30, 40)
+    total = a + b
+    assert total.true_positive == 11
+    assert total.true_negative == 44
+
+
+def test_macro_is_mean_of_f1s():
+    per_category = {
+        "a": BinaryCounts(10, 0, 0, 10),   # F1 = 1.0
+        "b": BinaryCounts(0, 0, 10, 10),   # F1 = 0.0
+    }
+    scores = score_multilabel(per_category)
+    assert scores.macro_f1 == pytest.approx(0.5)
+
+
+def test_micro_pools_counts():
+    per_category = {
+        "a": BinaryCounts(10, 0, 0, 10),
+        "b": BinaryCounts(0, 0, 10, 10),
+    }
+    scores = score_multilabel(per_category)
+    # Pooled: TP=10, FP=0, FN=10 -> P=1, R=0.5, F1=2/3.
+    assert scores.micro_f1 == pytest.approx(2 / 3)
+
+
+def test_micro_dominated_by_large_categories():
+    """Micro averaging weights categories by size -- the reason the paper
+    reports both."""
+    per_category = {
+        "large": BinaryCounts(90, 10, 10, 100),
+        "small": BinaryCounts(1, 5, 5, 10),
+    }
+    scores = score_multilabel(per_category)
+    large_f1 = scores.per_category["large"].f1
+    assert abs(scores.micro_f1 - large_f1) < abs(scores.macro_f1 - large_f1)
+
+
+def test_f1_accessor():
+    scores = score_multilabel({"a": BinaryCounts(5, 0, 0, 5)})
+    assert scores.f1("a") == 1.0
+
+
+def test_empty_multilabel_rejected():
+    with pytest.raises(ValueError):
+        score_multilabel({})

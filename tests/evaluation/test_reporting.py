@@ -1,0 +1,44 @@
+"""Unit tests for table formatting."""
+
+import pytest
+
+from repro.evaluation.reporting import format_table
+
+
+def test_table_contains_all_cells():
+    table = format_table(
+        "Table X",
+        ["earn", "acq", "Macro Ave."],
+        {
+            "ProSys": {"earn": 0.98, "acq": 0.69, "Macro Ave.": 0.66},
+            "NB": {"earn": 0.93, "acq": 0.86, "Macro Ave.": 0.65},
+        },
+    )
+    assert "Table X" in table
+    assert "ProSys" in table and "NB" in table
+    assert "0.98" in table and "0.86" in table
+    assert "Macro Ave." in table
+
+
+def test_missing_values_dashed():
+    table = format_table("T", ["a"], {"col": {}})
+    assert "-" in table.splitlines()[-1]
+
+
+def test_decimals_respected():
+    table = format_table("T", ["a"], {"col": {"a": 0.12345}}, decimals=3)
+    assert "0.123" in table
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(ValueError):
+        format_table("T", ["a"], {})
+
+
+def test_rows_in_given_order():
+    table = format_table(
+        "T", ["wheat", "earn"], {"c": {"wheat": 1.0, "earn": 0.5}}
+    )
+    lines = table.splitlines()
+    assert lines[3].startswith("wheat")
+    assert lines[4].startswith("earn")

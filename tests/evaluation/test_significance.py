@@ -1,0 +1,68 @@
+"""Unit tests for the significance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.significance import BootstrapResult, paired_bootstrap, sign_test
+
+
+def _labels_and_systems(n=200, seed=0):
+    """System A is right 90% of the time, system B 60%."""
+    rng = np.random.default_rng(seed)
+    labels = np.where(rng.random(n) < 0.4, 1, -1)
+    predictions_a = np.where(rng.random(n) < 0.9, labels, -labels)
+    predictions_b = np.where(rng.random(n) < 0.6, labels, -labels)
+    return labels, predictions_a, predictions_b
+
+
+def test_clear_gap_is_significant():
+    labels, a, b = _labels_and_systems()
+    result = paired_bootstrap(labels, a, b, n_resamples=500, seed=1)
+    assert result.observed_delta > 0
+    assert result.significant
+
+
+def test_identical_systems_not_significant():
+    labels, a, _ = _labels_and_systems()
+    result = paired_bootstrap(labels, a, a.copy(), n_resamples=200, seed=2)
+    assert result.observed_delta == pytest.approx(0.0)
+    assert not result.significant
+    assert result.p_value == 1.0
+
+
+def test_bootstrap_result_fields():
+    labels, a, b = _labels_and_systems(seed=3)
+    result = paired_bootstrap(labels, a, b, n_resamples=100, seed=3)
+    assert isinstance(result, BootstrapResult)
+    assert result.n_resamples == 100
+    assert 0.0 <= result.p_value <= 1.0
+
+
+def test_alignment_validated():
+    with pytest.raises(ValueError):
+        paired_bootstrap(np.ones(3), np.ones(3), np.ones(2))
+    with pytest.raises(ValueError):
+        paired_bootstrap(np.zeros(0), np.zeros(0), np.zeros(0))
+
+
+def test_sign_test_detects_dominance():
+    labels, a, b = _labels_and_systems()
+    assert sign_test(labels, a, b) < 0.05
+
+
+def test_sign_test_no_disagreement():
+    labels = np.array([1, -1, 1])
+    predictions = np.array([1, -1, -1])
+    assert sign_test(labels, predictions, predictions.copy()) == 1.0
+
+
+def test_sign_test_symmetric():
+    labels, a, b = _labels_and_systems(seed=5)
+    assert sign_test(labels, a, b) == pytest.approx(sign_test(labels, b, a))
+
+
+def test_bootstrap_deterministic_per_seed():
+    labels, a, b = _labels_and_systems(seed=6)
+    r1 = paired_bootstrap(labels, a, b, n_resamples=100, seed=7)
+    r2 = paired_bootstrap(labels, a, b, n_resamples=100, seed=7)
+    assert r1.p_value == r2.p_value

@@ -1,0 +1,85 @@
+"""Unit tests for corpus statistics and the FeatureSet container."""
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features.base import CorpusStatistics, FeatureSet, top_terms
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _tiny_tokenized():
+    docs = [
+        Document(doc_id=1, body="profit profit dividend", topics=("earn",)),
+        Document(doc_id=2, body="wheat crop profit", topics=("grain", "wheat")),
+        Document(doc_id=3, body="wheat tonnes", topics=("grain",), split="test"),
+    ]
+    corpus = Corpus.from_documents(docs, categories=("earn", "grain", "wheat"))
+    return TokenizedCorpus(corpus)
+
+
+def test_statistics_counts_training_only():
+    stats = CorpusStatistics.from_tokenized(_tiny_tokenized())
+    assert stats.n_docs == 2
+    # "tonnes" only occurs in the test split.
+    assert "tonnes" not in stats.document_frequency
+
+
+def test_document_frequency_counts_docs_not_occurrences():
+    stats = CorpusStatistics.from_tokenized(_tiny_tokenized())
+    # "profit" appears twice in doc 1 but df counts the document once.
+    assert stats.document_frequency["profit"] == 2
+
+
+def test_multilabel_docs_count_in_every_category():
+    stats = CorpusStatistics.from_tokenized(_tiny_tokenized())
+    assert stats.docs_per_category["grain"] == 1
+    assert stats.docs_per_category["wheat"] == 1
+    assert stats.df_in_category["wheat"]["wheat"] == 1
+
+
+def test_tf_in_category_counts_occurrences():
+    stats = CorpusStatistics.from_tokenized(_tiny_tokenized())
+    assert stats.tf_in_category["earn"]["profit"] == 2
+
+
+def test_top_terms_deterministic_tie_break():
+    scores = {"beta": 1.0, "alpha": 1.0, "gamma": 2.0}
+    assert top_terms(scores, 2) == frozenset({"gamma", "alpha"})
+
+
+def test_top_terms_fewer_than_requested():
+    assert top_terms({"a": 1.0}, 10) == frozenset({"a"})
+
+
+def test_feature_set_filter_preserves_order():
+    fs = FeatureSet(
+        method="df",
+        per_category={"earn": frozenset({"profit", "net"})},
+    )
+    tokens = ["net", "quarterly", "profit", "net"]
+    assert fs.filter_tokens(tokens, "earn") == ["net", "profit", "net"]
+
+
+def test_feature_set_counts():
+    fs = FeatureSet(
+        method="mi",
+        per_category={"earn": frozenset({"a"}), "grain": frozenset({"b", "c"})},
+        scope="category",
+    )
+    assert fs.counts() == {"earn": 1, "grain": 2}
+
+
+def test_union_vocabulary():
+    fs = FeatureSet(
+        method="mi",
+        per_category={"earn": frozenset({"a"}), "grain": frozenset({"a", "b"})},
+    )
+    assert fs.union_vocabulary() == frozenset({"a", "b"})
+
+
+def test_selector_rejects_nonpositive_n():
+    from repro.features import DocumentFrequencySelector
+
+    with pytest.raises(ValueError):
+        DocumentFrequencySelector(0)

@@ -1,0 +1,93 @@
+"""Unit tests for chi-square feature selection."""
+
+import math
+
+import pytest
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import ChiSquareSelector
+from repro.features.base import CorpusStatistics
+from repro.features.chi_square import chi_square
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _stats(docs, categories=("earn", "grain")):
+    corpus = Corpus.from_documents(docs, categories=categories)
+    return CorpusStatistics.from_tokenized(TokenizedCorpus(corpus))
+
+
+def _doc(i, body, topics):
+    return Document(doc_id=i, body=body, topics=topics)
+
+
+def test_perfect_indicator_maximal():
+    """A term in exactly the category's docs scores chi2 = N."""
+    stats = _stats(
+        [
+            _doc(1, "profit margin", ("earn",)),
+            _doc(2, "profit margin", ("earn",)),
+            _doc(3, "wheat crop", ("grain",)),
+            _doc(4, "wheat crop", ("grain",)),
+        ]
+    )
+    assert chi_square(stats, "profit", "earn") == pytest.approx(4.0)
+
+
+def test_uninformative_term_zero():
+    stats = _stats(
+        [
+            _doc(1, "market profit", ("earn",)),
+            _doc(2, "market wheat", ("grain",)),
+        ]
+    )
+    assert chi_square(stats, "market", "earn") == pytest.approx(0.0)
+
+
+def test_everywhere_term_degenerate_zero():
+    stats = _stats([_doc(1, "market", ("earn",)), _doc(2, "market", ("grain",))])
+    # All docs contain it: a zero denominator cell -> defined as 0.
+    assert chi_square(stats, "market", "earn") == 0.0
+
+
+def test_chi_square_non_negative(tokenized):
+    stats = CorpusStatistics.from_tokenized(tokenized)
+    for term in sorted(stats.vocabulary)[:150]:
+        assert chi_square(stats, term, "earn") >= 0.0
+
+
+def test_matches_textbook_formula():
+    stats = _stats(
+        [
+            _doc(1, "profit", ("earn",)),
+            _doc(2, "profit wheat", ("earn",)),
+            _doc(3, "wheat", ("grain",)),
+            _doc(4, "crop", ("grain",)),
+        ]
+    )
+    # term "wheat", category "grain": A=1, B=1, C=1, D=1, N=4.
+    a, b, c, d, n = 1, 1, 1, 1, 4
+    expected = n * (a * d - c * b) ** 2 / ((a + c) * (b + d) * (a + b) * (c + d))
+    assert chi_square(stats, "wheat", "grain") == pytest.approx(expected)
+
+
+def test_selector_scope_and_budget(tokenized):
+    fs = ChiSquareSelector(200).select(tokenized)
+    assert fs.scope == "corpus"
+    assert len(fs.vocabulary("earn")) == 200
+    # Category keywords outrank noise words.
+    vocabulary = fs.vocabulary("earn")
+    assert "wheat" in vocabulary or "oil" in vocabulary or "cts" in vocabulary
+
+
+def test_selector_registered():
+    from repro.features import ALL_SELECTORS
+
+    assert ALL_SELECTORS["chi2"] is ChiSquareSelector
+
+
+def test_usable_in_pipeline_config():
+    from repro.pipeline import ProSysConfig
+
+    config = ProSysConfig(feature_method="chi2")
+    assert config.selector().n_features == 1000

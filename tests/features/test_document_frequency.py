@@ -1,0 +1,45 @@
+"""Unit tests for Document Frequency selection."""
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import DocumentFrequencySelector
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _tokenized(bodies):
+    docs = [
+        Document(doc_id=i, body=body, topics=("earn",))
+        for i, body in enumerate(bodies, start=1)
+    ]
+    return TokenizedCorpus(Corpus.from_documents(docs, categories=("earn",)))
+
+
+def test_selects_highest_df_terms():
+    tokenized = _tokenized(
+        ["common rare", "common middle", "common middle", "common"]
+    )
+    fs = DocumentFrequencySelector(2).select(tokenized)
+    assert fs.vocabulary("earn") == frozenset({"common", "middle"})
+
+
+def test_corpus_scope_identical_across_categories(tokenized):
+    fs = DocumentFrequencySelector(50).select(tokenized)
+    vocabularies = {fs.vocabulary(c) for c in tokenized.categories}
+    assert len(vocabularies) == 1
+    assert fs.scope == "corpus"
+
+
+def test_n_features_respected(tokenized):
+    fs = DocumentFrequencySelector(25).select(tokenized)
+    assert len(fs.vocabulary("earn")) == 25
+
+
+def test_selected_terms_really_are_frequent(tokenized):
+    from repro.features.base import CorpusStatistics
+
+    stats = CorpusStatistics.from_tokenized(tokenized)
+    fs = DocumentFrequencySelector(10).select(tokenized)
+    selected_min = min(stats.document_frequency[t] for t in fs.vocabulary("earn"))
+    unselected = set(stats.vocabulary) - fs.vocabulary("earn")
+    unselected_max = max(stats.document_frequency[t] for t in unselected)
+    assert selected_min >= unselected_max or selected_min >= unselected_max - 0

@@ -1,0 +1,55 @@
+"""Unit tests for Frequent Nouns selection."""
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import FrequentNounsSelector
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _tokenized(docs, categories):
+    return TokenizedCorpus(Corpus.from_documents(docs, categories=categories))
+
+
+def test_only_nouns_selected():
+    tokenized = _tokenized(
+        [
+            Document(
+                doc_id=1,
+                body="company quickly acquired profitable dividends",
+                topics=("earn",),
+            )
+        ],
+        categories=("earn",),
+    )
+    fs = FrequentNounsSelector(10).select(tokenized)
+    vocabulary = fs.vocabulary("earn")
+    assert "company" in vocabulary
+    assert "dividends" in vocabulary
+    assert "quickly" not in vocabulary       # adverb
+    assert "profitable" not in vocabulary    # adjective
+
+
+def test_frequency_ranking():
+    tokenized = _tokenized(
+        [
+            Document(
+                doc_id=1,
+                body="wheat wheat wheat crop harvest",
+                topics=("grain",),
+            )
+        ],
+        categories=("grain",),
+    )
+    fs = FrequentNounsSelector(1).select(tokenized)
+    assert fs.vocabulary("grain") == frozenset({"wheat"})
+
+
+def test_per_category_scope(tokenized):
+    fs = FrequentNounsSelector(30).select(tokenized)
+    assert fs.scope == "category"
+    assert fs.vocabulary("earn") != fs.vocabulary("crude")
+
+
+def test_n_features_cap(tokenized):
+    fs = FrequentNounsSelector(20).select(tokenized)
+    assert all(len(terms) <= 20 for terms in fs.per_category.values())

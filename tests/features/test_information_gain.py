@@ -1,0 +1,65 @@
+"""Unit tests for Information Gain selection (Eq. 1)."""
+
+import math
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import InformationGainSelector
+from repro.features.base import CorpusStatistics
+from repro.features.information_gain import information_gain
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _stats(docs):
+    corpus = Corpus.from_documents(docs, categories=("earn", "grain"))
+    return CorpusStatistics.from_tokenized(TokenizedCorpus(corpus))
+
+
+def _doc(i, body, topics):
+    return Document(doc_id=i, body=body, topics=topics)
+
+
+def test_perfect_predictor_gets_full_gain():
+    """A term present in exactly the earn docs removes all category entropy."""
+    stats = _stats(
+        [
+            _doc(1, "profit profit", ("earn",)),
+            _doc(2, "profit dividend", ("earn",)),
+            _doc(3, "wheat crop", ("grain",)),
+            _doc(4, "wheat tonnes", ("grain",)),
+        ]
+    )
+    gain = information_gain(stats, "profit")
+    # Prior entropy with two balanced categories is 1 bit; "profit"
+    # identifies the category exactly.
+    assert math.isclose(gain, 1.0, abs_tol=1e-9)
+
+
+def test_uninformative_term_gets_no_gain():
+    stats = _stats(
+        [
+            _doc(1, "market profit", ("earn",)),
+            _doc(2, "market wheat", ("grain",)),
+        ]
+    )
+    assert math.isclose(information_gain(stats, "market"), 0.0, abs_tol=1e-9)
+
+
+def test_gain_non_negative_over_corpus(tokenized):
+    stats = CorpusStatistics.from_tokenized(tokenized)
+    sample = sorted(stats.vocabulary)[:200]
+    for term in sample:
+        assert information_gain(stats, term) >= -1e-9, term
+
+
+def test_informative_beats_uninformative(tokenized):
+    stats = CorpusStatistics.from_tokenized(tokenized)
+    # "wheat" is a category keyword; general words are spread everywhere.
+    assert information_gain(stats, "wheat") > information_gain(stats, "market")
+
+
+def test_selector_keeps_keywords(tokenized):
+    fs = InformationGainSelector(100).select(tokenized)
+    vocabulary = fs.vocabulary("earn")
+    assert "wheat" in vocabulary or "profit" in vocabulary or "oil" in vocabulary
+    assert fs.scope == "corpus"

@@ -1,0 +1,73 @@
+"""Unit tests for Mutual Information selection (Eq. 2)."""
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import MutualInformationSelector
+from repro.features.base import CorpusStatistics
+from repro.features.mutual_information import mutual_information
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _stats(docs, categories=("earn", "grain")):
+    corpus = Corpus.from_documents(docs, categories=categories)
+    return CorpusStatistics.from_tokenized(TokenizedCorpus(corpus))
+
+
+def _doc(i, body, topics):
+    return Document(doc_id=i, body=body, topics=topics)
+
+
+def test_category_indicator_scores_high():
+    stats = _stats(
+        [
+            _doc(1, "profit margin market", ("earn",)),
+            _doc(2, "profit margin market", ("earn",)),
+            _doc(3, "wheat crop market", ("grain",)),
+            _doc(4, "wheat crop market", ("grain",)),
+        ]
+    )
+    # "market" occurs everywhere and is uninformative; "profit" is a perfect
+    # earn indicator.  (Note Eq. 2's full MI is symmetric: a perfect
+    # *anti*-indicator like "wheat" scores as high as "profit" -- both are
+    # informative about the category.)
+    assert mutual_information(stats, "profit", "earn") > mutual_information(
+        stats, "market", "earn"
+    )
+    assert mutual_information(stats, "wheat", "earn") > mutual_information(
+        stats, "market", "earn"
+    )
+
+
+def test_mi_symmetric_in_absence():
+    """A perfect anti-indicator also carries information (MI >= 0 always)."""
+    stats = _stats(
+        [
+            _doc(1, "profit", ("earn",)),
+            _doc(2, "wheat", ("grain",)),
+        ]
+    )
+    assert mutual_information(stats, "wheat", "earn") >= 0.0
+
+
+def test_mi_non_negative(tokenized):
+    stats = CorpusStatistics.from_tokenized(tokenized)
+    for term in sorted(stats.vocabulary)[:100]:
+        assert mutual_information(stats, term, "earn") >= -1e-12
+
+
+def test_per_category_selection_differs(tokenized):
+    fs = MutualInformationSelector(40).select(tokenized)
+    assert fs.scope == "category"
+    assert fs.vocabulary("earn") != fs.vocabulary("ship")
+
+
+def test_keywords_selected_for_their_category(tokenized):
+    fs = MutualInformationSelector(40).select(tokenized)
+    assert "wheat" in fs.vocabulary("wheat")
+    assert "oil" in fs.vocabulary("crude")
+
+
+def test_unknown_term_scores_like_absent():
+    stats = _stats([_doc(1, "profit", ("earn",)), _doc(2, "wheat", ("grain",))])
+    score = mutual_information(stats, "nonexistent", "earn")
+    assert abs(score) < 0.5

@@ -1,0 +1,65 @@
+"""Unit tests for the rule-based POS tagger."""
+
+from repro.features.pos import PosTagger, tag_tokens
+
+
+def test_lexicon_closed_class():
+    tagger = PosTagger()
+    assert tagger.tag_word("the") == "DT"
+    assert tagger.tag_word("of") == "IN"
+    assert tagger.tag_word("and") == "CC"
+    assert tagger.tag_word("will") == "MD"
+
+
+def test_suffix_rules():
+    tagger = PosTagger()
+    assert tagger.tag_word("acquisition") == "NN"
+    assert tagger.tag_word("agreement") == "NN"
+    assert tagger.tag_word("quickly") == "RB"
+    assert tagger.tag_word("profitable") == "JJ"
+    assert tagger.tag_word("growing") == "VBG"
+    assert tagger.tag_word("acquired") == "VBD"
+
+
+def test_plural_rule():
+    tagger = PosTagger()
+    assert tagger.tag_word("dividends") == "NNS"
+    assert tagger.tag_word("barrels") == "NNS"
+
+
+def test_non_plural_s_endings():
+    tagger = PosTagger()
+    # -ss / -us / -is words are not plurals.
+    assert tagger.tag_word("congress") != "NNS"
+    assert tagger.tag_word("surplus") != "NNS"
+    assert tagger.tag_word("basis") != "NNS"
+
+
+def test_unknown_word_defaults_to_noun():
+    """Brill's default: unknown words are nouns."""
+    assert PosTagger().tag_word("xylocarp") == "NN"
+
+
+def test_contextual_infinitive_repair():
+    tagged = dict(tag_tokens(["plans", "to", "buy", "the", "unit"]))
+    assert tagged["buy"] == "VB"
+
+
+def test_contextual_participle_after_determiner():
+    tagged = dict(tag_tokens(["the", "revised", "figures"]))
+    assert tagged["revised"] == "JJ"
+
+
+def test_nouns_extraction_keeps_order():
+    tagger = PosTagger()
+    nouns = tagger.nouns(["the", "company", "quickly", "raised", "dividends"])
+    assert nouns == ["company", "dividends"]
+
+
+def test_case_insensitive():
+    assert PosTagger().tag_word("THE") == "DT"
+
+
+def test_tag_returns_pairs():
+    tagged = tag_tokens(["wheat", "harvest"])
+    assert tagged == [("wheat", "NN"), ("harvest", "NN")]

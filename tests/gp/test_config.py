@@ -1,0 +1,65 @@
+"""Unit tests for GpConfig (paper Table 2 defaults)."""
+
+import pytest
+
+from repro.gp.config import GpConfig
+
+
+def test_table2_defaults():
+    config = GpConfig()
+    assert config.population_size == 125
+    assert config.tournaments == 48000
+    assert config.tournament_size == 4
+    assert config.n_registers == 8
+    assert config.node_limit == 256
+    assert config.p_crossover == 0.9
+    assert config.p_mutation == 0.5
+    assert config.p_swap == 0.9
+    assert config.instruction_ratio == (0.0, 4.0, 1.0)
+
+
+def test_two_inputs_for_word_representation():
+    assert GpConfig().n_inputs == 2
+
+
+def test_output_register_is_r0():
+    assert GpConfig().output_register == 0
+
+
+def test_max_pages_derived():
+    config = GpConfig(node_limit=256, max_page_size=32)
+    assert config.max_pages == 8
+
+
+def test_non_power_of_two_page_size_rejected():
+    with pytest.raises(ValueError):
+        GpConfig(max_page_size=24)
+
+
+def test_node_limit_must_be_page_multiple():
+    with pytest.raises(ValueError):
+        GpConfig(node_limit=100, max_page_size=32)
+
+
+def test_population_must_hold_tournament():
+    with pytest.raises(ValueError):
+        GpConfig(population_size=3)
+
+
+def test_output_register_in_range():
+    with pytest.raises(ValueError):
+        GpConfig(n_registers=2, output_register=2)
+
+
+def test_zero_ratio_rejected():
+    with pytest.raises(ValueError):
+        GpConfig(instruction_ratio=(0.0, 0.0, 0.0))
+
+
+def test_small_copy_shrinks_budget_only():
+    small = GpConfig().small(tournaments=100, seed=7)
+    assert small.tournaments == 100
+    assert small.seed == 7
+    assert small.population_size == 125       # population unchanged
+    assert small.node_limit < GpConfig().node_limit
+    assert small.instruction_ratio == (0.0, 4.0, 1.0)

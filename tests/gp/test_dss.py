@@ -1,0 +1,134 @@
+"""Unit tests for Dynamic Subset Selection."""
+
+import numpy as np
+import pytest
+
+from repro.gp.dss import DynamicSubsetSelector
+
+
+def test_subset_size_and_uniqueness():
+    dss = DynamicSubsetSelector(n_exemplars=100, subset_size=20, seed=0)
+    subset = dss.subset(0)
+    assert len(subset) == 20
+    assert len(set(subset.tolist())) == 20
+    assert np.all((subset >= 0) & (subset < 100))
+
+
+def test_full_set_when_subset_covers_everything():
+    dss = DynamicSubsetSelector(n_exemplars=10, subset_size=50, seed=0)
+    assert dss.full_set
+    np.testing.assert_array_equal(dss.subset(0), np.arange(10))
+
+
+def test_reselection_interval():
+    dss = DynamicSubsetSelector(n_exemplars=100, subset_size=10, interval=5, seed=1)
+    first = dss.subset(0)
+    assert dss.subset(3) is first          # same object within the interval
+    version_before = dss.version
+    dss.subset(5)                          # new interval -> reselect
+    assert dss.version == version_before + 1
+
+
+def test_difficult_exemplars_selected_more_often():
+    dss = DynamicSubsetSelector(
+        n_exemplars=50, subset_size=5, interval=1, difficulty_weight=1.0,
+        age_weight=0.0, seed=2,
+    )
+    dss.difficulty[7] = 200.0
+    appearances = 0
+    for tournament in range(30):
+        subset = dss.subset(tournament)
+        if 7 in subset:
+            appearances += 1
+    assert appearances > 20
+
+
+def test_aged_exemplars_eventually_selected():
+    dss = DynamicSubsetSelector(
+        n_exemplars=30, subset_size=5, interval=1, difficulty_weight=0.0,
+        age_weight=1.0, seed=3,
+    )
+    seen = set()
+    for tournament in range(200):
+        seen.update(int(i) for i in dss.subset(tournament))
+    assert seen == set(range(30))
+
+
+def test_report_updates_difficulty():
+    dss = DynamicSubsetSelector(n_exemplars=10, subset_size=4, seed=4)
+    subset = dss.subset(0)
+    before = dss.difficulty[subset].copy()
+    misclassified = np.array([True, False, True, False])
+    dss.report(subset, misclassified)
+    after = dss.difficulty[subset]
+    assert after[0] > before[0]
+    assert after[2] > before[2]
+    assert after[1] <= before[1]
+
+
+def test_report_shape_mismatch():
+    dss = DynamicSubsetSelector(n_exemplars=10, subset_size=4, seed=5)
+    subset = dss.subset(0)
+    with pytest.raises(ValueError):
+        dss.report(subset, np.array([True]))
+
+
+def test_difficulty_floor():
+    dss = DynamicSubsetSelector(n_exemplars=10, subset_size=10, seed=6)
+    subset = dss.subset(0)
+    for _ in range(50):
+        dss.report(subset, np.zeros(10, dtype=bool))
+    assert np.all(dss.difficulty >= 1.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        DynamicSubsetSelector(n_exemplars=0)
+    with pytest.raises(ValueError):
+        DynamicSubsetSelector(n_exemplars=10, subset_size=0)
+    with pytest.raises(ValueError):
+        DynamicSubsetSelector(n_exemplars=10, interval=0)
+    with pytest.raises(ValueError):
+        DynamicSubsetSelector(n_exemplars=10, difficulty_weight=0.0, age_weight=0.0)
+
+
+def test_deterministic_per_seed():
+    a = DynamicSubsetSelector(n_exemplars=50, subset_size=10, seed=7)
+    b = DynamicSubsetSelector(n_exemplars=50, subset_size=10, seed=7)
+    np.testing.assert_array_equal(a.subset(0), b.subset(0))
+
+
+def test_stratified_quota_respected():
+    labels = np.concatenate([np.ones(5), -np.ones(95)])
+    dss = DynamicSubsetSelector(
+        n_exemplars=100, subset_size=20, interval=1, labels=labels,
+        min_positive_fraction=0.5, seed=11,
+    )
+    for tournament in range(10):
+        subset = dss.subset(tournament)
+        positives = np.sum(labels[subset] > 0)
+        # Quota is min(available positives, half the subset) = 5.
+        assert positives == 5
+        assert len(subset) == 20
+        assert len(set(subset.tolist())) == 20
+
+
+def test_stratified_all_positive_when_quota_exceeds():
+    labels = np.concatenate([np.ones(3), -np.ones(7)])
+    dss = DynamicSubsetSelector(
+        n_exemplars=10, subset_size=6, interval=1, labels=labels, seed=12
+    )
+    subset = dss.subset(0)
+    assert np.sum(labels[subset] > 0) == 3
+
+
+def test_labels_alignment_validated():
+    with pytest.raises(ValueError, match="labels"):
+        DynamicSubsetSelector(n_exemplars=10, labels=np.ones(5))
+
+
+def test_invalid_positive_fraction():
+    with pytest.raises(ValueError, match="fraction"):
+        DynamicSubsetSelector(
+            n_exemplars=10, labels=np.ones(10), min_positive_fraction=1.5
+        )

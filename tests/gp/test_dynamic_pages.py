@@ -1,0 +1,77 @@
+"""Unit tests for the dynamic page-size controller."""
+
+import pytest
+
+from repro.gp.dynamic_pages import DynamicPageController
+
+
+def _feed(controller, fitness, n):
+    for _ in range(n):
+        controller.record(fitness)
+
+
+def test_starts_at_page_size_one():
+    assert DynamicPageController(max_page_size=8).page_size == 1
+
+
+def test_doubles_on_plateau():
+    controller = DynamicPageController(max_page_size=8, window=10)
+    _feed(controller, 5.0, 10)   # first window: establishes the sum
+    assert controller.page_size == 1
+    _feed(controller, 5.0, 10)   # identical second window: plateau
+    assert controller.page_size == 2
+
+
+def test_no_plateau_on_improvement():
+    controller = DynamicPageController(max_page_size=8, window=10)
+    _feed(controller, 5.0, 10)
+    _feed(controller, 4.0, 10)   # improved: no plateau
+    assert controller.page_size == 1
+
+
+def test_successive_plateaus_keep_doubling():
+    controller = DynamicPageController(max_page_size=8, window=10)
+    _feed(controller, 5.0, 40)
+    assert controller.page_size == 8
+
+
+def test_resets_to_one_after_plateau_at_max():
+    controller = DynamicPageController(max_page_size=4, window=10)
+    _feed(controller, 5.0, 30)   # 1 -> 2 -> 4
+    assert controller.page_size == 4
+    _feed(controller, 5.0, 10)   # plateau at max: reset
+    assert controller.page_size == 1
+
+
+def test_plateau_needs_exact_window_sums():
+    controller = DynamicPageController(max_page_size=8, window=10)
+    _feed(controller, 5.0, 10)
+    _feed(controller, 5.0, 9)
+    controller.record(5.0001)    # last tournament slightly different
+    assert controller.page_size == 1
+
+
+def test_history_tracks_every_tournament():
+    controller = DynamicPageController(max_page_size=8, window=5)
+    _feed(controller, 1.0, 12)
+    assert len(controller.history) == 12
+
+
+def test_window_shorter_than_default():
+    controller = DynamicPageController(max_page_size=2, window=2)
+    _feed(controller, 3.0, 4)
+    assert controller.page_size == 2
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        DynamicPageController(max_page_size=3)
+    with pytest.raises(ValueError):
+        DynamicPageController(max_page_size=0)
+    with pytest.raises(ValueError):
+        DynamicPageController(max_page_size=4, window=0)
+
+
+def test_record_returns_current_page_size():
+    controller = DynamicPageController(max_page_size=8, window=10)
+    assert controller.record(1.0) == 1

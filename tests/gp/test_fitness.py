@@ -1,0 +1,128 @@
+"""Unit tests for Eq. 4 squashing and Eq. 5 fitness."""
+
+import numpy as np
+import pytest
+
+from repro.gp.fitness import classification_error, squash_output, sum_squared_error
+
+
+def test_squash_zero_maps_to_zero():
+    assert squash_output(np.array([0.0]))[0] == pytest.approx(0.0)
+
+
+def test_squash_range():
+    values = squash_output(np.linspace(-50, 50, 101))
+    assert np.all(values >= -1.0)
+    assert np.all(values <= 1.0)
+
+
+def test_squash_monotone():
+    values = squash_output(np.linspace(-5, 5, 51))
+    assert np.all(np.diff(values) > 0)
+
+
+def test_squash_saturates():
+    assert squash_output(np.array([1000.0]))[0] == pytest.approx(1.0)
+    assert squash_output(np.array([-1000.0]))[0] == pytest.approx(-1.0)
+
+
+def test_squash_equals_tanh_half():
+    """Eq. 4 is algebraically tanh(x/2)."""
+    x = np.linspace(-10, 10, 41)
+    np.testing.assert_allclose(squash_output(x), np.tanh(x / 2), atol=1e-12)
+
+
+def test_squash_no_overflow():
+    values = squash_output(np.array([1e308, -1e308]))
+    assert np.all(np.isfinite(values))
+
+
+def test_sse_perfect_predictions():
+    labels = np.array([1.0, -1.0])
+    assert sum_squared_error(labels, labels) == 0.0
+
+
+def test_sse_counts_all_examples():
+    labels = np.array([1.0, 1.0, -1.0])
+    outputs = np.zeros(3)
+    assert sum_squared_error(labels, outputs) == pytest.approx(3.0)
+
+
+def test_sse_shape_mismatch():
+    with pytest.raises(ValueError):
+        sum_squared_error(np.ones(2), np.ones(3))
+
+
+def test_classification_error_mask():
+    labels = np.array([1.0, -1.0, 1.0, -1.0])
+    squashed = np.array([0.9, -0.5, -0.1, 0.4])
+    np.testing.assert_array_equal(
+        classification_error(labels, squashed), [False, False, True, True]
+    )
+
+
+def test_classification_error_zero_is_negative():
+    """Squashed output of exactly 0 (empty document) predicts out-class."""
+    assert classification_error(np.array([1.0]), np.array([0.0]))[0]
+    assert not classification_error(np.array([-1.0]), np.array([0.0]))[0]
+
+
+def test_balanced_sse_equal_classes_matches_sse():
+    from repro.gp.fitness import balanced_sse
+
+    labels = np.array([1.0, -1.0])
+    outputs = np.array([0.5, -0.5])
+    assert balanced_sse(labels, outputs) == pytest.approx(
+        sum_squared_error(labels, outputs)
+    )
+
+
+def test_balanced_sse_resists_majority_collapse():
+    """Predicting the majority class everywhere must look bad."""
+    from repro.gp.fitness import balanced_sse
+
+    labels = np.concatenate([np.ones(2), -np.ones(98)])
+    collapse = -np.ones(100)           # perfect on negatives, hopeless on positives
+    fair = np.concatenate([np.full(2, 0.5), np.full(98, -0.5)])
+    assert balanced_sse(labels, collapse) > balanced_sse(labels, fair)
+    # ...while plain SSE prefers the collapse.
+    assert sum_squared_error(labels, collapse) < sum_squared_error(labels, fair)
+
+
+def test_balanced_sse_single_class():
+    from repro.gp.fitness import balanced_sse
+
+    labels = np.ones(4)
+    outputs = np.zeros(4)
+    assert balanced_sse(labels, outputs) == pytest.approx(4.0)
+
+
+def test_f1_fitness_perfect_is_zero():
+    from repro.gp.fitness import f1_fitness
+
+    labels = np.array([1.0, 1.0, -1.0, -1.0])
+    outputs = np.array([0.9, 0.8, -0.9, -0.8])
+    assert f1_fitness(labels, outputs) == pytest.approx(0.0)
+
+
+def test_f1_fitness_all_wrong_is_maximal():
+    from repro.gp.fitness import f1_fitness
+
+    labels = np.array([1.0, -1.0])
+    outputs = np.array([-0.9, 0.9])
+    assert f1_fitness(labels, outputs) == pytest.approx(2.0)
+
+
+def test_f1_fitness_scale_matches_set_size():
+    from repro.gp.fitness import f1_fitness
+
+    labels = np.concatenate([np.ones(5), -np.ones(5)])
+    outputs = np.zeros(10)   # no positives predicted -> F1 = 0
+    assert f1_fitness(labels, outputs) == pytest.approx(10.0)
+
+
+def test_f1_fitness_shape_mismatch():
+    from repro.gp.fitness import f1_fitness
+
+    with pytest.raises(ValueError):
+        f1_fitness(np.ones(2), np.ones(3))

@@ -1,0 +1,111 @@
+"""Unit and property tests for the 2-address instruction set."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import (
+    INSTRUCTION_MASK,
+    MODE_CONSTANT,
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_ADD,
+    OP_DIV,
+    decode_instruction,
+    disassemble_one,
+    encode_instruction,
+    random_instruction,
+)
+
+CONFIG = GpConfig()
+
+
+def test_encode_decode_round_trip():
+    value = encode_instruction(MODE_INTERNAL, OP_ADD, 3, 5)
+    instr = decode_instruction(value, CONFIG)
+    assert instr.mode == MODE_INTERNAL
+    assert instr.opcode == OP_ADD
+    assert instr.dst == 3
+    assert instr.src == 5
+
+
+def test_external_src_wraps_to_inputs():
+    value = encode_instruction(MODE_EXTERNAL, OP_ADD, 0, 7)
+    instr = decode_instruction(value, CONFIG)
+    assert 0 <= instr.src < CONFIG.n_inputs
+
+
+def test_internal_src_wraps_to_registers():
+    value = encode_instruction(MODE_INTERNAL, OP_ADD, 0, 255)
+    instr = decode_instruction(value, CONFIG)
+    assert 0 <= instr.src < CONFIG.n_registers
+
+
+def test_encode_field_validation():
+    with pytest.raises(ValueError):
+        encode_instruction(5, OP_ADD, 0, 0)
+    with pytest.raises(ValueError):
+        encode_instruction(MODE_INTERNAL, 4, 0, 0)
+    with pytest.raises(ValueError):
+        encode_instruction(MODE_INTERNAL, OP_ADD, 16, 0)
+    with pytest.raises(ValueError):
+        encode_instruction(MODE_INTERNAL, OP_ADD, 0, 256)
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**20))
+def test_decode_is_total(value):
+    """Syntactic closure: EVERY integer decodes to a valid instruction."""
+    instr = decode_instruction(value, CONFIG)
+    assert instr.mode in (MODE_INTERNAL, MODE_EXTERNAL, MODE_CONSTANT)
+    assert 0 <= instr.opcode <= 3
+    assert 0 <= instr.dst < CONFIG.n_registers
+    if instr.mode == MODE_INTERNAL:
+        assert 0 <= instr.src < CONFIG.n_registers
+    elif instr.mode == MODE_EXTERNAL:
+        assert 0 <= instr.src < CONFIG.n_inputs
+    else:
+        assert 0 <= instr.src < CONFIG.constant_range
+
+
+def test_random_instruction_respects_zero_constant_ratio():
+    """Paper Table 2: constants ratio is 0, so none should be drawn."""
+    rng = Random(0)
+    for _ in range(500):
+        instr = decode_instruction(random_instruction(rng, CONFIG), CONFIG)
+        assert instr.mode != MODE_CONSTANT
+
+
+def test_random_instruction_internal_external_ratio():
+    """Internal:external of 4:1 should hold approximately."""
+    rng = Random(1)
+    internal = 0
+    n = 4000
+    for _ in range(n):
+        instr = decode_instruction(random_instruction(rng, CONFIG), CONFIG)
+        if instr.mode == MODE_INTERNAL:
+            internal += 1
+    assert 0.75 < internal / n < 0.85
+
+
+def test_random_instruction_constant_mode_when_enabled():
+    config = GpConfig(instruction_ratio=(1.0, 0.0, 0.0))
+    rng = Random(2)
+    instr = decode_instruction(random_instruction(rng, config), config)
+    assert instr.mode == MODE_CONSTANT
+
+
+def test_disassembly_paper_style():
+    value = encode_instruction(MODE_EXTERNAL, OP_DIV, 1, 1)
+    assert disassemble_one(value, CONFIG) == "R1=R1/I1"
+    value = encode_instruction(MODE_INTERNAL, OP_ADD, 0, 2)
+    assert disassemble_one(value, CONFIG) == "R0=R0+R2"
+
+
+def test_instructions_fit_16_bits():
+    rng = Random(3)
+    for _ in range(100):
+        assert random_instruction(rng, CONFIG) <= INSTRUCTION_MASK

@@ -1,0 +1,78 @@
+"""Unit tests for evolved-rule introspection."""
+
+from random import Random
+
+import pytest
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import (
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_ADD,
+    OP_MUL,
+    encode_instruction,
+)
+from repro.gp.introspection import (
+    deserialize_rule,
+    effective_listing,
+    serialize_rule,
+    summarize_program,
+)
+from repro.gp.program import Program
+
+CONFIG = GpConfig().small(tournaments=10)
+
+
+def _program(*instructions):
+    return Program([encode_instruction(*i) for i in instructions], CONFIG)
+
+
+def test_summary_counts_effective_only():
+    # R1 = R1 + I0 (dead: R1 never feeds R0) ; R0 = R0 * I1 (live).
+    program = _program((MODE_EXTERNAL, OP_ADD, 1, 0), (MODE_EXTERNAL, OP_MUL, 0, 1))
+    summary = summarize_program(program)
+    assert summary.total_instructions == 2
+    assert summary.effective_instructions == 1
+    assert summary.intron_fraction == pytest.approx(0.5)
+    assert summary.opcode_counts == {"*": 1}
+    assert summary.inputs_read == (1,)
+    assert summary.registers_written == (0,)
+
+
+def test_summary_register_chain():
+    program = _program((MODE_EXTERNAL, OP_ADD, 1, 0), (MODE_INTERNAL, OP_ADD, 0, 1))
+    summary = summarize_program(program)
+    assert summary.effective_instructions == 2
+    assert summary.registers_read == (0, 1)
+    assert summary.storage_bytes == 4
+
+
+def test_effective_listing_subset_of_disassembly():
+    rng = Random(3)
+    program = Program.random(rng, CONFIG, page_size=1)
+    listing = effective_listing(program)
+    full = program.disassemble()
+    assert all(line in full for line in listing)
+    assert len(listing) == len(program.effective_instructions())
+
+
+def test_serialize_round_trip():
+    rng = Random(4)
+    program = Program.random(rng, CONFIG, page_size=2)
+    hex_text = serialize_rule(program)
+    assert len(hex_text) == 4 * len(program)
+    restored = deserialize_rule(hex_text, CONFIG)
+    assert restored == program
+
+
+def test_deserialize_validates_length():
+    with pytest.raises(ValueError):
+        deserialize_rule("abc", CONFIG)
+
+
+def test_storage_claim_holds_at_node_limit():
+    """A maximal paper-sized rule fits in well under 1 KiB."""
+    config = GpConfig()
+    code = [encode_instruction(MODE_EXTERNAL, OP_ADD, 0, 0)] * config.node_limit
+    summary = summarize_program(Program(code, config))
+    assert summary.storage_bytes <= 512

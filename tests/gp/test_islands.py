@@ -1,0 +1,71 @@
+"""Tests for the island-model extension."""
+
+import pytest
+
+from repro.gp.config import GpConfig
+from repro.gp.islands import IslandEvolution
+from repro.gp.trainer import RlgpTrainer
+
+from tests.gp.test_trainer import _toy_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _toy_dataset()
+
+
+def test_parameter_validation():
+    config = GpConfig().small(tournaments=10)
+    with pytest.raises(ValueError):
+        IslandEvolution(config, n_islands=1)
+    with pytest.raises(ValueError):
+        IslandEvolution(config, rounds=0)
+    with pytest.raises(ValueError):
+        IslandEvolution(config, migrants=0)
+    with pytest.raises(ValueError):
+        IslandEvolution(config, migrants=config.population_size + 1)
+
+
+def test_returns_valid_result(dataset):
+    config = GpConfig().small(tournaments=40, seed=2)
+    result = IslandEvolution(config, n_islands=2, rounds=2).train(dataset, seed=2)
+    assert result.train_fitness >= 0.0
+    assert len(result.program) >= 1
+    assert len(result.final_population) == config.population_size
+
+
+def test_deterministic_per_seed(dataset):
+    config = GpConfig().small(tournaments=30, seed=3)
+    a = IslandEvolution(config, n_islands=2, rounds=2).train(dataset, seed=3)
+    b = IslandEvolution(config, n_islands=2, rounds=2).train(dataset, seed=3)
+    assert a.program == b.program
+    assert a.train_fitness == b.train_fitness
+
+
+def test_no_worse_than_single_phase(dataset):
+    """More rounds of the same phase budget can only keep-or-improve the
+    best training fitness found (the model tracks the global best)."""
+    config = GpConfig().small(tournaments=30, seed=4)
+    single = IslandEvolution(config, n_islands=2, rounds=1).train(dataset, seed=4)
+    multi = IslandEvolution(config, n_islands=2, rounds=3).train(dataset, seed=4)
+    assert multi.train_fitness <= single.train_fitness + 1e-9
+
+
+def test_trainer_accepts_seed_population(dataset):
+    config = GpConfig().small(tournaments=30, seed=5)
+    trainer = RlgpTrainer(config)
+    first = trainer.train(dataset, seed=5)
+    seeded = trainer.train(
+        dataset, seed=6, initial_population=first.final_population
+    )
+    assert seeded.train_fitness >= 0.0
+    assert len(seeded.final_population) == config.population_size
+
+
+def test_trainer_truncates_oversized_seed(dataset):
+    config = GpConfig().small(tournaments=20, seed=7)
+    trainer = RlgpTrainer(config)
+    first = trainer.train(dataset, seed=7)
+    oversized = first.final_population * 2
+    result = trainer.train(dataset, seed=8, initial_population=oversized)
+    assert len(result.final_population) == config.population_size

@@ -1,0 +1,111 @@
+"""Unit tests for page crossover, XOR mutation, and swap."""
+
+from random import Random
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import INSTRUCTION_MASK
+from repro.gp.operators import breed, page_crossover, swap_mutation, xor_mutation
+from repro.gp.program import Program
+
+CONFIG = GpConfig().small(tournaments=10)
+
+
+def test_crossover_preserves_lengths():
+    rng = Random(0)
+    code_a = list(range(10))
+    code_b = list(range(100, 116))
+    page_crossover(rng, code_a, code_b, page_size=4)
+    assert len(code_a) == 10
+    assert len(code_b) == 16
+
+
+def test_crossover_swaps_equal_blocks():
+    rng = Random(1)
+    code_a = [0] * 8
+    code_b = [1] * 8
+    page_crossover(rng, code_a, code_b, page_size=4)
+    assert code_a.count(1) == 4
+    assert code_b.count(0) == 4
+
+
+def test_crossover_block_clamped_to_shorter_parent():
+    rng = Random(2)
+    code_a = [0, 0]
+    code_b = [1] * 32
+    page_crossover(rng, code_a, code_b, page_size=16)
+    assert len(code_a) == 2
+    assert code_a == [1, 1]
+    assert code_b.count(0) == 2
+
+
+def test_crossover_multiset_conserved():
+    rng = Random(3)
+    code_a = list(range(12))
+    code_b = list(range(50, 62))
+    before = sorted(code_a + code_b)
+    page_crossover(rng, code_a, code_b, page_size=3)
+    assert sorted(code_a + code_b) == before
+
+
+def test_xor_mutation_changes_one_instruction():
+    rng = Random(4)
+    code = [0b101010] * 6
+    xor_mutation(rng, code, CONFIG)
+    changed = [c for c in code if c != 0b101010]
+    assert len(changed) <= 1  # XOR with an identical value could be a no-op
+    assert all(0 <= c <= INSTRUCTION_MASK for c in code)
+
+
+def test_swap_mutation_preserves_multiset():
+    rng = Random(5)
+    code = list(range(10))
+    swap_mutation(rng, code)
+    assert sorted(code) == list(range(10))
+
+
+def test_swap_mutation_single_instruction_noop():
+    code = [7]
+    swap_mutation(Random(6), code)
+    assert code == [7]
+
+
+def test_breed_children_lengths_match_parents():
+    rng = Random(7)
+    parent_a = Program.random(rng, CONFIG, page_size=2)
+    parent_b = Program.random(rng, CONFIG, page_size=2)
+    child_a, child_b = breed(rng, parent_a, parent_b, page_size=2, config=CONFIG)
+    assert len(child_a) == len(parent_a)
+    assert len(child_b) == len(parent_b)
+
+
+def test_breed_respects_node_limit():
+    rng = Random(8)
+    for _ in range(50):
+        parent_a = Program.random(rng, CONFIG, page_size=4)
+        parent_b = Program.random(rng, CONFIG, page_size=4)
+        child_a, child_b = breed(rng, parent_a, parent_b, page_size=4, config=CONFIG)
+        assert len(child_a) <= CONFIG.node_limit
+        assert len(child_b) <= CONFIG.node_limit
+
+
+def test_breed_parents_unmodified():
+    rng = Random(9)
+    parent_a = Program.random(rng, CONFIG, page_size=2)
+    parent_b = Program.random(rng, CONFIG, page_size=2)
+    code_a, code_b = parent_a.code, parent_b.code
+    breed(rng, parent_a, parent_b, page_size=2, config=CONFIG)
+    assert parent_a.code == code_a
+    assert parent_b.code == code_b
+
+
+def test_breed_produces_variation():
+    """With p_crossover=0.9 etc., at least some children must differ."""
+    rng = Random(10)
+    differs = 0
+    for _ in range(20):
+        parent_a = Program.random(rng, CONFIG, page_size=2)
+        parent_b = Program.random(rng, CONFIG, page_size=2)
+        child_a, child_b = breed(rng, parent_a, parent_b, page_size=2, config=CONFIG)
+        if child_a != parent_a or child_b != parent_b:
+            differs += 1
+    assert differs > 10

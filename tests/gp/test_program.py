@@ -1,0 +1,151 @@
+"""Unit tests for Program construction, execution, and intron analysis."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import (
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_ADD,
+    OP_DIV,
+    OP_MUL,
+    OP_SUB,
+    encode_instruction,
+)
+from repro.gp.program import Program, REGISTER_LIMIT, protected_divide
+
+CONFIG = GpConfig().small(tournaments=10)
+
+
+def _program(*instructions):
+    return Program([encode_instruction(*i) for i in instructions], CONFIG)
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ValueError):
+        Program([], CONFIG)
+
+
+def test_node_limit_enforced():
+    too_long = [encode_instruction(MODE_INTERNAL, OP_ADD, 0, 0)] * (
+        CONFIG.node_limit + 1
+    )
+    with pytest.raises(ValueError, match="node limit"):
+        Program(too_long, CONFIG)
+
+
+def test_step_add_input():
+    # R0 = R0 + I1
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 1))
+    registers = program.step(np.zeros(CONFIG.n_registers), [2.0, 5.0])
+    assert registers[0] == 5.0
+
+
+def test_step_register_arithmetic():
+    # R1 = R1 + I0 ; R0 = R0 - R1
+    program = _program((MODE_EXTERNAL, OP_ADD, 1, 0), (MODE_INTERNAL, OP_SUB, 0, 1))
+    registers = program.step(np.zeros(CONFIG.n_registers), [3.0, 0.0])
+    assert registers[1] == 3.0
+    assert registers[0] == -3.0
+
+
+def test_protected_division():
+    assert protected_divide(5.0, 0.0) == 5.0
+    assert protected_divide(6.0, 2.0) == 3.0
+    assert protected_divide(1.0, 1e-12) == 1.0
+
+
+def test_division_by_zero_register_protected():
+    # R0 = R0 / R1 with R1 = 0: protected, returns numerator.
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 0), (MODE_INTERNAL, OP_DIV, 0, 1))
+    registers = program.step(np.zeros(CONFIG.n_registers), [7.0, 0.0])
+    assert registers[0] == 7.0
+
+
+def test_register_clamping():
+    # R0 = R0 + I0 then repeated squaring would explode without the clamp.
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 0), (MODE_INTERNAL, OP_MUL, 0, 0))
+    registers = np.zeros(CONFIG.n_registers)
+    for _ in range(20):
+        registers = program.step(registers, [1e9, 0.0])
+    assert abs(registers[0]) <= REGISTER_LIMIT
+
+
+def test_run_sequence_recurrent_accumulation():
+    """Registers persist across words: summing I0 over the sequence."""
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    sequence = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+    registers = program.run_sequence(sequence)
+    assert registers[0] == 6.0
+
+
+def test_run_sequence_empty():
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    registers = program.run_sequence(np.zeros((0, 2)))
+    assert np.all(registers == 0.0)
+
+
+def test_trace_sequence_length_and_values():
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    sequence = np.array([[1.0, 0.0], [2.0, 0.0]])
+    trace = program.trace_sequence(sequence)
+    np.testing.assert_array_equal(trace, [1.0, 3.0])
+
+
+def test_random_program_page_multiple():
+    rng = Random(0)
+    for _ in range(20):
+        program = Program.random(rng, CONFIG, page_size=4)
+        assert len(program) % 4 == 0
+        assert 1 <= len(program) <= CONFIG.node_limit
+
+
+def test_random_program_spans_length_range():
+    rng = Random(1)
+    lengths = {len(Program.random(rng, CONFIG, page_size=1)) for _ in range(200)}
+    assert min(lengths) < 10
+    assert max(lengths) > CONFIG.node_limit // 2
+
+
+def test_disassemble_matches_length():
+    rng = Random(2)
+    program = Program.random(rng, CONFIG, page_size=2)
+    assert len(program.disassemble()) == len(program)
+
+
+def test_effective_instructions_simple():
+    # R1 = R1 + I0 (affects R1 only) ; R0 = R0 + I1 (the output).
+    program = _program((MODE_EXTERNAL, OP_ADD, 1, 0), (MODE_EXTERNAL, OP_ADD, 0, 1))
+    assert program.effective_instructions() == [1]
+
+
+def test_effective_instructions_chain():
+    # R1 = R1 + I0 ; R0 = R0 + R1 -- both effective.
+    program = _program((MODE_EXTERNAL, OP_ADD, 1, 0), (MODE_INTERNAL, OP_ADD, 0, 1))
+    assert program.effective_instructions() == [0, 1]
+
+
+def test_effective_instructions_recurrent_fixpoint():
+    """R0 = R0 + R1 comes FIRST; R1 = R1 + I0 after it.  In one pass R1's
+    write looks dead, but recurrence feeds it into the next pass."""
+    program = _program((MODE_INTERNAL, OP_ADD, 0, 1), (MODE_EXTERNAL, OP_ADD, 1, 0))
+    assert program.effective_instructions() == [0, 1]
+
+
+def test_equality_and_hash():
+    a = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    b = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    c = _program((MODE_EXTERNAL, OP_SUB, 0, 0))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_replace_code():
+    a = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    b = a.replace_code([encode_instruction(MODE_EXTERNAL, OP_SUB, 0, 0)])
+    assert b != a
+    assert b.config is a.config

@@ -1,0 +1,160 @@
+"""Unit and integration tests for the evolution driver."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.gp.config import GpConfig
+from repro.gp.fitness import squash_output, sum_squared_error
+from repro.gp.recurrent import RecurrentEvaluator
+from repro.gp.trainer import RlgpTrainer
+
+
+def _toy_dataset(n_per_class=20, seed=0):
+    """In-class docs carry high input values, out-class low: separable
+    by accumulating inputs -- exactly what RLGP recurrence expresses."""
+    rng = np.random.default_rng(seed)
+    documents = []
+    for index in range(n_per_class):
+        length = rng.integers(3, 8)
+        seq = np.column_stack(
+            [rng.uniform(0.6, 1.0, length), rng.uniform(0.6, 1.0, length)]
+        )
+        documents.append(_encoded(index, seq, 1))
+    for index in range(n_per_class):
+        length = rng.integers(1, 4)
+        seq = np.column_stack(
+            [rng.uniform(0.0, 0.2, length), rng.uniform(0.0, 0.2, length)]
+        )
+        documents.append(_encoded(1000 + index, seq, -1))
+    return EncodedDataset(category="toy", documents=tuple(documents))
+
+
+def _encoded(doc_id, seq, label):
+    return EncodedDocument(
+        doc_id=doc_id,
+        category="toy",
+        sequence=seq,
+        words=tuple("w" for _ in range(len(seq))),
+        units=tuple(0 for _ in range(len(seq))),
+        label=label,
+    )
+
+
+@pytest.fixture(scope="module")
+def toy_dataset():
+    return _toy_dataset()
+
+
+@pytest.fixture(scope="module")
+def toy_result(toy_dataset):
+    config = GpConfig().small(tournaments=250, seed=1)
+    return RlgpTrainer(config).train(toy_dataset, seed=1)
+
+
+def test_training_improves_over_random(toy_dataset, toy_result):
+    """The evolved program beats the median random program."""
+    config = toy_result.config
+    evaluator = RecurrentEvaluator(config)
+    packed = evaluator.pack(toy_dataset.sequences)
+    from random import Random
+
+    from repro.gp.program import Program
+
+    random_fitness = []
+    for seed in range(20):
+        program = Program.random(Random(seed), config, page_size=1)
+        squashed = squash_output(evaluator.outputs(program, packed))
+        random_fitness.append(sum_squared_error(toy_dataset.labels, squashed))
+    assert toy_result.train_fitness < np.median(random_fitness)
+
+
+def test_result_bookkeeping(toy_result):
+    assert toy_result.tournaments == 250
+    assert len(toy_result.best_fitness_history) == 250
+    assert len(toy_result.page_size_history) == 250
+    assert toy_result.train_fitness >= 0.0
+
+
+def test_best_subset_fitness_never_worse_forever(toy_result):
+    """Evolution pressure: late best fitness <= early best fitness."""
+    history = toy_result.best_fitness_history
+    early = np.mean(history[:50])
+    late = np.mean(history[-50:])
+    assert late <= early + 1e-9
+
+
+def test_deterministic_given_seed(toy_dataset):
+    config = GpConfig().small(tournaments=60, seed=9)
+    a = RlgpTrainer(config).train(toy_dataset, seed=9)
+    b = RlgpTrainer(config).train(toy_dataset, seed=9)
+    assert a.program == b.program
+    assert a.train_fitness == b.train_fitness
+
+
+def test_restarts_pick_best(toy_dataset):
+    config = GpConfig().small(tournaments=60, seed=0)
+    trainer = RlgpTrainer(config)
+    singles = [
+        trainer.train(toy_dataset, seed=100 + i).train_fitness for i in range(3)
+    ]
+    best = trainer.train_with_restarts(toy_dataset, n_restarts=3, base_seed=100)
+    assert best.train_fitness == pytest.approx(min(singles))
+
+
+def test_restarts_validation(toy_dataset):
+    trainer = RlgpTrainer(GpConfig().small(tournaments=10))
+    with pytest.raises(ValueError):
+        trainer.train_with_restarts(toy_dataset, n_restarts=0)
+
+
+def test_dataset_too_small_rejected():
+    documents = tuple(
+        _encoded(i, np.ones((2, 2)), 1 if i % 2 else -1) for i in range(3)
+    )
+    dataset = EncodedDataset(category="toy", documents=documents)
+    trainer = RlgpTrainer(GpConfig().small(tournaments=10))
+    with pytest.raises(ValueError, match="small"):
+        trainer.train(dataset)
+
+
+def test_dss_off_uses_full_set(toy_dataset):
+    config = GpConfig().small(tournaments=30, seed=2)
+    trainer = RlgpTrainer(config, use_dss=False)
+    result = trainer.train(toy_dataset, seed=2)
+    assert result.train_fitness >= 0.0
+
+
+def test_non_recurrent_ablation_runs(toy_dataset):
+    config = GpConfig().small(tournaments=30, seed=3)
+    result = RlgpTrainer(config, recurrent=False).train(toy_dataset, seed=3)
+    assert result.train_fitness >= 0.0
+
+
+def test_dynamic_pages_off_uses_max_page(toy_dataset):
+    config = GpConfig().small(tournaments=30, seed=4)
+    result = RlgpTrainer(config, dynamic_pages=False).train(toy_dataset, seed=4)
+    assert result.train_fitness >= 0.0
+
+
+def test_page_size_history_within_bounds(toy_result):
+    sizes = set(toy_result.page_size_history)
+    assert all(1 <= s <= toy_result.config.max_page_size for s in sizes)
+    assert all(s & (s - 1) == 0 for s in sizes)  # powers of two
+
+
+def test_unknown_fitness_rejected():
+    with pytest.raises(ValueError, match="fitness"):
+        RlgpTrainer(GpConfig().small(tournaments=10), fitness="accuracy")
+
+
+def test_f1_fitness_training_runs(toy_dataset):
+    config = GpConfig().small(tournaments=40, seed=6)
+    result = RlgpTrainer(config, fitness="f1").train(toy_dataset, seed=6)
+    assert result.train_fitness >= 0.0
+
+
+def test_balanced_fitness_training_runs(toy_dataset):
+    config = GpConfig().small(tournaments=40, seed=7)
+    result = RlgpTrainer(config, fitness="balanced_sse").train(toy_dataset, seed=7)
+    assert result.train_fitness >= 0.0

@@ -1,0 +1,112 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("data")
+    code = main(["generate", "--out", str(directory), "--scale", "0.01",
+                 "--seed", "3"])
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory, data_dir):
+    directory = tmp_path_factory.mktemp("model")
+    code = main([
+        "train",
+        "--data", str(data_dir),
+        "--out", str(directory),
+        "--features", "mi",
+        "--n-features", "60",
+        "--tournaments", "80",
+        "--som-epochs", "5",
+        "--categories", "earn", "grain",
+    ])
+    assert code == 0
+    return directory
+
+
+def test_generate_writes_sgm(data_dir):
+    assert list(data_dir.glob("*.sgm"))
+
+
+def test_train_writes_model(model_dir):
+    assert (model_dir / "manifest.json").exists()
+    assert (model_dir / "arrays.npz").exists()
+
+
+def test_evaluate_prints_table(model_dir, data_dir, capsys):
+    code = main(["evaluate", "--model", str(model_dir), "--data", str(data_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Micro Ave." in out
+    assert "earn" in out
+
+
+def test_track_prints_trace(model_dir, data_dir, capsys):
+    from repro import load_corpus
+
+    corpus = load_corpus(data_dir)
+    doc = corpus.test_for("earn")[0]
+    code = main([
+        "track", "--model", str(model_dir), "--data", str(data_dir),
+        "--doc-id", str(doc.doc_id), "--category", "earn",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "encoded words" in out
+
+
+def test_track_unknown_doc_fails(model_dir, data_dir, capsys):
+    code = main([
+        "track", "--model", str(model_dir), "--data", str(data_dir),
+        "--doc-id", "999999", "--category", "earn",
+    ])
+    assert code == 1
+    assert "no document" in capsys.readouterr().err
+
+
+def test_track_unknown_category_fails(model_dir, data_dir, capsys):
+    from repro import load_corpus
+
+    corpus = load_corpus(data_dir)
+    doc = corpus.test_documents[0]
+    code = main([
+        "track", "--model", str(model_dir), "--data", str(data_dir),
+        "--doc-id", str(doc.doc_id), "--category", "ship",
+    ])
+    assert code == 1
+    assert "no classifier" in capsys.readouterr().err
+
+
+def test_info_describes_model(model_dir, capsys):
+    code = main(["info", "--model", str(model_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "feature selection : mi" in out
+    assert "earn" in out
+
+
+def test_info_missing_model(tmp_path, capsys):
+    code = main(["info", "--model", str(tmp_path)])
+    assert code == 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_analyze_prints_diagnostics(data_dir, capsys):
+    code = main(["analyze", "--data", str(data_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "label cardinality" in out
+    assert "vocabulary overlaps" in out
+
+

@@ -1,0 +1,106 @@
+"""Round-trip tests for pipeline save/load."""
+
+import numpy as np
+import pytest
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline
+from repro.persistence import PersistenceError, load_pipeline, save_pipeline
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    config = ProSysConfig(
+        feature_method="mi",
+        n_features=60,
+        som_epochs=6,
+        gp=GpConfig().small(tournaments=100),
+        seed=13,
+    )
+    return ProSysPipeline(config).fit(corpus, categories=["earn", "grain"])
+
+
+@pytest.fixture(scope="module")
+def round_tripped(fitted, corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("model")
+    save_pipeline(fitted, directory)
+    return load_pipeline(directory, corpus)
+
+
+def test_unfitted_pipeline_rejected(tmp_path):
+    with pytest.raises(PersistenceError, match="unfitted"):
+        save_pipeline(ProSysPipeline(), tmp_path)
+
+
+def test_missing_directory_rejected(corpus, tmp_path):
+    with pytest.raises(PersistenceError, match="no saved pipeline"):
+        load_pipeline(tmp_path, corpus)
+
+
+def test_config_restored(fitted, round_tripped):
+    assert round_tripped.config == fitted.config
+
+
+def test_feature_set_restored(fitted, round_tripped):
+    assert round_tripped.feature_set.method == fitted.feature_set.method
+    for category in fitted.suite.categories:
+        assert round_tripped.feature_set.vocabulary(
+            category
+        ) == fitted.feature_set.vocabulary(category)
+
+
+def test_som_weights_restored(fitted, round_tripped):
+    np.testing.assert_array_equal(
+        round_tripped.encoder.character_encoder.som.weights,
+        fitted.encoder.character_encoder.som.weights,
+    )
+    for category in fitted.suite.categories:
+        np.testing.assert_array_equal(
+            round_tripped.encoder.encoder_for(category).som.weights,
+            fitted.encoder.encoder_for(category).som.weights,
+        )
+
+
+def test_selected_units_and_memberships_restored(fitted, round_tripped):
+    for category in fitted.suite.categories:
+        original = fitted.encoder.encoder_for(category)
+        restored = round_tripped.encoder.encoder_for(category)
+        assert restored.selected_units == original.selected_units
+        assert set(restored.memberships) == set(original.memberships)
+        for unit, membership in original.memberships.items():
+            loaded = restored.memberships[unit]
+            assert loaded.sigma == pytest.approx(membership.sigma)
+            np.testing.assert_array_equal(loaded.mean, membership.mean)
+
+
+def test_programs_and_thresholds_restored(fitted, round_tripped):
+    for category, classifier in fitted.suite.classifiers.items():
+        loaded = round_tripped.suite.classifiers[category]
+        assert loaded.program.code == classifier.program.code
+        assert loaded.threshold == pytest.approx(classifier.threshold)
+
+
+def test_predictions_identical_after_round_trip(fitted, round_tripped):
+    original = fitted.evaluate("test")
+    restored = round_tripped.evaluate("test")
+    for category in fitted.suite.categories:
+        assert restored.f1(category) == pytest.approx(original.f1(category))
+    assert restored.micro_f1 == pytest.approx(original.micro_f1)
+
+
+def test_tracking_identical_after_round_trip(fitted, round_tripped, corpus):
+    doc = corpus.test_for("earn")[0]
+    original = fitted.track(doc, "earn")
+    restored = round_tripped.track(doc, "earn")
+    np.testing.assert_allclose(restored.raw, original.raw)
+    assert restored.words == original.words
+
+
+def test_wrong_format_version_rejected(fitted, corpus, tmp_path):
+    import json
+
+    save_pipeline(fitted, tmp_path)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    manifest["format_version"] = 999
+    (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(PersistenceError, match="format"):
+        load_pipeline(tmp_path, corpus)

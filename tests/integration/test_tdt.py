@@ -1,0 +1,99 @@
+"""Tests for the Topic Detection and Tracking extension (paper Sec. 9)."""
+
+import numpy as np
+import pytest
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline
+from repro.corpus.document import Document
+from repro.corpus.synthetic import SyntheticReutersGenerator
+from repro.tdt import TopicSegment, TopicTracker
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    config = ProSysConfig(
+        feature_method="mi",
+        n_features=60,
+        som_epochs=6,
+        gp=GpConfig().small(tournaments=150),
+        seed=21,
+    )
+    return ProSysPipeline(config).fit(corpus, categories=["earn", "grain"])
+
+
+@pytest.fixture(scope="module")
+def tracker(fitted):
+    return TopicTracker(fitted, smoothing=2)
+
+
+def test_requires_fitted_pipeline():
+    with pytest.raises(ValueError, match="fitted"):
+        TopicTracker(ProSysPipeline())
+
+
+def test_negative_smoothing_rejected(fitted):
+    with pytest.raises(ValueError, match="smoothing"):
+        TopicTracker(fitted, smoothing=-1)
+
+
+def test_signals_cover_token_axis(tracker, corpus):
+    doc = corpus.test_for("earn")[0]
+    signals, n_tokens = tracker.category_signals(doc)
+    assert n_tokens == len(tracker.pipeline.tokenized.tokens(doc))
+    assert set(signals) == {"earn", "grain"}
+    for signal in signals.values():
+        assert signal.shape == (max(n_tokens, 1),)
+        assert np.all(signal >= 0.0)
+        assert np.all(signal <= 1.0 + 1e-9)
+
+
+def test_segments_tile_the_document(tracker, corpus):
+    doc = corpus.test_for("earn")[0]
+    segments = tracker.segment(doc)
+    n_tokens = len(tracker.pipeline.tokenized.tokens(doc))
+    assert segments[0].start == 0
+    assert segments[-1].end == n_tokens
+    for before, after in zip(segments, segments[1:]):
+        assert before.end == after.start
+    # Adjacent segments carry different topics by construction.
+    for before, after in zip(segments, segments[1:]):
+        assert before.topic != after.topic
+
+
+def test_empty_document_yields_no_segments(tracker):
+    doc = Document(doc_id=999_999, title="", body="", topics=("earn",), split="test")
+    assert tracker.segment(doc) == []
+
+
+def test_segment_lengths_positive(tracker, corpus):
+    for doc in corpus.test_documents[:5]:
+        for segment in tracker.segment(doc):
+            assert len(segment) > 0
+            assert isinstance(segment, TopicSegment)
+
+
+def test_topics_present_on_topical_document(tracker):
+    generator = SyntheticReutersGenerator(seed=31, scale=0.01)
+    doc = generator.make_document(["earn"], "test", n_segments=5)
+    topics = tracker.topics_present(doc)
+    assert set(topics) <= {"earn", "grain"}
+
+
+def test_first_story_detection_partitions_stream(tracker, corpus):
+    stream = list(corpus.test_documents[:10])
+    novel = tracker.detect_first_stories(stream)
+    assert set(d.doc_id for d in novel) <= set(d.doc_id for d in stream)
+    for doc in novel:
+        assert tracker.is_novel(doc)
+
+
+def test_positions_align_with_tokens(fitted, corpus):
+    """EncodedDocument.positions index into the shared token stream."""
+    doc = corpus.test_for("earn")[0]
+    tokens = fitted.tokenized.tokens(doc)
+    encoded = fitted.encoder.encode_document(
+        doc, fitted.tokenized, fitted.feature_set, "earn"
+    )
+    for position, word in zip(encoded.positions, encoded.words):
+        assert tokens[position] == word
+    assert list(encoded.positions) == sorted(encoded.positions)

@@ -1,0 +1,53 @@
+"""Unit tests for the TDT detection-cost measures."""
+
+import pytest
+
+from repro.tdt import DetectionScores, detection_cost, score_detection
+
+
+def test_perfect_system_zero_cost():
+    assert detection_cost(0.0, 0.0) == 0.0
+
+
+def test_always_no_system_cost_one():
+    # Missing everything: C_det = C_miss * 1 * P_t / min(...) with the
+    # standard parameters min = C_miss * P_t, so the cost is exactly 1.
+    assert detection_cost(1.0, 0.0) == pytest.approx(1.0)
+
+
+def test_always_yes_system():
+    cost = detection_cost(0.0, 1.0)
+    # C_fa * (1 - P_t) / (C_miss * P_t) = 0.1 * 0.98 / 0.02 = 4.9.
+    assert cost == pytest.approx(4.9)
+
+
+def test_cost_monotone_in_both_rates():
+    assert detection_cost(0.2, 0.1) < detection_cost(0.4, 0.1)
+    assert detection_cost(0.2, 0.1) < detection_cost(0.2, 0.3)
+
+
+def test_invalid_probabilities():
+    with pytest.raises(ValueError):
+        detection_cost(-0.1, 0.0)
+    with pytest.raises(ValueError):
+        detection_cost(0.0, 1.5)
+
+
+def test_score_detection_counts():
+    on_topic = [True, True, False, False, False]
+    flagged = [True, False, True, False, False]
+    scores = score_detection(on_topic, flagged)
+    assert scores.p_miss == pytest.approx(0.5)
+    assert scores.p_false_alarm == pytest.approx(1.0 / 3.0)
+    assert isinstance(scores, DetectionScores)
+
+
+def test_score_detection_alignment():
+    with pytest.raises(ValueError):
+        score_detection([True], [True, False])
+
+
+def test_score_detection_degenerate_classes():
+    scores = score_detection([True, True], [True, True])
+    assert scores.p_false_alarm == 0.0
+    assert scores.cost == 0.0

@@ -1,0 +1,37 @@
+"""Unit tests for markup and non-text removal."""
+
+from repro.preprocessing.cleaning import clean, remove_markup, remove_non_text
+
+
+def test_remove_markup_strips_tags():
+    assert remove_markup("<title>Hello</title>").strip() == "Hello"
+
+
+def test_remove_markup_inserts_space():
+    # Words separated only by tags must not merge.
+    assert "ab" not in remove_markup("a<br>b").replace(" ", "x")
+
+
+def test_remove_markup_handles_attributes():
+    assert remove_markup('<text type="NORM">x</text>').strip() == "x"
+
+
+def test_remove_non_text_drops_digits():
+    assert remove_non_text("profit 1750 dlrs").split() == ["profit", "dlrs"]
+
+
+def test_remove_non_text_drops_punctuation():
+    assert remove_non_text("U.S. trade-deficit!").split() == ["U", "S", "trade", "deficit"]
+
+
+def test_remove_non_text_keeps_letters_only():
+    cleaned = remove_non_text("a1b2c3")
+    assert cleaned.split() == ["a", "b", "c"]
+
+
+def test_clean_combines_both():
+    assert clean("<b>net 5%</b> profit").split() == ["net", "profit"]
+
+
+def test_clean_empty_string():
+    assert clean("") == ""

@@ -1,0 +1,35 @@
+"""Unit tests for the Preprocessor pipeline."""
+
+from repro.corpus.document import Document
+from repro.preprocessing.pipeline import Preprocessor, preprocess
+
+
+def test_stopwords_removed():
+    assert preprocess("the net profit of the company") == ["net", "profit", "company"]
+
+
+def test_stopwords_kept_when_disabled():
+    pipeline = Preprocessor(remove_stopwords=False)
+    assert pipeline.tokens("the net profit") == ["the", "net", "profit"]
+
+
+def test_no_stemming_applied():
+    """The paper deliberately skips stemming: plural forms survive."""
+    assert preprocess("dividends dividend") == ["dividends", "dividend"]
+
+
+def test_long_tokens_truncated():
+    pipeline = Preprocessor(max_word_length=5)
+    assert pipeline.tokens("extraordinary") == ["extra"]
+
+
+def test_document_tokens_include_title_then_body():
+    doc = Document(doc_id=1, title="GRAIN REVIEW", body="wheat shipment delayed")
+    tokens = Preprocessor().document_tokens(doc)
+    assert tokens == ["grain", "review", "wheat", "shipment", "delayed"]
+
+
+def test_order_preserved_through_pipeline():
+    """Order is the whole point of the temporal representation."""
+    text = "wheat before corn before barley"
+    assert preprocess(text) == ["wheat", "corn", "barley"]

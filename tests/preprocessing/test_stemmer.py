@@ -1,0 +1,72 @@
+"""Unit tests for the Porter stemmer (full-run outputs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing.pipeline import Preprocessor
+from repro.preprocessing.stemmer import porter_stem, stem_tokens
+
+# Full-pipeline expected outputs (Porter's algorithm applied completely,
+# not the per-step illustrations from the 1980 paper).
+KNOWN = {
+    "caresses": "caress", "ponies": "poni", "ties": "ti", "cats": "cat",
+    "feed": "feed", "agreed": "agre", "plastered": "plaster", "bled": "bled",
+    "motoring": "motor", "sing": "sing", "happy": "happi", "sky": "sky",
+    "relational": "relat", "conditional": "condit", "rational": "ration",
+    "digitizer": "digit", "operator": "oper", "feudalism": "feudal",
+    "decisiveness": "decis", "hopefulness": "hope", "callousness": "callous",
+    "formative": "form", "formalize": "formal", "electriciti": "electr",
+    "electrical": "electr", "hopeful": "hope", "goodness": "good",
+    "allowance": "allow", "inference": "infer", "adjustable": "adjust",
+    "replacement": "replac", "adjustment": "adjust", "dependent": "depend",
+    "adoption": "adopt", "communism": "commun", "activate": "activ",
+    "effective": "effect", "hopping": "hop", "tanned": "tan",
+    "falling": "fall", "hissing": "hiss", "fizzed": "fizz",
+    "failing": "fail", "filing": "file", "sized": "size", "rate": "rate",
+    "roll": "roll",
+}
+
+
+@pytest.mark.parametrize("word,expected", sorted(KNOWN.items()))
+def test_known_stems(word, expected):
+    assert porter_stem(word) == expected
+
+
+def test_base_form_grouping():
+    """The property the paper's SOM claims to provide without stemming."""
+    assert porter_stem("dividend") == porter_stem("dividends")
+    assert porter_stem("shipment") == porter_stem("shipments")
+    assert porter_stem("harvest") == porter_stem("harvesting") == porter_stem(
+        "harvested"
+    )
+
+
+def test_short_words_untouched():
+    assert porter_stem("at") == "at"
+    assert porter_stem("by") == "by"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    word=st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1, max_size=15,
+    )
+)
+def test_stemming_idempotent_and_shrinking(word):
+    stemmed = porter_stem(word)
+    assert len(stemmed) <= len(word) + 1  # "+e" restoration can add one
+    assert porter_stem(stemmed) == porter_stem(porter_stem(stemmed))
+
+
+def test_stem_tokens_preserves_order():
+    assert stem_tokens(["falling", "prices", "hurt"]) == ["fall", "price", "hurt"]
+
+
+def test_preprocessor_stem_option():
+    with_stem = Preprocessor(stem=True)
+    without = Preprocessor(stem=False)
+    text = "dividends announced falling prices"
+    assert with_stem.tokens(text) == ["dividend", "announc", "fall", "price"]
+    assert without.tokens(text) == ["dividends", "announced", "falling", "prices"]

@@ -1,0 +1,41 @@
+"""Unit tests for tokenisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.preprocessing.tokenizer import tokenize
+
+
+def test_lowercases_by_default():
+    assert tokenize("COCOA Review") == ["cocoa", "review"]
+
+
+def test_preserves_word_order():
+    assert tokenize("alpha beta gamma") == ["alpha", "beta", "gamma"]
+
+
+def test_case_preserved_when_disabled():
+    assert tokenize("COCOA Review", lowercase=False) == ["COCOA", "Review"]
+
+
+def test_single_letter_fragments_dropped():
+    # "U.S." cleans to "U S"; neither fragment is a word.
+    assert tokenize("U.S. grain") == ["grain"]
+
+
+def test_markup_removed_before_tokenising():
+    assert tokenize("<title>net profit</title>") == ["net", "profit"]
+
+
+def test_empty_text():
+    assert tokenize("") == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=200))
+def test_tokens_always_alphabetic(text):
+    """Whatever goes in, tokens are lowercase alphabetic, length >= 2."""
+    for token in tokenize(text):
+        assert token.isalpha()
+        assert token == token.lower()
+        assert len(token) >= 2

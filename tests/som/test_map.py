@@ -1,0 +1,129 @@
+"""Unit and property tests for the SOM data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.som.map import SelfOrganizingMap
+
+
+def test_dimensions():
+    som = SelfOrganizingMap(7, 13, 2)
+    assert som.n_units == 91
+    assert som.shape == (7, 13)
+    assert som.weights.shape == (91, 2)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        SelfOrganizingMap(0, 5, 2)
+
+
+def test_unit_position_row_major():
+    som = SelfOrganizingMap(3, 4, 2)
+    assert som.unit_position(0) == (0, 0)
+    assert som.unit_position(3) == (0, 3)
+    assert som.unit_position(4) == (1, 0)
+    assert som.unit_position(11) == (2, 3)
+
+
+def test_unit_position_out_of_range():
+    with pytest.raises(IndexError):
+        SelfOrganizingMap(3, 4, 2).unit_position(12)
+
+
+def test_grid_distance():
+    som = SelfOrganizingMap(3, 3, 2)
+    assert som.grid_distance(0, 0) == 0.0
+    assert som.grid_distance(0, 1) == 1.0
+    assert som.grid_distance(0, 4) == pytest.approx(np.sqrt(2))
+
+
+def test_bmu_is_nearest_unit():
+    som = SelfOrganizingMap(2, 2, 2, seed=1)
+    som.weights = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    assert som.bmu(np.array([0.1, 0.1])) == 0
+    assert som.bmu(np.array([0.9, 0.95])) == 3
+
+
+def test_bmus_batch_matches_single():
+    som = SelfOrganizingMap(4, 4, 3, seed=2)
+    data = np.random.default_rng(0).random((20, 3))
+    batch = som.bmus(data)
+    singles = [som.bmu(row) for row in data]
+    assert list(batch) == singles
+
+
+def test_top_k_ordering():
+    som = SelfOrganizingMap(3, 3, 2, seed=3)
+    vector = np.array([0.5, 0.5])
+    top3 = som.top_k_bmus(vector, k=3)
+    distances = som.distances(vector)[0]
+    assert distances[top3[0]] <= distances[top3[1]] <= distances[top3[2]]
+    assert top3[0] == som.bmu(vector)
+
+
+def test_top_k_batch_matches_single():
+    som = SelfOrganizingMap(3, 3, 2, seed=4)
+    data = np.random.default_rng(1).random((10, 2))
+    batch = som.top_k_bmus_batch(data, k=3)
+    for row, vector in enumerate(data):
+        assert list(batch[row]) == list(som.top_k_bmus(vector, k=3))
+
+
+def test_top_k_bounds():
+    som = SelfOrganizingMap(2, 2, 2)
+    with pytest.raises(ValueError):
+        som.top_k_bmus(np.zeros(2), k=5)
+    with pytest.raises(ValueError):
+        som.top_k_bmus(np.zeros(2), k=0)
+
+
+def test_dim_mismatch_rejected():
+    with pytest.raises(ValueError, match="dim"):
+        SelfOrganizingMap(2, 2, 2).distances(np.zeros((1, 3)))
+
+
+def test_data_initialisation_inside_bounding_box():
+    data = np.array([[10.0, -5.0], [20.0, 5.0]])
+    som = SelfOrganizingMap(4, 4, 2, seed=0, data=data)
+    assert som.weights[:, 0].min() >= 10.0
+    assert som.weights[:, 0].max() <= 20.0
+    assert som.weights[:, 1].min() >= -5.0
+
+
+def test_neighborhood_peaks_at_bmu():
+    som = SelfOrganizingMap(3, 3, 2)
+    influence = som.neighborhood(4, radius=1.0)
+    assert influence[4] == pytest.approx(1.0)
+    assert np.all(influence <= 1.0)
+    assert influence[0] < influence[1]
+
+
+def test_neighborhood_zero_radius_is_delta():
+    som = SelfOrganizingMap(3, 3, 2)
+    influence = som.neighborhood(2, radius=0.0)
+    assert influence[2] == 1.0
+    assert influence.sum() == 1.0
+
+
+def test_copy_is_independent():
+    som = SelfOrganizingMap(2, 2, 2, seed=5)
+    clone = som.copy()
+    clone.weights[0, 0] += 99.0
+    assert som.weights[0, 0] != clone.weights[0, 0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(2, 6),
+    cols=st.integers(2, 6),
+    seed=st.integers(0, 100),
+)
+def test_bmu_distance_minimal_property(rows, cols, seed):
+    """The BMU is never farther from the input than any other unit."""
+    som = SelfOrganizingMap(rows, cols, 2, seed=seed)
+    vector = np.random.default_rng(seed).random(2)
+    distances = som.distances(vector)[0]
+    assert distances[som.bmu(vector)] == pytest.approx(distances.min())

@@ -1,0 +1,98 @@
+"""Unit tests for SOM metrics and the AWC sizing heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.som.map import SelfOrganizingMap
+from repro.som.metrics import (
+    average_weight_change,
+    awc_curve,
+    hit_histogram,
+    quantization_error,
+    recommend_map_size,
+    topographic_error,
+)
+from repro.som.training import SomTrainer
+
+
+def _data(seed=0, n=60):
+    return np.random.default_rng(seed).random((n, 2))
+
+
+def test_quantization_error_zero_when_weights_match_data():
+    data = np.array([[0.0, 0.0], [1.0, 1.0]])
+    som = SelfOrganizingMap(1, 2, 2)
+    som.weights = data.copy()
+    assert quantization_error(som, data) == pytest.approx(0.0)
+
+
+def test_quantization_error_weighted():
+    data = np.array([[0.0, 0.0], [1.0, 1.0]])
+    som = SelfOrganizingMap(1, 1, 2)
+    som.weights = np.array([[0.0, 0.0]])
+    unweighted = quantization_error(som, data)
+    weighted = quantization_error(som, data, sample_weights=np.array([3.0, 1.0]))
+    assert weighted < unweighted
+
+
+def test_topographic_error_in_unit_interval():
+    data = _data()
+    som = SelfOrganizingMap(4, 4, 2, seed=1, data=data)
+    SomTrainer(epochs=10, seed=1).train_batch(som, data)
+    te = topographic_error(som, data)
+    assert 0.0 <= te <= 1.0
+
+
+def test_hit_histogram_totals():
+    data = _data(n=30)
+    som = SelfOrganizingMap(3, 3, 2, seed=2, data=data)
+    hits = hit_histogram(som, data)
+    assert hits.sum() == pytest.approx(30)
+    assert hits.shape == (9,)
+
+
+def test_hit_histogram_weighted():
+    data = np.array([[0.0, 0.0], [1.0, 1.0]])
+    som = SelfOrganizingMap(1, 2, 2)
+    som.weights = data.copy()
+    hits = hit_histogram(som, data, sample_weights=np.array([5.0, 2.0]))
+    assert hits[0] == pytest.approx(5.0)
+    assert hits[1] == pytest.approx(2.0)
+
+
+def test_average_weight_change():
+    before = np.zeros((4, 2))
+    after = np.ones((4, 2)) * 0.5
+    assert average_weight_change(before, after) == pytest.approx(0.5)
+
+
+def test_average_weight_change_shape_mismatch():
+    with pytest.raises(ValueError):
+        average_weight_change(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_awc_curve_covers_all_sizes():
+    data = _data()
+    sizes = [(2, 2), (3, 3)]
+    curve = awc_curve(data, sizes, epochs=5)
+    assert set(curve) == set(sizes)
+    assert all(v >= 0 for v in curve.values())
+
+
+def test_recommend_map_size_picks_a_candidate():
+    data = _data()
+    sizes = [(2, 2), (3, 3), (4, 4)]
+    choice = recommend_map_size(data, sizes, epochs=5)
+    assert choice in sizes
+
+
+def test_recommend_consistent_with_curve():
+    """The recommendation is the smallest size within tolerance of the best."""
+    data = _data(seed=3)
+    sizes = [(2, 2), (3, 3), (4, 4)]
+    curve = awc_curve(data, sizes, epochs=5, seed=0)
+    best = min(curve.values())
+    choice = recommend_map_size(data, sizes, epochs=5, tolerance=0.5, seed=0)
+    threshold = best * 1.5 + 1e-12
+    eligible = [s for s, awc in curve.items() if awc <= threshold]
+    assert choice == min(eligible, key=lambda s: s[0] * s[1])

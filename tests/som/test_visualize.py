@@ -1,0 +1,84 @@
+"""Unit tests for SOM text visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.som.map import SelfOrganizingMap
+from repro.som.visualize import (
+    render_heatmap,
+    render_hit_histogram,
+    render_u_matrix,
+    u_matrix,
+    word_map,
+)
+
+
+@pytest.fixture()
+def som():
+    som = SelfOrganizingMap(2, 3, 2, seed=0)
+    som.weights = np.array(
+        [[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [0.0, 0.1], [0.1, 0.1], [5.0, 5.1]]
+    )
+    return som
+
+
+def test_heatmap_shape(som):
+    text = render_heatmap(som, np.arange(6), title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert len(lines) == 3
+    # Each row renders cols single-character cells joined by spaces; a
+    # zero-valued cell is a space glyph, so check raw line width.
+    assert all(len(line) == 2 * som.cols - 1 for line in lines[1:])
+
+
+def test_heatmap_peak_uses_densest_glyph(som):
+    values = np.array([0.0, 0.0, 0.0, 0.0, 0.0, 9.0])
+    text = render_heatmap(som, values)
+    assert "@" in text.splitlines()[-1]
+
+
+def test_heatmap_all_zero(som):
+    text = render_heatmap(som, np.zeros(6))
+    assert "@" not in text
+
+
+def test_value_count_validated(som):
+    with pytest.raises(ValueError):
+        render_heatmap(som, np.zeros(5))
+
+
+def test_hit_histogram_marks_selected(som):
+    hits = np.array([3, 0, 7, 1, 0, 2])
+    text = render_hit_histogram(som, hits, selected_units=[2])
+    assert "[7]" in text
+    assert "[3]" not in text
+
+
+def test_u_matrix_high_at_cluster_boundary(som):
+    matrix = u_matrix(som)
+    # Units 2 and 5 sit far from their neighbours.
+    assert matrix[2] > matrix[0]
+    assert matrix[5] > matrix[4]
+
+
+def test_render_u_matrix_runs(som):
+    assert "U-matrix" in render_u_matrix(som)
+
+
+def test_word_map_places_words(som):
+    text = word_map(som, {"profit": 0, "profits": 0, "wheat": 5})
+    lines = text.splitlines()
+    assert "profit,profits" in lines[0]
+    assert "wheat" in lines[1]
+
+
+def test_word_map_truncates_crowded_cells(som):
+    mapping = {f"w{i}": 0 for i in range(5)}
+    text = word_map(som, mapping, max_words_per_unit=2)
+    assert "+3" in text
+
+
+def test_word_map_empty_cells_dotted(som):
+    text = word_map(som, {"alpha": 0})
+    assert "." in text
