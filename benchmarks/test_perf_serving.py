@@ -1,0 +1,147 @@
+"""Serving throughput: single-doc sequential vs batched multi-worker.
+
+Characterises the ``repro.serve`` subsystem on one fitted pipeline:
+
+* **single-doc sequential** -- the pre-serving deployment mode, one
+  ``ProSysPipeline.predict_topics`` call per document;
+* **batched** -- the same documents pushed through
+  :class:`~repro.serve.server.InferenceService` (micro-batching +
+  encoded-sequence cache + per-category worker fan-out) at
+  ``n_workers`` of 1 and 4.
+
+Prints the paper-style table and emits one ``SERVING_BENCH_JSON`` line
+(docs/sec per mode) for the bench trajectory.  The serving acceptance
+bar -- batched multi-worker throughput at least twice the single-doc
+sequential baseline -- is asserted at the end.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline
+from repro.serve import InferenceService, ModelRegistry
+
+SERVING_CATEGORIES = ("earn", "grain", "trade")
+WORKER_COUNTS = (1, 4)
+MAX_DOCS = 64
+
+
+@pytest.fixture(scope="module")
+def serving_pipeline(corpus, settings):
+    """A small pipeline: serving cost is what is measured, not accuracy."""
+    config = ProSysConfig(
+        feature_method="mi",
+        n_features=60,
+        som_epochs=settings.som_epochs,
+        max_sequence_length=settings.max_sequence_length,
+        gp=GpConfig().small(tournaments=150, seed=1),
+        seed=1,
+    )
+    return ProSysPipeline(config).fit(corpus, categories=SERVING_CATEGORIES)
+
+
+@pytest.fixture(scope="module")
+def serving_docs(corpus):
+    return list(corpus.test_documents)[:MAX_DOCS]
+
+
+def _docs_per_second(n_docs: int, elapsed: float) -> float:
+    return n_docs / elapsed if elapsed > 0 else float("inf")
+
+
+def _service(corpus, pipeline, n_workers):
+    registry = ModelRegistry(corpus)
+    registry.add_pipeline("bench", pipeline)
+    return InferenceService(
+        registry, n_workers=n_workers, max_batch_size=16, max_delay=0.005
+    )
+
+
+def test_perf_serving_throughput(serving_pipeline, serving_docs, corpus, benchmark):
+    def run():
+        results = {}
+
+        # Context: the raw pipeline loop (no serving layer, warm
+        # tokenisation caches -- the in-process notebook deployment).
+        started = time.perf_counter()
+        for doc in serving_docs:
+            serving_pipeline.predict_topics(doc)
+        results["pipeline_sequential"] = _docs_per_second(
+            len(serving_docs), time.perf_counter() - started
+        )
+
+        # Baseline: the service driven one document per request,
+        # sequentially -- what naive (unbatched) serving costs.
+        service = _service(corpus, serving_pipeline, n_workers=1)
+        try:
+            service.classify(serving_docs[:2])  # warm the pool
+            single_docs = serving_docs[: max(8, len(serving_docs) // 4)]
+            started = time.perf_counter()
+            for doc in single_docs:
+                service.classify([doc])
+            elapsed = time.perf_counter() - started
+            results["service_single_doc"] = _docs_per_second(
+                len(single_docs), elapsed
+            )
+            results["service_single_doc_latency_ms"] = (
+                1000.0 * elapsed / len(single_docs)
+            )
+        finally:
+            service.close()
+
+        # Batched: the whole document set submitted at once, coalesced by
+        # the micro-batcher, categories fanned across the worker pool.
+        # A fresh service per worker count keeps the cache cold.
+        for n_workers in WORKER_COUNTS:
+            service = _service(corpus, serving_pipeline, n_workers)
+            try:
+                service.classify(serving_docs[:2])  # warm the pool
+                started = time.perf_counter()
+                service.classify(serving_docs)
+                results[f"batched_workers_{n_workers}"] = _docs_per_second(
+                    len(serving_docs), time.perf_counter() - started
+                )
+                # Same documents again: the encoded-sequence LRU is warm.
+                started = time.perf_counter()
+                service.classify(serving_docs)
+                results[f"batched_workers_{n_workers}_warm_cache"] = (
+                    _docs_per_second(
+                        len(serving_docs), time.perf_counter() - started
+                    )
+                )
+            finally:
+                service.close()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nServing throughput (docs/sec, "
+          f"{len(serving_docs)} docs x {len(SERVING_CATEGORIES)} categories)")
+    print(f"{'mode':36s}{'docs/sec':>12s}{'speedup':>10s}")
+    print("-" * 58)
+    single = results["service_single_doc"]
+    for mode, value in results.items():
+        if mode.endswith("_latency_ms"):
+            print(f"{mode:36s}{value:>12.2f}{'':>10s}")
+        else:
+            print(f"{mode:36s}{value:>12.1f}{value / single:>9.1f}x")
+
+    payload = {
+        "benchmark": "serving_throughput",
+        "n_docs": len(serving_docs),
+        "categories": list(SERVING_CATEGORIES),
+        "docs_per_second": results,
+    }
+    print("SERVING_BENCH_JSON " + json.dumps(payload))
+
+    best_batched = max(
+        value for mode, value in results.items() if mode.startswith("batched")
+    )
+    assert best_batched >= 2.0 * single, (
+        f"batched throughput {best_batched:.1f} docs/s is below twice the "
+        f"single-doc serving baseline {single:.1f} docs/s"
+    )

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli track    --model model/ --data data/ --doc-id 42 \
                                  --category earn
     python -m repro.cli info     --model model/
+    python -m repro.cli serve    --model model/ --data data/ --port 8080
 
 ``--data`` accepts any directory of Reuters-21578-format ``.sgm`` files
 (the real distribution or one written by ``generate``).
@@ -84,6 +85,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", help="corpus diagnostics (sizes, co-labels, overlap)"
     )
     _add_data_argument(analyze)
+
+    serve = commands.add_parser(
+        "serve", help="run the batched HTTP inference service"
+    )
+    serve.add_argument(
+        "--model", required=True, action="append", type=str, dest="models",
+        metavar="[NAME=]DIR",
+        help="saved model directory, optionally named (repeatable; the "
+             "first one is the default model)",
+    )
+    _add_data_argument(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="evaluation worker processes (0 = inline)")
+    serve.add_argument("--batch-size", type=int, default=16,
+                       help="micro-batch size limit")
+    serve.add_argument("--max-delay-ms", type=float, default=20.0,
+                       help="micro-batch deadline in milliseconds")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="encoded-sequence LRU capacity (0 disables)")
 
     return parser
 
@@ -196,6 +219,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import InferenceService, ModelRegistry, create_server
+
+    corpus = load_corpus(args.data)
+    registry = ModelRegistry(corpus)
+    for position, spec in enumerate(args.models):
+        name, _, directory = spec.rpartition("=")
+        if not name:
+            name = Path(directory).name or f"model-{position}"
+        registry.register(name, Path(directory))
+        print(f"loaded model {name!r} from {directory} "
+              f"({', '.join(registry.get(name).categories)})")
+    service = InferenceService(
+        registry,
+        n_workers=args.workers,
+        max_batch_size=args.batch_size,
+        max_delay=args.max_delay_ms / 1000.0,
+        cache_size=args.cache_size,
+    )
+    server = create_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}  "
+          f"(workers={args.workers}, batch={args.batch_size}, "
+          f"deadline={args.max_delay_ms:g}ms)")
+    print("endpoints: GET /healthz /metrics /models, "
+          "POST /classify /track /reload")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -203,6 +263,7 @@ _COMMANDS = {
     "track": _cmd_track,
     "info": _cmd_info,
     "analyze": _cmd_analyze,
+    "serve": _cmd_serve,
 }
 
 

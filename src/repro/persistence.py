@@ -41,6 +41,122 @@ class PersistenceError(RuntimeError):
     """Raised when a model directory is missing or malformed."""
 
 
+#: Top-level keys every manifest must carry, and the sub-keys required
+#: inside each mapping-valued section.  Validated before any value is
+#: used so a corrupt or foreign directory fails with a clear message
+#: instead of an opaque ``KeyError`` deep inside reconstruction.
+_REQUIRED_MANIFEST_KEYS = (
+    "format_version",
+    "config",
+    "feature_set",
+    "categories",
+    "classifiers",
+    "encoders",
+    "char_som",
+)
+_REQUIRED_CONFIG_KEYS = (
+    "feature_method",
+    "n_features",
+    "som_epochs",
+    "char_shape",
+    "word_shape",
+    "n_restarts",
+    "use_dss",
+    "dynamic_pages",
+    "recurrent",
+    "seed",
+    "gp",
+)
+_REQUIRED_CLASSIFIER_KEYS = ("code", "threshold", "train_fitness", "gp")
+_REQUIRED_ENCODER_KEYS = ("rows", "cols", "epochs", "seed", "selected_units", "memberships")
+
+
+def validate_manifest(manifest: object, source: str = "manifest") -> dict:
+    """Check a parsed manifest against the persistence schema.
+
+    Returns the manifest (for chaining) when it is structurally sound.
+
+    Raises:
+        PersistenceError: naming the missing/malformed field, when the
+            manifest is not a dict, lacks required keys, declares an
+            unsupported ``format_version``, or has malformed sections.
+    """
+    if not isinstance(manifest, dict):
+        raise PersistenceError(
+            f"{source}: expected a JSON object, got {type(manifest).__name__}"
+        )
+    missing = [key for key in _REQUIRED_MANIFEST_KEYS if key not in manifest]
+    if missing:
+        raise PersistenceError(
+            f"{source}: not a saved pipeline manifest "
+            f"(missing keys: {', '.join(missing)})"
+        )
+    if manifest["format_version"] != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{source}: unsupported model format "
+            f"{manifest['format_version']!r} (expected {FORMAT_VERSION})"
+        )
+    config = manifest["config"]
+    if not isinstance(config, dict):
+        raise PersistenceError(f"{source}: 'config' must be an object")
+    missing = [key for key in _REQUIRED_CONFIG_KEYS if key not in config]
+    if missing:
+        raise PersistenceError(
+            f"{source}: config is missing keys: {', '.join(missing)}"
+        )
+    feature_set = manifest["feature_set"]
+    if not isinstance(feature_set, dict) or not {
+        "method", "scope", "per_category"
+    } <= set(feature_set):
+        raise PersistenceError(
+            f"{source}: 'feature_set' must be an object with "
+            "method/scope/per_category"
+        )
+    if not isinstance(manifest["categories"], list) or not manifest["categories"]:
+        raise PersistenceError(f"{source}: 'categories' must be a non-empty list")
+    for section, required in (
+        ("classifiers", _REQUIRED_CLASSIFIER_KEYS),
+        ("encoders", _REQUIRED_ENCODER_KEYS),
+    ):
+        payloads = manifest[section]
+        if not isinstance(payloads, dict) or not payloads:
+            raise PersistenceError(
+                f"{source}: '{section}' must be a non-empty object"
+            )
+        for category, payload in payloads.items():
+            if not isinstance(payload, dict):
+                raise PersistenceError(
+                    f"{source}: {section}[{category!r}] must be an object"
+                )
+            missing = [key for key in required if key not in payload]
+            if missing:
+                raise PersistenceError(
+                    f"{source}: {section}[{category!r}] is missing keys: "
+                    f"{', '.join(missing)}"
+                )
+    return manifest
+
+
+def read_manifest(directory: Union[str, Path]) -> dict:
+    """Parse and validate ``directory/manifest.json``.
+
+    Raises:
+        PersistenceError: when the file is missing, not valid JSON, or
+            fails :func:`validate_manifest`.
+    """
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise PersistenceError(f"no saved pipeline in {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"{manifest_path}: manifest is not valid JSON ({error})"
+        ) from error
+    return validate_manifest(manifest, source=str(manifest_path))
+
+
 def _gp_config_to_dict(config: GpConfig) -> dict:
     return {
         "population_size": config.population_size,
@@ -64,6 +180,12 @@ def _gp_config_from_dict(payload: dict) -> GpConfig:
     payload = dict(payload)
     payload["instruction_ratio"] = tuple(payload["instruction_ratio"])
     return GpConfig(**payload)
+
+
+def _array(arrays, key: str) -> np.ndarray:
+    if key not in arrays:
+        raise PersistenceError(f"arrays.npz is missing array {key!r}")
+    return arrays[key]
 
 
 def save_pipeline(pipeline: ProSysPipeline, directory: Union[str, Path]) -> Path:
@@ -167,15 +289,10 @@ def load_pipeline(directory: Union[str, Path], corpus: Corpus) -> ProSysPipeline
         PersistenceError: on a missing or incompatible model directory.
     """
     directory = Path(directory)
-    manifest_path = directory / "manifest.json"
     arrays_path = directory / "arrays.npz"
-    if not manifest_path.exists() or not arrays_path.exists():
+    manifest = read_manifest(directory)
+    if not arrays_path.exists():
         raise PersistenceError(f"no saved pipeline in {directory}")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise PersistenceError(
-            f"unsupported model format {manifest.get('format_version')!r}"
-        )
     arrays = np.load(arrays_path)
 
     config_payload = manifest["config"]
@@ -216,7 +333,7 @@ def load_pipeline(directory: Union[str, Path], corpus: Corpus) -> ProSysPipeline
         seed=char_payload["seed"],
     )
     char_encoder.som = SelfOrganizingMap(char_payload["rows"], char_payload["cols"], 2)
-    char_encoder.som.weights = arrays["char_som_weights"]
+    char_encoder.som.weights = _array(arrays, "char_som_weights")
 
     encoder = HierarchicalSomEncoder(
         char_rows=char_payload["rows"],
@@ -245,13 +362,13 @@ def load_pipeline(directory: Union[str, Path], corpus: Corpus) -> ProSysPipeline
         som = SelfOrganizingMap(
             payload["rows"], payload["cols"], encoder.vectorizer.dim
         )
-        som.weights = arrays[f"{key}_weights"]
+        som.weights = _array(arrays, f"{key}_weights")
         category_encoder.som = som
         category_encoder.selected_units = list(payload["selected_units"])
         category_encoder.memberships = {
             int(unit): GaussianMembership(
                 unit=int(unit),
-                mean=arrays[f"{key}_mean_{unit}"],
+                mean=_array(arrays, f"{key}_mean_{unit}"),
                 sigma=scalars["sigma"],
                 min_training_value=scalars["min_training_value"],
             )

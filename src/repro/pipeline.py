@@ -175,6 +175,42 @@ class ProSysPipeline:
         self._require_fitted()
         return self.suite.predict_topics(self._encode_all(doc))
 
+    def decision_matrix(self, docs: Sequence[Document]) -> Dict[str, "np.ndarray"]:
+        """Per-category squashed decision values for a batch of documents.
+
+        The batch runs through each category's vectorised RLGP evaluator
+        in one pass (documents packed together), which is the fast path
+        the serving layer builds on.  Returns category -> array aligned
+        with ``docs``.
+        """
+        self._require_fitted()
+        values: Dict[str, "np.ndarray"] = {}
+        for category, classifier in self.suite.classifiers.items():
+            sequences = [
+                self.encoder.encode_document(
+                    doc, self.tokenized, self.feature_set, category
+                ).sequence
+                for doc in docs
+            ]
+            values[category] = classifier.decision_values(sequences)
+        return values
+
+    def predict_documents(self, docs: Sequence[Document]) -> list:
+        """Batched multi-label prediction: one label set per document.
+
+        Equivalent to ``[self.predict_topics(d) for d in docs]`` but
+        vectorised across the whole batch per category.
+        """
+        values = self.decision_matrix(docs)
+        return [
+            [
+                category
+                for category, classifier in self.suite.classifiers.items()
+                if values[category][index] > classifier.threshold
+            ]
+            for index in range(len(docs))
+        ]
+
     # ------------------------------------------------------------------
     # tracking (paper Sec. 8.2)
     # ------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""Serving subsystem: batched, parallel, observable inference.
+
+Turns saved pipeline directories (``repro.persistence``) into a
+long-lived service::
+
+    from repro import load_corpus
+    from repro.serve import InferenceService, ModelRegistry, create_server
+
+    registry = ModelRegistry(load_corpus("data/"))
+    registry.register("default", "model/")
+    service = InferenceService(registry, n_workers=4)
+    server = create_server(service, "0.0.0.0", 8080)
+    server.serve_forever()
+
+or from the command line::
+
+    python -m repro.cli serve --model model/ --data data/ --port 8080
+
+Components: :mod:`~repro.serve.registry` (named models + hot reload),
+:mod:`~repro.serve.batcher` (deadline micro-batching),
+:mod:`~repro.serve.workers` (crash-supervised process pool),
+:mod:`~repro.serve.cache` (encoded-sequence LRU),
+:mod:`~repro.serve.metrics` (counters/gauges/histograms),
+:mod:`~repro.serve.server` (the service + HTTP front-end).
+"""
+
+from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.serve.cache import LruCache, sequence_key, token_fingerprint
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.serve.server import (
+    InferenceService,
+    create_server,
+    document_from_payload,
+)
+from repro.serve.workers import CRASH_CATEGORY, PoolClosed, WorkerCrash, WorkerPool
+
+__all__ = [
+    "BatcherClosed",
+    "MicroBatcher",
+    "LruCache",
+    "sequence_key",
+    "token_fingerprint",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ModelEntry",
+    "ModelRegistry",
+    "InferenceService",
+    "create_server",
+    "document_from_payload",
+    "CRASH_CATEGORY",
+    "PoolClosed",
+    "WorkerCrash",
+    "WorkerPool",
+]

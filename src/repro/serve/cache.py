@@ -1,0 +1,122 @@
+"""LRU cache for encoded word sequences.
+
+Hierarchical-SOM encoding dominates the per-document cost of repeated
+inference (BMU lookups + Gaussian memberships per word, per category).
+Documents in a feed repeat — updates, corrections, re-fetches — so the
+service memoises the *encoded sequence* keyed on a hash of the ordered
+token stream plus the category whose word SOM produced it.  Token
+identity (not raw text) is the right key: two byte-different documents
+that tokenise identically encode identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Hashable, Iterable, Optional, Tuple
+
+
+def token_fingerprint(tokens: Iterable[str]) -> str:
+    """Order-sensitive digest of a token stream.
+
+    blake2b over the NUL-joined tokens; NUL cannot appear inside a token,
+    so distinct streams cannot collide by concatenation.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for token in tokens:
+        digest.update(token.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def sequence_key(model: str, category: str, fingerprint: str) -> Tuple[str, str, str]:
+    """Cache key for one (model, category) encoding of a token stream."""
+    return (model, category, fingerprint)
+
+
+class LruCache:
+    """Thread-safe least-recently-used cache with hit/miss accounting.
+
+    Args:
+        capacity: maximum number of entries; 0 disables caching (every
+            ``get`` is a miss and ``put`` is a no-op).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value, refreshed to most-recent; None on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (hot reload invalidates encodings)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups since construction (0.0 before any lookup)."""
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+            }

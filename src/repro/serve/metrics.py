@@ -1,0 +1,215 @@
+"""Service metrics: counters, gauges and latency histograms.
+
+Pure-stdlib instrumentation for the serving subsystem.  Every metric is
+thread-safe; the registry renders either a plain ``snapshot()`` dict (for
+programmatic assertions) or a Prometheus-flavoured text exposition (for
+the ``/metrics`` endpoint).  Histograms keep a bounded reservoir of the
+most recent observations, so percentiles track the *current* behaviour of
+a long-lived service rather than its whole history.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional
+
+#: Observations retained per histogram for percentile estimation.
+DEFAULT_RESERVOIR = 2048
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, pool size...)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Latency/size distribution with reservoir-based percentiles.
+
+    ``count`` and ``sum`` are exact over the histogram's lifetime;
+    percentiles are computed over the last ``reservoir`` observations.
+    """
+
+    def __init__(
+        self, name: str, help_text: str = "", reservoir: int = DEFAULT_RESERVOIR
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._count = 0
+        self._sum = 0.0
+        self._samples: Deque[float] = deque(maxlen=reservoir)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._samples.append(float(value))
+
+    def time(self) -> "_Timer":
+        """Context manager observing the elapsed wall-clock seconds."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the reservoir (0 when empty)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count, total = self._count, self._sum
+            samples = sorted(self._samples)
+        if not samples:
+            return {"count": count, "sum": total, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+        def rank(fraction: float) -> float:
+            return samples[min(len(samples) - 1,
+                               int(round(fraction * (len(samples) - 1))))]
+
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+            "max": samples[-1],
+        }
+
+
+class _Timer:
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_Timer":
+        import time
+
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import time
+
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Creates-or-returns named metrics and renders them.
+
+    One registry is shared by the whole service; components ask for their
+    metrics by name so tests can assert on the same objects.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind, name: str, help_text: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, help_text)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help_text)
+
+    def names(self) -> Iterable[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as one plain dict (histograms as summary dicts)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        result: Dict[str, object] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Histogram):
+                result[name] = metric.summary()
+            else:
+                result[name] = metric.value
+        return result
+
+    def render_text(self) -> str:
+        """Plain-text exposition, one ``name value`` line per series."""
+        lines = []
+        for name, payload in self.snapshot().items():
+            if isinstance(payload, dict):
+                for key, value in payload.items():
+                    lines.append(f"{name}_{key} {value:.9g}")
+            else:
+                lines.append(f"{name} {payload:.9g}")
+        return "\n".join(lines) + "\n"

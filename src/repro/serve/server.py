@@ -1,0 +1,470 @@
+"""The inference service and its stdlib HTTP front-end.
+
+:class:`InferenceService` wires the serving subsystem together:
+
+* requests enter through the :class:`~repro.serve.batcher.MicroBatcher`
+  (classification is batch-friendly; the RLGP evaluator vectorises
+  across documents);
+* encoded word sequences are memoised in the
+  :class:`~repro.serve.cache.LruCache` keyed on token fingerprints;
+* per-category evaluation fans across the
+  :class:`~repro.serve.workers.WorkerPool`;
+* everything is observable through one
+  :class:`~repro.serve.metrics.MetricsRegistry`.
+
+:func:`create_server` exposes the service over HTTP
+(``ThreadingHTTPServer`` -- one thread per connection feeding the shared
+batcher, which is exactly what makes micro-batching pay off):
+
+    GET  /healthz   liveness + model inventory
+    GET  /metrics   plain-text metrics exposition
+    GET  /models    registered model descriptions
+    POST /classify  {"documents": [{"id", "title", "body"} | {"text": ...}],
+                     "model": optional}
+    POST /track     {"text": ..., "category": ..., "model": optional}
+    POST /reload    {"model": optional} -- hot reload if manifest changed
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classify.streaming import StreamingClassifier
+from repro.corpus.document import Document
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import LruCache, sequence_key, token_fingerprint
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.registry import ModelRegistry
+from repro.serve.workers import WorkerPool
+
+
+def document_from_payload(payload: dict, fallback_id: int = 0) -> Document:
+    """Build a :class:`Document` from a request payload.
+
+    Accepts either ``{"text": ...}`` or ``{"id", "title", "body"}``
+    (topics, when present, are carried along for comparison use-cases).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("each document must be a JSON object")
+    if "text" in payload:
+        body = payload["text"]
+        title = payload.get("title", "")
+    else:
+        body = payload.get("body", "")
+        title = payload.get("title", "")
+    if not (title or body):
+        raise ValueError("document has no text (need 'text' or 'title'/'body')")
+    return Document(
+        doc_id=int(payload.get("id", fallback_id)),
+        title=title,
+        body=body,
+        topics=tuple(payload.get("topics", ())),
+        split="test",
+    )
+
+
+class InferenceService:
+    """Batched, parallel, observable inference over registered models.
+
+    Args:
+        registry: the models to serve.
+        n_workers: worker processes for per-category evaluation
+            (0 = evaluate inline).
+        max_batch_size / max_delay: micro-batching knobs.
+        cache_size: encoded-sequence LRU capacity (0 disables).
+        metrics: optional shared registry (one is created otherwise).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        n_workers: int = 1,
+        max_batch_size: int = 16,
+        max_delay: float = 0.02,
+        cache_size: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry
+        self.n_workers = n_workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = LruCache(cache_size)
+        self.started_at = time.time()
+
+        self._requests = self.metrics.counter(
+            "service_requests_total", "classify calls"
+        )
+        self._documents = self.metrics.counter(
+            "service_documents_total", "documents classified"
+        )
+        self._request_latency = self.metrics.histogram(
+            "service_request_seconds", "end-to-end classify latency"
+        )
+        self._encode_latency = self.metrics.histogram(
+            "service_encode_seconds", "batch encoding latency"
+        )
+        self._reloads = self.metrics.counter(
+            "service_model_reloads_total", "hot reloads applied"
+        )
+
+        self._pools: Dict[str, Tuple[int, WorkerPool]] = {}
+        self._pools_lock = threading.Lock()
+        self._closed = False
+        self.batcher = MicroBatcher(
+            self._handle_batch,
+            max_batch_size=max_batch_size,
+            max_delay=max_delay,
+            metrics=self.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # public API (used by the HTTP layer, tests and the benchmark alike)
+    # ------------------------------------------------------------------
+    def classify(
+        self, documents: Sequence[Document], model: Optional[str] = None
+    ) -> List[dict]:
+        """Classify documents; one result dict per input, in order."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        entry = self.registry.get(model)  # resolve + validate the name now
+        self._requests.inc()
+        self._documents.inc(len(documents))
+        start = time.perf_counter()
+        futures = self.batcher.submit_many(
+            [(entry.name, doc) for doc in documents]
+        )
+        results = [future.result() for future in futures]
+        self._request_latency.observe(time.perf_counter() - start)
+        return results
+
+    def classify_payloads(
+        self, payloads: Sequence[dict], model: Optional[str] = None
+    ) -> List[dict]:
+        """Classify raw request payloads (see :func:`document_from_payload`)."""
+        documents = [
+            document_from_payload(payload, fallback_id=index)
+            for index, payload in enumerate(payloads)
+        ]
+        return self.classify(documents, model=model)
+
+    def track(
+        self, text: str, category: str, model: Optional[str] = None
+    ) -> dict:
+        """Word-at-a-time trace of one category's classifier over ``text``.
+
+        Reuses the streaming classifier (paper Sec. 7.2 deployment mode):
+        registers carry across words, one state per encoded word.
+        """
+        entry = self.registry.get(model)
+        pipeline = entry.pipeline
+        if category not in pipeline.suite.classifiers:
+            raise KeyError(
+                f"model {entry.name!r} has no classifier for {category!r}"
+            )
+        tokens = pipeline.tokenized.preprocessor.tokens(text)
+        words = pipeline.feature_set.filter_tokens(tokens, category)
+        stream = StreamingClassifier(
+            pipeline.suite.classifiers[category],
+            pipeline.encoder.encoder_for(category),
+        )
+        states = stream.push_many(words)
+        return {
+            "model": entry.name,
+            "category": category,
+            "threshold": stream.classifier.threshold,
+            "words_seen": stream.words_seen,
+            "words_encoded": stream.words_encoded,
+            "in_class": stream.in_class if states else False,
+            "states": [
+                {
+                    "word": state.word,
+                    "position": state.position,
+                    "value": state.value,
+                    "in_class": state.in_class,
+                }
+                for state in states
+            ],
+        }
+
+    def reload(self, model: Optional[str] = None) -> dict:
+        """Hot-reload a model if its manifest changed on disk."""
+        reloaded = self.registry.maybe_reload(model)
+        entry = self.registry.get(model)
+        if reloaded:
+            self._reloads.inc()
+            self.cache.clear()
+        return {"model": entry.name, "reloaded": reloaded,
+                "version": entry.version}
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "models": self.registry.names,
+            "default_model": self.registry.default_name,
+            "n_workers": self.n_workers,
+            "queue_depth": self.batcher.queue_depth,
+        }
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot including cache statistics."""
+        self._export_cache_stats()
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        self._export_cache_stats()
+        return self.metrics.render_text()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        with self._pools_lock:
+            pools = [pool for _, pool in self._pools.values()]
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+    def _handle_batch(self, items: List[Tuple[str, Document]]) -> List[dict]:
+        """One micro-batch: group by model, encode, fan out, assemble."""
+        by_model: Dict[str, List[int]] = {}
+        for index, (model_name, _) in enumerate(items):
+            by_model.setdefault(model_name, []).append(index)
+        results: List[Optional[dict]] = [None] * len(items)
+        for model_name, indices in by_model.items():
+            documents = [items[index][1] for index in indices]
+            for index, result in zip(
+                indices, self._classify_model_batch(model_name, documents)
+            ):
+                results[index] = result
+        self._export_cache_stats()
+        return results
+
+    def _classify_model_batch(
+        self, model_name: str, documents: Sequence[Document]
+    ) -> List[dict]:
+        entry = self.registry.get(model_name)
+        pipeline = entry.pipeline
+        categories = list(pipeline.suite.categories)
+        with self._encode_latency.time():
+            sequences_by_category = self._encode_batch(entry, documents)
+        pool = self._pool_for(entry)
+        values_by_category = pool.evaluate_many(sequences_by_category)
+        results = []
+        for position, doc in enumerate(documents):
+            values = {
+                category: float(values_by_category[category][position])
+                for category in categories
+            }
+            topics = [
+                category
+                for category in categories
+                if values[category]
+                > pipeline.suite.classifiers[category].threshold
+            ]
+            results.append(
+                {
+                    "doc_id": doc.doc_id,
+                    "model": entry.name,
+                    "topics": topics,
+                    "decision_values": values,
+                }
+            )
+        return results
+
+    def _encode_batch(self, entry, documents: Sequence[Document]) -> Dict[str, list]:
+        """Per-category sequences for a document batch, via the LRU cache.
+
+        Tokenisation is done fresh from the document text (never through
+        ``TokenizedCorpus``'s doc-id keyed cache: served documents carry
+        client-chosen ids).  Encoding is deterministic, so identical token
+        streams are served from the cache.
+        """
+        pipeline = entry.pipeline
+        preprocessor = pipeline.tokenized.preprocessor
+        model_key = f"{entry.name}@{entry.version}"
+        sequences_by_category: Dict[str, list] = {
+            category: [] for category in pipeline.suite.categories
+        }
+        for doc in documents:
+            tokens = preprocessor.document_tokens(doc)
+            fingerprint = token_fingerprint(tokens)
+            for category in pipeline.suite.categories:
+                key = sequence_key(model_key, category, fingerprint)
+                sequence = self.cache.get(key)
+                if sequence is None:
+                    indexed = pipeline.feature_set.filter_tokens_with_positions(
+                        tokens, category
+                    )
+                    encoded = pipeline.encoder.encoder_for(category).encode(
+                        doc.doc_id,
+                        [word for _, word in indexed],
+                        positions=[index for index, _ in indexed],
+                        max_words=pipeline.encoder.max_sequence_length,
+                    )
+                    sequence = encoded.sequence
+                    self.cache.put(key, sequence)
+                sequences_by_category[category].append(sequence)
+        return sequences_by_category
+
+    def _pool_for(self, entry) -> WorkerPool:
+        """The worker pool for a model entry, rebuilt when it reloads."""
+        with self._pools_lock:
+            current = self._pools.get(entry.name)
+            if current is not None and current[0] == entry.version:
+                return current[1]
+            stale = current[1] if current is not None else None
+            pool = WorkerPool(
+                entry.pipeline.suite.classifiers,
+                n_workers=self.n_workers,
+                metrics=self.metrics,
+            )
+            self._pools[entry.name] = (entry.version, pool)
+        if stale is not None:
+            stale.shutdown()
+        return pool
+
+    def _export_cache_stats(self) -> None:
+        stats = self.cache.stats()
+        self.metrics.gauge("cache_size", "entries cached").set(stats["size"])
+        self.metrics.gauge("cache_hits", "cache hits").set(stats["hits"])
+        self.metrics.gauge("cache_misses", "cache misses").set(stats["misses"])
+        self.metrics.gauge("cache_evictions", "evictions").set(
+            stats["evictions"]
+        )
+        self.metrics.gauge("cache_hit_rate", "hits / lookups").set(
+            stats["hit_rate"]
+        )
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end
+# ----------------------------------------------------------------------
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the bound :class:`InferenceService`."""
+
+    service: InferenceService  # bound by create_server
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers -------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are observable through /metrics, not stderr
+
+    def _observe(self, route: str) -> None:
+        self.service.metrics.counter(
+            "http_requests_total", "HTTP requests handled"
+        ).inc()
+        self.service.metrics.counter(f"http_{route}_total").inc()
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._observe("healthz")
+            self._send_json(self.service.health())
+        elif path == "/metrics":
+            self._observe("metrics")
+            self._send_text(self.service.metrics_text())
+        elif path == "/models":
+            self._observe("models")
+            self._send_json({"models": self.service.registry.describe()})
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        with self.service.metrics.histogram(
+            "http_request_seconds", "HTTP request latency"
+        ).time():
+            try:
+                if path == "/classify":
+                    self._observe("classify")
+                    payload = self._read_json()
+                    documents = payload.get("documents")
+                    if not isinstance(documents, list) or not documents:
+                        raise ValueError("'documents' must be a non-empty list")
+                    results = self.service.classify_payloads(
+                        documents, model=payload.get("model")
+                    )
+                    self._send_json({"results": results})
+                elif path == "/track":
+                    self._observe("track")
+                    payload = self._read_json()
+                    text = payload.get("text")
+                    category = payload.get("category")
+                    if not text or not category:
+                        raise ValueError("'text' and 'category' are required")
+                    self._send_json(
+                        self.service.track(
+                            text, category, model=payload.get("model")
+                        )
+                    )
+                elif path == "/reload":
+                    self._observe("reload")
+                    try:
+                        payload = self._read_json()
+                    except ValueError:
+                        payload = {}
+                    self._send_json(self.service.reload(payload.get("model")))
+                else:
+                    self._send_error_json(404, f"unknown path {self.path!r}")
+                    return
+            except (ValueError, json.JSONDecodeError) as error:
+                self.service.metrics.counter("http_errors_total").inc()
+                self._send_error_json(400, str(error))
+            except KeyError as error:
+                self.service.metrics.counter("http_errors_total").inc()
+                self._send_error_json(404, str(error.args[0] if error.args else error))
+            except Exception as error:  # noqa: BLE001 - boundary
+                self.service.metrics.counter("http_errors_total").inc()
+                self._send_error_json(500, f"{type(error).__name__}: {error}")
+
+
+def create_server(
+    service: InferenceService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` (0 = ephemeral) and ``service``.
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` then ``service.close()`` to stop.
+    """
+    handler = type("BoundHandler", (_RequestHandler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,329 @@
+"""Multiprocessing worker pool for per-category RLGP evaluation.
+
+Encoding happens in the front-end (it is cheap, cacheable and shares the
+encoder's BMU cache); the register-machine evaluation of a batch is the
+CPU-bound part, and it parallelises naturally across *categories* — each
+one-vs-rest classifier scores the batch independently.  The pool fans
+``(category, sequences)`` jobs across ``n_workers`` processes.
+
+Supervision: every job is acknowledged by the worker that picks it up
+("claim"), so when a worker dies mid-job the monitor thread respawns a
+replacement and resubmits the orphaned jobs.  ``n_workers=0`` degrades to
+inline evaluation in the calling thread (no processes), which keeps unit
+tests and single-core deployments simple.
+
+The pool prefers the ``fork`` start method (workers inherit the evolved
+programs for free) and falls back to ``spawn``, where the classifier
+table is pickled to each worker once at startup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.serve.metrics import MetricsRegistry
+
+#: Reserved category that makes a worker die abruptly (``os._exit``).
+#: Exists so operators and tests can exercise the crash-restart path of a
+#: live pool without attaching a debugger.
+CRASH_CATEGORY = "__crash__"
+
+
+class WorkerCrash(RuntimeError):
+    """The worker evaluating a job died before producing a result."""
+
+
+class PoolClosed(RuntimeError):
+    """Raised by :meth:`WorkerPool.evaluate` after shutdown."""
+
+
+def _worker_main(worker_id, classifiers, task_queue, result_queue):
+    """Worker process body: claim, evaluate, report — forever."""
+    # A terminal Ctrl-C reaches the whole foreground process group;
+    # shutdown is the parent's job (sentinel / terminate), so workers
+    # must not die mid-protocol with a KeyboardInterrupt traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        job_id, category, sequences = message
+        result_queue.put(("claim", worker_id, job_id))
+        if category == CRASH_CATEGORY:
+            # Simulated hard crash; the sleep lets the claim flush through
+            # the queue's feeder thread so supervision sees it.
+            time.sleep(0.05)
+            os._exit(1)
+        try:
+            classifier = classifiers[category]
+            values = classifier.decision_values(sequences)
+            result_queue.put(("done", job_id, np.asarray(values)))
+        except BaseException:  # noqa: BLE001 - reported to the parent
+            result_queue.put(("error", job_id, traceback.format_exc()))
+
+
+class _Job:
+    __slots__ = ("job_id", "category", "sequences", "future", "claimed_by",
+                 "submitted_at", "retries")
+
+    def __init__(self, job_id, category, sequences):
+        self.job_id = job_id
+        self.category = category
+        self.sequences = sequences
+        self.future: Future = Future()
+        self.claimed_by: Optional[int] = None
+        self.submitted_at = time.perf_counter()
+        self.retries = 0
+
+
+class WorkerPool:
+    """Fans per-category evaluation jobs across worker processes.
+
+    Args:
+        classifiers: category -> trained binary classifier (as in
+            ``OneVsRestRlgp.classifiers``).
+        n_workers: process count; 0 evaluates inline with no processes.
+        metrics: optional shared registry (``pool_*`` series).
+        restart_workers: respawn workers that die (on by default).
+        max_retries: resubmissions of a job orphaned by worker deaths
+            before its future fails with :class:`WorkerCrash`.
+    """
+
+    def __init__(
+        self,
+        classifiers: Mapping[str, RlgpBinaryClassifier],
+        n_workers: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        restart_workers: bool = True,
+        max_retries: int = 2,
+        monitor_interval: float = 0.1,
+    ) -> None:
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+        self.classifiers = dict(classifiers)
+        self.n_workers = n_workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.restart_workers = restart_workers
+        self.max_retries = max_retries
+        self.monitor_interval = monitor_interval
+
+        self._restarts = self.metrics.counter(
+            "pool_worker_restarts_total", "workers respawned after a crash"
+        )
+        self._alive_gauge = self.metrics.gauge("pool_workers_alive", "live workers")
+        self._latency = self.metrics.histogram(
+            "pool_eval_seconds", "job latency: submit to result"
+        )
+        self._jobs_total = self.metrics.counter("pool_jobs_total", "jobs submitted")
+
+        self._closed = False
+        self._lock = threading.Lock()
+        self._pending: Dict[int, _Job] = {}
+        self._next_job_id = 0
+        self._next_worker_id = 0
+        self._workers: Dict[int, multiprocessing.process.BaseProcess] = {}
+
+        if n_workers == 0:
+            self._context = None
+            self._alive_gauge.set(0)
+            return
+
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._context = multiprocessing.get_context("spawn")
+        self._task_queue = self._context.Queue()
+        self._result_queue = self._context.Queue()
+        for _ in range(n_workers):
+            self._spawn_worker()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="pool-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="pool-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, category: str, sequences: Sequence[np.ndarray]) -> Future:
+        """Submit one (category, batch) job; resolves to decision values."""
+        if self._closed:
+            raise PoolClosed("worker pool is shut down")
+        if category != CRASH_CATEGORY and category not in self.classifiers:
+            future: Future = Future()
+            future.set_exception(
+                KeyError(f"pool has no classifier for category {category!r}")
+            )
+            return future
+        self._jobs_total.inc()
+        if self.n_workers == 0:
+            return self._evaluate_inline(category, sequences)
+        with self._lock:
+            job = _Job(self._next_job_id, category, list(sequences))
+            self._next_job_id += 1
+            self._pending[job.job_id] = job
+        self._task_queue.put((job.job_id, job.category, job.sequences))
+        return job.future
+
+    def evaluate_many(
+        self, sequences_by_category: Mapping[str, Sequence[np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        """Fan one batch across categories and block for all results."""
+        futures = {
+            category: self.evaluate(category, sequences)
+            for category, sequences in sequences_by_category.items()
+        }
+        return {category: future.result() for category, future in futures.items()}
+
+    @property
+    def n_restarts(self) -> int:
+        return int(self._restarts.value)
+
+    @property
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [p.pid for p in self._workers.values() if p.pid is not None]
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop accepting jobs, drain workers, fail leftover futures."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.n_workers == 0:
+            return
+        with self._lock:
+            workers = list(self._workers.values())
+        for _ in workers:
+            self._task_queue.put(None)
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+        self._collector.join(timeout=1.0)
+        self._monitor.join(timeout=1.0)
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for job in pending:
+            if not job.future.done():
+                job.future.set_exception(PoolClosed("pool shut down"))
+        self._alive_gauge.set(0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evaluate_inline(self, category, sequences) -> Future:
+        future: Future = Future()
+        start = time.perf_counter()
+        try:
+            if category == CRASH_CATEGORY:
+                raise WorkerCrash("crash requested with no worker processes")
+            values = self.classifiers[category].decision_values(list(sequences))
+            future.set_result(np.asarray(values))
+        except BaseException as error:  # noqa: BLE001
+            future.set_exception(error)
+        self._latency.observe(time.perf_counter() - start)
+        return future
+
+    def _spawn_worker(self) -> None:
+        with self._lock:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            process = self._context.Process(
+                target=_worker_main,
+                args=(worker_id, self.classifiers, self._task_queue,
+                      self._result_queue),
+                name=f"rlgp-worker-{worker_id}",
+                daemon=True,
+            )
+            self._workers[worker_id] = process
+        process.start()
+        self._alive_gauge.set(len(self._workers))
+
+    def _collect_loop(self) -> None:
+        while not self._closed:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                continue
+            kind = message[0]
+            if kind == "claim":
+                _, worker_id, job_id = message
+                with self._lock:
+                    job = self._pending.get(job_id)
+                    if job is not None:
+                        job.claimed_by = worker_id
+            elif kind == "done":
+                _, job_id, values = message
+                with self._lock:
+                    job = self._pending.pop(job_id, None)
+                if job is not None:
+                    self._latency.observe(time.perf_counter() - job.submitted_at)
+                    job.future.set_result(values)
+            elif kind == "error":
+                _, job_id, text = message
+                with self._lock:
+                    job = self._pending.pop(job_id, None)
+                if job is not None:
+                    job.future.set_exception(
+                        RuntimeError(f"worker evaluation failed:\n{text}")
+                    )
+
+    def _monitor_loop(self) -> None:
+        while not self._closed:
+            time.sleep(self.monitor_interval)
+            with self._lock:
+                dead = {
+                    worker_id: process
+                    for worker_id, process in self._workers.items()
+                    if not process.is_alive()
+                }
+                for worker_id in dead:
+                    del self._workers[worker_id]
+            if not dead or self._closed:
+                continue
+            for worker_id, process in dead.items():
+                process.join(timeout=0.1)
+                self._reassign_orphans(worker_id)
+                if self.restart_workers:
+                    self._restarts.inc()
+                    self._spawn_worker()
+            self._alive_gauge.set(len(self._workers))
+
+    def _reassign_orphans(self, dead_worker_id: int) -> None:
+        """Resubmit jobs claimed by a dead worker (or fail them)."""
+        with self._lock:
+            orphans = [
+                job for job in self._pending.values()
+                if job.claimed_by == dead_worker_id and not job.future.done()
+            ]
+        for job in orphans:
+            if job.category == CRASH_CATEGORY or job.retries >= self.max_retries:
+                with self._lock:
+                    self._pending.pop(job.job_id, None)
+                job.future.set_exception(
+                    WorkerCrash(
+                        f"worker died evaluating category {job.category!r} "
+                        f"(after {job.retries} retries)"
+                    )
+                )
+                continue
+            job.retries += 1
+            job.claimed_by = None
+            self._task_queue.put((job.job_id, job.category, job.sequences))

@@ -1,0 +1,38 @@
+"""Fixtures for the serving-subsystem tests.
+
+One small fitted pipeline, saved once, shared by the whole package
+(training dominates the suite's cost; none of these tests mutate it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline, make_corpus
+from repro.persistence import save_pipeline
+
+SERVE_CATEGORIES = ("earn", "grain")
+
+
+@pytest.fixture(scope="package")
+def serve_corpus():
+    return make_corpus(scale=0.01, seed=3)
+
+
+@pytest.fixture(scope="package")
+def fitted_pipeline(serve_corpus):
+    config = ProSysConfig(
+        feature_method="mi",
+        n_features=60,
+        som_epochs=5,
+        gp=GpConfig().small(tournaments=80),
+        seed=13,
+    )
+    return ProSysPipeline(config).fit(serve_corpus, categories=SERVE_CATEGORIES)
+
+
+@pytest.fixture(scope="package")
+def model_dir(fitted_pipeline, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("served-model")
+    save_pipeline(fitted_pipeline, directory)
+    return directory

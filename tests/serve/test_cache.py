@@ -1,0 +1,97 @@
+"""LRU cache and token fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import LruCache, sequence_key, token_fingerprint
+
+
+def test_miss_then_hit_accounting():
+    cache = LruCache(capacity=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_hit_rate_zero_before_any_lookup():
+    assert LruCache(4).hit_rate == 0.0
+
+
+def test_eviction_is_least_recently_used():
+    cache = LruCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")            # refresh a; b becomes the LRU entry
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.evictions == 1
+
+
+def test_put_refreshes_existing_key():
+    cache = LruCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)        # update + refresh; b is now LRU
+    cache.put("c", 3)
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_zero_capacity_disables_caching():
+    cache = LruCache(capacity=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        LruCache(capacity=-1)
+
+
+def test_clear_drops_entries_but_keeps_accounting():
+    cache = LruCache(capacity=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_stats_shape():
+    cache = LruCache(capacity=4)
+    cache.put("a", np.zeros((3, 2)))
+    cache.get("a")
+    cache.get("zzz")
+    stats = cache.stats()
+    assert stats["size"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_fingerprint_is_order_sensitive():
+    assert token_fingerprint(["a", "b"]) != token_fingerprint(["b", "a"])
+
+
+def test_fingerprint_does_not_collide_on_concatenation():
+    assert token_fingerprint(["ab", "c"]) != token_fingerprint(["a", "bc"])
+    assert token_fingerprint(["ab"]) != token_fingerprint(["a", "b"])
+
+
+def test_fingerprint_deterministic():
+    assert token_fingerprint(["x", "y"]) == token_fingerprint(["x", "y"])
+
+
+def test_sequence_key_separates_models_and_categories():
+    fingerprint = token_fingerprint(["w"])
+    assert sequence_key("m1", "earn", fingerprint) != sequence_key(
+        "m2", "earn", fingerprint
+    )
+    assert sequence_key("m1", "earn", fingerprint) != sequence_key(
+        "m1", "grain", fingerprint
+    )

@@ -1,0 +1,90 @@
+"""The ``repro.cli serve`` subcommand, end to end over a real socket."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def data_dir(serve_corpus, tmp_path_factory):
+    from repro.corpus.sgml import write_sgml_files
+
+    directory = tmp_path_factory.mktemp("serve-data")
+    write_sgml_files(serve_corpus.documents, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def running_server(model_dir, data_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--model", str(model_dir),
+            "--data", str(data_dir),
+            "--port", "0",
+            "--workers", "1",
+            "--max-delay-ms", "5",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    base_url = None
+    deadline = time.time() + 120
+    try:
+        while time.time() < deadline:
+            line = process.stdout.readline()
+            if not line and process.poll() is not None:
+                raise RuntimeError("serve exited before binding")
+            match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+            if match:
+                base_url = match.group(1)
+                break
+        assert base_url, "server never reported its address"
+        yield base_url
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+
+def test_serve_answers_healthz(running_server):
+    with urllib.request.urlopen(f"{running_server}/healthz", timeout=30) as resp:
+        payload = json.loads(resp.read())
+    assert payload["status"] == "ok"
+
+
+def test_serve_classifies_documents(running_server, serve_corpus, fitted_pipeline):
+    docs = list(serve_corpus.test_documents)[:4]
+    request = urllib.request.Request(
+        f"{running_server}/classify",
+        data=json.dumps({"documents": [
+            {"id": doc.doc_id, "title": doc.title, "body": doc.body}
+            for doc in docs
+        ]}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as resp:
+        payload = json.loads(resp.read())
+    assert [r["topics"] for r in payload["results"]] == \
+        fitted_pipeline.predict_documents(docs)
+
+
+def test_serve_reports_metrics(running_server):
+    with urllib.request.urlopen(f"{running_server}/metrics", timeout=30) as resp:
+        body = resp.read().decode("utf-8")
+    assert "service_request_seconds_count" in body
+    assert "cache_hit_rate" in body

@@ -1,0 +1,83 @@
+"""Counters, gauges, histograms and the registry."""
+
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(5)
+    gauge.dec(2)
+    gauge.inc(0.5)
+    assert gauge.value == pytest.approx(3.5)
+
+
+def test_histogram_summary_percentiles():
+    histogram = Histogram("h")
+    for value in range(1, 101):
+        histogram.observe(float(value))
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["sum"] == pytest.approx(5050.0)
+    assert summary["p50"] == pytest.approx(50.0, abs=2)
+    assert summary["p95"] == pytest.approx(95.0, abs=2)
+    assert summary["p99"] == pytest.approx(99.0, abs=2)
+    assert summary["max"] == 100.0
+
+
+def test_histogram_empty_summary_is_zeroed():
+    summary = Histogram("h").summary()
+    assert summary["count"] == 0
+    assert summary["p99"] == 0.0
+
+
+def test_histogram_reservoir_is_bounded():
+    histogram = Histogram("h", reservoir=10)
+    for value in range(1000):
+        histogram.observe(float(value))
+    assert histogram.count == 1000          # exact lifetime count
+    assert histogram.percentile(0.0) >= 990  # percentiles track recent window
+
+
+def test_histogram_timer_observes_positive_duration():
+    histogram = Histogram("h")
+    with histogram.time():
+        pass
+    assert histogram.count == 1
+    assert histogram.summary()["max"] >= 0.0
+
+
+def test_registry_returns_same_metric_for_same_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("a")
+    with pytest.raises(TypeError, match="already registered"):
+        registry.gauge("a")
+
+
+def test_snapshot_and_render():
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(3)
+    registry.gauge("depth").set(7)
+    registry.histogram("latency").observe(0.25)
+    snapshot = registry.snapshot()
+    assert snapshot["requests"] == 3
+    assert snapshot["depth"] == 7
+    assert snapshot["latency"]["count"] == 1
+    text = registry.render_text()
+    assert "requests 3" in text
+    assert "latency_p99 0.25" in text

@@ -1,0 +1,220 @@
+"""End-to-end serving: parity with the pipeline, HTTP round trip, metrics."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceService, ModelRegistry, create_server
+
+
+@pytest.fixture(scope="module")
+def service(serve_corpus, model_dir):
+    registry = ModelRegistry(serve_corpus)
+    registry.register("default", model_dir)
+    service = InferenceService(
+        registry, n_workers=1, max_batch_size=8, max_delay=0.005
+    )
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def http_server(service):
+    server = create_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+# ----------------------------------------------------------------------
+# service-level behaviour
+# ----------------------------------------------------------------------
+def test_classify_matches_pipeline_evaluate_predictions(service, serve_corpus):
+    """The acceptance bar: served decisions == ProSysPipeline.evaluate's."""
+    pipeline = service.registry.get().pipeline
+    docs = list(serve_corpus.test_documents)
+    results = service.classify(docs)
+    served = {
+        category: np.array(
+            [1 if category in result["topics"] else -1 for result in results]
+        )
+        for category in pipeline.suite.categories
+    }
+    for category, classifier in pipeline.suite.classifiers.items():
+        dataset = pipeline.encoder.encode_dataset(
+            pipeline.tokenized, pipeline.feature_set, category, "test"
+        )
+        np.testing.assert_array_equal(served[category], classifier.predict(dataset))
+
+
+def test_classify_matches_predict_documents(service, serve_corpus):
+    pipeline = service.registry.get().pipeline
+    docs = list(serve_corpus.test_documents)[:10]
+    results = service.classify(docs)
+    assert [r["topics"] for r in results] == pipeline.predict_documents(docs)
+
+
+def test_repeat_classification_hits_the_cache(service, serve_corpus):
+    docs = list(serve_corpus.test_documents)[:5]
+    service.classify(docs)
+    hits_before = service.cache.hits
+    service.classify(docs)
+    assert service.cache.hits > hits_before
+    assert service.snapshot()["cache_hit_rate"] > 0
+
+
+def test_latency_histograms_are_populated(service, serve_corpus):
+    service.classify(list(serve_corpus.test_documents)[:3])
+    snapshot = service.snapshot()
+    assert snapshot["service_request_seconds"]["count"] > 0
+    assert snapshot["service_request_seconds"]["p50"] > 0
+    assert snapshot["pool_eval_seconds"]["count"] > 0
+    assert snapshot["batcher_batch_size"]["count"] > 0
+
+
+def test_unknown_model_raises(service, serve_corpus):
+    with pytest.raises(KeyError, match="unknown model"):
+        service.classify(list(serve_corpus.test_documents)[:1], model="nope")
+
+
+def test_track_reports_stream_states(service, serve_corpus):
+    doc = serve_corpus.test_for("grain")[0]
+    trace = service.track(doc.text, "grain")
+    assert trace["category"] == "grain"
+    assert trace["words_seen"] > 0
+    assert trace["words_encoded"] == len(trace["states"])
+    for state in trace["states"]:
+        assert set(state) == {"word", "position", "value", "in_class"}
+
+
+def test_track_unknown_category_raises(service):
+    with pytest.raises(KeyError, match="no classifier"):
+        service.track("wheat tonnes", "ship")
+
+
+# ----------------------------------------------------------------------
+# HTTP round trip
+# ----------------------------------------------------------------------
+def test_healthz(http_server):
+    status, body = _get(f"{http_server}/healthz")
+    payload = json.loads(body)
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["models"] == ["default"]
+
+
+def test_models_endpoint(http_server):
+    status, body = _get(f"{http_server}/models")
+    payload = json.loads(body)
+    assert status == 200
+    assert payload["models"][0]["name"] == "default"
+    assert payload["models"][0]["categories"]
+
+
+def test_http_classify_round_trip(http_server, service, serve_corpus):
+    pipeline = service.registry.get().pipeline
+    docs = list(serve_corpus.test_documents)[:4]
+    status, payload = _post(
+        f"{http_server}/classify",
+        {"documents": [
+            {"id": doc.doc_id, "title": doc.title, "body": doc.body}
+            for doc in docs
+        ]},
+    )
+    assert status == 200
+    assert [r["topics"] for r in payload["results"]] == \
+        pipeline.predict_documents(docs)
+    for result in payload["results"]:
+        assert set(result["decision_values"]) == set(pipeline.suite.categories)
+
+
+def test_http_classify_text_only_payload(http_server):
+    status, payload = _post(
+        f"{http_server}/classify",
+        {"documents": [{"text": "wheat corn grain tonnes shipment"}]},
+    )
+    assert status == 200
+    assert len(payload["results"]) == 1
+
+
+def test_http_track(http_server, serve_corpus):
+    doc = serve_corpus.test_for("grain")[0]
+    status, payload = _post(
+        f"{http_server}/track", {"text": doc.text, "category": "grain"}
+    )
+    assert status == 200
+    assert payload["category"] == "grain"
+
+
+def test_http_reload_noop(http_server):
+    status, payload = _post(f"{http_server}/reload", {})
+    assert status == 200
+    assert payload == {"model": "default", "reloaded": False, "version": 1}
+
+
+def test_http_metrics_exposition(http_server, service, serve_corpus):
+    service.classify(list(serve_corpus.test_documents)[:2])
+    status, body = _get(f"{http_server}/metrics")
+    assert status == 200
+    assert "service_request_seconds_p50" in body
+    assert "cache_hit_rate" in body
+    assert "pool_workers_alive" in body
+
+
+def test_http_bad_request_is_400(http_server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{http_server}/classify", {"documents": []})
+    assert excinfo.value.code == 400
+
+
+def test_http_unknown_model_is_404(http_server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{http_server}/classify",
+              {"documents": [{"text": "x y z"}], "model": "nope"})
+    assert excinfo.value.code == 404
+
+
+def test_http_unknown_path_is_404(http_server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{http_server}/nope")
+    assert excinfo.value.code == 404
+
+
+def test_hot_reload_via_http(http_server, service, model_dir, fitted_pipeline):
+    import os
+
+    from repro.persistence import save_pipeline
+
+    save_pipeline(fitted_pipeline, model_dir)
+    stat = (model_dir / "manifest.json").stat()
+    os.utime(model_dir / "manifest.json", (stat.st_atime, stat.st_mtime + 7))
+    status, payload = _post(f"{http_server}/reload", {})
+    assert status == 200
+    assert payload["reloaded"] is True
+    assert payload["version"] == 2
+    # The service keeps serving identical predictions with the new entry.
+    status, payload = _post(
+        f"{http_server}/classify", {"documents": [{"text": "wheat tonnes"}]}
+    )
+    assert status == 200
