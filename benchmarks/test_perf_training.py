@@ -1,0 +1,78 @@
+"""Training-throughput benchmarks for the runtime execution layer.
+
+Two claims of ``repro.runtime`` are measured here rather than unit-tested:
+
+* **Parallel speedup** -- the per-category stages (word SOMs, RLGP) are
+  embarrassingly parallel, so ``n_jobs=4`` should cut wall-clock time by
+  at least 1.5x on a 4-core machine (the stages before the fan-out are
+  serial, so the ideal 4x is not expected).  Skipped on smaller hosts,
+  where the forked workers just time-slice one core.
+* **Resume speedup** -- a fit over an already-complete run directory
+  only deserialises checkpoints; it must take a small fraction of the
+  original training time.
+
+Run with ``pytest benchmarks/test_perf_training.py -s`` to see timings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import ProSysConfig, ProSysPipeline
+from repro.runtime import CheckpointStore, RunContext
+
+
+@pytest.fixture(scope="module")
+def train_config(settings) -> ProSysConfig:
+    return settings.prosys("mi", seed=1)
+
+
+@pytest.fixture(scope="module")
+def categories(corpus):
+    """Four categories: enough fan-out to occupy four workers."""
+    return list(corpus.categories)[:4]
+
+
+def _timed_fit(config, corpus, categories, **ctx_kwargs):
+    pipeline = ProSysPipeline(config)
+    start = time.perf_counter()
+    pipeline.fit(corpus, categories=categories, ctx=RunContext(seed=1, **ctx_kwargs))
+    return pipeline, time.perf_counter() - start
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs at least 4 cores",
+)
+def test_four_jobs_at_least_1_5x_faster_than_one(corpus, train_config, categories):
+    _, serial = _timed_fit(train_config, corpus, categories, n_jobs=1)
+    parallel_pipeline, parallel = _timed_fit(
+        train_config, corpus, categories, n_jobs=4
+    )
+    speedup = serial / parallel
+    print(f"\njobs=1: {serial:.1f}s  jobs=4: {parallel:.1f}s  "
+          f"speedup: {speedup:.2f}x")
+    assert len(parallel_pipeline.suite.classifiers) == len(categories)
+    assert speedup >= 1.5
+
+
+def test_resume_skips_completed_stages(corpus, train_config, categories, tmp_path):
+    store = CheckpointStore(tmp_path / "run")
+    fresh_pipeline, fresh = _timed_fit(
+        train_config, corpus, categories, checkpoints=store
+    )
+    resumed_pipeline, resumed = _timed_fit(
+        train_config, corpus, categories,
+        checkpoints=CheckpointStore(tmp_path / "run"),
+    )
+    print(f"\nfresh fit: {fresh:.1f}s  resumed: {resumed:.1f}s  "
+          f"({resumed / fresh:.1%} of fresh)")
+    assert resumed < 0.5 * fresh
+    for category in categories:
+        assert (
+            resumed_pipeline.suite.classifiers[category].program.code
+            == fresh_pipeline.suite.classifiers[category].program.code
+        )

@@ -24,6 +24,7 @@ Subpackages: :mod:`repro.corpus` (Reuters-21578 substrate),
 from repro.corpus import Corpus, Document, TOP10_CATEGORIES, load_corpus, make_corpus
 from repro.gp.config import GpConfig
 from repro.pipeline import ProSysConfig, ProSysPipeline
+from repro.runtime import RunContext
 
 __version__ = "1.0.0"
 
@@ -36,5 +37,6 @@ __all__ = [
     "GpConfig",
     "ProSysConfig",
     "ProSysPipeline",
+    "RunContext",
     "__version__",
 ]

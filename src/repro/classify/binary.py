@@ -41,13 +41,20 @@ class RlgpBinaryClassifier:
         trainer: RlgpTrainer,
         n_restarts: int = 1,
         base_seed: Optional[int] = None,
+        ctx=None,
     ) -> "RlgpBinaryClassifier":
-        """Evolve a rule (best of ``n_restarts`` runs) and fit the threshold."""
+        """Evolve a rule (best of ``n_restarts`` runs) and fit the threshold.
+
+        Args:
+            ctx: optional :class:`~repro.runtime.context.RunContext`
+                threaded into the trainer (progress events, seed-tree
+                restart seeds) and used to emit ``classifier_fitted``.
+        """
         if n_restarts == 1:
-            result: EvolutionResult = trainer.train(dataset, seed=base_seed)
+            result: EvolutionResult = trainer.train(dataset, seed=base_seed, ctx=ctx)
         else:
             result = trainer.train_with_restarts(
-                dataset, n_restarts=n_restarts, base_seed=base_seed
+                dataset, n_restarts=n_restarts, base_seed=base_seed, ctx=ctx
             )
         classifier = cls(
             category=dataset.category,
@@ -58,6 +65,14 @@ class RlgpBinaryClassifier:
         )
         outputs = classifier.decision_values(dataset.sequences)
         classifier.threshold = median_threshold(outputs, dataset.labels)
+        if ctx is not None:
+            ctx.emit(
+                "classifier_fitted",
+                category=dataset.category,
+                threshold=float(classifier.threshold),
+                train_fitness=float(classifier.train_fitness),
+                n_restarts=n_restarts,
+            )
         return classifier
 
     # ------------------------------------------------------------------

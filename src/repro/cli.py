@@ -3,7 +3,8 @@
 Subcommands::
 
     python -m repro.cli generate --out data/ --scale 0.05
-    python -m repro.cli train    --data data/ --features ig --out model/
+    python -m repro.cli train    --data data/ --features ig --out model/ \
+                                 --jobs 4 --resume runs/r1 --progress
     python -m repro.cli evaluate --model model/ --data data/
     python -m repro.cli track    --model model/ --data data/ --doc-id 42 \
                                  --category earn
@@ -64,6 +65,19 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--categories", nargs="*", default=None,
                        help="subset of categories (default: all ten)")
+    train.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for per-category fits "
+                            "(0 = inline)")
+    train.add_argument("--resume", type=Path, default=None, metavar="RUNDIR",
+                       help="stage checkpoint directory; stages already "
+                            "complete there are loaded instead of retrained")
+    train.add_argument("--progress", action="store_true",
+                       help="stream structured progress events to stderr "
+                            "(and to RUNDIR/events.jsonl with --resume)")
+    train.add_argument("--seed-policy", default="legacy",
+                       choices=["legacy", "tree"],
+                       help="legacy keeps historical per-stage seed "
+                            "arithmetic; tree derives seeds from run paths")
 
     evaluate = commands.add_parser("evaluate", help="score a trained model")
     evaluate.add_argument("--model", required=True, type=Path)
@@ -118,6 +132,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_run_context(args: argparse.Namespace) -> "RunContext":
+    """Assemble the :class:`RunContext` the ``train`` flags describe."""
+    from repro.runtime import (
+        CheckpointStore,
+        ConsoleSink,
+        EventBus,
+        JsonlSink,
+        RunContext,
+    )
+
+    events = EventBus()
+    if args.progress:
+        events.subscribe(ConsoleSink(stream=sys.stderr))
+    checkpoints = None
+    if args.resume is not None:
+        checkpoints = CheckpointStore(args.resume)
+        if args.progress:
+            events.subscribe(JsonlSink(args.resume / "events.jsonl"))
+    return RunContext(
+        seed=args.seed,
+        seed_policy=args.seed_policy,
+        events=events,
+        checkpoints=checkpoints,
+        n_jobs=args.jobs,
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     corpus = load_corpus(args.data)
     print(f"loaded {len(corpus.train_documents)} train / "
@@ -131,7 +172,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     pipeline = ProSysPipeline(config)
-    pipeline.fit(corpus, categories=args.categories)
+    ctx = _build_run_context(args)
+    if ctx.checkpoints is not None:
+        completed = ctx.checkpoints.completed()
+        if completed:
+            print(f"resuming from {args.resume}: "
+                  f"{len(completed)} stage(s) already complete")
+    pipeline.fit(corpus, categories=args.categories, ctx=ctx)
     save_pipeline(pipeline, args.out)
     print(f"model saved to {args.out}")
     return 0

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.document import Document
 from repro.corpus.stopwords import STOPWORDS
+from repro.runtime.seeds import SeedTree
 
 # Per-category topical vocabulary.  money-fx and interest intentionally share
 # many terms (rate/rates/fed/bank/money/central/...).
@@ -127,9 +128,8 @@ _VOWELS = ("a", "e", "i", "o", "u", "ai", "ea", "ou")
 _CODAS = ("", "n", "r", "s", "t", "l", "nd", "rt", "ck", "m")
 
 
-def _build_noise_pool(seed: int, size: int) -> Tuple[str, ...]:
+def _build_noise_pool(rng: random.Random, size: int) -> Tuple[str, ...]:
     """A deterministic pool of pronounceable pseudo-words (>= 4 letters)."""
-    rng = random.Random(seed)
     pool = set()
     while len(pool) < size:
         n_syllables = rng.randint(2, 4)
@@ -187,6 +187,11 @@ class SyntheticReutersGenerator:
             off-topic digression (drawn from a category the document is
             *not* labelled with).  Real news stories digress; distractors
             are what make pure bag-of-words separation imperfect.
+        seed_tree: optional :class:`~repro.runtime.seeds.SeedTree` node;
+            when given, the generator's PRNGs derive from the tree
+            (``documents`` and ``noise_pool`` children) instead of the
+            legacy ``seed``/``seed ^ 0x5EED`` arithmetic -- independent
+            streams no matter where in a run the corpus is built.
     """
 
     seed: int = 21578
@@ -195,6 +200,7 @@ class SyntheticReutersGenerator:
     noise_pool_size: int = 3000
     noise_rate: float = 0.12
     distractor_rate: float = 0.18
+    seed_tree: Optional[SeedTree] = None
     _rng: random.Random = field(init=False, repr=False)
     _noise_pool: Tuple[str, ...] = field(init=False, repr=False)
     _next_id: int = field(init=False, repr=False, default=1)
@@ -202,8 +208,13 @@ class SyntheticReutersGenerator:
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
-        self._rng = random.Random(self.seed)
-        self._noise_pool = _build_noise_pool(self.seed ^ 0x5EED, self.noise_pool_size)
+        if self.seed_tree is not None:
+            self._rng = self.seed_tree.child("documents").python_random()
+            noise_rng = self.seed_tree.child("noise_pool").python_random()
+        else:
+            self._rng = random.Random(self.seed)
+            noise_rng = random.Random(self.seed ^ 0x5EED)
+        self._noise_pool = _build_noise_pool(noise_rng, self.noise_pool_size)
 
     # ------------------------------------------------------------------
     # sentence / document composition
@@ -308,10 +319,19 @@ class SyntheticReutersGenerator:
         return documents
 
 
-def make_corpus(scale: float = 0.1, seed: int = 21578) -> "Corpus":
-    """Generate a synthetic corpus and wrap it in a :class:`Corpus`."""
+def make_corpus(
+    scale: float = 0.1, seed: int = 21578, seed_tree: Optional[SeedTree] = None
+) -> "Corpus":
+    """Generate a synthetic corpus and wrap it in a :class:`Corpus`.
+
+    Args:
+        seed_tree: optional seed-tree node to derive all generator
+            randomness from (``seed`` is ignored when given).
+    """
     from repro.corpus.reuters import Corpus
 
     return Corpus.from_documents(
-        SyntheticReutersGenerator(seed=seed, scale=scale).generate()
+        SyntheticReutersGenerator(
+            seed=seed, scale=scale, seed_tree=seed_tree
+        ).generate()
     )

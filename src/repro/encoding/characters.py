@@ -119,11 +119,16 @@ class CharacterEncoder:
     def is_fitted(self) -> bool:
         return self.som is not None
 
-    def fit(self, words: Iterable[str]) -> "CharacterEncoder":
-        """Train the map on every character occurrence of ``words``."""
+    def fit(self, words: Iterable[str], ctx=None) -> "CharacterEncoder":
+        """Train the map on every character occurrence of ``words``.
+
+        Args:
+            ctx: optional :class:`~repro.runtime.context.RunContext`
+                threaded into the SOM trainer for progress events.
+        """
         vectors, multiplicities = character_inputs(words)
         self.som = SelfOrganizingMap(self.rows, self.cols, 2, seed=self.seed, data=vectors)
-        trainer = SomTrainer(epochs=self.epochs, seed=self.seed)
+        trainer = SomTrainer(epochs=self.epochs, seed=self.seed, ctx=ctx)
         if self.training == "online":
             expanded = expand_with_multiplicity(
                 vectors, multiplicities, self.max_online_samples

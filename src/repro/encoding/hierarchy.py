@@ -83,7 +83,9 @@ class CategoryEncoder:
     # ------------------------------------------------------------------
     # fitting
     # ------------------------------------------------------------------
-    def fit(self, document_word_streams: Sequence[Sequence[str]]) -> "CategoryEncoder":
+    def fit(
+        self, document_word_streams: Sequence[Sequence[str]], ctx=None
+    ) -> "CategoryEncoder":
         """Train on the ordered word streams of the category's documents.
 
         Words are weighted by their occurrence counts (equivalent to the
@@ -91,6 +93,10 @@ class CategoryEncoder:
         histogram selects the informative BMUs under the every-document-
         covered constraint, and Gaussian memberships are fitted per kept
         unit.
+
+        Args:
+            ctx: optional :class:`~repro.runtime.context.RunContext`
+                threaded into the SOM trainer for progress events.
         """
         counts: Counter = Counter()
         for stream in document_word_streams:
@@ -107,7 +113,7 @@ class CategoryEncoder:
         self.som = SelfOrganizingMap(
             self.rows, self.cols, vectors.shape[1], seed=self.seed, data=vectors
         )
-        trainer = SomTrainer(epochs=self.epochs, seed=self.seed)
+        trainer = SomTrainer(epochs=self.epochs, seed=self.seed, ctx=ctx)
         if self.training == "online":
             from repro.encoding.characters import expand_with_multiplicity
 
@@ -267,6 +273,7 @@ class HierarchicalSomEncoder:
         tokenized: TokenizedCorpus,
         feature_set: FeatureSet,
         categories: Optional[Sequence[str]] = None,
+        ctx=None,
     ) -> "HierarchicalSomEncoder":
         """Train the full hierarchy on the training split.
 
@@ -274,9 +281,28 @@ class HierarchicalSomEncoder:
         (before feature selection -- it is a corpus-level code book); each
         category's word SOM sees that category's feature-selected word
         streams.
+
+        The two levels are also fittable separately --
+        :meth:`fit_character_level` then :meth:`fit_category` per
+        category -- which is how the pipeline checkpoints and
+        parallelises them; this method is the inline composition of
+        those stages.
         """
         categories = tuple(categories) if categories is not None else tokenized.categories
+        self.fit_character_level(tokenized, ctx=ctx)
+        self.category_encoders = {}
+        for offset, category in enumerate(categories):
+            self.category_encoders[category] = self.fit_category(
+                category,
+                tokenized,
+                feature_set,
+                offset,
+                ctx=ctx.child("word_som", category) if ctx is not None else None,
+            )
+        return self
 
+    def fit_character_level(self, tokenized: TokenizedCorpus, ctx=None) -> None:
+        """Train the shared first-level character SOM (stage 1)."""
         all_words: List[str] = []
         for doc in tokenized.train_documents:
             all_words.extend(tokenized.tokens(doc))
@@ -286,30 +312,49 @@ class HierarchicalSomEncoder:
             epochs=self.epochs,
             training=self.training,
             seed=self.seed,
-        ).fit(all_words)
+        ).fit(all_words, ctx=ctx)
         self.vectorizer = WordVectorizer(self.character_encoder)
 
-        self.category_encoders = {}
-        for offset, category in enumerate(categories):
-            streams = [
-                feature_set.filter_tokens(tokens, category)
-                for tokens in tokenized.train_tokens_for(category)
-            ]
-            streams = [s for s in streams if s]
-            encoder = CategoryEncoder(
-                category,
-                self.vectorizer,
-                rows=self.word_rows,
-                cols=self.word_cols,
-                epochs=self.epochs,
-                min_hit_mass=self.min_hit_mass,
-                training=self.training,
-                member_word_filter=self.member_word_filter,
-                seed=self.seed + 1 + offset,
-            )
-            encoder.fit(streams)
-            self.category_encoders[category] = encoder
-        return self
+    def fit_category(
+        self,
+        category: str,
+        tokenized: TokenizedCorpus,
+        feature_set: FeatureSet,
+        offset: int,
+        ctx=None,
+    ) -> CategoryEncoder:
+        """Fit and return one category's word-SOM encoder (stage 2).
+
+        Pure with respect to ``self`` (nothing is registered), so
+        per-category fits can run in worker processes and be assembled
+        by the caller.  ``offset`` is the category's position in the
+        fit order; it determines the encoder's legacy seed
+        (``seed + 1 + offset``), which the default seed policy
+        preserves exactly.
+        """
+        if self.character_encoder is None:
+            raise RuntimeError("fit_character_level must run before fit_category")
+        streams = [
+            feature_set.filter_tokens(tokens, category)
+            for tokens in tokenized.train_tokens_for(category)
+        ]
+        streams = [s for s in streams if s]
+        seed = self.seed + 1 + offset
+        if ctx is not None:
+            seed = ctx.seed_for(legacy=seed)
+        encoder = CategoryEncoder(
+            category,
+            self.vectorizer,
+            rows=self.word_rows,
+            cols=self.word_cols,
+            epochs=self.epochs,
+            min_hit_mass=self.min_hit_mass,
+            training=self.training,
+            member_word_filter=self.member_word_filter,
+            seed=seed,
+        )
+        encoder.fit(streams, ctx=ctx)
+        return encoder
 
     def encoder_for(self, category: str) -> CategoryEncoder:
         if category not in self.category_encoders:

@@ -1,0 +1,12 @@
+"""Shared exception types.
+
+Kept dependency-free so both the low-level runtime (stage checkpoints)
+and the high-level persistence module can raise the same errors without
+importing each other.
+"""
+
+from __future__ import annotations
+
+
+class PersistenceError(RuntimeError):
+    """A model/checkpoint directory is missing, incomplete or malformed."""

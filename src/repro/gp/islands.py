@@ -56,9 +56,15 @@ class IslandEvolution:
         self.trainer_kwargs = trainer_kwargs
 
     def train(
-        self, dataset: EncodedDataset, seed: Optional[int] = None
+        self, dataset: EncodedDataset, seed: Optional[int] = None, ctx=None
     ) -> EvolutionResult:
-        """Run the island model; returns the globally best result."""
+        """Run the island model; returns the globally best result.
+
+        With a :class:`~repro.runtime.context.RunContext`, each phase's
+        seed comes from the tree node ``round/<r>/island/<i>`` (legacy
+        policy keeps the historical ``base + r * n_islands + i``), and
+        per-phase ``island_phase`` events are emitted.
+        """
         base_seed = self.config.seed if seed is None else seed
         populations: List[Optional[List[Program]]] = [None] * self.n_islands
         best: Optional[EvolutionResult] = None
@@ -66,13 +72,29 @@ class IslandEvolution:
         for round_index in range(self.rounds):
             results: List[EvolutionResult] = []
             for island in range(self.n_islands):
+                legacy = base_seed + round_index * self.n_islands + island
+                phase_ctx = None
+                phase_seed = legacy
+                if ctx is not None:
+                    phase_ctx = ctx.child(
+                        "round", str(round_index), "island", str(island)
+                    )
+                    phase_seed = phase_ctx.seed_for(legacy=legacy)
                 trainer = RlgpTrainer(self.config, **self.trainer_kwargs)
                 result = trainer.train(
                     dataset,
-                    seed=base_seed + round_index * self.n_islands + island,
+                    seed=phase_seed,
                     initial_population=populations[island],
+                    ctx=phase_ctx,
                 )
                 results.append(result)
+                if ctx is not None:
+                    ctx.emit(
+                        "island_phase",
+                        round=round_index,
+                        island=island,
+                        train_fitness=float(result.train_fitness),
+                    )
                 if best is None or result.train_fitness < best.train_fitness:
                     best = result
 

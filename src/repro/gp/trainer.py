@@ -131,6 +131,7 @@ class RlgpTrainer:
         dataset: EncodedDataset,
         seed: Optional[int] = None,
         initial_population: Optional[List[Program]] = None,
+        ctx=None,
     ) -> EvolutionResult:
         """Run one evolution and return its best program.
 
@@ -138,6 +139,11 @@ class RlgpTrainer:
             initial_population: optional seed programs (island-model
                 migration); padded with random individuals or truncated to
                 the configured population size.
+            ctx: optional :class:`~repro.runtime.context.RunContext`;
+                emits ``gp_tick`` (periodic) and ``gp_best``
+                (best-subset-fitness improved) progress events.  Never
+                alters the evolution itself: randomness still comes
+                from ``seed``.
         """
         seed = self.config.seed if seed is None else seed
         rng = Random(seed)
@@ -169,6 +175,8 @@ class RlgpTrainer:
         subset_labels = labels
         subset_version = -1
         best_history: List[float] = []
+        tick_interval = max(1, self.config.tournaments // 25)
+        best_seen = float("inf")
 
         for tournament in range(self.config.tournaments):
             subset_indices = dss.subset(tournament)
@@ -211,6 +219,24 @@ class RlgpTrainer:
 
             controller.record(best_fitness)
             best_history.append(best_fitness)
+            if ctx is not None:
+                if best_fitness < best_seen:
+                    best_seen = best_fitness
+                    ctx.emit(
+                        "gp_best",
+                        tournament=tournament,
+                        best_fitness=float(best_fitness),
+                        seed=seed,
+                    )
+                if (tournament + 1) % tick_interval == 0:
+                    ctx.emit(
+                        "gp_tick",
+                        tournament=tournament + 1,
+                        tournaments=self.config.tournaments,
+                        best_fitness=float(best_fitness),
+                        page_size=page_size,
+                        seed=seed,
+                    )
             best_squashed = population[best_slot].cache_squashed
             dss.report(
                 subset_indices, classification_error(subset_labels, best_squashed)
@@ -225,14 +251,37 @@ class RlgpTrainer:
         dataset: EncodedDataset,
         n_restarts: int = 20,
         base_seed: Optional[int] = None,
+        ctx=None,
     ) -> EvolutionResult:
-        """The paper's protocol: N independent runs, keep the best rule."""
+        """The paper's protocol: N independent runs, keep the best rule.
+
+        With a :class:`~repro.runtime.context.RunContext`, each
+        restart's seed comes from the seed tree node
+        ``restart/<index>`` -- a pure function of the restart index,
+        so restarts are independent and reproducible regardless of the
+        order (or process) they run in.  The default (legacy) policy
+        preserves the historical ``base_seed + restart`` arithmetic.
+        """
         if n_restarts < 1:
             raise ValueError("n_restarts must be positive")
         base_seed = self.config.seed if base_seed is None else base_seed
         best: Optional[EvolutionResult] = None
         for restart in range(n_restarts):
-            result = self.train(dataset, seed=base_seed + restart)
+            seed = base_seed + restart
+            restart_ctx = None
+            if ctx is not None:
+                restart_ctx = ctx.child("restart", str(restart))
+                seed = restart_ctx.seed_for(legacy=seed)
+            result = self.train(dataset, seed=seed, ctx=restart_ctx)
+            if ctx is not None:
+                ctx.emit(
+                    "restart_finished",
+                    restart=restart,
+                    n_restarts=n_restarts,
+                    train_fitness=float(result.train_fitness),
+                    improved=best is None
+                    or result.train_fitness < best.train_fitness,
+                )
             if best is None or result.train_fitness < best.train_fitness:
                 best = result
         return best

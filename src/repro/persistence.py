@@ -10,6 +10,10 @@ The corpus itself is *not* stored (data and model are separate concerns);
 :func:`load_pipeline` takes the corpus to re-attach.  Loading restores
 byte-identical behaviour: encodings, decision values, predictions and
 tracking traces all match the pipeline that was saved.
+
+The module also provides *stage-level* serialisation (character SOM,
+per-category word SOM, per-category classifier) used by
+``repro.runtime.CheckpointStore`` to resume interrupted training runs.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.encoding.characters import CharacterEncoder
 from repro.encoding.hierarchy import CategoryEncoder, HierarchicalSomEncoder
 from repro.encoding.membership import GaussianMembership
 from repro.encoding.words import WordVectorizer
+from repro.errors import PersistenceError
 from repro.features.base import FeatureSet
 from repro.gp.config import GpConfig
 from repro.gp.program import Program
@@ -34,11 +39,22 @@ from repro.preprocessing.pipeline import Preprocessor
 from repro.preprocessing.tokenized import TokenizedCorpus
 from repro.som.map import SelfOrganizingMap
 
+__all__ = [
+    "FORMAT_VERSION",
+    "PersistenceError",
+    "load_pipeline",
+    "read_manifest",
+    "save_pipeline",
+    "validate_manifest",
+    "save_character_encoder",
+    "load_character_encoder",
+    "save_category_encoder",
+    "load_category_encoder",
+    "save_classifier",
+    "load_classifier",
+]
+
 FORMAT_VERSION = 1
-
-
-class PersistenceError(RuntimeError):
-    """Raised when a model directory is missing or malformed."""
 
 
 #: Top-level keys every manifest must carry, and the sub-keys required
@@ -389,3 +405,197 @@ def load_pipeline(directory: Union[str, Path], corpus: Corpus) -> ProSysPipeline
             )
         )
     return pipeline
+
+
+# ----------------------------------------------------------------------
+# stage-level serialisation (runtime checkpoints)
+# ----------------------------------------------------------------------
+# Each completed training stage -- the character SOM, one category's
+# word SOM, one category's classifier -- serialises into its own
+# directory as ``stage.json`` (+ ``stage_arrays.npz`` where weights are
+# involved).  ``repro.runtime.CheckpointStore`` seals/loads these so an
+# interrupted ``ProSysPipeline.fit`` resumes instead of restarting.
+
+_STAGE_MANIFEST = "stage.json"
+_STAGE_ARRAYS = "stage_arrays.npz"
+
+
+def _write_stage(directory: Union[str, Path], kind: str, payload: dict,
+                 arrays: Dict[str, np.ndarray]) -> None:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {"format_version": FORMAT_VERSION, "kind": kind}
+    record.update(payload)
+    (directory / _STAGE_MANIFEST).write_text(json.dumps(record, indent=2))
+    if arrays:
+        np.savez_compressed(directory / _STAGE_ARRAYS, **arrays)
+
+
+def _read_stage(directory: Union[str, Path], kind: str):
+    directory = Path(directory)
+    manifest_path = directory / _STAGE_MANIFEST
+    if not manifest_path.exists():
+        raise PersistenceError(f"no stage checkpoint in {directory}")
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"{manifest_path}: stage manifest is not valid JSON ({error})"
+        ) from error
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"{manifest_path}: expected a JSON object")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{manifest_path}: unsupported stage format "
+            f"{payload.get('format_version')!r} (expected {FORMAT_VERSION})"
+        )
+    if payload.get("kind") != kind:
+        raise PersistenceError(
+            f"{manifest_path}: stage kind {payload.get('kind')!r} "
+            f"does not match expected {kind!r}"
+        )
+    arrays_path = directory / _STAGE_ARRAYS
+    arrays = np.load(arrays_path) if arrays_path.exists() else {}
+    return payload, arrays
+
+
+def _stage_field(payload: dict, key: str, source: str):
+    if key not in payload:
+        raise PersistenceError(f"{source} stage is missing field {key!r}")
+    return payload[key]
+
+
+def save_character_encoder(
+    encoder: CharacterEncoder, directory: Union[str, Path]
+) -> None:
+    """Serialise a fitted first-level character SOM stage."""
+    if not encoder.is_fitted:
+        raise PersistenceError("cannot checkpoint an unfitted CharacterEncoder")
+    _write_stage(
+        directory,
+        "char_som",
+        {
+            "rows": encoder.rows,
+            "cols": encoder.cols,
+            "epochs": encoder.epochs,
+            "training": encoder.training,
+            "seed": encoder.seed,
+        },
+        {"weights": encoder.som.weights},
+    )
+
+
+def load_character_encoder(directory: Union[str, Path]) -> CharacterEncoder:
+    """Restore a character SOM stage written by :func:`save_character_encoder`."""
+    payload, arrays = _read_stage(directory, "char_som")
+    encoder = CharacterEncoder(
+        rows=_stage_field(payload, "rows", "char_som"),
+        cols=_stage_field(payload, "cols", "char_som"),
+        epochs=_stage_field(payload, "epochs", "char_som"),
+        training=payload.get("training", "batch"),
+        seed=_stage_field(payload, "seed", "char_som"),
+    )
+    encoder.som = SelfOrganizingMap(encoder.rows, encoder.cols, 2)
+    encoder.som.weights = _array(arrays, "weights")
+    return encoder
+
+
+def save_category_encoder(
+    encoder: CategoryEncoder, directory: Union[str, Path]
+) -> None:
+    """Serialise one category's fitted word-SOM stage."""
+    if not encoder.is_fitted:
+        raise PersistenceError(
+            f"cannot checkpoint unfitted CategoryEncoder({encoder.category!r})"
+        )
+    arrays: Dict[str, np.ndarray] = {"weights": encoder.som.weights}
+    memberships = {}
+    for unit, membership in encoder.memberships.items():
+        arrays[f"mean_{unit}"] = membership.mean
+        memberships[str(unit)] = {
+            "sigma": membership.sigma,
+            "min_training_value": membership.min_training_value,
+        }
+    _write_stage(
+        directory,
+        "word_som",
+        {
+            "category": encoder.category,
+            "rows": encoder.rows,
+            "cols": encoder.cols,
+            "epochs": encoder.epochs,
+            "min_hit_mass": encoder.min_hit_mass,
+            "training": encoder.training,
+            "member_word_filter": encoder.member_word_filter,
+            "seed": encoder.seed,
+            "selected_units": [int(u) for u in encoder.selected_units],
+            "memberships": memberships,
+        },
+        arrays,
+    )
+
+
+def load_category_encoder(
+    directory: Union[str, Path], vectorizer: WordVectorizer
+) -> CategoryEncoder:
+    """Restore a word-SOM stage, re-attaching the shared ``vectorizer``."""
+    payload, arrays = _read_stage(directory, "word_som")
+    encoder = CategoryEncoder(
+        _stage_field(payload, "category", "word_som"),
+        vectorizer,
+        rows=_stage_field(payload, "rows", "word_som"),
+        cols=_stage_field(payload, "cols", "word_som"),
+        epochs=_stage_field(payload, "epochs", "word_som"),
+        min_hit_mass=payload.get("min_hit_mass", 0.5),
+        training=payload.get("training", "batch"),
+        member_word_filter=payload.get("member_word_filter", True),
+        seed=_stage_field(payload, "seed", "word_som"),
+    )
+    encoder.som = SelfOrganizingMap(encoder.rows, encoder.cols, vectorizer.dim)
+    encoder.som.weights = _array(arrays, "weights")
+    encoder.selected_units = [
+        int(u) for u in _stage_field(payload, "selected_units", "word_som")
+    ]
+    encoder.memberships = {
+        int(unit): GaussianMembership(
+            unit=int(unit),
+            mean=_array(arrays, f"mean_{unit}"),
+            sigma=scalars["sigma"],
+            min_training_value=scalars["min_training_value"],
+        )
+        for unit, scalars in _stage_field(
+            payload, "memberships", "word_som"
+        ).items()
+    }
+    return encoder
+
+
+def save_classifier(
+    classifier: RlgpBinaryClassifier, directory: Union[str, Path]
+) -> None:
+    """Serialise one category's trained RLGP classifier stage."""
+    _write_stage(
+        directory,
+        "rlgp",
+        {
+            "category": classifier.category,
+            "code": list(classifier.program.code),
+            "threshold": classifier.threshold,
+            "train_fitness": classifier.train_fitness,
+            "gp": _gp_config_to_dict(classifier.config),
+        },
+        {},
+    )
+
+
+def load_classifier(directory: Union[str, Path]) -> RlgpBinaryClassifier:
+    """Restore a classifier stage written by :func:`save_classifier`."""
+    payload, _ = _read_stage(directory, "rlgp")
+    gp_config = _gp_config_from_dict(_stage_field(payload, "gp", "rlgp"))
+    return RlgpBinaryClassifier(
+        category=_stage_field(payload, "category", "rlgp"),
+        program=Program(_stage_field(payload, "code", "rlgp"), gp_config),
+        config=gp_config,
+        threshold=_stage_field(payload, "threshold", "rlgp"),
+        train_fitness=_stage_field(payload, "train_fitness", "rlgp"),
+    )

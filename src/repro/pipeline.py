@@ -20,8 +20,9 @@ from repro.classify.multilabel import OneVsRestRlgp
 from repro.classify.tracking import TrackingTrace, track_document, track_multi_label
 from repro.corpus.document import Document
 from repro.corpus.reuters import Corpus
-from repro.encoding.hierarchy import HierarchicalSomEncoder
+from repro.encoding.hierarchy import CategoryEncoder, HierarchicalSomEncoder
 from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.encoding.words import WordVectorizer
 from repro.evaluation.metrics import BinaryCounts, MultiLabelScores, score_multilabel
 from repro.features import ALL_SELECTORS
 from repro.features.base import FeatureSet
@@ -29,6 +30,7 @@ from repro.gp.config import GpConfig
 from repro.gp.trainer import RlgpTrainer
 from repro.preprocessing.pipeline import Preprocessor
 from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.runtime import RunContext, parallel_map
 
 #: Table 1 defaults: method -> features selected (chi2 is an extension,
 #: given the same corpus-wide budget as DF/IG).
@@ -113,14 +115,45 @@ class ProSysPipeline:
         self,
         corpus: Corpus,
         categories: Optional[Sequence[str]] = None,
+        ctx: Optional[RunContext] = None,
     ) -> "ProSysPipeline":
-        """Run the whole training pipeline on ``corpus``'s training split."""
-        config = self.config
-        categories = tuple(categories) if categories else corpus.categories
+        """Run the whole training pipeline on ``corpus``'s training split.
 
-        self.tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
-        self.feature_set = config.selector().select(self.tokenized)
-        self.encoder = HierarchicalSomEncoder(
+        Training executes as checkpointable stages on the shared
+        execution layer (:mod:`repro.runtime`): tokenize, feature
+        selection, character SOM, per-category word SOMs, per-category
+        RLGP classifiers.  The two per-category stages fan out over
+        ``ctx.n_jobs`` forked workers (inline at 0), and each completed
+        unit is checkpointed when ``ctx.checkpoints`` is set, so an
+        interrupted fit resumes instead of restarting.
+
+        Args:
+            ctx: execution context (progress events, seed tree,
+                checkpoints, parallelism).  The default context runs
+                inline with legacy seeds and produces bit-identical
+                models to the pre-runtime pipeline.
+        """
+        config = self.config
+        if ctx is None:
+            ctx = RunContext(seed=config.seed)
+        categories = tuple(categories) if categories else corpus.categories
+        store = ctx.checkpoints
+        # Imported here: repro.persistence imports this module.
+        from repro.persistence import (
+            load_category_encoder,
+            load_character_encoder,
+            load_classifier,
+            save_category_encoder,
+            save_character_encoder,
+            save_classifier,
+        )
+
+        with ctx.stage("tokenize"):
+            self.tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
+        with ctx.stage("features", method=config.feature_method):
+            self.feature_set = config.selector().select(self.tokenized)
+
+        encoder = HierarchicalSomEncoder(
             char_rows=config.char_shape[0],
             char_cols=config.char_shape[1],
             word_rows=config.word_shape[0],
@@ -130,27 +163,143 @@ class ProSysPipeline:
             max_sequence_length=config.max_sequence_length,
             member_word_filter=config.member_word_filter,
             seed=config.seed,
-        ).fit(self.tokenized, self.feature_set, categories)
+        )
+        self.encoder = encoder
 
-        for offset, category in enumerate(categories):
-            dataset = self.encoder.encode_dataset(
-                self.tokenized, self.feature_set, category, "train"
-            )
-            self._train_datasets[category] = dataset
-            trainer = RlgpTrainer(
-                replace(config.gp, seed=config.seed + 101 * (offset + 1)),
-                use_dss=config.use_dss,
-                dynamic_pages=config.dynamic_pages,
-                recurrent=config.recurrent,
-                fitness=config.fitness,
-            )
-            classifier = RlgpBinaryClassifier.fit(
-                dataset,
-                trainer,
-                n_restarts=config.n_restarts,
-                base_seed=config.seed + 101 * (offset + 1),
-            )
-            self.suite.add(classifier)
+        with ctx.stage("char_som"):
+            if store is not None and store.has("char_som"):
+                encoder.character_encoder = store.load(
+                    "char_som", load_character_encoder
+                )
+                encoder.vectorizer = WordVectorizer(encoder.character_encoder)
+                ctx.emit("checkpoint_loaded", stage="char_som")
+            else:
+                encoder.fit_character_level(
+                    self.tokenized, ctx=ctx.child("char_som")
+                )
+                if store is not None:
+                    store.save(
+                        "char_som",
+                        lambda directory: save_character_encoder(
+                            encoder.character_encoder, directory
+                        ),
+                    )
+                    ctx.emit("checkpoint_saved", stage="char_som")
+
+        tasks = list(enumerate(categories))
+
+        with ctx.stage("word_soms", total=len(categories)):
+            pending = [
+                (offset, category)
+                for offset, category in tasks
+                if store is None or not store.has(f"word_som/{category}")
+            ]
+
+            def fit_word_som(task) -> CategoryEncoder:
+                offset, category = task
+                return encoder.fit_category(
+                    category,
+                    self.tokenized,
+                    self.feature_set,
+                    offset,
+                    ctx=ctx.child("word_som", category),
+                )
+
+            def word_som_done(index: int, fitted: CategoryEncoder) -> None:
+                category = pending[index][1]
+                if store is not None:
+                    store.save(
+                        f"word_som/{category}",
+                        lambda directory: save_category_encoder(fitted, directory),
+                    )
+                    ctx.emit("checkpoint_saved", stage=f"word_som/{category}")
+                ctx.emit("task_finished", stage="word_soms", category=category)
+
+            freshly_fitted = dict(zip(
+                (category for _, category in pending),
+                parallel_map(
+                    fit_word_som, pending,
+                    n_jobs=ctx.n_jobs, on_result=word_som_done,
+                ),
+            ))
+            encoder.category_encoders = {}
+            for offset, category in tasks:
+                fitted = freshly_fitted.get(category)
+                if fitted is not None:
+                    # Re-share the vectorizer (forked workers return
+                    # their own copy; all categories must use one BMU
+                    # cache over one character SOM).
+                    fitted.vectorizer = encoder.vectorizer
+                else:
+                    fitted = store.load(
+                        f"word_som/{category}",
+                        lambda directory: load_category_encoder(
+                            directory, encoder.vectorizer
+                        ),
+                    )
+                    ctx.emit("checkpoint_loaded", stage=f"word_som/{category}")
+                encoder.category_encoders[category] = fitted
+
+        with ctx.stage("rlgp", total=len(categories)):
+            pending = [
+                (offset, category)
+                for offset, category in tasks
+                if store is None or not store.has(f"rlgp/{category}")
+            ]
+
+            def fit_rlgp(task):
+                offset, category = task
+                rlgp_ctx = ctx.child("rlgp", category)
+                base_seed = rlgp_ctx.seed_for(
+                    legacy=config.seed + 101 * (offset + 1)
+                )
+                dataset = encoder.encode_dataset(
+                    self.tokenized, self.feature_set, category, "train"
+                )
+                trainer = RlgpTrainer(
+                    replace(config.gp, seed=base_seed),
+                    use_dss=config.use_dss,
+                    dynamic_pages=config.dynamic_pages,
+                    recurrent=config.recurrent,
+                    fitness=config.fitness,
+                )
+                classifier = RlgpBinaryClassifier.fit(
+                    dataset,
+                    trainer,
+                    n_restarts=config.n_restarts,
+                    base_seed=base_seed,
+                    ctx=rlgp_ctx,
+                )
+                return dataset, classifier
+
+            def rlgp_done(index: int, result) -> None:
+                category = pending[index][1]
+                _, classifier = result
+                if store is not None:
+                    store.save(
+                        f"rlgp/{category}",
+                        lambda directory: save_classifier(classifier, directory),
+                    )
+                    ctx.emit("checkpoint_saved", stage=f"rlgp/{category}")
+                ctx.emit("task_finished", stage="rlgp", category=category)
+
+            freshly_trained = dict(zip(
+                (category for _, category in pending),
+                parallel_map(
+                    fit_rlgp, pending, n_jobs=ctx.n_jobs, on_result=rlgp_done
+                ),
+            ))
+            for offset, category in tasks:
+                trained = freshly_trained.get(category)
+                if trained is not None:
+                    dataset, classifier = trained
+                    self._train_datasets[category] = dataset
+                else:
+                    classifier = store.load(f"rlgp/{category}", load_classifier)
+                    ctx.emit("checkpoint_loaded", stage=f"rlgp/{category}")
+                self.suite.add(classifier)
+
+        ctx.emit("run_finished", categories=len(categories))
         return self
 
     # ------------------------------------------------------------------

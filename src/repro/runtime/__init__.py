@@ -1,0 +1,36 @@
+"""``repro.runtime`` -- the shared execution layer of the training stack.
+
+Cross-cutting services every training layer runs on:
+
+* :class:`RunContext` / :class:`SeedTree` -- deterministic seed
+  derivation (``ctx.child("som/earn")`` gives an independent stream,
+  identical at any worker count);
+* :class:`EventBus` with :class:`ConsoleSink` / :class:`JsonlSink` --
+  structured progress (stage boundaries, epoch/generation ticks,
+  best-fitness updates);
+* :class:`CheckpointStore` -- stage-level checkpoints in a run
+  directory, so a killed ``fit`` resumes instead of restarting;
+* :func:`parallel_map` -- fork-based per-category fan-out with an
+  inline fallback at ``n_jobs=0``.
+
+See ``README.md`` ("Training at scale") for the operator view.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.context import RunContext
+from repro.runtime.events import ConsoleSink, Event, EventBus, JsonlSink
+from repro.runtime.parallel import ParallelError, parallel_map
+from repro.runtime.seeds import SeedTree, derive_seed
+
+__all__ = [
+    "CheckpointStore",
+    "ConsoleSink",
+    "Event",
+    "EventBus",
+    "JsonlSink",
+    "ParallelError",
+    "RunContext",
+    "SeedTree",
+    "derive_seed",
+    "parallel_map",
+]

@@ -1,0 +1,163 @@
+"""The :class:`RunContext` threaded through every training layer.
+
+One context describes *how* a run executes, orthogonally to *what* it
+computes:
+
+* **seeds** -- a deterministic :class:`~repro.runtime.seeds.SeedTree`
+  node.  Under the default ``"legacy"`` policy every call site keeps
+  the pre-runtime seed arithmetic (bit-identical results with old
+  code); under ``"tree"`` seeds derive purely from the node path, so
+  restarts/categories are independent regardless of call order.
+* **events** -- a shared :class:`~repro.runtime.events.EventBus` all
+  layers emit progress onto (console / JSONL sinks).
+* **checkpoints** -- an optional
+  :class:`~repro.runtime.checkpoint.CheckpointStore`; stages found
+  complete are loaded instead of recomputed.
+* **parallelism** -- the ``n_jobs`` knob consumed by
+  :func:`~repro.runtime.parallel.parallel_map` call sites.
+* **metrics** -- a :class:`~repro.serve.metrics.MetricsRegistry`
+  (shared with the serving layer's implementation); ``stage()``
+  records per-stage wall-clock histograms.
+
+Child contexts (``ctx.child("rlgp", "earn")``) share the bus, store,
+metrics and jobs knob while extending the seed-tree path, so a layer
+handed a context never needs to know where in the run it sits.
+"""
+
+from __future__ import annotations
+
+import random as random_module
+import re
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.events import Event, EventBus
+from repro.runtime.seeds import SeedTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.metrics import MetricsRegistry
+
+#: Seed policies: ``legacy`` honours call sites' historical arithmetic,
+#: ``tree`` derives every seed from the node path.
+SEED_POLICIES = ("legacy", "tree")
+
+_METRIC_SAFE = re.compile(r"[^A-Za-z0-9_]")
+
+
+class RunContext:
+    """Execution context for one training run (or a subtree of it).
+
+    Args:
+        seed: base seed of the run's seed tree.
+        seed_policy: ``"legacy"`` (default; reproduces pre-runtime
+            seeds exactly) or ``"tree"`` (path-derived, order-free).
+        events: shared event bus; a fresh silent bus by default.
+        checkpoints: optional stage checkpoint store (enables resume).
+        n_jobs: worker processes for per-category fits (0 = inline).
+        metrics: shared metrics registry for stage timings.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        seed_policy: str = "legacy",
+        events: Optional[EventBus] = None,
+        checkpoints: Optional[CheckpointStore] = None,
+        n_jobs: int = 0,
+        metrics: Optional["MetricsRegistry"] = None,
+        _tree: Optional[SeedTree] = None,
+    ) -> None:
+        if seed_policy not in SEED_POLICIES:
+            raise ValueError(
+                f"seed_policy must be one of {SEED_POLICIES}, got {seed_policy!r}"
+            )
+        if n_jobs < 0:
+            raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
+        self.tree = _tree if _tree is not None else SeedTree(seed)
+        self.seed_policy = seed_policy
+        self.events = events if events is not None else EventBus()
+        self.checkpoints = checkpoints
+        self.n_jobs = n_jobs
+        if metrics is None:
+            # Imported lazily: repro.serve pulls in repro.persistence ->
+            # repro.pipeline, which imports this module.
+            from repro.serve.metrics import MetricsRegistry
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # tree navigation
+    # ------------------------------------------------------------------
+    def child(self, *parts: str) -> "RunContext":
+        """The context at ``path + parts`` (same bus/store/metrics)."""
+        clone = RunContext.__new__(RunContext)
+        clone.tree = self.tree.child(*parts)
+        clone.seed_policy = self.seed_policy
+        clone.events = self.events
+        clone.checkpoints = self.checkpoints
+        clone.n_jobs = self.n_jobs
+        clone.metrics = self.metrics
+        return clone
+
+    @property
+    def path(self) -> str:
+        return self.tree.path_str
+
+    # ------------------------------------------------------------------
+    # seeds
+    # ------------------------------------------------------------------
+    def seed_for(self, *parts: str, legacy: Optional[int] = None) -> int:
+        """The integer seed of sub-node ``parts``.
+
+        Under the ``legacy`` policy, returns ``legacy`` when the call
+        site supplies its historical value (bit-compatibility); under
+        ``tree`` -- or when no legacy value exists -- derives from the
+        node path.
+        """
+        if self.seed_policy == "legacy" and legacy is not None:
+            return legacy
+        node = self.tree.child(*parts) if parts else self.tree
+        return node.seed
+
+    def generator(
+        self, *parts: str, legacy: Optional[int] = None
+    ) -> np.random.Generator:
+        """An independent numpy generator for sub-node ``parts``."""
+        return np.random.default_rng(self.seed_for(*parts, legacy=legacy))
+
+    def random(
+        self, *parts: str, legacy: Optional[int] = None
+    ) -> random_module.Random:
+        """An independent stdlib PRNG for sub-node ``parts``."""
+        return random_module.Random(self.seed_for(*parts, legacy=legacy))
+
+    # ------------------------------------------------------------------
+    # events and timing
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **payload) -> None:
+        """Emit one structured event at this context's path."""
+        self.events.emit(Event(kind=kind, path=self.path, payload=payload))
+
+    @contextmanager
+    def stage(self, name: str, **payload) -> Iterator[None]:
+        """Bracket a named stage with events and a timing histogram."""
+        self.emit("stage_started", stage=name, **payload)
+        histogram = self.metrics.histogram(
+            f"runtime_stage_{_METRIC_SAFE.sub('_', name)}_seconds",
+            f"wall-clock seconds of training stage {name}",
+        )
+        start = time.perf_counter()
+        try:
+            yield
+        except BaseException:
+            self.emit("stage_failed", stage=name,
+                      elapsed=time.perf_counter() - start)
+            raise
+        else:
+            elapsed = time.perf_counter() - start
+            histogram.observe(elapsed)
+            self.emit("stage_finished", stage=name, elapsed=elapsed, **payload)

@@ -1,0 +1,157 @@
+"""Structured progress events for long-running training.
+
+Training layers emit :class:`Event` records ("stage started", "epoch
+tick", "best fitness improved", ...) onto an :class:`EventBus`; sinks
+subscribe and render them.  Two sinks ship with the runtime:
+
+* :class:`ConsoleSink` -- human-readable one-line-per-event progress;
+* :class:`JsonlSink`  -- machine-readable JSON Lines, one object per
+  event, suitable for tailing and post-hoc analysis.
+
+The bus is thread-safe.  Under process-parallel fits the forked workers
+inherit the bus; a :class:`JsonlSink` opens its file in append mode so
+single-line writes from several processes interleave whole lines.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, TextIO, Union
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured progress record.
+
+    Attributes:
+        kind: event type (``stage_started``, ``stage_finished``,
+            ``som_epoch``, ``gp_tick``, ``gp_best``, ``task_finished``,
+            ``checkpoint_saved``, ``checkpoint_loaded``, ...).
+        path: the emitting :class:`~repro.runtime.context.RunContext`
+            path, e.g. ``"rlgp/earn"``.
+        payload: event-specific fields (JSON-serialisable scalars).
+        timestamp: UNIX time of emission.
+    """
+
+    kind: str
+    path: str = ""
+    payload: Dict[str, object] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            "path": self.path,
+            "timestamp": self.timestamp,
+        }
+        record.update(self.payload)
+        return record
+
+
+#: A sink is any callable accepting one :class:`Event`.
+Sink = Callable[[Event], None]
+
+
+class EventBus:
+    """Fan-out of events to subscribed sinks (thread-safe)."""
+
+    def __init__(self, sinks: Optional[List[Sink]] = None) -> None:
+        self._sinks: List[Sink] = list(sinks or [])
+        self._lock = threading.Lock()
+
+    def subscribe(self, sink: Sink) -> Sink:
+        """Register ``sink``; returns it (handy for later unsubscribe)."""
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def emit(self, event: Event) -> None:
+        """Deliver ``event`` to every sink.
+
+        Sink exceptions propagate: tests use a raising subscriber to
+        interrupt a run at a precise stage boundary, and a broken
+        operator-supplied sink should be loud, not silent.
+        """
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            sink(event)
+
+    @property
+    def n_sinks(self) -> int:
+        with self._lock:
+            return len(self._sinks)
+
+
+class ConsoleSink:
+    """Renders events as aligned one-line progress messages."""
+
+    #: Event kinds printed by default; ticks are noisy so they are opt-in.
+    DEFAULT_KINDS = frozenset({
+        "stage_started", "stage_finished", "task_finished",
+        "checkpoint_loaded", "checkpoint_saved", "gp_best",
+        "classifier_fitted", "run_finished",
+    })
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        kinds: Optional[frozenset] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.kinds = None if verbose else (kinds or self.DEFAULT_KINDS)
+        self._start = time.time()
+
+    def __call__(self, event: Event) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        elapsed = event.timestamp - self._start
+        details = " ".join(
+            f"{key}={self._fmt(value)}" for key, value in sorted(event.payload.items())
+        )
+        where = f" [{event.path}]" if event.path else ""
+        print(f"[{elapsed:8.1f}s] {event.kind:<18s}{where} {details}".rstrip(),
+              file=self.stream, flush=True)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+
+class JsonlSink:
+    """Appends every event as one JSON line to ``path``."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        line = json.dumps(event.to_dict(), default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

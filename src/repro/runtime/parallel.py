@@ -1,0 +1,148 @@
+"""Fork-based ``parallel_map`` for per-category training work.
+
+The training pipeline is embarrassingly parallel across categories (one
+word SOM and one RLGP population each), but the work functions close
+over large shared state (the tokenized corpus, the character SOM).  A
+pickle-based pool would ship all of it per task; instead -- following
+the ``repro.serve`` worker-pool design -- workers are **forked**, so the
+closure and its captured state are inherited for free and only results
+travel back over a queue.
+
+``n_jobs=0`` (the default everywhere) degrades to an inline loop in the
+calling thread, which keeps unit tests, debugging and single-core
+deployments simple -- and is also the fallback on platforms without
+``fork``.  Results are returned in input order regardless of completion
+order, and the optional ``on_result`` callback runs **in the parent** as
+each result lands (the pipeline uses it for incremental checkpointing).
+
+Determinism note: workers never share PRNG state -- every task must
+draw its randomness from the seed tree (see
+:mod:`repro.runtime.seeds`), which is what makes ``n_jobs=4`` produce
+byte-identical models to ``n_jobs=0``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import signal
+import traceback
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelError(RuntimeError):
+    """A worker raised or died while executing a parallel task."""
+
+
+def _worker_main(fn, items, task_queue, result_queue) -> None:
+    """Worker body: pull item indices until the ``None`` sentinel."""
+    # Ctrl-C is the parent's shutdown signal; workers must keep the
+    # queue protocol intact rather than die with a traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        index = task_queue.get()
+        if index is None:
+            return
+        try:
+            result_queue.put((index, True, fn(items[index])))
+        except BaseException:  # noqa: BLE001 - reported to the parent
+            result_queue.put((index, False, traceback.format_exc()))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_jobs: int = 0,
+    on_result: Optional[Callable[[int, R], None]] = None,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally across forked workers.
+
+    Args:
+        fn: the work function; with ``n_jobs > 0`` its *return value*
+            must be picklable (the function itself need not be -- fork
+            inherits closures).
+        items: the inputs; fully materialised up front.
+        n_jobs: worker process count; ``<= 0`` runs inline.
+        on_result: optional ``(index, result)`` callback invoked in the
+            calling process as results arrive (arrival order).
+
+    Returns:
+        Results aligned with ``items``.
+
+    Raises:
+        ParallelError: when a task raises (the worker traceback is in
+            the message) or a worker process dies without reporting.
+    """
+    items = list(items)
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0, got {n_jobs}")
+    if n_jobs == 0 or len(items) <= 1 or not _fork_available():
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+    context = multiprocessing.get_context("fork")
+    n_workers = min(n_jobs, len(items))
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+    for index in range(len(items)):
+        task_queue.put(index)
+    for _ in range(n_workers):
+        task_queue.put(None)
+
+    workers = [
+        context.Process(
+            target=_worker_main,
+            args=(fn, items, task_queue, result_queue),
+            name=f"runtime-worker-{i}",
+            daemon=True,
+        )
+        for i in range(n_workers)
+    ]
+    for worker in workers:
+        worker.start()
+
+    results: List[Optional[R]] = [None] * len(items)
+    received = 0
+    try:
+        while received < len(items):
+            try:
+                index, ok, value = result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                if all(not w.is_alive() for w in workers):
+                    # Drain anything the feeder threads flushed late.
+                    try:
+                        index, ok, value = result_queue.get(timeout=0.2)
+                    except queue_module.Empty:
+                        raise ParallelError(
+                            "worker process(es) died without reporting a "
+                            f"result ({len(items) - received} task(s) lost)"
+                        ) from None
+                else:
+                    continue
+            if not ok:
+                raise ParallelError(f"parallel task {index} failed:\n{value}")
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+            received += 1
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=2.0)
+        task_queue.close()
+        result_queue.close()
+    return results  # type: ignore[return-value]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()

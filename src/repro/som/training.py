@@ -13,11 +13,14 @@ weights achieves the same density estimate and is exact for batch updates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.som.map import SelfOrganizingMap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.context import RunContext
 
 
 @dataclass
@@ -51,6 +54,11 @@ class SomTrainer:
         final_radius: radius at the last epoch (exponential decay between).
         initial_learning_rate / final_learning_rate: online-mode step sizes.
         seed: shuffling seed for online mode.
+        ctx: optional :class:`~repro.runtime.context.RunContext`; when
+            given, per-epoch ``som_epoch`` events (AWC, quantization
+            error) are emitted and the online shuffling RNG is drawn
+            from the context's seed tree (the default seed policy keeps
+            it identical to ``np.random.default_rng(seed)``).
     """
 
     epochs: int = 20
@@ -59,6 +67,7 @@ class SomTrainer:
     initial_learning_rate: float = 0.5
     final_learning_rate: float = 0.01
     seed: int = 0
+    ctx: Optional["RunContext"] = None
 
     def _radius_schedule(self, som: SelfOrganizingMap) -> np.ndarray:
         start = self.initial_radius
@@ -89,7 +98,10 @@ class SomTrainer:
         data = np.atleast_2d(np.asarray(data, dtype=float))
         radii = self._radius_schedule(som)
         rates = self._learning_schedule()
-        rng = np.random.default_rng(self.seed)
+        if self.ctx is not None:
+            rng = self.ctx.generator("shuffle", legacy=self.seed)
+        else:
+            rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
 
         for epoch in range(self.epochs):
@@ -164,3 +176,11 @@ class SomTrainer:
         else:
             qe = float(min_dist.mean())
         history.quantization_error.append(qe)
+        if self.ctx is not None:
+            self.ctx.emit(
+                "som_epoch",
+                epoch=len(history.awc) - 1,
+                epochs=self.epochs,
+                awc=history.awc[-1],
+                quantization_error=qe,
+            )

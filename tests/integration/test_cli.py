@@ -110,3 +110,57 @@ def test_analyze_prints_diagnostics(data_dir, capsys):
     assert "vocabulary overlaps" in out
 
 
+
+
+# ----------------------------------------------------------------------
+# train --jobs / --resume / --progress (the runtime execution layer)
+# ----------------------------------------------------------------------
+
+_TRAIN_FLAGS = [
+    "--features", "mi", "--n-features", "60",
+    "--tournaments", "80", "--som-epochs", "5",
+    "--categories", "earn", "grain",
+]
+
+
+def test_train_with_jobs_resume_and_progress(
+    data_dir, model_dir, tmp_path, capsys
+):
+    run_dir = tmp_path / "run"
+    out_dir = tmp_path / "model"
+    code = main([
+        "train", "--data", str(data_dir), "--out", str(out_dir),
+        *_TRAIN_FLAGS,
+        "--jobs", "2", "--resume", str(run_dir), "--progress",
+    ])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "stage_finished" in err
+    events = (run_dir / "events.jsonl").read_text().splitlines()
+    assert any('"run_finished"' in line for line in events)
+    assert (run_dir / "stages" / "char_som" / "_COMPLETE").exists()
+
+    # Same data, flags and seed as the plain fixture run: the parallel,
+    # checkpointed model must be byte-identical to the inline one.
+    import json
+
+    parallel = json.loads((out_dir / "manifest.json").read_text())
+    inline = json.loads((model_dir / "manifest.json").read_text())
+    assert parallel["classifiers"] == inline["classifiers"]
+
+    # A rerun over the same run dir loads every stage instead of training.
+    capsys.readouterr()
+    code = main([
+        "train", "--data", str(data_dir), "--out", str(out_dir),
+        *_TRAIN_FLAGS, "--resume", str(run_dir),
+    ])
+    assert code == 0
+    assert "5 stage(s) already complete" in capsys.readouterr().out
+
+
+def test_train_rejects_unknown_seed_policy(data_dir, tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "train", "--data", str(data_dir), "--out", str(tmp_path),
+            "--seed-policy", "chaos",
+        ])

@@ -1,0 +1,210 @@
+"""The execution-layer refactor, end to end.
+
+Four guarantees the runtime must keep:
+
+1. **Bit-compatibility** -- a default-context ``fit`` at seed 42 equals
+   the pre-runtime training procedure (re-implemented verbatim here as a
+   frozen reference), array for array and instruction for instruction.
+2. **Jobs parity** -- ``n_jobs=2`` produces the very same model as the
+   inline fit.
+3. **Resume** -- a fit killed after the word-SOM stage resumes from its
+   checkpoints and converges to the uninterrupted model.
+4. **Corruption** -- a damaged sealed checkpoint raises a clear
+   :class:`PersistenceError` instead of a deep crash or silent retrain.
+"""
+
+import shutil
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import GpConfig, ProSysConfig, ProSysPipeline
+from repro.classify.binary import RlgpBinaryClassifier
+from repro.encoding.hierarchy import HierarchicalSomEncoder
+from repro.gp.trainer import RlgpTrainer
+from repro.persistence import PersistenceError
+from repro.preprocessing.pipeline import Preprocessor
+from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.runtime import CheckpointStore, EventBus, RunContext
+
+CATEGORIES = ["earn", "grain"]
+
+
+def _config():
+    return ProSysConfig(
+        feature_method="mi",
+        n_features=60,
+        som_epochs=5,
+        gp=GpConfig().small(tournaments=100, seed=42),
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(corpus):
+    """The refactored pipeline under a default (inline, legacy) context."""
+    return ProSysPipeline(_config()).fit(corpus, categories=CATEGORIES)
+
+
+def _assert_same_model(pipeline, other):
+    """Byte-level equality of every trained artefact."""
+    np.testing.assert_array_equal(
+        pipeline.encoder.character_encoder.som.weights,
+        other.encoder.character_encoder.som.weights,
+    )
+    for category in CATEGORIES:
+        mine = pipeline.encoder.category_encoders[category]
+        theirs = other.encoder.category_encoders[category]
+        np.testing.assert_array_equal(mine.som.weights, theirs.som.weights)
+        assert mine.selected_units == theirs.selected_units
+        a = pipeline.suite.classifiers[category]
+        b = other.suite.classifiers[category]
+        assert a.program.code == b.program.code
+        assert a.threshold == b.threshold
+        assert a.train_fitness == b.train_fitness
+
+
+def test_default_context_is_bit_identical_to_legacy_procedure(corpus, baseline):
+    """Differential test against the pre-runtime training procedure.
+
+    This reference is a frozen transliteration of the original
+    ``ProSysPipeline.fit`` body (tokenize, select, ``encoder.fit``,
+    then per category ``seed + 101 * (offset + 1)`` RLGP training).
+    It must never be "modernised": its whole point is to pin the old
+    behaviour so the runtime's legacy seed policy is checked against
+    it byte for byte.
+    """
+    config = _config()
+    tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
+    feature_set = config.selector().select(tokenized)
+    encoder = HierarchicalSomEncoder(
+        char_rows=config.char_shape[0],
+        char_cols=config.char_shape[1],
+        word_rows=config.word_shape[0],
+        word_cols=config.word_shape[1],
+        epochs=config.som_epochs,
+        min_hit_mass=config.min_hit_mass,
+        max_sequence_length=config.max_sequence_length,
+        member_word_filter=config.member_word_filter,
+        seed=config.seed,
+    )
+    encoder.fit(tokenized, feature_set, categories=CATEGORIES)
+
+    reference = ProSysPipeline(config)
+    reference.tokenized = tokenized
+    reference.feature_set = feature_set
+    reference.encoder = encoder
+    for offset, category in enumerate(CATEGORIES):
+        base_seed = config.seed + 101 * (offset + 1)
+        dataset = encoder.encode_dataset(tokenized, feature_set, category, "train")
+        trainer = RlgpTrainer(
+            replace(config.gp, seed=base_seed),
+            use_dss=config.use_dss,
+            dynamic_pages=config.dynamic_pages,
+            recurrent=config.recurrent,
+            fitness=config.fitness,
+        )
+        reference.suite.add(
+            RlgpBinaryClassifier.fit(
+                dataset, trainer,
+                n_restarts=config.n_restarts, base_seed=base_seed,
+            )
+        )
+
+    _assert_same_model(baseline, reference)
+
+
+def test_parallel_fit_matches_inline(corpus, baseline):
+    """--jobs 2 must yield byte-identical results to the inline fit."""
+    parallel = ProSysPipeline(_config()).fit(
+        corpus, categories=CATEGORIES, ctx=RunContext(seed=42, n_jobs=2)
+    )
+    _assert_same_model(parallel, baseline)
+
+
+@pytest.fixture(scope="module")
+def completed_run_dir(corpus, tmp_path_factory):
+    """One checkpointed fit whose run dir later tests resume/corrupt."""
+    run_dir = tmp_path_factory.mktemp("ckpt") / "run"
+    pipeline = ProSysPipeline(_config()).fit(
+        corpus, categories=CATEGORIES,
+        ctx=RunContext(seed=42, checkpoints=CheckpointStore(run_dir)),
+    )
+    return run_dir, pipeline
+
+
+def test_checkpointed_fit_writes_all_stages(baseline, completed_run_dir):
+    run_dir, checkpointed = completed_run_dir
+    _assert_same_model(checkpointed, baseline)
+    assert CheckpointStore(run_dir).completed() == [
+        "char_som",
+        "rlgp__earn", "rlgp__grain",
+        "word_som__earn", "word_som__grain",
+    ]
+
+
+class _KillRun(Exception):
+    """Raised by a test subscriber to interrupt a fit at a boundary."""
+
+
+def test_interrupted_fit_resumes_to_identical_model(corpus, baseline, tmp_path):
+    store = CheckpointStore(tmp_path / "run")
+
+    def kill_before_rlgp(event):
+        if event.kind == "stage_started" and event.payload.get("stage") == "rlgp":
+            raise _KillRun
+
+    bus = EventBus([kill_before_rlgp])
+    with pytest.raises(_KillRun):
+        ProSysPipeline(_config()).fit(
+            corpus, categories=CATEGORIES,
+            ctx=RunContext(seed=42, events=bus, checkpoints=store),
+        )
+    # The word-SOM work survived the kill; the RLGP stage never sealed.
+    assert store.has("char_som")
+    assert store.has("word_som/earn") and store.has("word_som/grain")
+    assert not store.has("rlgp/earn")
+
+    seen = []
+    resumed = ProSysPipeline(_config()).fit(
+        corpus, categories=CATEGORIES,
+        ctx=RunContext(
+            seed=42, events=EventBus([seen.append]),
+            checkpoints=CheckpointStore(tmp_path / "run"),
+        ),
+    )
+    loaded = [e.payload["stage"] for e in seen if e.kind == "checkpoint_loaded"]
+    assert loaded == ["char_som", "word_som/earn", "word_som/grain"]
+    _assert_same_model(resumed, baseline)
+
+
+def test_resumed_run_reuses_trained_classifiers(corpus, baseline, completed_run_dir):
+    """A second fit over a complete run dir retrains nothing."""
+    run_dir, _ = completed_run_dir
+    seen = []
+    again = ProSysPipeline(_config()).fit(
+        corpus, categories=CATEGORIES,
+        ctx=RunContext(
+            seed=42, events=EventBus([seen.append]),
+            checkpoints=CheckpointStore(run_dir),
+        ),
+    )
+    assert not [e for e in seen if e.kind == "checkpoint_saved"]
+    assert len([e for e in seen if e.kind == "checkpoint_loaded"]) == 5
+    assert not [e for e in seen if e.kind == "gp_tick"]  # no retraining
+    _assert_same_model(again, baseline)
+
+
+def test_corrupt_checkpoint_raises_persistence_error(
+    corpus, completed_run_dir, tmp_path
+):
+    run_dir, _ = completed_run_dir
+    shutil.copytree(run_dir, tmp_path / "run")
+    store = CheckpointStore(tmp_path / "run")
+    (store.stage_dir("rlgp/earn") / "stage.json").write_text("{broken")
+    with pytest.raises(PersistenceError, match=r"'rlgp/earn'.*corrupt"):
+        ProSysPipeline(_config()).fit(
+            corpus, categories=CATEGORIES,
+            ctx=RunContext(seed=42, checkpoints=store),
+        )

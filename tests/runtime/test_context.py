@@ -1,0 +1,85 @@
+"""RunContext: seed policies, child sharing, stage bracketing."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import CheckpointStore, EventBus, RunContext
+from repro.serve.metrics import MetricsRegistry
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError, match="seed_policy"):
+        RunContext(seed_policy="chaos")
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(ValueError, match="n_jobs"):
+        RunContext(n_jobs=-2)
+
+
+def test_legacy_policy_honours_call_site_seed():
+    ctx = RunContext(seed=42).child("rlgp", "earn")
+    assert ctx.seed_for(legacy=4242) == 4242
+
+
+def test_legacy_policy_falls_back_to_tree_without_legacy_value():
+    ctx = RunContext(seed=42)
+    assert ctx.seed_for("noise") == ctx.tree.child("noise").seed
+
+
+def test_tree_policy_ignores_legacy_value():
+    ctx = RunContext(seed=42, seed_policy="tree").child("rlgp", "earn")
+    assert ctx.seed_for(legacy=4242) == ctx.tree.seed
+    assert ctx.seed_for(legacy=4242) != 4242
+
+
+def test_child_shares_bus_store_and_metrics(tmp_path):
+    bus = EventBus()
+    store = CheckpointStore(tmp_path)
+    metrics = MetricsRegistry()
+    ctx = RunContext(events=bus, checkpoints=store, n_jobs=3, metrics=metrics)
+    child = ctx.child("som", "earn")
+    assert child.events is bus
+    assert child.checkpoints is store
+    assert child.metrics is metrics
+    assert child.n_jobs == 3
+    assert child.path == "som/earn"
+    assert ctx.path == ""
+
+
+def test_generator_reproducible_per_node():
+    draws = [
+        RunContext(seed=7).child("x").generator().random(5) for _ in range(2)
+    ]
+    np.testing.assert_array_equal(draws[0], draws[1])
+
+
+def test_emit_carries_context_path():
+    seen = []
+    ctx = RunContext(events=EventBus([seen.append])).child("rlgp", "earn")
+    ctx.emit("gp_best", fitness=1.5)
+    assert seen[0].kind == "gp_best"
+    assert seen[0].path == "rlgp/earn"
+    assert seen[0].payload == {"fitness": 1.5}
+
+
+def test_stage_emits_start_finish_and_times_histogram():
+    seen = []
+    metrics = MetricsRegistry()
+    ctx = RunContext(events=EventBus([seen.append]), metrics=metrics)
+    with ctx.stage("char_som"):
+        pass
+    assert [e.kind for e in seen] == ["stage_started", "stage_finished"]
+    assert seen[1].payload["stage"] == "char_som"
+    assert seen[1].payload["elapsed"] >= 0
+    rendered = metrics.render_text()
+    assert "runtime_stage_char_som_seconds" in rendered
+
+
+def test_stage_failure_emits_stage_failed():
+    seen = []
+    ctx = RunContext(events=EventBus([seen.append]))
+    with pytest.raises(RuntimeError, match="boom"):
+        with ctx.stage("rlgp"):
+            raise RuntimeError("boom")
+    assert [e.kind for e in seen] == ["stage_started", "stage_failed"]

@@ -1,0 +1,84 @@
+"""Event bus and sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.runtime.events import ConsoleSink, Event, EventBus, JsonlSink
+
+
+def _event(kind="stage_started", **payload):
+    return Event(kind=kind, path="som/earn", payload=payload)
+
+
+def test_bus_fans_out_to_all_sinks():
+    seen_a, seen_b = [], []
+    bus = EventBus([seen_a.append])
+    bus.subscribe(seen_b.append)
+    bus.emit(_event())
+    assert len(seen_a) == len(seen_b) == 1
+    assert seen_a[0].kind == "stage_started"
+
+
+def test_unsubscribe_stops_delivery():
+    seen = []
+    bus = EventBus()
+    sink = bus.subscribe(seen.append)
+    bus.emit(_event())
+    bus.unsubscribe(sink)
+    bus.emit(_event())
+    assert len(seen) == 1
+    assert bus.n_sinks == 0
+
+
+def test_sink_exceptions_propagate():
+    """Tests interrupt runs with a raising subscriber; it must be loud."""
+
+    def boom(event):
+        raise KeyboardInterrupt("stop here")
+
+    bus = EventBus([boom])
+    with pytest.raises(KeyboardInterrupt):
+        bus.emit(_event())
+
+
+def test_event_to_dict_flattens_payload():
+    record = _event(epoch=3, awc=0.5).to_dict()
+    assert record["kind"] == "stage_started"
+    assert record["path"] == "som/earn"
+    assert record["epoch"] == 3
+    assert "timestamp" in record
+
+
+def test_console_sink_filters_ticks_by_default():
+    stream = io.StringIO()
+    sink = ConsoleSink(stream=stream)
+    sink(_event("gp_tick", tournament=50))
+    sink(_event("stage_finished", stage="rlgp", elapsed=1.25))
+    output = stream.getvalue()
+    assert "gp_tick" not in output
+    assert "stage_finished" in output
+    assert "[som/earn]" in output
+    assert "elapsed=1.25" in output
+
+
+def test_console_sink_verbose_shows_everything():
+    stream = io.StringIO()
+    sink = ConsoleSink(stream=stream, verbose=True)
+    sink(_event("gp_tick", tournament=50))
+    assert "gp_tick" in stream.getvalue()
+
+
+def test_jsonl_sink_appends_parseable_lines(tmp_path):
+    path = tmp_path / "logs" / "events.jsonl"
+    with JsonlSink(path) as sink:
+        sink(_event("stage_started", stage="tokenize"))
+        sink(_event("run_finished", categories=2))
+    with JsonlSink(path) as sink:  # append, not truncate
+        sink(_event("stage_started", stage="resumed"))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["kind"] for r in records] == [
+        "stage_started", "run_finished", "stage_started",
+    ]
+    assert records[1]["categories"] == 2

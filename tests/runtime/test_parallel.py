@@ -1,0 +1,96 @@
+"""parallel_map: inline/forked equivalence and failure reporting."""
+
+import os
+
+import pytest
+
+from repro.runtime.parallel import ParallelError, _fork_available, parallel_map
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="platform has no fork start method"
+)
+
+
+def test_inline_preserves_order_and_calls_callback():
+    seen = []
+    results = parallel_map(
+        lambda x: x * 10, [3, 1, 2],
+        n_jobs=0, on_result=lambda i, r: seen.append((i, r)),
+    )
+    assert results == [30, 10, 20]
+    assert seen == [(0, 30), (1, 10), (2, 20)]
+
+
+def test_inline_empty_items():
+    assert parallel_map(lambda x: x, [], n_jobs=4) == []
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(ValueError, match="n_jobs"):
+        parallel_map(lambda x: x, [1], n_jobs=-1)
+
+
+def test_inline_exception_propagates_unwrapped():
+    with pytest.raises(ZeroDivisionError):
+        parallel_map(lambda x: 1 // x, [0], n_jobs=0)
+
+
+@needs_fork
+def test_forked_results_align_with_items():
+    items = list(range(20))
+    assert parallel_map(lambda x: x * x, items, n_jobs=2) == [
+        x * x for x in items
+    ]
+
+
+@needs_fork
+def test_forked_workers_inherit_closures():
+    """Work functions close over unpicklable state; fork inherits it."""
+    big_state = {"offset": 100, "fn": lambda x: x + 1}  # lambdas don't pickle
+
+    def work(x):
+        return big_state["fn"](x) + big_state["offset"]
+
+    assert parallel_map(work, [1, 2, 3], n_jobs=2) == [102, 103, 104]
+
+
+@needs_fork
+def test_on_result_runs_in_parent_process():
+    parent = os.getpid()
+    pids = []
+    parallel_map(
+        lambda x: x, [1, 2, 3], n_jobs=2,
+        on_result=lambda i, r: pids.append(os.getpid()),
+    )
+    assert pids == [parent] * 3
+
+
+@needs_fork
+def test_worker_exception_becomes_parallel_error():
+    def work(x):
+        if x == 2:
+            raise ValueError("boom on two")
+        return x
+
+    with pytest.raises(ParallelError, match="boom on two"):
+        parallel_map(work, [1, 2, 3], n_jobs=2)
+
+
+@needs_fork
+def test_dead_worker_detected():
+    def work(x):
+        os._exit(13)  # simulate a hard crash (no exception to report)
+
+    with pytest.raises(ParallelError, match="died without reporting"):
+        parallel_map(work, [1, 2], n_jobs=2)
+
+
+def test_single_item_runs_inline_even_with_jobs():
+    pid_holder = []
+
+    def work(x):
+        pid_holder.append(os.getpid())
+        return x
+
+    parallel_map(work, [5], n_jobs=4)
+    assert pid_holder == [os.getpid()]

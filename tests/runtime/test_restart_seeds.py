@@ -1,0 +1,97 @@
+"""Restart seeding through the seed tree (order-independent restarts)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.representation import EncodedDataset, EncodedDocument
+from repro.gp.config import GpConfig
+from repro.gp.trainer import RlgpTrainer
+from repro.runtime import RunContext
+
+
+def _toy_dataset(n_per_class=12, seed=0):
+    rng = np.random.default_rng(seed)
+    documents = []
+    for index in range(n_per_class):
+        length = int(rng.integers(3, 8))
+        seq = np.column_stack(
+            [rng.uniform(0.6, 1.0, length), rng.uniform(0.6, 1.0, length)]
+        )
+        documents.append(_encoded(index, seq, 1))
+    for index in range(n_per_class):
+        length = int(rng.integers(1, 4))
+        seq = np.column_stack(
+            [rng.uniform(0.0, 0.2, length), rng.uniform(0.0, 0.2, length)]
+        )
+        documents.append(_encoded(1000 + index, seq, -1))
+    return EncodedDataset(category="toy", documents=tuple(documents))
+
+
+def _encoded(doc_id, seq, label):
+    return EncodedDocument(
+        doc_id=doc_id,
+        category="toy",
+        sequence=seq,
+        words=tuple("w" for _ in seq),
+        units=tuple(0 for _ in seq),
+        label=label,
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _toy_dataset()
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    return RlgpTrainer(GpConfig().small(tournaments=60, seed=0))
+
+
+def test_legacy_restarts_keep_base_plus_offset_seeds(dataset, trainer):
+    """Default policy: restart i still trains at ``base_seed + i``."""
+    best = trainer.train_with_restarts(
+        dataset, n_restarts=3, base_seed=10, ctx=RunContext(seed=42)
+    )
+    individually = [
+        trainer.train(dataset, seed=10 + restart) for restart in range(3)
+    ]
+    expected = min(individually, key=lambda r: r.train_fitness)
+    assert best.program.code == expected.program.code
+    assert best.train_fitness == expected.train_fitness
+
+
+def test_tree_restarts_depend_only_on_their_index(dataset, trainer):
+    """Tree policy: restart i's seed is a pure function of its path, so
+    training it alone -- in any order, on any worker -- reproduces the
+    result it had inside the full restart loop."""
+    ctx = RunContext(seed=42, seed_policy="tree").child("rlgp", "toy")
+    best = trainer.train_with_restarts(dataset, n_restarts=3, ctx=ctx)
+
+    individually = [
+        trainer.train(
+            dataset, seed=ctx.child("restart", str(restart)).seed_for()
+        )
+        for restart in reversed(range(3))  # deliberately out of order
+    ]
+    expected = min(individually, key=lambda r: r.train_fitness)
+    assert best.program.code == expected.program.code
+    assert best.train_fitness == expected.train_fitness
+
+
+def test_tree_restart_seeds_differ_across_categories(dataset, trainer):
+    root = RunContext(seed=42, seed_policy="tree")
+    earn = root.child("rlgp", "earn").child("restart", "0").seed_for()
+    grain = root.child("rlgp", "grain").child("restart", "0").seed_for()
+    assert earn != grain
+
+
+def test_restart_events_report_improvement(dataset, trainer):
+    from repro.runtime import EventBus
+
+    seen = []
+    ctx = RunContext(seed=42, events=EventBus([seen.append]))
+    trainer.train_with_restarts(dataset, n_restarts=2, base_seed=5, ctx=ctx)
+    finished = [e for e in seen if e.kind == "restart_finished"]
+    assert [e.payload["restart"] for e in finished] == [0, 1]
+    assert finished[0].payload["improved"] is True
