@@ -5,19 +5,34 @@ pytest-benchmark's repeated timing to characterise the evaluator itself:
 
 * vectorised batch evaluation vs the interpreted reference;
 * the effective-instruction (intron-skipping) optimisation;
-* DSS subset evaluation (the per-tournament unit of work).
+* DSS subset evaluation (the per-tournament unit of work);
+* fused population scoring vs the per-program loop, with the measured
+  speedup written to ``BENCH_evaluator.json``.
+
+``REPRO_BENCH_ASSERT=0`` disables the fused-speedup threshold (the CI
+smoke job runs on noisy shared runners; the artifact still records the
+measured ratio).
 """
 
+import json
+import os
+import time
+from pathlib import Path
 from random import Random
 
 import numpy as np
 import pytest
 
 from repro.gp.config import GpConfig
+from repro.gp.engine import FusedEngine
 from repro.gp.program import Program
 from repro.gp.recurrent import RecurrentEvaluator
+from repro.serve.metrics import MetricsRegistry
 
 CONFIG = GpConfig().small(tournaments=10)
+
+#: Where the population-scoring speedup measurement is recorded.
+BENCH_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_evaluator.json"
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +79,79 @@ def test_perf_packing(workload, evaluator, benchmark):
     _, sequences, _ = workload
     packed = benchmark(lambda: evaluator.pack(sequences))
     assert len(packed) == 200
+
+
+# ----------------------------------------------------------------------
+# fused population scoring
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def population():
+    programs = [
+        Program.random(Random(seed), CONFIG, page_size=1) for seed in range(125)
+    ]
+    for program in programs:
+        program.effective_fields()  # warm caches outside the timers
+    return programs
+
+
+def test_perf_fused_population_outputs(workload, population, benchmark):
+    """The tentpole path: one fused pass over the whole population."""
+    _, _, packed = workload
+    engine = FusedEngine(CONFIG, metrics=MetricsRegistry())
+    result = benchmark(lambda: engine.outputs(population, packed))
+    assert result.shape == (125, 200)
+
+
+def test_perf_per_program_population_outputs(workload, population, evaluator, benchmark):
+    """The baseline the fused engine replaces: a Python loop of
+    per-program vectorised evaluations."""
+    _, _, packed = workload
+    result = benchmark.pedantic(
+        lambda: np.stack([evaluator.outputs(p, packed) for p in population]),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.shape == (125, 200)
+
+
+def test_fused_population_speedup(workload, population, evaluator):
+    """Measure fused vs per-program population scoring, record the ratio
+    in BENCH_evaluator.json, and (unless REPRO_BENCH_ASSERT=0) require
+    the >= 3x speedup the engine was built for."""
+    _, _, packed = workload
+    engine = FusedEngine(CONFIG, metrics=MetricsRegistry())
+
+    def timed(fn, rounds=5):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # Warm-up once each (allocator, caches), then take best-of-N.
+    engine.outputs(population, packed)
+    fused_seconds = timed(lambda: engine.outputs(population, packed))
+    loop_seconds = timed(
+        lambda: np.stack([evaluator.outputs(p, packed) for p in population]),
+        rounds=3,
+    )
+    speedup = loop_seconds / fused_seconds
+    BENCH_RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "n_programs": len(population),
+                "n_docs": len(packed),
+                "fused_seconds": fused_seconds,
+                "per_program_seconds": loop_seconds,
+                "speedup": speedup,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if os.environ.get("REPRO_BENCH_ASSERT", "1") != "0":
+        assert speedup >= 3.0, (
+            f"fused population scoring only {speedup:.2f}x faster "
+            f"(fused {fused_seconds * 1e3:.1f}ms vs loop {loop_seconds * 1e3:.1f}ms)"
+        )

@@ -10,9 +10,9 @@ import numpy as np
 from repro.classify.threshold import median_threshold
 from repro.encoding.representation import EncodedDataset, EncodedDocument
 from repro.gp.config import GpConfig
+from repro.gp.engine import FusedEngine
 from repro.gp.fitness import squash_output
 from repro.gp.program import Program
-from repro.gp.recurrent import RecurrentEvaluator
 from repro.gp.trainer import EvolutionResult, RlgpTrainer
 
 
@@ -79,10 +79,16 @@ class RlgpBinaryClassifier:
     # inference
     # ------------------------------------------------------------------
     def decision_values(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
-        """Squashed (Eq. 4) final outputs for each sequence."""
-        evaluator = RecurrentEvaluator(self.config)
-        packed = evaluator.pack(list(sequences))
-        return squash_output(evaluator.outputs(self.program, packed))
+        """Squashed (Eq. 4) final outputs for each sequence.
+
+        Runs through :class:`~repro.gp.engine.FusedEngine` so inference
+        traffic ticks the shared engine counters (visible on the serving
+        layer's ``/metrics``); a single classifier is one program, so the
+        engine delegates to the vectorised evaluator -- same numbers.
+        """
+        engine = FusedEngine(self.config)
+        packed = engine.pack(list(sequences))
+        return squash_output(engine.outputs([self.program], packed)[0])
 
     def predict(self, dataset: EncodedDataset) -> np.ndarray:
         """+/-1 prediction per document via the Eq. 6 threshold."""

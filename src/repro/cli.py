@@ -78,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["legacy", "tree"],
                        help="legacy keeps historical per-stage seed "
                             "arithmetic; tree derives seeds from run paths")
+    train.add_argument("--gp-engine", default="fused",
+                       choices=["fused", "vectorised", "interpreted"],
+                       help="RLGP evaluation engine (all three train "
+                            "identical models; fused is fastest)")
 
     evaluate = commands.add_parser("evaluate", help="score a trained model")
     evaluate.add_argument("--model", required=True, type=Path)
@@ -169,6 +173,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         som_epochs=args.som_epochs,
         gp=GpConfig().small(tournaments=args.tournaments, seed=args.seed),
         n_restarts=args.restarts,
+        gp_engine=args.gp_engine,
         seed=args.seed,
     )
     pipeline = ProSysPipeline(config)

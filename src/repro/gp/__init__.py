@@ -10,12 +10,16 @@ Implements the dynamic page-based LGP of [13] with the recurrent extension
 * dynamic page size: doubled on fitness plateaus, reset after the maximum;
 * Dynamic Subset Selection for fitness evaluation on large training sets;
 * recurrent evaluation: registers persist across a document's word
-  sequence and are read from the output register after the last word.
+  sequence and are read from the output register after the last word;
+* a fused population-level evaluation engine (:mod:`repro.gp.engine`)
+  that scores whole tournaments/populations in one numpy pass, with a
+  semantic fitness cache over effective-code fingerprints.
 """
 
 from repro.gp.config import GpConfig
 from repro.gp.dss import DynamicSubsetSelector
 from repro.gp.dynamic_pages import DynamicPageController
+from repro.gp.engine import FusedEngine, PackedPrograms, SemanticCache
 from repro.gp.fitness import squash_output, sum_squared_error
 from repro.gp.instructions import (
     Instruction,
@@ -26,9 +30,13 @@ from repro.gp.instructions import (
 )
 from repro.gp.program import Program
 from repro.gp.recurrent import RecurrentEvaluator
-from repro.gp.trainer import EvolutionResult, RlgpTrainer
+from repro.gp.trainer import ENGINES, EvolutionResult, RlgpTrainer
 
 __all__ = [
+    "ENGINES",
+    "FusedEngine",
+    "PackedPrograms",
+    "SemanticCache",
     "GpConfig",
     "Instruction",
     "encode_instruction",

@@ -1,0 +1,458 @@
+"""Fused population-level RLGP evaluation (the trainer's hot path).
+
+The vectorised :class:`~repro.gp.recurrent.RecurrentEvaluator` removed the
+per-*document* Python loop, but the trainer still interpreted one program
+at a time -- ``population x effective_length`` Python-level dispatches per
+time step.  This module removes the per-*program* loop as well:
+
+* :class:`PackedPrograms` packs every program's *effective* instruction
+  stream (structural introns dropped, after Brameier & Banzhaf) into
+  per-slot field arrays ``mode/opcode/dst/src`` of shape
+  ``(n_programs, max_effective_len)``, padding short programs with a
+  bit-transparent no-op (``R0 = R0 * 1``);
+* :class:`FusedEngine` holds one 3-D register bank
+  ``(n_programs, n_registers, n_docs)`` and sweeps the time axis once,
+  applying instruction slot *i* of **every** program in a handful of
+  masked/gathered ufuncs instead of ``n_programs`` Python iterations.
+  Per element the operation sequence is identical to the vectorised
+  evaluator's, so outputs are bit-identical (differential-tested);
+* :class:`SemanticCache` memoises ``(effective-code fingerprint,
+  DSS-subset version) -> (fitness, squashed outputs)`` so offspring whose
+  crossover/mutation landed entirely in introns are never re-evaluated;
+* an opt-in process-parallel path shards the population over
+  :func:`repro.runtime.parallel.parallel_map` forked workers for
+  full-population scoring (model selection, island phases).
+
+Engine activity is observable: counters for programs/documents/
+instructions evaluated and semantic-cache hits land on a shared
+:class:`~repro.serve.metrics.MetricsRegistry` (rendered by the serving
+layer's ``/metrics`` endpoint) or on any registry passed in -- the
+training runtime threads its :class:`~repro.runtime.context.RunContext`
+registry through here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import (
+    MODE_CONSTANT,
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_ADD,
+    OP_MUL,
+    OP_SUB,
+    encode_instruction,
+)
+from repro.gp.program import DIV_EPSILON, Program, REGISTER_LIMIT
+from repro.gp.recurrent import PackedSequences, RecurrentEvaluator
+
+#: The padding no-op: ``R0 = R0 * 1`` leaves every register bit-identical
+#: (multiplying by 1.0 is exact in IEEE-754, and the clamp is idempotent
+#: on already-clamped values).
+_NOOP_MODE = MODE_CONSTANT
+_NOOP_OPCODE = OP_MUL
+_NOOP_DST = 0
+_NOOP_SRC = 1
+
+#: The encoded form, for callers that want to pad raw code streams.
+NOOP_INSTRUCTION = encode_instruction(_NOOP_MODE, _NOOP_OPCODE, _NOOP_DST, _NOOP_SRC)
+
+_shared_registry = None
+
+
+def shared_metrics():
+    """The process-wide engine metrics registry (created on first use).
+
+    The serving layer merges this registry into its ``/metrics``
+    exposition, so engine activity during inference is observable without
+    any explicit wiring.  The standard series are pre-registered so they
+    render as zeros before the first evaluation.
+    """
+    global _shared_registry
+    if _shared_registry is None:
+        from repro.serve.metrics import MetricsRegistry
+
+        _shared_registry = MetricsRegistry()
+        _register_engine_metrics(_shared_registry)
+    return _shared_registry
+
+
+def _register_engine_metrics(registry) -> Dict[str, object]:
+    return {
+        "programs": registry.counter(
+            "engine_programs_evaluated_total", "programs scored by the engine"
+        ),
+        "documents": registry.counter(
+            "engine_documents_evaluated_total", "program x document evaluations"
+        ),
+        "instructions": registry.counter(
+            "engine_instructions_executed_total",
+            "effective instructions executed (program x word x instruction)",
+        ),
+        "batches": registry.counter(
+            "engine_batches_total", "fused evaluation calls"
+        ),
+        "cache_hits": registry.counter(
+            "engine_cache_hits_total", "semantic fitness cache hits"
+        ),
+        "cache_misses": registry.counter(
+            "engine_cache_misses_total", "semantic fitness cache misses"
+        ),
+        "cache_hit_rate": registry.gauge(
+            "engine_cache_hit_rate", "hits / lookups over the cache lifetime"
+        ),
+    }
+
+
+class PackedPrograms:
+    """A population's effective instruction streams as per-slot arrays.
+
+    Programs are sorted by *decreasing* effective length (the same trick
+    :class:`~repro.gp.recurrent.PackedSequences` plays on documents), so
+    instruction slot ``i`` is live for a contiguous **prefix** of the
+    rows -- the fused sweep executes exactly
+    ``sum(effective lengths) x words`` instructions, never a padded
+    no-op.  Padding slots still hold the bit-transparent ``R0 = R0 * 1``
+    as a safety net.
+
+    Attributes:
+        modes / opcodes / dsts / srcs: ``(n_programs, max_len)`` int64
+            arrays, row-sorted by decreasing effective length.
+        lengths: effective instruction counts, sorted to match.
+        order: original index of each sorted row.
+        active_counts: ``active_counts[i]`` = programs whose effective
+            code reaches slot ``i`` (a prefix of the sorted rows).
+    """
+
+    __slots__ = ("modes", "opcodes", "dsts", "srcs", "lengths", "order",
+                 "active_counts")
+
+    def __init__(self, modes, opcodes, dsts, srcs, lengths, order,
+                 active_counts) -> None:
+        self.modes = modes
+        self.opcodes = opcodes
+        self.dsts = dsts
+        self.srcs = srcs
+        self.lengths = lengths
+        self.order = order
+        self.active_counts = active_counts
+
+    @classmethod
+    def from_programs(
+        cls, programs: Sequence[Program], config: GpConfig
+    ) -> "PackedPrograms":
+        """Pack the (cached) effective fields of ``programs``."""
+        fields = [program.effective_fields() for program in programs]
+        raw_lengths = np.array([len(f[0]) for f in fields], dtype=np.int64)
+        order = np.argsort(-raw_lengths, kind="stable")
+        lengths = raw_lengths[order]
+        n_programs = len(programs)
+        max_len = int(lengths[0]) if n_programs else 0
+        modes = np.full((n_programs, max_len), _NOOP_MODE, dtype=np.int64)
+        opcodes = np.full((n_programs, max_len), _NOOP_OPCODE, dtype=np.int64)
+        dsts = np.full((n_programs, max_len), _NOOP_DST, dtype=np.int64)
+        srcs = np.full((n_programs, max_len), _NOOP_SRC, dtype=np.int64)
+        for row, original in enumerate(order):
+            mode, opcode, dst, src = fields[original]
+            n = len(mode)
+            modes[row, :n] = mode
+            opcodes[row, :n] = opcode
+            dsts[row, :n] = dst
+            srcs[row, :n] = src
+        slots = np.arange(max_len)
+        active_counts = np.searchsorted(-lengths, -(slots + 1), side="right")
+        return cls(modes, opcodes, dsts, srcs, lengths, order, active_counts)
+
+    @property
+    def n_programs(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def max_len(self) -> int:
+        return self.modes.shape[1]
+
+
+class _Slot:
+    """Precomputed execution plan for one instruction slot.
+
+    Within a slot the programs are independent, so their rows may be
+    permuted freely: sorting by opcode turns the opcode groups into
+    contiguous *slices* (in-place ufuncs on views, no masked copies),
+    and the permutation rides along for free inside the flattened
+    gather/scatter index arrays.
+    """
+
+    __slots__ = ("flat_dst", "flat_src", "ext_rows", "ext_src",
+                 "const_rows", "const_vals", "groups")
+
+    def __init__(self, modes, opcodes, dsts, srcs, n_registers: int) -> None:
+        perm = np.argsort(opcodes, kind="stable")
+        modes = modes[perm]
+        opcodes = opcodes[perm]
+        srcs = srcs[perm]
+        internal = modes == MODE_INTERNAL
+        external = modes == MODE_EXTERNAL
+        constant = modes == MODE_CONSTANT
+        # Flat row indices into the (n_programs * n_registers, n_docs)
+        # register bank; source indices are forced in-range for
+        # non-internal rows (the gathered value is overwritten below).
+        self.flat_dst = perm * n_registers + dsts[perm]
+        self.flat_src = perm * n_registers + np.where(internal, srcs, 0)
+        self.ext_rows = np.flatnonzero(external) if external.any() else None
+        self.ext_src = srcs[self.ext_rows] if self.ext_rows is not None else None
+        self.const_rows = np.flatnonzero(constant) if constant.any() else None
+        self.const_vals = (
+            srcs[self.const_rows].astype(float)[:, None]
+            if self.const_rows is not None
+            else None
+        )
+        # Contiguous opcode runs in the permuted order.
+        self.groups = []
+        boundaries = np.flatnonzero(np.diff(opcodes)) + 1
+        for start, stop in zip(
+            np.concatenate(([0], boundaries)),
+            np.concatenate((boundaries, [len(opcodes)])),
+        ):
+            self.groups.append((int(opcodes[start]), slice(int(start), int(stop))))
+
+
+class SemanticCache:
+    """LRU cache of subset fitness keyed by program *semantics*.
+
+    Key: ``(Program.semantic_fingerprint(), subset_version)``.  Two
+    programs whose raw code differs only in structural introns share a
+    fingerprint, so offspring of intron-hit crossover/mutation score as
+    cache hits instead of re-running the engine.  Values are
+    ``(fitness, squashed outputs)`` exactly as the trainer computed them,
+    so a hit is bit-identical to a re-evaluation.
+
+    Args:
+        capacity: retained entries (least recently used evicted first).
+        metrics: registry for hit/miss counters; the shared engine
+            registry by default.
+    """
+
+    def __init__(self, capacity: int = 8192, metrics=None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[bytes, int], Tuple[float, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        registry = metrics if metrics is not None else shared_metrics()
+        self._metrics = _register_engine_metrics(registry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def get(
+        self, fingerprint: bytes, version: int
+    ) -> Optional[Tuple[float, np.ndarray]]:
+        """The cached ``(fitness, squashed)`` or ``None`` on a miss."""
+        entry = self._entries.get((fingerprint, version))
+        if entry is None:
+            self.misses += 1
+            self._metrics["cache_misses"].inc()
+        else:
+            self._entries.move_to_end((fingerprint, version))
+            self.hits += 1
+            self._metrics["cache_hits"].inc()
+        self._metrics["cache_hit_rate"].set(self.hit_rate)
+        return entry
+
+    def put(
+        self,
+        fingerprint: bytes,
+        version: int,
+        fitness: float,
+        squashed: np.ndarray,
+    ) -> None:
+        if self.capacity == 0:
+            return
+        key = (fingerprint, version)
+        self._entries[key] = (fitness, squashed)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class FusedEngine:
+    """Scores whole populations in one numpy pass.
+
+    Args:
+        config: the GP configuration shared by every program evaluated.
+        metrics: registry for activity counters (shared engine registry
+            by default).
+
+    A single-program call delegates to the vectorised
+    :class:`RecurrentEvaluator` (same numbers, less slot machinery); the
+    fused kernel takes over from two programs up.
+    """
+
+    def __init__(self, config: GpConfig, metrics=None) -> None:
+        self.config = config
+        self.evaluator = RecurrentEvaluator(config)
+        registry = metrics if metrics is not None else shared_metrics()
+        self._metrics = _register_engine_metrics(registry)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def pack(self, sequences: Sequence[np.ndarray]) -> PackedSequences:
+        """Pad and sort document sequences (see :class:`PackedSequences`)."""
+        return self.evaluator.pack(sequences)
+
+    def outputs(
+        self,
+        programs: Sequence[Program],
+        packed: PackedSequences,
+        n_jobs: int = 0,
+    ) -> np.ndarray:
+        """``(n_programs, n_docs)`` raw output-register values.
+
+        Rows align with ``programs``; columns are in the documents'
+        *original* (pre-packing) order, exactly like
+        :meth:`RecurrentEvaluator.outputs`.
+
+        Args:
+            n_jobs: shard the population over this many forked workers
+                (``repro.runtime.parallel``).  Worth it only for large
+                batches (full-population model selection, island
+                phases); tournament-sized batches should stay inline.
+        """
+        programs = list(programs)
+        n_docs = len(packed)
+        self._count(programs, packed)
+        if not programs:
+            return np.zeros((0, n_docs))
+        if len(programs) == 1:
+            return self.evaluator.outputs(programs[0], packed).reshape(1, -1)
+        if n_jobs > 1 and len(programs) > n_jobs:
+            from repro.runtime.parallel import parallel_map, split_evenly
+
+            shards = split_evenly(programs, n_jobs)
+            parts = parallel_map(
+                lambda shard: self._outputs_fused(shard, packed),
+                shards,
+                n_jobs=n_jobs,
+            )
+            return np.vstack(parts)
+        return self._outputs_fused(programs, packed)
+
+    # ------------------------------------------------------------------
+    # fused kernel
+    # ------------------------------------------------------------------
+    def _outputs_fused(
+        self, programs: Sequence[Program], packed: PackedSequences
+    ) -> np.ndarray:
+        population = PackedPrograms.from_programs(programs, self.config)
+        with np.errstate(over="ignore", invalid="ignore"):
+            finals = self._sweep(population, packed)
+        # Undo both sorts: program rows and document columns.
+        outputs = np.zeros_like(finals)
+        outputs[np.ix_(population.order, packed.order)] = finals
+        return outputs
+
+    def _sweep(
+        self, population: PackedPrograms, packed: PackedSequences
+    ) -> np.ndarray:
+        """Time-axis sweep; finals in the packed (sorted x sorted) order."""
+        n_programs = population.n_programs
+        n_docs = len(packed)
+        finals = np.zeros((n_programs, n_docs))
+        if n_docs == 0 or population.max_len == 0:
+            return finals
+        # Slot i touches only the first active_counts[i] (sorted) rows --
+        # every instruction the plan executes is effective.
+        n_registers = self.config.n_registers
+        slots = [
+            _Slot(
+                population.modes[: int(count), i],
+                population.opcodes[: int(count), i],
+                population.dsts[: int(count), i],
+                population.srcs[: int(count), i],
+                n_registers,
+            )
+            for i, count in enumerate(population.active_counts)
+        ]
+        registers = np.zeros((n_programs, n_registers, n_docs))
+        bank = registers.reshape(n_programs * n_registers, n_docs)
+        out_reg = self.config.output_register
+        max_len = packed.inputs.shape[1]
+
+        for t in range(max_len):
+            n_active = int(packed.active_counts[t])
+            if n_active == 0:
+                break
+            live = bank[:, :n_active]
+            inputs_t = packed.inputs[:n_active, t, :].T  # (n_inputs, n_active)
+            for slot in slots:
+                # Gather R[dst] and the source operand of every program.
+                # (Plain fancy indexing: np.take degrades badly on the
+                # non-contiguous column slice.)
+                current = live[slot.flat_dst]
+                source = live[slot.flat_src]
+                if slot.ext_rows is not None:
+                    source[slot.ext_rows] = inputs_t[slot.ext_src]
+                if slot.const_rows is not None:
+                    source[slot.const_rows] = slot.const_vals
+                # Opcode groups are contiguous views: compute in place.
+                for opcode, group in slot.groups:
+                    cur = current[group]
+                    src = source[group]
+                    if opcode == OP_ADD:
+                        np.add(cur, src, out=cur)
+                    elif opcode == OP_SUB:
+                        np.subtract(cur, src, out=cur)
+                    elif opcode == OP_MUL:
+                        np.multiply(cur, src, out=cur)
+                    else:
+                        # Protected division: a ~0 denominator becomes 1,
+                        # and x / 1.0 == x bit-exactly, so the protected
+                        # lanes keep the numerator -- identical semantics
+                        # to the vectorised evaluator and the interpreter.
+                        src[np.abs(src) < DIV_EPSILON] = 1.0
+                        np.divide(cur, src, out=cur)
+                # Clamp via raw ufuncs (np.clip's wrapper is too slow at
+                # this call frequency -- same trick as the vectorised
+                # evaluator), then scatter back.
+                np.maximum(current, -REGISTER_LIMIT, out=current)
+                np.minimum(current, REGISTER_LIMIT, out=current)
+                live[slot.flat_dst] = current
+            # Documents ending at step t occupy a suffix of the active
+            # prefix (lengths sorted descending): snapshot their outputs.
+            still_active = (
+                int(packed.active_counts[t + 1]) if t + 1 < max_len else 0
+            )
+            if still_active < n_active:
+                finals[:, still_active:n_active] = registers[
+                    :, out_reg, still_active:n_active
+                ]
+        return finals
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _count(self, programs: List[Program], packed: PackedSequences) -> None:
+        n_docs = len(packed)
+        total_words = int(packed.active_counts.sum()) if n_docs else 0
+        effective = sum(len(p.effective_fields()[0]) for p in programs)
+        self._metrics["batches"].inc()
+        self._metrics["programs"].inc(len(programs))
+        self._metrics["documents"].inc(len(programs) * n_docs)
+        # Every program executes its effective stream once per active
+        # word-step, so the product is the exact executed-instruction
+        # count (padding no-ops excluded).
+        self._metrics["instructions"].inc(effective * total_words)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from random import Random
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -46,7 +47,10 @@ class Program:
     without per-call decoding.
     """
 
-    __slots__ = ("code", "config", "_decoded", "_effective")
+    __slots__ = (
+        "code", "config", "_decoded", "_decoded_rows", "_effective",
+        "_fingerprint",
+    )
 
     def __init__(self, code: Sequence[int], config: GpConfig) -> None:
         if not code:
@@ -59,7 +63,9 @@ class Program:
         self.code: Tuple[int, ...] = tuple(int(c) for c in code)
         self.config = config
         self._decoded: Optional[Tuple[np.ndarray, ...]] = None
+        self._decoded_rows: Optional[List[Tuple[int, int, int, int]]] = None
         self._effective: Optional[Tuple[np.ndarray, ...]] = None
+        self._fingerprint: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -112,6 +118,37 @@ class Program:
             )
         return self._effective
 
+    def _instruction_rows(self) -> List[Tuple[int, int, int, int]]:
+        """Decoded ``(mode, opcode, dst, src)`` tuples, cached.
+
+        The interpreter's per-word loop iterates plain ints; converting
+        the cached field arrays once is far cheaper than decoding (or
+        even indexing numpy scalars) on every word.
+        """
+        if self._decoded_rows is None:
+            modes, opcodes, dsts, srcs = self.decoded_fields()
+            self._decoded_rows = list(
+                zip(modes.tolist(), opcodes.tolist(), dsts.tolist(), srcs.tolist())
+            )
+        return self._decoded_rows
+
+    def semantic_fingerprint(self) -> bytes:
+        """Digest of the decoded *effective* instruction stream, cached.
+
+        Two programs whose raw code differs only in structural introns
+        (or in bits that decode to the same fields) share a fingerprint
+        and therefore -- by the effective-instruction property -- produce
+        identical outputs on every input.  The semantic fitness cache
+        keys on this.
+        """
+        if self._fingerprint is None:
+            fields = self.effective_fields()
+            digest = hashlib.blake2b(digest_size=16)
+            for array in fields:
+                digest.update(np.ascontiguousarray(array).tobytes())
+            self._fingerprint = digest.digest()
+        return self._fingerprint
+
     def disassemble(self) -> List[str]:
         """Paper-style listing, e.g. ``['R1=R1-I1', 'R0=R0*I1', ...]``."""
         return disassemble(self.code, self.config)
@@ -133,24 +170,23 @@ class Program:
         # Transient overflow is expected on hostile inputs -- the clamp on
         # the next line restores finite values, so silence the warnings.
         with np.errstate(over="ignore", invalid="ignore"):
-            for value in self.code:
-                instr = decode_instruction(value, self.config)
-                if instr.mode == MODE_INTERNAL:
-                    source = registers[instr.src]
-                elif instr.mode == MODE_EXTERNAL:
-                    source = float(inputs[instr.src])
+            for mode, opcode, dst, src in self._instruction_rows():
+                if mode == MODE_INTERNAL:
+                    source = registers[src]
+                elif mode == MODE_EXTERNAL:
+                    source = float(inputs[src])
                 else:
-                    source = float(instr.src)
-                current = registers[instr.dst]
-                if instr.opcode == OP_ADD:
+                    source = float(src)
+                current = registers[dst]
+                if opcode == OP_ADD:
                     result = current + source
-                elif instr.opcode == OP_SUB:
+                elif opcode == OP_SUB:
                     result = current - source
-                elif instr.opcode == OP_MUL:
+                elif opcode == OP_MUL:
                     result = current * source
                 else:
                     result = protected_divide(current, source)
-                registers[instr.dst] = float(
+                registers[dst] = float(
                     np.clip(result, -REGISTER_LIMIT, REGISTER_LIMIT)
                 )
         return registers

@@ -75,20 +75,37 @@ class PackedSequences:
         return len(self.lengths)
 
     def subset(self, indices: Sequence[int]) -> "PackedSequences":
-        """Pack a subset (indices refer to the *original* ordering)."""
-        wanted = set(int(i) for i in indices)
-        rows = [row for row, original in enumerate(self.order) if int(original) in wanted]
-        sequences = [self.inputs[row, : self.lengths[row]] for row in rows]
-        originals = [int(self.order[row]) for row in rows]
-        packed = PackedSequences.from_sequences(sequences, self.inputs.shape[2])
-        # Re-map order back to the original corpus indices.
-        order = np.array([originals[i] for i in packed.order], dtype=np.int64)
+        """Pack a subset (indices refer to the *original* ordering).
+
+        Pure numpy row selection: the rows are already sorted by
+        decreasing length, so taking them in ascending row order
+        preserves the packing invariant without rebuilding Python lists
+        or re-packing from scratch.
+        """
+        n_docs = len(self.lengths)
+        row_of = np.empty(n_docs, dtype=np.int64)
+        row_of[self.order] = np.arange(n_docs)
+        wanted = np.asarray(list(indices), dtype=np.int64)
+        # np.unique deduplicates *and* returns ascending row order.
+        rows = np.unique(row_of[wanted]) if len(wanted) else wanted
+        lengths = self.lengths[rows]
+        max_len = int(lengths.max()) if len(lengths) and lengths.max() > 0 else 1
+        inputs = self.inputs[rows][:, :max_len, :]
+        steps = np.arange(max_len)
+        active_counts = np.searchsorted(-lengths, -(steps + 1), side="right")
         return PackedSequences(
-            inputs=packed.inputs,
-            lengths=packed.lengths,
-            order=order,
-            active_counts=packed.active_counts,
+            inputs=inputs,
+            lengths=lengths,
+            order=self.order[rows],
+            active_counts=active_counts,
         )
+
+    def unpack(self) -> List[np.ndarray]:
+        """The sequences in *original* order, padding stripped."""
+        sequences: List[np.ndarray] = [np.zeros((0, self.inputs.shape[2]))] * len(self)
+        for row, original in enumerate(self.order):
+            sequences[int(original)] = self.inputs[row, : self.lengths[row]]
+        return sequences
 
 
 class RecurrentEvaluator:

@@ -26,15 +26,22 @@ from repro.gp.fitness import (
     sum_squared_error,
 )
 
+from repro.gp.engine import FusedEngine, SemanticCache
+from repro.gp.operators import breed
+from repro.gp.program import Program
+from repro.gp.recurrent import PackedSequences, RecurrentEvaluator
+
 #: Per-tournament fitness functions selectable on the trainer.
 FITNESS_FUNCTIONS = {
     "sse": sum_squared_error,       # Eq. 5 (paper setting)
     "balanced_sse": balanced_sse,   # class-balanced variant
     "f1": f1_fitness,               # the paper's future-work suggestion
 }
-from repro.gp.operators import breed
-from repro.gp.program import Program
-from repro.gp.recurrent import RecurrentEvaluator
+
+#: Evaluation engines selectable on the trainer.  All three produce the
+#: same classification decisions; ``fused`` and ``vectorised`` are
+#: bit-identical, ``interpreted`` is the floating-point-close reference.
+ENGINES = ("fused", "vectorised", "interpreted")
 
 
 @dataclass
@@ -94,6 +101,20 @@ class RlgpTrainer:
             ablation that removes all temporal information.
         fitness: per-tournament fitness -- ``"sse"`` (Eq. 5, paper),
             ``"balanced_sse"``, or ``"f1"`` (the Sec. 9 future-work idea).
+        engine: evaluation engine -- ``"fused"`` (default; scores every
+            tournament/population batch in one numpy pass, see
+            :mod:`repro.gp.engine`), ``"vectorised"`` (the
+            per-program batch evaluator), or ``"interpreted"`` (the
+            per-document reference, for debugging).  All engines yield
+            the same evolution: fused and vectorised are bit-identical.
+        engine_jobs: opt-in process-parallel population sharding for
+            *full-population* scoring (final model selection); 0 keeps
+            everything inline.  Tournament-sized batches always run
+            inline -- forking per tournament would dominate the work.
+        semantic_cache_size: entries in the semantic fitness cache
+            (effective-code fingerprint x DSS subset version).  Offspring
+            whose crossover/mutation landed in introns are scored from
+            the cache instead of re-running the engine.  0 disables.
     """
 
     def __init__(
@@ -106,11 +127,24 @@ class RlgpTrainer:
         dynamic_pages: bool = True,
         recurrent: bool = True,
         fitness: str = "sse",
+        engine: str = "fused",
+        engine_jobs: int = 0,
+        semantic_cache_size: int = 8192,
     ) -> None:
         if fitness not in FITNESS_FUNCTIONS:
             raise ValueError(
                 f"unknown fitness {fitness!r}; choose from "
                 f"{sorted(FITNESS_FUNCTIONS)}"
+            )
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        if engine_jobs < 0:
+            raise ValueError(f"engine_jobs must be >= 0, got {engine_jobs}")
+        if semantic_cache_size < 0:
+            raise ValueError(
+                f"semantic_cache_size must be >= 0, got {semantic_cache_size}"
             )
         self.fitness_name = fitness
         self._fitness_fn = FITNESS_FUNCTIONS[fitness]
@@ -121,6 +155,9 @@ class RlgpTrainer:
         self.dss_stratified = dss_stratified
         self.dynamic_pages = dynamic_pages
         self.recurrent = recurrent
+        self.engine_name = engine
+        self.engine_jobs = engine_jobs
+        self.semantic_cache_size = semantic_cache_size
         self.evaluator = RecurrentEvaluator(config)
 
     # ------------------------------------------------------------------
@@ -170,10 +207,22 @@ class RlgpTrainer:
             seed=seed,
         )
 
+        engine = FusedEngine(
+            self.config, metrics=ctx.metrics if ctx is not None else None
+        )
+        semantic_cache = (
+            SemanticCache(
+                self.semantic_cache_size,
+                metrics=ctx.metrics if ctx is not None else None,
+            )
+            if self.semantic_cache_size
+            else None
+        )
+
         subset_indices = np.arange(n_docs)
-        packed_subset = None
         subset_labels = labels
         subset_version = -1
+        eval_pack = eval_remap = eval_sequences = None
         best_history: List[float] = []
         tick_interval = max(1, self.config.tournaments // 25)
         best_seen = float("inf")
@@ -186,19 +235,53 @@ class RlgpTrainer:
                 )
                 subset_labels = labels[subset_indices]
                 subset_version = dss.version
+                eval_pack, eval_remap, eval_sequences = self._prepare_eval(
+                    packed_subset
+                )
 
             slots = rng.sample(range(len(population)), self.config.tournament_size)
-            scored = []
-            for slot in slots:
-                member = population[slot]
-                if member.cache_version != subset_version:
-                    squashed = squash_output(
-                        self._outputs(member.program, packed_subset)
+            stale = [
+                population[slot]
+                for slot in slots
+                if population[slot].cache_version != subset_version
+            ]
+            pending = []
+            for member in stale:
+                hit = (
+                    semantic_cache.get(
+                        member.program.semantic_fingerprint(), subset_version
                     )
+                    if semantic_cache is not None
+                    else None
+                )
+                if hit is not None:
+                    member.cache_fitness, member.cache_squashed = hit
+                    member.cache_version = subset_version
+                else:
+                    pending.append(member)
+            if pending:
+                raws = self._batch_outputs(
+                    engine,
+                    [member.program for member in pending],
+                    eval_pack,
+                    eval_remap,
+                    eval_sequences,
+                )
+                for member, raw in zip(pending, raws):
+                    squashed = squash_output(raw)
                     member.cache_squashed = squashed
                     member.cache_fitness = self._fitness_fn(subset_labels, squashed)
                     member.cache_version = subset_version
-                scored.append((member.cache_fitness, slot))
+                    if semantic_cache is not None:
+                        semantic_cache.put(
+                            member.program.semantic_fingerprint(),
+                            subset_version,
+                            member.cache_fitness,
+                            squashed,
+                        )
+            scored = [
+                (population[slot].cache_fitness, slot) for slot in slots
+            ]
             scored.sort(key=lambda pair: pair[0])
             best_fitness, best_slot = scored[0]
             parent_slots = (scored[0][1], scored[1][1])
@@ -243,7 +326,7 @@ class RlgpTrainer:
             )
 
         return self._finalise(
-            population, sequences, labels, best_history, controller, seed
+            engine, population, sequences, labels, best_history, controller, seed
         )
 
     def train_with_restarts(
@@ -297,24 +380,75 @@ class RlgpTrainer:
         return self._fitness_fn(labels, squash_output(raw))
 
     def _outputs(self, program: Program, packed) -> np.ndarray:
+        """Raw outputs of one program (kept for single-program callers)."""
+        eval_pack, remap, sequences = self._prepare_eval(packed)
+        if self.engine_name == "interpreted":
+            raw = self.evaluator.outputs_interpreted(program, sequences)
+        else:
+            raw = self.evaluator.outputs(program, eval_pack)
+        if remap is None:
+            return raw
+        unsorted = np.zeros(len(raw))
+        unsorted[remap] = raw
+        return unsorted
+
+    def _prepare_eval(self, packed: PackedSequences):
+        """Evaluation pack, column remap, and (interpreted-only) sequences.
+
+        Recurrent mode evaluates ``packed`` as-is.  The non-recurrent
+        ablation wipes state before every word, so only each document's
+        final word matters: those are re-packed once per subset, and the
+        remap array restores the caller's original document order.
+        """
         if self.recurrent:
-            return self.evaluator.outputs(program, packed)
-        # Non-recurrent ablation: only the final word reaches the registers,
-        # because state is wiped before every word.
-        final_words = []
-        for row, length in zip(packed.inputs, packed.lengths):
-            if length > 0:
-                final_words.append(row[length - 1 : length])
-            else:
-                final_words.append(np.zeros((0, self.config.n_inputs)))
-        repacked = self.evaluator.pack(final_words)
-        outputs = self.evaluator.outputs(program, repacked)
-        unsorted = np.zeros(len(outputs))
-        unsorted[packed.order] = outputs
+            eval_pack, remap = packed, None
+        else:
+            final_words = []
+            for row, length in zip(packed.inputs, packed.lengths):
+                if length > 0:
+                    final_words.append(row[length - 1 : length])
+                else:
+                    final_words.append(np.zeros((0, self.config.n_inputs)))
+            eval_pack, remap = self.evaluator.pack(final_words), packed.order
+        sequences = (
+            eval_pack.unpack() if self.engine_name == "interpreted" else None
+        )
+        return eval_pack, remap, sequences
+
+    def _batch_outputs(
+        self,
+        engine: FusedEngine,
+        programs: List[Program],
+        eval_pack: PackedSequences,
+        remap: Optional[np.ndarray],
+        sequences,
+        n_jobs: int = 0,
+    ) -> np.ndarray:
+        """``(len(programs), n_docs)`` raw outputs via the configured engine."""
+        if not programs:
+            return np.zeros((0, len(eval_pack)))
+        if self.engine_name == "fused":
+            raws = engine.outputs(programs, eval_pack, n_jobs=n_jobs)
+        elif self.engine_name == "vectorised":
+            raws = np.stack(
+                [self.evaluator.outputs(p, eval_pack) for p in programs]
+            )
+        else:
+            raws = np.stack(
+                [
+                    self.evaluator.outputs_interpreted(p, sequences)
+                    for p in programs
+                ]
+            )
+        if remap is None:
+            return raws
+        unsorted = np.zeros_like(raws)
+        unsorted[:, remap] = raws
         return unsorted
 
     def _finalise(
         self,
+        engine: FusedEngine,
         population: List[_Member],
         sequences: List[np.ndarray],
         labels: np.ndarray,
@@ -323,10 +457,19 @@ class RlgpTrainer:
         seed: int,
     ) -> EvolutionResult:
         packed_full = self.evaluator.pack(sequences)
+        eval_pack, remap, eval_sequences = self._prepare_eval(packed_full)
+        raws = self._batch_outputs(
+            engine,
+            [member.program for member in population],
+            eval_pack,
+            remap,
+            eval_sequences,
+            n_jobs=self.engine_jobs,
+        )
         best_program = None
         best_fitness = float("inf")
-        for member in population:
-            squashed = squash_output(self._outputs(member.program, packed_full))
+        for member, raw in zip(population, raws):
+            squashed = squash_output(raw)
             # Model selection uses the class-balanced criterion; plain SSE
             # would prefer individuals that abandon the minority class.
             fitness = balanced_sse(labels, squashed)

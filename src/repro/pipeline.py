@@ -27,7 +27,7 @@ from repro.evaluation.metrics import BinaryCounts, MultiLabelScores, score_multi
 from repro.features import ALL_SELECTORS
 from repro.features.base import FeatureSet
 from repro.gp.config import GpConfig
-from repro.gp.trainer import RlgpTrainer
+from repro.gp.trainer import ENGINES, RlgpTrainer
 from repro.preprocessing.pipeline import Preprocessor
 from repro.preprocessing.tokenized import TokenizedCorpus
 from repro.runtime import RunContext, parallel_map
@@ -59,6 +59,11 @@ class ProSysConfig:
             on; turning one off is the corresponding ablation).
         fitness: per-tournament fitness function -- ``"sse"`` (Eq. 5,
             paper), ``"balanced_sse"``, or ``"f1"`` (Sec. 9 future work).
+        gp_engine: RLGP evaluation engine -- ``"fused"`` (default,
+            population-batched; see :mod:`repro.gp.engine`),
+            ``"vectorised"``, or ``"interpreted"``.  All three produce
+            the same models; the knob exists for debugging and for the
+            differential tests.
         seed: base seed for the whole pipeline.
     """
 
@@ -77,6 +82,7 @@ class ProSysConfig:
     dynamic_pages: bool = True
     recurrent: bool = True
     fitness: str = "sse"
+    gp_engine: str = "fused"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -84,6 +90,10 @@ class ProSysConfig:
             raise ValueError(
                 f"unknown feature method {self.feature_method!r}; "
                 f"choose one of {sorted(ALL_SELECTORS)}"
+            )
+        if self.gp_engine not in ENGINES:
+            raise ValueError(
+                f"unknown gp_engine {self.gp_engine!r}; choose from {ENGINES}"
             )
 
     def selector(self):
@@ -262,6 +272,7 @@ class ProSysPipeline:
                     dynamic_pages=config.dynamic_pages,
                     recurrent=config.recurrent,
                     fitness=config.fitness,
+                    engine=config.gp_engine,
                 )
                 classifier = RlgpBinaryClassifier.fit(
                     dataset,

@@ -19,7 +19,7 @@ See ``README.md`` ("Training at scale") for the operator view.
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.context import RunContext
 from repro.runtime.events import ConsoleSink, Event, EventBus, JsonlSink
-from repro.runtime.parallel import ParallelError, parallel_map
+from repro.runtime.parallel import ParallelError, parallel_map, split_evenly
 from repro.runtime.seeds import SeedTree, derive_seed
 
 __all__ = [
@@ -33,4 +33,5 @@ __all__ = [
     "SeedTree",
     "derive_seed",
     "parallel_map",
+    "split_evenly",
 ]

@@ -37,6 +37,30 @@ class ParallelError(RuntimeError):
     """A worker raised or died while executing a parallel task."""
 
 
+def split_evenly(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal
+    chunks (sizes differ by at most one; no empty chunks).
+
+    The population-sharding helper for the fused GP engine: contiguous
+    chunks keep result concatenation order-stable, so sharded evaluation
+    is bit-identical to inline evaluation.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    items = list(items)
+    n_chunks = min(n_chunks, len(items))
+    if n_chunks == 0:
+        return []
+    base, extra = divmod(len(items), n_chunks)
+    chunks: List[List[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
 def _worker_main(fn, items, task_queue, result_queue) -> None:
     """Worker body: pull item indices until the ``None`` sentinel."""
     # Ctrl-C is the parent's shutdown signal; workers must keep the

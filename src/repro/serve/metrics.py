@@ -205,11 +205,22 @@ class MetricsRegistry:
 
     def render_text(self) -> str:
         """Plain-text exposition, one ``name value`` line per series."""
-        lines = []
-        for name, payload in self.snapshot().items():
-            if isinstance(payload, dict):
-                for key, value in payload.items():
-                    lines.append(f"{name}_{key} {value:.9g}")
-            else:
-                lines.append(f"{name} {payload:.9g}")
-        return "\n".join(lines) + "\n"
+        return render_snapshot(self.snapshot())
+
+
+def render_snapshot(snapshot: Dict[str, object]) -> str:
+    """Render any ``snapshot()``-shaped dict as text exposition.
+
+    Split out of :meth:`MetricsRegistry.render_text` so callers that
+    merge several registries (the serving layer folds the shared GP
+    engine registry into its own) can render the combined dict.
+    """
+    lines = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        if isinstance(payload, dict):
+            for key, value in payload.items():
+                lines.append(f"{name}_{key} {value:.9g}")
+        else:
+            lines.append(f"{name} {payload:.9g}")
+    return "\n".join(lines) + "\n"

@@ -37,7 +37,8 @@ from repro.classify.streaming import StreamingClassifier
 from repro.corpus.document import Document
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import LruCache, sequence_key, token_fingerprint
-from repro.serve.metrics import MetricsRegistry
+from repro.gp.engine import shared_metrics
+from repro.serve.metrics import MetricsRegistry, render_snapshot
 from repro.serve.registry import ModelRegistry
 from repro.serve.workers import WorkerPool
 
@@ -210,13 +211,19 @@ class InferenceService:
         }
 
     def snapshot(self) -> dict:
-        """Metrics snapshot including cache statistics."""
+        """Metrics snapshot including cache statistics and GP engine
+        activity (classification runs through the fused engine, whose
+        counters live on a process-wide registry -- see
+        :func:`repro.gp.engine.shared_metrics`)."""
         self._export_cache_stats()
-        return self.metrics.snapshot()
+        combined = self.metrics.snapshot()
+        shared = shared_metrics()
+        if shared is not self.metrics:
+            combined.update(shared.snapshot())
+        return combined
 
     def metrics_text(self) -> str:
-        self._export_cache_stats()
-        return self.metrics.render_text()
+        return render_snapshot(self.snapshot())
 
     def close(self) -> None:
         if self._closed:

@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.classify.binary import RlgpBinaryClassifier
+from repro.gp.engine import shared_metrics
 from repro.serve.metrics import MetricsRegistry
 
 #: Reserved category that makes a worker die abruptly (``os._exit``).
@@ -42,6 +43,15 @@ CRASH_CATEGORY = "__crash__"
 
 class WorkerCrash(RuntimeError):
     """The worker evaluating a job died before producing a result."""
+
+
+def _engine_counter_values() -> Dict[str, float]:
+    """Current values of the shared GP-engine counters (``*_total``)."""
+    return {
+        name: value
+        for name, value in shared_metrics().snapshot().items()
+        if name.startswith("engine_") and name.endswith("_total")
+    }
 
 
 class PoolClosed(RuntimeError):
@@ -67,8 +77,16 @@ def _worker_main(worker_id, classifiers, task_queue, result_queue):
             os._exit(1)
         try:
             classifier = classifiers[category]
+            # Engine counters tick in *this* process's shared registry,
+            # invisible to the parent; ship the per-job deltas back so
+            # the service's /metrics reflects worker activity.
+            before = _engine_counter_values()
             values = classifier.decision_values(sequences)
-            result_queue.put(("done", job_id, np.asarray(values)))
+            deltas = {
+                name: after - before.get(name, 0.0)
+                for name, after in _engine_counter_values().items()
+            }
+            result_queue.put(("done", job_id, np.asarray(values), deltas))
         except BaseException:  # noqa: BLE001 - reported to the parent
             result_queue.put(("error", job_id, traceback.format_exc()))
 
@@ -270,7 +288,11 @@ class WorkerPool:
                     if job is not None:
                         job.claimed_by = worker_id
             elif kind == "done":
-                _, job_id, values = message
+                _, job_id, values, deltas = message
+                registry = shared_metrics()
+                for name, delta in deltas.items():
+                    if delta > 0:
+                        registry.counter(name).inc(delta)
                 with self._lock:
                     job = self._pending.pop(job_id, None)
                 if job is not None:

@@ -1,0 +1,326 @@
+"""Tests for the fused population-level evaluation engine.
+
+The central property: :class:`FusedEngine` is **bit-identical** to the
+per-program vectorised evaluator (they run the same IEEE op sequence per
+element), and both are floating-point-close to the per-document
+interpreter.  The differential tests sweep random programs over ragged
+document batches, including the nasty corners: empty sequences,
+all-intron programs, and division-protection edges.
+"""
+
+from random import Random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.config import GpConfig
+from repro.gp.engine import (
+    NOOP_INSTRUCTION,
+    FusedEngine,
+    PackedPrograms,
+    SemanticCache,
+)
+from repro.gp.instructions import (
+    MODE_CONSTANT,
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_ADD,
+    OP_DIV,
+    OP_MUL,
+    encode_instruction,
+)
+from repro.gp.program import Program
+from repro.gp.recurrent import RecurrentEvaluator
+from repro.serve.metrics import MetricsRegistry
+
+CONFIG = GpConfig().small(tournaments=10)
+EVALUATOR = RecurrentEvaluator(CONFIG)
+
+
+def _random_sequences(rng, n_docs, max_len):
+    sequences = []
+    for _ in range(n_docs):
+        length = rng.randrange(0, max_len + 1)
+        sequences.append(
+            np.array(
+                [[rng.uniform(0, 1), rng.uniform(0, 1)] for _ in range(length)]
+            ).reshape(-1, 2)
+        )
+    return sequences
+
+
+def _random_population(n_programs, seed=0):
+    return [
+        Program.random(Random(seed + i), CONFIG, page_size=1)
+        for i in range(n_programs)
+    ]
+
+
+def _engine(metrics=None):
+    return FusedEngine(CONFIG, metrics=metrics or MetricsRegistry())
+
+
+# ----------------------------------------------------------------------
+# PackedPrograms
+# ----------------------------------------------------------------------
+def test_packed_programs_sorted_by_effective_length():
+    programs = _random_population(12)
+    packed = PackedPrograms.from_programs(programs, CONFIG)
+    lengths = packed.lengths
+    assert all(lengths[i] >= lengths[i + 1] for i in range(len(lengths) - 1))
+    # order maps sorted rows back to the original population.
+    for row, original in enumerate(packed.order):
+        expected = len(programs[int(original)].effective_fields()[0])
+        assert lengths[row] == expected
+
+
+def test_packed_programs_active_counts():
+    programs = _random_population(9, seed=5)
+    packed = PackedPrograms.from_programs(programs, CONFIG)
+    for slot in range(packed.max_len):
+        assert packed.active_counts[slot] == np.sum(packed.lengths > slot)
+
+
+def test_packed_programs_padding_is_noop():
+    programs = _random_population(6, seed=9)
+    packed = PackedPrograms.from_programs(programs, CONFIG)
+    for row in range(packed.n_programs):
+        n = int(packed.lengths[row])
+        assert (packed.modes[row, n:] == MODE_CONSTANT).all()
+        assert (packed.opcodes[row, n:] == OP_MUL).all()
+        assert (packed.dsts[row, n:] == 0).all()
+        assert (packed.srcs[row, n:] == 1).all()
+
+
+def test_noop_instruction_is_transparent():
+    """The padding instruction must leave every register bit-identical."""
+    program = Program([NOOP_INSTRUCTION], CONFIG)
+    registers = np.array([3.14, -2.0, 1e10, -0.0, 0.5, 7.0, -1e10, 9.9])
+    after = program.step(registers, [0.5, 0.5])
+    np.testing.assert_array_equal(after, registers)
+
+
+# ----------------------------------------------------------------------
+# differential: fused vs vectorised (bit-identical) vs interpreted
+# ----------------------------------------------------------------------
+def test_fused_bit_identical_to_vectorised_fixed():
+    rng = Random(3)
+    sequences = _random_sequences(rng, 30, 12)
+    programs = _random_population(25, seed=100)
+    engine = _engine()
+    packed = engine.pack(sequences)
+    fused = engine.outputs(programs, packed)
+    assert fused.shape == (len(programs), len(sequences))
+    for i, program in enumerate(programs):
+        expected = EVALUATOR.outputs(program, packed)
+        assert np.array_equal(fused[i], expected), f"program {i} diverged"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pop_seed=st.integers(0, 10**6),
+    data_seed=st.integers(0, 10**6),
+    n_programs=st.integers(2, 10),
+    n_docs=st.integers(1, 10),
+)
+def test_fused_matches_both_evaluators_property(
+    pop_seed, data_seed, n_programs, n_docs
+):
+    """Arbitrary populations x ragged batches: fused == vectorised
+    bit-for-bit, and both match the interpreter to float tolerance."""
+    sequences = _random_sequences(Random(data_seed), n_docs, 7)
+    programs = _random_population(n_programs, seed=pop_seed)
+    engine = _engine()
+    packed = engine.pack(sequences)
+    fused = engine.outputs(programs, packed)
+    for i, program in enumerate(programs):
+        assert np.array_equal(fused[i], EVALUATOR.outputs(program, packed))
+        slow = EVALUATOR.outputs_interpreted(program, sequences)
+        np.testing.assert_allclose(fused[i], slow, rtol=1e-9, atol=1e-9)
+
+
+def test_fused_handles_empty_sequences():
+    programs = _random_population(4)
+    engine = _engine()
+    packed = engine.pack([np.zeros((0, 2)), np.zeros((0, 2))])
+    fused = engine.outputs(programs, packed)
+    np.testing.assert_array_equal(fused, np.zeros((4, 2)))
+
+
+def test_fused_handles_mixed_empty_and_real():
+    programs = _random_population(5, seed=31)
+    sequences = [np.zeros((0, 2)), np.full((3, 2), 0.4), np.zeros((0, 2))]
+    engine = _engine()
+    packed = engine.pack(sequences)
+    fused = engine.outputs(programs, packed)
+    for i, program in enumerate(programs):
+        assert np.array_equal(fused[i], EVALUATOR.outputs(program, packed))
+
+
+def test_fused_all_intron_programs():
+    """Programs with no effective instructions output all zeros."""
+    # R1 = R1 + R1 never reaches the output register R0.
+    intron = encode_instruction(MODE_INTERNAL, OP_ADD, 1, 1)
+    programs = [Program([intron], CONFIG), Program([intron, intron], CONFIG)]
+    assert all(len(p.effective_fields()[0]) == 0 for p in programs)
+    engine = _engine()
+    packed = engine.pack(_random_sequences(Random(4), 6, 5))
+    fused = engine.outputs(programs, packed)
+    np.testing.assert_array_equal(fused, np.zeros((2, 6)))
+
+
+def test_fused_mixed_intron_and_effective():
+    intron = encode_instruction(MODE_INTERNAL, OP_ADD, 1, 1)
+    effective = encode_instruction(MODE_EXTERNAL, OP_ADD, 0, 0)
+    programs = [
+        Program([intron], CONFIG),
+        Program([effective], CONFIG),
+        Program([intron, effective, intron], CONFIG),
+    ]
+    engine = _engine()
+    sequences = _random_sequences(Random(8), 7, 6)
+    packed = engine.pack(sequences)
+    fused = engine.outputs(programs, packed)
+    for i, program in enumerate(programs):
+        assert np.array_equal(fused[i], EVALUATOR.outputs(program, packed))
+    # Intron-only differences produce identical rows.
+    assert np.array_equal(fused[1], fused[2])
+
+
+def test_fused_division_protection_edges():
+    """~0 denominators must return the numerator, exactly, in every lane."""
+    # R0 = R0 + I0 ; R0 = R0 / I1  -- denominator comes straight from the
+    # input stream, which we lace with zeros and sub-epsilon values.
+    accumulate = encode_instruction(MODE_EXTERNAL, OP_ADD, 0, 0)
+    divide = encode_instruction(MODE_EXTERNAL, OP_DIV, 0, 1)
+    program = Program([accumulate, divide], CONFIG)
+    other = Program.random(Random(77), CONFIG, page_size=1)
+    sequences = [
+        np.array([[0.7, 0.0], [0.3, 1e-12], [0.9, 2.0]]),
+        np.array([[0.5, -1e-10]]),
+        np.array([[1.0, 0.0], [1.0, 0.0]]),
+    ]
+    engine = _engine()
+    packed = engine.pack(sequences)
+    fused = engine.outputs([program, other], packed)
+    for i, p in enumerate([program, other]):
+        assert np.array_equal(fused[i], EVALUATOR.outputs(p, packed))
+        np.testing.assert_allclose(
+            fused[i],
+            EVALUATOR.outputs_interpreted(p, sequences),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+
+def test_fused_constant_division_protection():
+    """A constant ~0 denominator is protected too (src encodes the value)."""
+    accumulate = encode_instruction(MODE_EXTERNAL, OP_ADD, 0, 0)
+    divide_by_zero = encode_instruction(MODE_CONSTANT, OP_DIV, 0, 0)
+    program = Program([accumulate, divide_by_zero], CONFIG)
+    sequences = [np.array([[0.4, 0.2], [0.6, 0.1]])]
+    engine = _engine()
+    packed = engine.pack(sequences)
+    fused = engine.outputs([program, program], packed)
+    expected = EVALUATOR.outputs(program, packed)
+    assert np.array_equal(fused[0], expected)
+    assert np.array_equal(fused[1], expected)
+
+
+def test_single_program_delegates_but_matches():
+    program = _random_population(1, seed=55)[0]
+    engine = _engine()
+    sequences = _random_sequences(Random(6), 9, 8)
+    packed = engine.pack(sequences)
+    fused = engine.outputs([program], packed)
+    assert fused.shape == (1, 9)
+    assert np.array_equal(fused[0], EVALUATOR.outputs(program, packed))
+
+
+def test_empty_program_list():
+    engine = _engine()
+    packed = engine.pack(_random_sequences(Random(7), 4, 5))
+    assert engine.outputs([], packed).shape == (0, 4)
+
+
+def test_sharded_outputs_bit_identical():
+    programs = _random_population(13, seed=200)
+    engine = _engine()
+    packed = engine.pack(_random_sequences(Random(9), 15, 10))
+    inline = engine.outputs(programs, packed)
+    sharded = engine.outputs(programs, packed, n_jobs=4)
+    assert np.array_equal(inline, sharded)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_engine_counters_tick():
+    registry = MetricsRegistry()
+    engine = FusedEngine(CONFIG, metrics=registry)
+    programs = _random_population(5)
+    sequences = [np.full((3, 2), 0.5), np.full((1, 2), 0.5)]
+    packed = engine.pack(sequences)
+    engine.outputs(programs, packed)
+    snap = registry.snapshot()
+    assert snap["engine_batches_total"] == 1
+    assert snap["engine_programs_evaluated_total"] == 5
+    assert snap["engine_documents_evaluated_total"] == 10
+    total_effective = sum(len(p.effective_fields()[0]) for p in programs)
+    assert snap["engine_instructions_executed_total"] == total_effective * 4
+
+
+# ----------------------------------------------------------------------
+# SemanticCache
+# ----------------------------------------------------------------------
+def test_semantic_cache_hit_and_miss():
+    cache = SemanticCache(capacity=4, metrics=MetricsRegistry())
+    assert cache.get(b"fp", 0) is None
+    cache.put(b"fp", 0, 1.5, np.array([0.1]))
+    fitness, squashed = cache.get(b"fp", 0)
+    assert fitness == 1.5
+    np.testing.assert_array_equal(squashed, [0.1])
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_semantic_cache_version_keying():
+    cache = SemanticCache(capacity=4, metrics=MetricsRegistry())
+    cache.put(b"fp", 0, 1.0, np.array([0.0]))
+    assert cache.get(b"fp", 1) is None  # different subset version
+
+
+def test_semantic_cache_lru_eviction():
+    cache = SemanticCache(capacity=2, metrics=MetricsRegistry())
+    cache.put(b"a", 0, 1.0, np.array([0.0]))
+    cache.put(b"b", 0, 2.0, np.array([0.0]))
+    cache.get(b"a", 0)  # refresh a
+    cache.put(b"c", 0, 3.0, np.array([0.0]))  # evicts b
+    assert cache.get(b"a", 0) is not None
+    assert cache.get(b"b", 0) is None
+    assert cache.get(b"c", 0) is not None
+    assert len(cache) == 2
+
+
+def test_semantic_cache_zero_capacity():
+    cache = SemanticCache(capacity=0, metrics=MetricsRegistry())
+    cache.put(b"fp", 0, 1.0, np.array([0.0]))
+    assert len(cache) == 0
+    assert cache.get(b"fp", 0) is None
+
+
+def test_semantic_cache_rejects_negative_capacity():
+    with pytest.raises(ValueError):
+        SemanticCache(capacity=-1, metrics=MetricsRegistry())
+
+
+def test_intron_variants_share_fingerprint():
+    intron = encode_instruction(MODE_INTERNAL, OP_ADD, 1, 1)
+    effective = encode_instruction(MODE_EXTERNAL, OP_ADD, 0, 0)
+    plain = Program([effective], CONFIG)
+    padded = Program([intron, effective, intron], CONFIG)
+    different = Program([effective, effective], CONFIG)
+    assert plain.semantic_fingerprint() == padded.semantic_fingerprint()
+    assert plain.semantic_fingerprint() != different.semantic_fingerprint()

@@ -149,3 +149,29 @@ def test_replace_code():
     b = a.replace_code([encode_instruction(MODE_EXTERNAL, OP_SUB, 0, 0)])
     assert b != a
     assert b.config is a.config
+
+
+def test_step_reuses_cached_decode(monkeypatch):
+    """`step` must not re-decode instructions per word: after the first
+    call the cached rows are used, so breaking the decoder is harmless."""
+    import repro.gp.program as program_module
+
+    program = _program(
+        (MODE_EXTERNAL, OP_ADD, 0, 0), (MODE_INTERNAL, OP_ADD, 0, 1)
+    )
+    registers = np.zeros(program.config.n_registers)
+    first = program.step(registers, [0.5, 0.5])
+
+    def boom(*args, **kwargs):
+        raise AssertionError("decode_instruction called after warm-up")
+
+    monkeypatch.setattr(program_module, "decode_instruction", boom)
+    second = program.step(registers, [0.5, 0.5])
+    np.testing.assert_array_equal(first, second)
+
+
+def test_semantic_fingerprint_stable_and_cached():
+    program = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    assert program.semantic_fingerprint() == program.semantic_fingerprint()
+    clone = _program((MODE_EXTERNAL, OP_ADD, 0, 0))
+    assert program.semantic_fingerprint() == clone.semantic_fingerprint()

@@ -148,3 +148,81 @@ def test_no_output_register_sharing_between_documents():
     alone_a = EVALUATOR.outputs(program, EVALUATOR.pack([seq_a]))[0]
     alone_b = EVALUATOR.outputs(program, EVALUATOR.pack([seq_b]))[0]
     np.testing.assert_allclose(together, [alone_a, alone_b])
+
+
+# ----------------------------------------------------------------------
+# subset / unpack (numpy fast paths)
+# ----------------------------------------------------------------------
+def test_subset_preserves_contents_and_invariants():
+    rng = Random(11)
+    sequences = _random_sequences(rng, 12, 9)
+    packed = EVALUATOR.pack(sequences)
+    subset = packed.subset([0, 3, 7, 9, 11])
+    # Sorted-by-length invariant survives the row selection.
+    assert all(
+        subset.lengths[i] >= subset.lengths[i + 1]
+        for i in range(len(subset) - 1)
+    )
+    for row, original in enumerate(subset.order):
+        np.testing.assert_array_equal(
+            subset.inputs[row, : subset.lengths[row]],
+            sequences[int(original)],
+        )
+    # active_counts recomputed for the subset's own lengths.
+    for t in range(subset.inputs.shape[1]):
+        assert subset.active_counts[t] == np.sum(subset.lengths > t)
+
+
+def test_subset_deduplicates_indices():
+    rng = Random(12)
+    packed = EVALUATOR.pack(_random_sequences(rng, 6, 5))
+    subset = packed.subset([2, 2, 4, 4])
+    assert sorted(int(i) for i in subset.order) == [2, 4]
+
+
+def test_subset_empty():
+    rng = Random(13)
+    packed = EVALUATOR.pack(_random_sequences(rng, 5, 5))
+    subset = packed.subset([])
+    assert len(subset) == 0
+
+
+def test_subset_matches_fresh_pack_of_same_documents():
+    """The numpy row-selection subset equals re-packing from scratch
+    (modulo padding width), with ``order`` still in corpus indices."""
+    rng = Random(14)
+    sequences = _random_sequences(rng, 10, 8)
+    packed = EVALUATOR.pack(sequences)
+    wanted = [1, 4, 8, 9]
+    subset = packed.subset(wanted)
+    fresh = EVALUATOR.pack([sequences[i] for i in wanted])
+    np.testing.assert_array_equal(subset.lengths, fresh.lengths)
+    np.testing.assert_array_equal(subset.active_counts, fresh.active_counts)
+    # Same documents row for row (fresh.order indexes into `wanted`).
+    for row in range(len(fresh)):
+        assert int(subset.order[row]) == wanted[int(fresh.order[row])]
+        np.testing.assert_array_equal(
+            subset.inputs[row, : subset.lengths[row]],
+            fresh.inputs[row, : fresh.lengths[row]],
+        )
+
+
+def test_unpack_round_trips():
+    sequences = [
+        np.array([[1.0, 2.0], [3.0, 4.0]]),
+        np.zeros((0, 2)),
+        np.array([[5.0, 6.0]]),
+    ]
+    packed = EVALUATOR.pack(sequences)
+    unpacked = packed.unpack()
+    assert len(unpacked) == len(sequences)
+    for original, restored in zip(sequences, unpacked):
+        np.testing.assert_array_equal(original, restored)
+
+
+def test_unpack_random_round_trips():
+    rng = Random(16)
+    sequences = _random_sequences(rng, 14, 7)
+    unpacked = EVALUATOR.pack(sequences).unpack()
+    for original, restored in zip(sequences, unpacked):
+        np.testing.assert_array_equal(original, restored)

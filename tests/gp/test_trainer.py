@@ -158,3 +158,81 @@ def test_balanced_fitness_training_runs(toy_dataset):
     config = GpConfig().small(tournaments=40, seed=7)
     result = RlgpTrainer(config, fitness="balanced_sse").train(toy_dataset, seed=7)
     assert result.train_fitness >= 0.0
+
+
+# ----------------------------------------------------------------------
+# evaluation engines
+# ----------------------------------------------------------------------
+def test_engine_choices_train_identical_models(toy_dataset):
+    """fused / vectorised / interpreted drive the same evolution: the
+    fused and vectorised engines are bit-identical, so every tournament
+    ranks identically and the final program's code matches byte for byte
+    (the interpreted reference agrees too on this workload)."""
+    config = GpConfig().small(tournaments=80, seed=11)
+    results = {
+        engine: RlgpTrainer(config, engine=engine).train(toy_dataset, seed=11)
+        for engine in ("fused", "vectorised", "interpreted")
+    }
+    assert results["fused"].program.code == results["vectorised"].program.code
+    assert results["fused"].train_fitness == results["vectorised"].train_fitness
+    assert (
+        results["fused"].best_fitness_history
+        == results["vectorised"].best_fitness_history
+    )
+    assert results["fused"].program.code == results["interpreted"].program.code
+
+
+def test_semantic_cache_does_not_change_evolution(toy_dataset):
+    config = GpConfig().small(tournaments=80, seed=12)
+    cached = RlgpTrainer(config, engine="fused").train(toy_dataset, seed=12)
+    uncached = RlgpTrainer(
+        config, engine="fused", semantic_cache_size=0
+    ).train(toy_dataset, seed=12)
+    assert cached.program.code == uncached.program.code
+    assert cached.train_fitness == uncached.train_fitness
+
+
+def test_engine_jobs_do_not_change_evolution(toy_dataset):
+    config = GpConfig().small(tournaments=60, seed=13)
+    inline = RlgpTrainer(config, engine="fused").train(toy_dataset, seed=13)
+    sharded = RlgpTrainer(
+        config, engine="fused", engine_jobs=4
+    ).train(toy_dataset, seed=13)
+    assert inline.program.code == sharded.program.code
+    assert inline.train_fitness == sharded.train_fitness
+
+
+def test_non_recurrent_engines_agree(toy_dataset):
+    config = GpConfig().small(tournaments=40, seed=14)
+    fused = RlgpTrainer(config, recurrent=False, engine="fused").train(
+        toy_dataset, seed=14
+    )
+    vectorised = RlgpTrainer(
+        config, recurrent=False, engine="vectorised"
+    ).train(toy_dataset, seed=14)
+    assert fused.program.code == vectorised.program.code
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        RlgpTrainer(GpConfig().small(tournaments=10), engine="gpu")
+    with pytest.raises(ValueError, match="engine_jobs"):
+        RlgpTrainer(GpConfig().small(tournaments=10), engine_jobs=-1)
+    with pytest.raises(ValueError, match="semantic_cache_size"):
+        RlgpTrainer(GpConfig().small(tournaments=10), semantic_cache_size=-1)
+
+
+def test_engine_counters_reach_run_context(toy_dataset):
+    from repro.runtime.context import RunContext
+
+    ctx = RunContext()
+    config = GpConfig().small(tournaments=60, seed=15)
+    RlgpTrainer(config, engine="fused").train(toy_dataset, seed=15, ctx=ctx)
+    snap = ctx.metrics.snapshot()
+    assert snap["engine_batches_total"] > 0
+    assert snap["engine_programs_evaluated_total"] > 0
+    assert snap["engine_instructions_executed_total"] > 0
+    lookups = (
+        snap["engine_cache_hits_total"] + snap["engine_cache_misses_total"]
+    )
+    assert lookups > 0

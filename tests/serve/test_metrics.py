@@ -81,3 +81,17 @@ def test_snapshot_and_render():
     text = registry.render_text()
     assert "requests 3" in text
     assert "latency_p99 0.25" in text
+
+
+def test_render_snapshot_merged_dicts():
+    from repro.serve.metrics import render_snapshot
+
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(2)
+    other = MetricsRegistry()
+    other.counter("engine_batches_total").inc(5)
+    merged = registry.snapshot()
+    merged.update(other.snapshot())
+    text = render_snapshot(merged)
+    assert "requests 2" in text
+    assert "engine_batches_total 5" in text

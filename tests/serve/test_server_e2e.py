@@ -218,3 +218,32 @@ def test_hot_reload_via_http(http_server, service, model_dir, fitted_pipeline):
         f"{http_server}/classify", {"documents": [{"text": "wheat tonnes"}]}
     )
     assert status == 200
+
+
+def test_engine_counters_visible_on_metrics(http_server, service, serve_corpus):
+    """Classification runs through the fused GP engine; its shared
+    counters must be folded into the service's /metrics exposition --
+    including evaluations performed inside forked pool workers, whose
+    per-job deltas travel back with the results."""
+    from repro.corpus.document import Document
+
+    before = service.snapshot().get("engine_programs_evaluated_total", 0)
+    # Fresh documents: repeats of earlier test batches would be served
+    # from the response cache without touching the engine.
+    fresh = [
+        Document(doc_id=990_001 + i,
+                 title="grain shipment outlook",
+                 body="wheat corn grain export tonnes shipment "
+                      f"harvest price rise quarter {i}",
+                 split="test")
+        for i in range(2)
+    ]
+    service.classify(fresh)
+    snapshot = service.snapshot()
+    assert snapshot["engine_programs_evaluated_total"] > before
+    assert "engine_instructions_executed_total" in snapshot
+    assert "engine_cache_hits_total" in snapshot
+    status, body = _get(f"{http_server}/metrics")
+    assert status == 200
+    assert "engine_programs_evaluated_total" in body
+    assert "engine_batches_total" in body
