@@ -1,0 +1,135 @@
+"""Dataset-store benchmark: warm loads vs re-encoding.
+
+The store's reason to exist is that hierarchical-SOM encoding dominates
+the cost of materialising training data.  This benchmark measures one
+category's training split three ways -- encode from scratch, load from a
+warm store (checksummed), and load with verification off (pure memmap) --
+asserts the sequences are bit-identical, and records the measured ratios
+in ``BENCH_dataset.json``.
+
+``REPRO_BENCH_ASSERT=0`` disables the >= 3x threshold (CI smoke runs on
+noisy shared runners; the artifact still records the measured ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetStore
+from repro.encoding import HierarchicalSomEncoder
+from repro.features import MutualInformationSelector
+from repro.serve.metrics import MetricsRegistry
+
+CATEGORY = "earn"
+
+#: Where the load-vs-encode measurement is recorded.
+BENCH_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataset.json"
+
+
+@pytest.fixture(scope="module")
+def feature_set(tokenized):
+    return MutualInformationSelector(120).select(tokenized)
+
+
+@pytest.fixture(scope="module")
+def encoder(tokenized, feature_set, settings):
+    return HierarchicalSomEncoder(
+        epochs=settings.som_epochs,
+        max_sequence_length=settings.max_sequence_length,
+        seed=1,
+    ).fit(tokenized, feature_set, categories=(CATEGORY,))
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory, tokenized, feature_set, encoder):
+    store = DatasetStore(
+        tmp_path_factory.mktemp("bench-store") / "store",
+        metrics=MetricsRegistry(),
+    )
+    store.get_or_encode(tokenized, feature_set, encoder, CATEGORY, "train")
+    return store
+
+
+def test_perf_encode_from_scratch(tokenized, feature_set, encoder, benchmark):
+    dataset = benchmark.pedantic(
+        lambda: encoder.encode_dataset(tokenized, feature_set, CATEGORY, "train"),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(dataset) > 0
+
+
+def test_perf_store_load(tokenized, feature_set, encoder, warm_store, benchmark):
+    dataset = benchmark(
+        lambda: warm_store.get_or_encode(
+            tokenized, feature_set, encoder, CATEGORY, "train"
+        )
+    )
+    assert len(dataset) > 0
+
+
+def test_store_load_speedup(tokenized, feature_set, encoder, warm_store):
+    """Measure warm-store loading against re-encoding, record the ratio
+    in BENCH_dataset.json, and (unless REPRO_BENCH_ASSERT=0) require the
+    >= 3x speedup the store was built for."""
+
+    def timed(fn, rounds):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    encode = lambda: encoder.encode_dataset(  # noqa: E731
+        tokenized, feature_set, CATEGORY, "train"
+    )
+    load = lambda: warm_store.get_or_encode(  # noqa: E731
+        tokenized, feature_set, encoder, CATEGORY, "train"
+    )
+    load_unverified = lambda: warm_store.open(  # noqa: E731
+        warm_store.dataset_key(tokenized, feature_set, encoder, CATEGORY, "train"),
+        verify=False,
+    )
+
+    # The two paths must be interchangeable before their speed matters.
+    encoded, loaded = encode(), load()
+    assert len(encoded) == len(loaded)
+    for fresh, stored in zip(encoded.sequences, loaded.sequences):
+        assert np.array_equal(fresh, np.asarray(stored))
+
+    load()  # warm the page cache outside the timer
+    encode_seconds = timed(encode, rounds=2)
+    load_seconds = timed(load, rounds=5)
+    mmap_seconds = timed(load_unverified, rounds=5)
+    speedup = encode_seconds / load_seconds
+    BENCH_RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "category": CATEGORY,
+                "split": "train",
+                "n_documents": len(loaded),
+                "store_bytes": loaded.nbytes,
+                "n_shards": len(loaded.shard_metas),
+                "encode_seconds": encode_seconds,
+                "load_seconds": load_seconds,
+                "load_unverified_seconds": mmap_seconds,
+                "speedup": speedup,
+                "speedup_unverified": encode_seconds / mmap_seconds,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if os.environ.get("REPRO_BENCH_ASSERT", "1") != "0":
+        assert speedup >= 3.0, (
+            f"store-backed load only {speedup:.2f}x faster than re-encoding "
+            f"(encode {encode_seconds * 1e3:.1f}ms vs load "
+            f"{load_seconds * 1e3:.1f}ms)"
+        )

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli track    --model model/ --data data/ --doc-id 42 \
                                  --category earn
     python -m repro.cli info     --model model/
+    python -m repro.cli encode   --model model/ --data data/ --store store/
     python -m repro.cli serve    --model model/ --data data/ --port 8080
 
 ``--data`` accepts any directory of Reuters-21578-format ``.sgm`` files
@@ -82,6 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["fused", "vectorised", "interpreted"],
                        help="RLGP evaluation engine (all three train "
                             "identical models; fused is fastest)")
+    train.add_argument("--store", type=Path, default=None, metavar="STOREDIR",
+                       help="content-addressed dataset store; encoded "
+                            "sequences are loaded from it when present "
+                            "and persisted to it when not")
 
     evaluate = commands.add_parser("evaluate", help="score a trained model")
     evaluate.add_argument("--model", required=True, type=Path)
@@ -98,6 +103,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="describe a saved model")
     info.add_argument("--model", required=True, type=Path)
+
+    encode = commands.add_parser(
+        "encode",
+        help="pre-materialise a corpus's encoded sequences into a "
+             "dataset store",
+    )
+    encode.add_argument("--model", required=True, type=Path,
+                        help="saved model whose encoder defines the "
+                             "content addresses")
+    _add_data_argument(encode)
+    encode.add_argument("--store", required=True, type=Path,
+                        help="dataset store directory (created if missing)")
+    encode.add_argument("--splits", nargs="*", default=["train", "test"],
+                        choices=["train", "test"])
+    encode.add_argument("--categories", nargs="*", default=None,
+                        help="subset of the model's categories "
+                             "(default: all)")
 
     analyze = commands.add_parser(
         "analyze", help="corpus diagnostics (sizes, co-labels, overlap)"
@@ -125,6 +147,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="micro-batch deadline in milliseconds")
     serve.add_argument("--cache-size", type=int, default=4096,
                        help="encoded-sequence LRU capacity (0 disables)")
+    serve.add_argument("--store", type=Path, default=None, metavar="STOREDIR",
+                       help="dataset store; the LRU warms from it at "
+                            "startup and cache misses are written back")
 
     return parser
 
@@ -176,7 +201,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         gp_engine=args.gp_engine,
         seed=args.seed,
     )
-    pipeline = ProSysPipeline(config)
+    data_store = None
+    if args.store is not None:
+        from repro.data import DatasetStore
+
+        data_store = DatasetStore(args.store)
+    pipeline = ProSysPipeline(config, data_store=data_store)
     ctx = _build_run_context(args)
     if ctx.checkpoints is not None:
         completed = ctx.checkpoints.completed()
@@ -185,6 +215,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
                   f"{len(completed)} stage(s) already complete")
     pipeline.fit(corpus, categories=args.categories, ctx=ctx)
     save_pipeline(pipeline, args.out)
+    if data_store is not None:
+        print(f"dataset store: {data_store.stats_line()}")
     print(f"model saved to {args.out}")
     return 0
 
@@ -244,6 +276,36 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.data import DatasetStore
+
+    corpus = load_corpus(args.data)
+    pipeline = load_pipeline(args.model, corpus)
+    categories = args.categories or list(pipeline.suite.categories)
+    unknown = [c for c in categories if c not in pipeline.suite.categories]
+    if unknown:
+        print(f"error: model has no classifier for {', '.join(unknown)}",
+              file=sys.stderr)
+        return 1
+    store = DatasetStore(args.store)
+    for category in categories:
+        for split in args.splits:
+            key = store.dataset_key(
+                pipeline.tokenized, pipeline.feature_set, pipeline.encoder,
+                category, split,
+            )
+            cached = store.has(key)
+            dataset = store.get_or_encode(
+                pipeline.tokenized, pipeline.feature_set, pipeline.encoder,
+                category, split,
+            )
+            state = "cached" if cached else "encoded"
+            print(f"  {category:10s} {split:5s} {state:7s} "
+                  f"{len(dataset):5d} documents  {key[:12]}")
+    print(f"dataset store: {store.stats_line()}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.corpus.analysis import (
         document_lengths,
@@ -283,13 +345,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry.register(name, Path(directory))
         print(f"loaded model {name!r} from {directory} "
               f"({', '.join(registry.get(name).categories)})")
+    data_store = None
+    if args.store is not None:
+        from repro.data import DatasetStore
+
+        data_store = DatasetStore(args.store)
     service = InferenceService(
         registry,
         n_workers=args.workers,
         max_batch_size=args.batch_size,
         max_delay=args.max_delay_ms / 1000.0,
         cache_size=args.cache_size,
+        data_store=data_store,
     )
+    if data_store is not None:
+        print(f"warmed {len(service.cache)} cached sequences "
+              f"from {args.store}")
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}  "
@@ -314,6 +385,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "track": _cmd_track,
     "info": _cmd_info,
+    "encode": _cmd_encode,
     "analyze": _cmd_analyze,
     "serve": _cmd_serve,
 }

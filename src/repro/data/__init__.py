@@ -1,0 +1,61 @@
+"""repro.data: content-addressed, memory-mapped encoded-dataset store.
+
+The expensive half of the paper's pipeline is turning documents into
+SOM-encoded temporal sequences.  This package persists that work: each
+(corpus x encoder x category x split) gets a content address, its packed
+sequences live in checksummed shards on disk, and loading is a
+``numpy.memmap`` straight into :class:`~repro.gp.recurrent.PackedSequences`
+-- encode once, train and serve off the stored bytes forever after.
+"""
+
+from repro.data.fingerprint import (
+    DIGEST_SIZE,
+    Digest,
+    category_encoder_fingerprint,
+    dataset_address,
+    encoding_fingerprint,
+    features_fingerprint,
+    serve_miss_address,
+)
+from repro.data.shards import (
+    SHARD_DTYPE,
+    ShardMeta,
+    file_checksum,
+    open_shard,
+    shard_sequences,
+    write_shard,
+)
+from repro.data.store import (
+    COMPLETE_MARKER,
+    DATASET_INDEX,
+    FORMAT_VERSION,
+    DatasetStore,
+    SequenceDataset,
+    StoredDataset,
+)
+from repro.data.writer import DEFAULT_SHARD_BYTES, DEFAULT_SHARD_DOCS, DatasetWriter
+
+__all__ = [
+    "COMPLETE_MARKER",
+    "DATASET_INDEX",
+    "DEFAULT_SHARD_BYTES",
+    "DEFAULT_SHARD_DOCS",
+    "DIGEST_SIZE",
+    "DatasetStore",
+    "DatasetWriter",
+    "Digest",
+    "FORMAT_VERSION",
+    "SHARD_DTYPE",
+    "SequenceDataset",
+    "ShardMeta",
+    "StoredDataset",
+    "category_encoder_fingerprint",
+    "dataset_address",
+    "encoding_fingerprint",
+    "features_fingerprint",
+    "file_checksum",
+    "open_shard",
+    "serve_miss_address",
+    "shard_sequences",
+    "write_shard",
+]

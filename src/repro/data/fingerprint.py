@@ -1,0 +1,161 @@
+"""Content addresses for encoded datasets.
+
+A stored dataset is immutable and keyed by *what produced it*: the exact
+corpus split (document ids, topics and token streams), the exact encoder
+(character-SOM and word-SOM weights, selected BMUs, Gaussian
+memberships), the feature selection that filters the token streams, the
+category, and the encoding parameters.  If any of those change --
+retrained SOMs, a grown corpus, a different feature budget -- the
+address changes and the store simply misses, so a stale dataset can
+never be served by accident.  Conversely, re-running the same pipeline
+configuration always re-derives the same address and reuses the stored
+shards instead of re-encoding.
+
+All digests are BLAKE2b.  Array contents are hashed over their raw bytes
+(shape- and dtype-tagged), so fingerprints are exact: two encoders whose
+weights differ in the last ulp get different addresses, which is what
+the bit-identity guarantee of store-backed training rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.encoding.hierarchy import CategoryEncoder, HierarchicalSomEncoder
+    from repro.features.base import FeatureSet
+    from repro.preprocessing.tokenized import TokenizedCorpus
+
+#: Hex digest length of every fingerprint (BLAKE2b-128).
+DIGEST_SIZE = 16
+
+
+class Digest:
+    """A structured BLAKE2b accumulator (text fields and arrays)."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=DIGEST_SIZE)
+
+    def text(self, *values: object) -> "Digest":
+        """Mix string representations, each terminated unambiguously."""
+        for value in values:
+            self._hash.update(str(value).encode("utf-8"))
+            self._hash.update(b"\x00")
+        return self
+
+    def array(self, array: np.ndarray) -> "Digest":
+        """Mix an array's exact bytes, tagged with dtype and shape."""
+        array = np.ascontiguousarray(array)
+        self.text(array.dtype.str, array.shape)
+        self._hash.update(array.tobytes())
+        self._hash.update(b"\x00")
+        return self
+
+    def hex(self) -> str:
+        return self._hash.hexdigest()
+
+
+def features_fingerprint(feature_set: "FeatureSet", category: str) -> str:
+    """Digest of the feature selection as seen by one category's encoder."""
+    digest = Digest().text("features", feature_set.method, feature_set.scope, category)
+    terms = feature_set.per_category.get(category, frozenset())
+    digest.text(*sorted(terms))
+    return digest.hex()
+
+
+def category_encoder_fingerprint(encoder: "CategoryEncoder") -> str:
+    """Digest of one fitted word-SOM encoder (weights + selection state)."""
+    if not encoder.is_fitted:
+        raise ValueError(
+            f"cannot fingerprint unfitted CategoryEncoder({encoder.category!r})"
+        )
+    digest = Digest().text(
+        "word_som",
+        encoder.category,
+        encoder.rows,
+        encoder.cols,
+        encoder.member_word_filter,
+    )
+    digest.array(encoder.som.weights)
+    digest.text(*sorted(int(unit) for unit in encoder.selected_units))
+    for unit in sorted(encoder.memberships):
+        membership = encoder.memberships[unit]
+        digest.text(int(unit), membership.sigma, membership.min_training_value)
+        digest.array(membership.mean)
+    return digest.hex()
+
+
+def encoding_fingerprint(
+    encoder: "HierarchicalSomEncoder",
+    feature_set: "FeatureSet",
+    category: str,
+) -> str:
+    """Digest of everything that maps raw tokens to one category's sequences.
+
+    Covers the shared character SOM, the category's word-SOM state, the
+    feature selection, and the sequence-length cap -- the full function
+    from a token stream to a ``(T, 2)`` encoded sequence.
+    """
+    if encoder.character_encoder is None:
+        raise ValueError("cannot fingerprint an encoder with no character SOM")
+    digest = Digest().text(
+        "encoding",
+        encoder.max_sequence_length,
+        category,
+        features_fingerprint(feature_set, category),
+        category_encoder_fingerprint(encoder.encoder_for(category)),
+    )
+    digest.array(encoder.character_encoder.som.weights)
+    return digest.hex()
+
+
+def dataset_address(
+    tokenized: "TokenizedCorpus",
+    feature_set: "FeatureSet",
+    encoder: "HierarchicalSomEncoder",
+    category: str,
+    split: str,
+) -> str:
+    """The content address of one (corpus x encoder x category x split).
+
+    This is the store key: hit it and the shards hold exactly the
+    sequences ``encoder.encode_dataset`` would produce for this corpus.
+    """
+    return (
+        Digest()
+        .text(
+            "dataset",
+            category,
+            split,
+            tokenized.fingerprint(split),
+            encoding_fingerprint(encoder, feature_set, category),
+        )
+        .hex()
+    )
+
+
+def serve_miss_address(
+    encoder: "HierarchicalSomEncoder",
+    feature_set: "FeatureSet",
+    category: str,
+    name: Optional[str] = None,
+) -> str:
+    """Address of the serve layer's write-back dataset for one category.
+
+    Keyed by the encoding fingerprint (not the corpus: served documents
+    are ad-hoc traffic), so a restarted service warms from its own past
+    misses exactly while a retrained model starts a fresh dataset.
+    """
+    return (
+        Digest()
+        .text(
+            "serve-misses",
+            name or "",
+            category,
+            encoding_fingerprint(encoder, feature_set, category),
+        )
+        .hex()
+    )

@@ -1,0 +1,254 @@
+"""Packed-sequence shards: the on-disk unit of the dataset store.
+
+A shard is one flat binary file holding the *packed* representation of a
+bounded batch of encoded documents -- exactly the padded, length-sorted
+``(n_docs, max_len, n_inputs)`` float64 array that
+:class:`~repro.gp.recurrent.PackedSequences` feeds to the RLGP
+evaluators.  Storing the packed form (rather than one blob per document)
+is what makes loading zero-copy: :func:`open_shard` memory-maps the file
+and hands the map *directly* to ``PackedSequences``, so training and
+serving score straight off disk-backed arrays and the OS page cache,
+not a deserialised copy.
+
+Everything else about a shard -- per-document lengths, the sort order,
+document ids, labels, optional token fingerprints, and the SHA-256
+checksum of the payload -- lives in the dataset's ``index.json`` as a
+:class:`ShardMeta` record.  The checksum is verified before the payload
+is mapped; a flipped bit or truncated file surfaces as a
+:class:`~repro.errors.PersistenceError` naming the shard, never as a
+silently-wrong model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PersistenceError
+from repro.gp.recurrent import PackedSequences
+
+#: On-disk element type: little-endian float64, matching the encoders'
+#: native output so round-trips are bit-identical.
+SHARD_DTYPE = np.dtype("<f8")
+
+_CHECKSUM_CHUNK = 1 << 20
+
+
+def file_checksum(path: Union[str, Path]) -> str:
+    """``sha256:<hex>`` of a file's contents, read in bounded chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHECKSUM_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
+
+
+def active_counts_for(lengths: np.ndarray, max_len: int) -> np.ndarray:
+    """Recompute ``PackedSequences.active_counts`` from sorted lengths."""
+    steps = np.arange(max_len)
+    return np.searchsorted(-lengths, -(steps + 1), side="right")
+
+
+@dataclass(frozen=True)
+class ShardMeta:
+    """Index record of one shard (everything but the payload bytes).
+
+    Attributes:
+        name: payload file name inside the dataset directory.
+        n_docs / max_len / n_inputs: payload array shape.
+        nbytes: exact payload size (cheap truncation check).
+        checksum: ``sha256:<hex>`` of the payload file.
+        lengths: per-document word counts, in the payload's sorted order.
+        order: original index (within the shard) of each sorted row.
+        doc_ids: document ids in *original* (pre-sort) order.
+        labels: +/-1 (or 0 for unlabelled serve traffic), original order.
+        fingerprints: optional per-document token fingerprints (original
+            order); recorded by the serve write-back path so a restarted
+            service can warm its cache without re-tokenising.
+    """
+
+    name: str
+    n_docs: int
+    max_len: int
+    n_inputs: int
+    nbytes: int
+    checksum: str
+    lengths: Tuple[int, ...]
+    order: Tuple[int, ...]
+    doc_ids: Tuple[int, ...]
+    labels: Tuple[int, ...]
+    fingerprints: Optional[Tuple[str, ...]] = None
+
+    def payload(self) -> dict:
+        """The JSON-serialisable index entry."""
+        record = {
+            "name": self.name,
+            "n_docs": self.n_docs,
+            "max_len": self.max_len,
+            "n_inputs": self.n_inputs,
+            "nbytes": self.nbytes,
+            "checksum": self.checksum,
+            "lengths": list(self.lengths),
+            "order": list(self.order),
+            "doc_ids": list(self.doc_ids),
+            "labels": list(self.labels),
+        }
+        if self.fingerprints is not None:
+            record["fingerprints"] = list(self.fingerprints)
+        return record
+
+    @classmethod
+    def from_payload(cls, payload: object, source: str) -> "ShardMeta":
+        """Parse and structurally validate one index entry.
+
+        Raises:
+            PersistenceError: naming ``source`` when a field is missing
+                or malformed.
+        """
+        if not isinstance(payload, dict):
+            raise PersistenceError(f"{source}: shard entry must be an object")
+        required = (
+            "name", "n_docs", "max_len", "n_inputs", "nbytes",
+            "checksum", "lengths", "order", "doc_ids", "labels",
+        )
+        missing = [key for key in required if key not in payload]
+        if missing:
+            raise PersistenceError(
+                f"{source}: shard entry is missing keys: {', '.join(missing)}"
+            )
+        try:
+            meta = cls(
+                name=str(payload["name"]),
+                n_docs=int(payload["n_docs"]),
+                max_len=int(payload["max_len"]),
+                n_inputs=int(payload["n_inputs"]),
+                nbytes=int(payload["nbytes"]),
+                checksum=str(payload["checksum"]),
+                lengths=tuple(int(v) for v in payload["lengths"]),
+                order=tuple(int(v) for v in payload["order"]),
+                doc_ids=tuple(int(v) for v in payload["doc_ids"]),
+                labels=tuple(int(v) for v in payload["labels"]),
+                fingerprints=(
+                    tuple(str(v) for v in payload["fingerprints"])
+                    if payload.get("fingerprints") is not None
+                    else None
+                ),
+            )
+        except (TypeError, ValueError) as error:
+            raise PersistenceError(
+                f"{source}: malformed shard entry ({error})"
+            ) from error
+        for field_name in ("lengths", "order", "doc_ids", "labels"):
+            if len(getattr(meta, field_name)) != meta.n_docs:
+                raise PersistenceError(
+                    f"{source}: shard {meta.name!r} declares {meta.n_docs} "
+                    f"documents but {field_name} has "
+                    f"{len(getattr(meta, field_name))} entries"
+                )
+        if meta.fingerprints is not None and len(meta.fingerprints) != meta.n_docs:
+            raise PersistenceError(
+                f"{source}: shard {meta.name!r} fingerprints do not align "
+                "with its documents"
+            )
+        return meta
+
+
+def write_shard(
+    directory: Union[str, Path],
+    name: str,
+    sequences: Sequence[np.ndarray],
+    doc_ids: Sequence[int],
+    labels: Sequence[int],
+    n_inputs: int,
+    fingerprints: Optional[Sequence[str]] = None,
+) -> ShardMeta:
+    """Pack ``sequences`` and write one shard file; returns its meta.
+
+    The payload is the canonical ``PackedSequences`` layout, so a later
+    :func:`open_shard` reconstructs bit-identical arrays.
+    """
+    if not (len(sequences) == len(doc_ids) == len(labels)):
+        raise ValueError("sequences, doc_ids and labels must align")
+    packed = PackedSequences.from_sequences(sequences, n_inputs)
+    data = np.ascontiguousarray(packed.inputs, dtype=SHARD_DTYPE)
+    path = Path(directory) / name
+    data.tofile(path)
+    return ShardMeta(
+        name=name,
+        n_docs=len(sequences),
+        max_len=int(data.shape[1]),
+        n_inputs=n_inputs,
+        nbytes=data.nbytes,
+        checksum=file_checksum(path),
+        lengths=tuple(int(v) for v in packed.lengths),
+        order=tuple(int(v) for v in packed.order),
+        doc_ids=tuple(int(v) for v in doc_ids),
+        labels=tuple(int(v) for v in labels),
+        fingerprints=tuple(fingerprints) if fingerprints is not None else None,
+    )
+
+
+def open_shard(
+    directory: Union[str, Path], meta: ShardMeta, verify: bool = True
+) -> PackedSequences:
+    """Memory-map one shard into a :class:`PackedSequences` (zero-copy).
+
+    Args:
+        verify: check the SHA-256 payload checksum before mapping
+            (one sequential read; skip only when the caller just wrote
+            the file itself).
+
+    Raises:
+        PersistenceError: missing payload, size mismatch (truncation),
+            or checksum mismatch (corruption) -- always naming the file.
+    """
+    path = Path(directory) / meta.name
+    if not path.exists():
+        raise PersistenceError(f"{path}: shard payload is missing")
+    expected = meta.n_docs * meta.max_len * meta.n_inputs * SHARD_DTYPE.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise PersistenceError(
+            f"{path}: shard payload is {actual} bytes, expected {expected} "
+            "(truncated or corrupt)"
+        )
+    if verify:
+        checksum = file_checksum(path)
+        if checksum != meta.checksum:
+            raise PersistenceError(
+                f"{path}: shard checksum mismatch ({checksum} != "
+                f"{meta.checksum}); the payload is corrupt"
+            )
+    if meta.n_docs == 0:
+        inputs: np.ndarray = np.zeros((0, max(meta.max_len, 1), meta.n_inputs))
+    else:
+        inputs = np.memmap(
+            path,
+            dtype=SHARD_DTYPE,
+            mode="r",
+            shape=(meta.n_docs, meta.max_len, meta.n_inputs),
+        )
+    lengths = np.asarray(meta.lengths, dtype=np.int64)
+    return PackedSequences(
+        inputs=inputs,
+        lengths=lengths,
+        order=np.asarray(meta.order, dtype=np.int64),
+        active_counts=active_counts_for(lengths, int(inputs.shape[1])),
+    )
+
+
+def shard_sequences(packed: PackedSequences) -> List[np.ndarray]:
+    """Original-order per-document views into a shard's mapped payload.
+
+    Pure slicing -- each returned array is a window onto the memmap, so
+    materialising a million-document corpus costs list overhead, not a
+    copy of the data.
+    """
+    return packed.unpack()

@@ -1,0 +1,247 @@
+"""Bounded-memory streaming writer with atomic commit.
+
+A :class:`DatasetWriter` accumulates encoded documents and flushes them
+to shard files as soon as either bound (document count or payload bytes)
+is reached, so materialising a corpus never holds more than one shard in
+memory.  Everything is written into a private temp directory under the
+store root; :meth:`commit` seals it with the index and a ``_COMPLETE``
+marker (written *last*, the same discipline as
+``repro.runtime.checkpoint``) and publishes it with a single atomic
+rename.  A crash at any point leaves either the old dataset or no
+dataset -- never a half-written one -- and the orphaned temp directory
+is swept by the store on its next construction.
+
+Incremental ingest: :meth:`link_shards_from` adopts the sealed shards of
+an existing dataset (hard-linking when the filesystem allows, copying
+otherwise) so growing a corpus re-encodes only the new documents --
+encode once, append forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.data.shards import SHARD_DTYPE, ShardMeta, write_shard
+from repro.errors import PersistenceError
+
+#: Default shard bounds: whichever is hit first triggers a flush.
+DEFAULT_SHARD_DOCS = 2048
+DEFAULT_SHARD_BYTES = 64 << 20
+
+
+class DatasetWriter:
+    """Streams encoded documents into a new (unpublished) dataset.
+
+    Obtained from :meth:`repro.data.store.DatasetStore.writer`; not
+    constructed directly.  Usable as a context manager -- leaving the
+    block on an exception aborts (temp directory removed), a normal exit
+    without :meth:`commit` also aborts, so a dataset only ever becomes
+    visible through an explicit, completed commit.
+
+    Args:
+        directory: private temp directory (inside the store root, so the
+            publishing rename never crosses filesystems).
+        key: the content address being written.
+        n_inputs: sequence width (2 for the paper's encoding).
+        shard_docs / shard_bytes: flush bounds.
+        on_shard: progress callback invoked with each sealed
+            :class:`ShardMeta` (the store wires runtime events here).
+        publish: callback that atomically moves the sealed temp
+            directory to its final address.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        key: str,
+        n_inputs: int = 2,
+        shard_docs: int = DEFAULT_SHARD_DOCS,
+        shard_bytes: int = DEFAULT_SHARD_BYTES,
+        on_shard: Optional[Callable[[ShardMeta], None]] = None,
+        publish: Optional[Callable[[Path, str], Path]] = None,
+    ) -> None:
+        if shard_docs < 1:
+            raise ValueError(f"shard_docs must be >= 1, got {shard_docs}")
+        if shard_bytes < 1:
+            raise ValueError(f"shard_bytes must be >= 1, got {shard_bytes}")
+        self.directory = Path(directory)
+        self.key = key
+        self.n_inputs = n_inputs
+        self.shard_docs = shard_docs
+        self.shard_bytes = shard_bytes
+        self.metas: List[ShardMeta] = []
+        self._on_shard = on_shard
+        self._publish = publish
+        self._sequences: List[np.ndarray] = []
+        self._doc_ids: List[int] = []
+        self._labels: List[int] = []
+        self._fingerprints: List[Optional[str]] = []
+        self._buffered_bytes = 0
+        self._seen_fingerprints: Set[str] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @property
+    def n_documents(self) -> int:
+        return sum(meta.n_docs for meta in self.metas) + len(self._sequences)
+
+    def add(
+        self,
+        doc_id: int,
+        label: int,
+        sequence: np.ndarray,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Append one encoded document, flushing a shard when full.
+
+        Args:
+            label: +/-1 supervision, or 0 for unlabelled (serve traffic).
+            fingerprint: optional token fingerprint; documents whose
+                fingerprint was already written are skipped (idempotent
+                write-back ingest).
+        """
+        self._require_open()
+        if label not in (-1, 0, 1):
+            raise ValueError(f"label must be -1, 0 or +1, got {label!r}")
+        if fingerprint is not None:
+            if fingerprint in self._seen_fingerprints:
+                return
+            self._seen_fingerprints.add(fingerprint)
+        sequence = np.asarray(sequence, dtype=float).reshape(-1, self.n_inputs)
+        self._sequences.append(sequence)
+        self._doc_ids.append(int(doc_id))
+        self._labels.append(int(label))
+        self._fingerprints.append(fingerprint)
+        self._buffered_bytes += max(len(sequence), 1) * self.n_inputs * SHARD_DTYPE.itemsize
+        if (
+            len(self._sequences) >= self.shard_docs
+            or self._buffered_bytes >= self.shard_bytes
+        ):
+            self.flush()
+
+    def add_dataset(self, dataset) -> None:
+        """Append every document of an :class:`EncodedDataset`."""
+        for doc in dataset.documents:
+            self.add(doc.doc_id, doc.label, doc.sequence)
+
+    def link_shards_from(self, stored) -> int:
+        """Adopt the sealed shards of an existing :class:`StoredDataset`.
+
+        Returns the number of documents adopted.  Their fingerprints (if
+        recorded) join the dedup set, so a subsequent :meth:`add` of an
+        already-stored document is a no-op.
+        """
+        self._require_open()
+        if self._sequences:
+            # Keep document order stable: adopted shards go first.
+            raise RuntimeError("link_shards_from must run before any add()")
+        adopted = 0
+        for meta in stored.shard_metas:
+            source = stored.directory / meta.name
+            target = self.directory / self._next_shard_name()
+            try:
+                os.link(source, target)
+            except OSError:
+                shutil.copy2(source, target)
+            self.metas.append(dataclasses.replace(meta, name=target.name))
+            if meta.fingerprints is not None:
+                self._seen_fingerprints.update(
+                    fp for fp in meta.fingerprints if fp
+                )
+            adopted += meta.n_docs
+        return adopted
+
+    def flush(self) -> Optional[ShardMeta]:
+        """Seal the buffered documents into a shard (no-op when empty)."""
+        self._require_open()
+        if not self._sequences:
+            return None
+        fingerprints: Optional[Sequence[str]] = None
+        if any(fp is not None for fp in self._fingerprints):
+            fingerprints = [fp or "" for fp in self._fingerprints]
+        meta = write_shard(
+            self.directory,
+            self._next_shard_name(),
+            self._sequences,
+            self._doc_ids,
+            self._labels,
+            self.n_inputs,
+            fingerprints=fingerprints,
+        )
+        self.metas.append(meta)
+        self._sequences = []
+        self._doc_ids = []
+        self._labels = []
+        self._fingerprints = []
+        self._buffered_bytes = 0
+        if self._on_shard is not None:
+            self._on_shard(meta)
+        return meta
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def commit(self, extra_meta: Optional[dict] = None) -> Path:
+        """Flush, seal and atomically publish the dataset.
+
+        Returns the final dataset directory.
+
+        The index and the ``_COMPLETE`` marker are written inside the
+        temp directory *before* the rename, so the published directory
+        is complete the instant it exists.
+        """
+        self._require_open()
+        self.flush()
+        if self._publish is None:
+            raise RuntimeError("writer has no publish callback (store-owned)")
+        self._write_index(extra_meta or {})
+        self._closed = True
+        return self._publish(self.directory, self.key)
+
+    def abort(self) -> None:
+        """Discard everything written so far (idempotent)."""
+        self._closed = True
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "DatasetWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            self.abort()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _next_shard_name(self) -> str:
+        return f"shard-{len(self.metas):05d}.bin"
+
+    def _write_index(self, extra_meta: dict) -> None:
+        # Imported here: store <-> writer would otherwise be circular.
+        from repro.data.store import COMPLETE_MARKER, DATASET_INDEX, FORMAT_VERSION
+        import json
+
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "key": self.key,
+            "n_inputs": self.n_inputs,
+            "n_documents": self.n_documents,
+            "shards": [meta.payload() for meta in self.metas],
+        }
+        payload.update(extra_meta)
+        (self.directory / DATASET_INDEX).write_text(json.dumps(payload, indent=2))
+        (self.directory / COMPLETE_MARKER).touch()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise PersistenceError(
+                f"dataset writer for {self.key} is already committed or aborted"
+            )

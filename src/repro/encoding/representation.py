@@ -39,9 +39,26 @@ class EncodedDocument:
     positions: Tuple[int, ...] = None
 
     def __post_init__(self) -> None:
-        sequence = np.asarray(self.sequence, dtype=float)
+        try:
+            sequence = np.asarray(self.sequence, dtype=float)
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"EncodedDocument {self.doc_id} ({self.category!r}): sequence "
+                f"must be float-convertible (T, 2) rows of (BMU index, "
+                f"membership); got {type(self.sequence).__name__} that numpy "
+                f"rejects ({error}) -- ragged step lists must be padded or "
+                "split before encoding"
+            ) from error
         if sequence.ndim != 2 or sequence.shape[1] != 2:
-            sequence = sequence.reshape(-1, 2)
+            try:
+                sequence = sequence.reshape(-1, 2)
+            except ValueError as error:
+                raise ValueError(
+                    f"EncodedDocument {self.doc_id} ({self.category!r}): "
+                    f"sequence has shape {sequence.shape}, which is not "
+                    "(T, 2) and has no (T, 2) reshape -- each step must be "
+                    "exactly (BMU index, membership value)"
+                ) from error
         object.__setattr__(self, "sequence", sequence)
         if self.positions is None:
             object.__setattr__(self, "positions", tuple(range(len(sequence))))
@@ -85,9 +102,38 @@ class EncodedDataset:
     documents: Tuple[EncodedDocument, ...]
 
     def __post_init__(self) -> None:
-        for doc in self.documents:
+        for position, doc in enumerate(self.documents):
+            if not isinstance(doc, EncodedDocument):
+                raise TypeError(
+                    f"EncodedDataset({self.category!r}): documents[{position}] "
+                    f"is {type(doc).__name__}, not EncodedDocument -- wrap "
+                    "raw sequences in EncodedDocument (or use "
+                    "repro.data.SequenceDataset for label/sequence pairs)"
+                )
+            sequence = doc.sequence
+            # EncodedDocument normalises on construction; re-check here
+            # because dataclasses.replace and direct object.__setattr__
+            # can smuggle un-normalised arrays past __post_init__.
+            if not isinstance(sequence, np.ndarray) or sequence.dtype != np.float64:
+                dtype = getattr(sequence, "dtype", type(sequence).__name__)
+                raise ValueError(
+                    f"EncodedDataset({self.category!r}): documents[{position}] "
+                    f"(doc {doc.doc_id}) has a non-float64 sequence "
+                    f"({dtype}); encoders emit float64 and the evaluators "
+                    "and the dataset store require it"
+                )
+            if sequence.ndim != 2 or sequence.shape[1] != 2:
+                raise ValueError(
+                    f"EncodedDataset({self.category!r}): documents[{position}] "
+                    f"(doc {doc.doc_id}) has sequence shape {sequence.shape}; "
+                    "expected (T, 2) rows of (BMU index, membership value)"
+                )
             if doc.label == 0:
-                raise ValueError("EncodedDataset requires labelled documents")
+                raise ValueError(
+                    f"EncodedDataset({self.category!r}): documents[{position}] "
+                    f"(doc {doc.doc_id}) is unlabelled; training datasets "
+                    "need +/-1 labels (use with_label())"
+                )
 
     @property
     def sequences(self) -> List[np.ndarray]:

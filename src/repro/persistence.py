@@ -204,6 +204,33 @@ def _array(arrays, key: str) -> np.ndarray:
     return arrays[key]
 
 
+def _load_arrays(path: Path) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` payload fully, surfacing damage as PersistenceError.
+
+    ``np.load`` keeps ``.npz`` members lazy, so a truncated or corrupt
+    archive otherwise leaks a raw ``zipfile.BadZipFile`` / ``ValueError``
+    / ``EOFError`` from whatever code touches the first array.  Reading
+    every member eagerly here turns any such damage into one clear error
+    naming the offending file.
+    """
+    import zipfile
+    import zlib
+
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except PersistenceError:
+        raise
+    except (
+        OSError, ValueError, KeyError, EOFError,
+        zipfile.BadZipFile, zlib.error,
+    ) as error:
+        raise PersistenceError(
+            f"{path}: array payload is truncated or corrupt "
+            f"({type(error).__name__}: {error})"
+        ) from error
+
+
 def save_pipeline(pipeline: ProSysPipeline, directory: Union[str, Path]) -> Path:
     """Serialise a fitted pipeline into ``directory``.
 
@@ -309,7 +336,7 @@ def load_pipeline(directory: Union[str, Path], corpus: Corpus) -> ProSysPipeline
     manifest = read_manifest(directory)
     if not arrays_path.exists():
         raise PersistenceError(f"no saved pipeline in {directory}")
-    arrays = np.load(arrays_path)
+    arrays = _load_arrays(arrays_path)
 
     config_payload = manifest["config"]
     config = ProSysConfig(
@@ -455,7 +482,7 @@ def _read_stage(directory: Union[str, Path], kind: str):
             f"does not match expected {kind!r}"
         )
     arrays_path = directory / _STAGE_ARRAYS
-    arrays = np.load(arrays_path) if arrays_path.exists() else {}
+    arrays = _load_arrays(arrays_path) if arrays_path.exists() else {}
     return payload, arrays
 
 

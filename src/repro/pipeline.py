@@ -13,7 +13,7 @@ per-category RLGP training into one object::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
 from repro.classify.binary import RlgpBinaryClassifier
 from repro.classify.multilabel import OneVsRestRlgp
@@ -31,6 +31,9 @@ from repro.gp.trainer import ENGINES, RlgpTrainer
 from repro.preprocessing.pipeline import Preprocessor
 from repro.preprocessing.tokenized import TokenizedCorpus
 from repro.runtime import RunContext, parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.store import DatasetStore
 
 #: Table 1 defaults: method -> features selected (chi2 is an extension,
 #: given the same corpus-wide budget as DF/IG).
@@ -106,8 +109,21 @@ class ProSysConfig:
 class ProSysPipeline:
     """Fits and evaluates the proposed system on a corpus."""
 
-    def __init__(self, config: Optional[ProSysConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ProSysConfig] = None,
+        data_store: Optional["DatasetStore"] = None,
+    ) -> None:
+        """Args:
+            config: end-to-end configuration (defaults to paper values).
+            data_store: optional :class:`repro.data.DatasetStore`.  When
+                set, every ``encode_dataset`` the pipeline would run is
+                routed through the store: hits load memory-mapped shards
+                instead of re-encoding, misses encode once and persist.
+                Training is bit-identical either way.
+        """
         self.config = config if config is not None else ProSysConfig()
+        self.data_store = data_store
         self.tokenized: Optional[TokenizedCorpus] = None
         self.feature_set: Optional[FeatureSet] = None
         self.encoder: Optional[HierarchicalSomEncoder] = None
@@ -263,9 +279,7 @@ class ProSysPipeline:
                 base_seed = rlgp_ctx.seed_for(
                     legacy=config.seed + 101 * (offset + 1)
                 )
-                dataset = encoder.encode_dataset(
-                    self.tokenized, self.feature_set, category, "train"
-                )
+                dataset = self._encoded_dataset(category, "train", ctx=rlgp_ctx)
                 trainer = RlgpTrainer(
                     replace(config.gp, seed=base_seed),
                     use_dss=config.use_dss,
@@ -321,9 +335,7 @@ class ProSysPipeline:
         self._require_fitted()
         counts: Dict[str, BinaryCounts] = {}
         for category, classifier in self.suite.classifiers.items():
-            dataset = self.encoder.encode_dataset(
-                self.tokenized, self.feature_set, category, split
-            )
+            dataset = self._encoded_dataset(category, split)
             predictions = classifier.predict(dataset)
             counts[category] = BinaryCounts.from_predictions(
                 dataset.labels, predictions
@@ -390,6 +402,24 @@ class ProSysPipeline:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _encoded_dataset(self, category: str, split: str, ctx=None):
+        """One split's encoded sequences, store-backed when configured.
+
+        Without a ``data_store`` this is exactly
+        ``encoder.encode_dataset``; with one, the store's content
+        address decides between a zero-copy memmap load and an
+        encode-then-persist miss.  Both paths yield bit-identical
+        sequences, so downstream training does not depend on which one
+        ran.
+        """
+        if self.data_store is None:
+            return self.encoder.encode_dataset(
+                self.tokenized, self.feature_set, category, split
+            )
+        return self.data_store.get_or_encode(
+            self.tokenized, self.feature_set, self.encoder, category, split, ctx=ctx
+        )
+
     def _encode_all(self, doc: Document) -> Dict[str, EncodedDocument]:
         return {
             category: self.encoder.encode_document(

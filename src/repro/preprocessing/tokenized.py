@@ -6,6 +6,7 @@ token lists of every document; this wrapper computes them once.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -26,6 +27,7 @@ class TokenizedCorpus:
     corpus: Corpus
     preprocessor: Preprocessor = field(default_factory=Preprocessor)
     _cache: Dict[int, List[str]] = field(default_factory=dict, repr=False)
+    _fingerprints: Dict[str, str] = field(default_factory=dict, repr=False)
 
     def tokens(self, doc: Document) -> List[str]:
         """Ordered tokens of ``doc`` (cached by doc_id)."""
@@ -50,3 +52,37 @@ class TokenizedCorpus:
     def train_tokens_for(self, category: str) -> List[List[str]]:
         """Token lists of the training documents labelled ``category``."""
         return [self.tokens(d) for d in self.corpus.train_for(category)]
+
+    def fingerprint(self, split: str) -> str:
+        """Content digest of one split *as the encoders see it*.
+
+        Covers every document's id, topics and exact post-preprocessing
+        token stream, in split order -- so the digest changes whenever
+        the documents, their labels, their order, or the preprocessing
+        itself changes, and is stable across runs otherwise.  Cached:
+        computing it tokenises the split once (work the pipeline needs
+        anyway).
+        """
+        cached = self._fingerprints.get(split)
+        if cached is not None:
+            return cached
+        if split == "train":
+            documents = self.train_documents
+        elif split == "test":
+            documents = self.test_documents
+        else:
+            raise ValueError(f"unknown split {split!r}")
+        digest = hashlib.blake2b(digest_size=16)
+        for doc in documents:
+            digest.update(str(doc.doc_id).encode("utf-8"))
+            digest.update(b"\x00")
+            for topic in doc.topics:
+                digest.update(topic.encode("utf-8"))
+                digest.update(b"\x01")
+            for token in self.tokens(doc):
+                digest.update(token.encode("utf-8"))
+                digest.update(b"\x02")
+            digest.update(b"\x03")
+        fingerprint = digest.hexdigest()
+        self._fingerprints[split] = fingerprint
+        return fingerprint

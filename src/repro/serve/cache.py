@@ -74,6 +74,30 @@ class LruCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def warm(self, entries: Iterable[Tuple[Hashable, object]]) -> int:
+        """Bulk-insert ``(key, value)`` pairs under one lock acquisition.
+
+        Used to pre-populate the cache from the dataset store at startup
+        or after a reload.  Warming counts as neither hits nor misses
+        (no lookup happened), existing entries are left untouched (live
+        traffic beats stored history), and normal LRU eviction applies
+        if the warm set exceeds capacity.  Returns how many entries were
+        inserted.
+        """
+        if self.capacity == 0:
+            return 0
+        inserted = 0
+        with self._lock:
+            for key, value in entries:
+                if key in self._entries:
+                    continue
+                self._entries[key] = value
+                inserted += 1
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return inserted
+
     def clear(self) -> None:
         """Drop all entries (hot reload invalidates encodings)."""
         with self._lock:

@@ -78,7 +78,15 @@ class InferenceService:
         max_batch_size / max_delay: micro-batching knobs.
         cache_size: encoded-sequence LRU capacity (0 disables).
         metrics: optional shared registry (one is created otherwise).
+        data_store: optional :class:`repro.data.DatasetStore`.  When
+            set, the LRU is warmed at startup (and after hot reloads)
+            from each model's stored serve-miss dataset, and cache
+            misses are spooled and written back, so a restarted service
+            starts warm from its own past traffic instead of cold.
     """
+
+    #: Spooled misses per model triggering an automatic write-back.
+    WRITEBACK_THRESHOLD = 256
 
     def __init__(
         self,
@@ -88,11 +96,13 @@ class InferenceService:
         max_delay: float = 0.02,
         cache_size: int = 4096,
         metrics: Optional[MetricsRegistry] = None,
+        data_store=None,
     ) -> None:
         self.registry = registry
         self.n_workers = n_workers
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = LruCache(cache_size)
+        self.data_store = data_store
         self.started_at = time.time()
 
         self._requests = self.metrics.counter(
@@ -111,8 +121,17 @@ class InferenceService:
             "service_model_reloads_total", "hot reloads applied"
         )
 
+        self._cache_warmed = self.metrics.counter(
+            "service_cache_warmed_total", "cache entries warmed from the store"
+        )
+        self._store_writebacks = self.metrics.counter(
+            "service_store_writebacks_total", "miss sequences written back"
+        )
+
         self._pools: Dict[str, Tuple[int, WorkerPool]] = {}
         self._pools_lock = threading.Lock()
+        self._miss_spool: Dict[Tuple[str, str], List[tuple]] = {}
+        self._spool_lock = threading.Lock()
         self._closed = False
         self.batcher = MicroBatcher(
             self._handle_batch,
@@ -120,6 +139,9 @@ class InferenceService:
             max_delay=max_delay,
             metrics=self.metrics,
         )
+        if self.data_store is not None:
+            for name in self.registry.names:
+                self.warm_cache(name)
 
     # ------------------------------------------------------------------
     # public API (used by the HTTP layer, tests and the benchmark alike)
@@ -196,9 +218,91 @@ class InferenceService:
         entry = self.registry.get(model)
         if reloaded:
             self._reloads.inc()
+            self.flush_misses()
             self.cache.clear()
+            if self.data_store is not None:
+                self.warm_cache(entry.name)
         return {"model": entry.name, "reloaded": reloaded,
                 "version": entry.version}
+
+    def warm_cache(self, model: Optional[str] = None) -> int:
+        """Pre-populate the LRU from the store's serve-miss dataset.
+
+        The dataset is addressed by the model's *encoding fingerprint*
+        (see :func:`repro.data.fingerprint.serve_miss_address`), so a
+        restarted service warms from exactly the traffic this encoder
+        saw, while a retrained model misses cleanly and starts fresh.
+        Returns the number of cache entries inserted.
+        """
+        if self.data_store is None:
+            return 0
+        from repro.data.fingerprint import serve_miss_address
+
+        entry = self.registry.get(model)
+        pipeline = entry.pipeline
+        model_key = f"{entry.name}@{entry.version}"
+        warmed = 0
+        for category in pipeline.suite.categories:
+            address = serve_miss_address(
+                pipeline.encoder, pipeline.feature_set, category, name=entry.name
+            )
+            if not self.data_store.has(address):
+                continue
+            try:
+                stored = self.data_store.open(address)
+            except Exception:  # noqa: BLE001 - warm is best-effort
+                self.data_store.discard(address)
+                continue
+            warmed += self.cache.warm(
+                (sequence_key(model_key, category, fingerprint), sequence)
+                for fingerprint, sequence in zip(
+                    stored.fingerprints, stored.sequences
+                )
+                if fingerprint
+            )
+        self._cache_warmed.inc(warmed)
+        return warmed
+
+    def flush_misses(self) -> int:
+        """Write spooled cache misses back to the dataset store.
+
+        Idempotent and safe to call at any time (the store dedupes by
+        token fingerprint, and existing shards are adopted by hard link,
+        not rewritten).  Returns the number of sequences handed to the
+        store.  Called automatically when a model's spool reaches
+        ``WRITEBACK_THRESHOLD``, on reload, and on :meth:`close`.
+        """
+        if self.data_store is None:
+            return 0
+        from repro.data.fingerprint import serve_miss_address
+
+        with self._spool_lock:
+            spooled = self._miss_spool
+            self._miss_spool = {}
+        flushed = 0
+        for (model_name, category), items in spooled.items():
+            try:
+                entry = self.registry.get(model_name)
+            except KeyError:
+                continue  # model was retired while spooled
+            address = serve_miss_address(
+                entry.pipeline.encoder,
+                entry.pipeline.feature_set,
+                category,
+                name=entry.name,
+            )
+            self.data_store.ingest(
+                address,
+                items,
+                extra_meta={
+                    "category": category,
+                    "split": "serve",
+                    "model": entry.name,
+                },
+            )
+            flushed += len(items)
+        self._store_writebacks.inc(flushed)
+        return flushed
 
     def health(self) -> dict:
         return {
@@ -229,6 +333,7 @@ class InferenceService:
         if self._closed:
             return
         self._closed = True
+        self.flush_misses()
         self.batcher.close()
         with self._pools_lock:
             pools = [pool for _, pool in self._pools.values()]
@@ -318,8 +423,25 @@ class InferenceService:
                     )
                     sequence = encoded.sequence
                     self.cache.put(key, sequence)
+                    self._spool_miss(
+                        entry.name, category, doc.doc_id, sequence, fingerprint
+                    )
                 sequences_by_category[category].append(sequence)
         return sequences_by_category
+
+    def _spool_miss(
+        self, model_name: str, category: str, doc_id: int, sequence, fingerprint: str
+    ) -> None:
+        """Queue a freshly encoded sequence for store write-back."""
+        if self.data_store is None:
+            return
+        with self._spool_lock:
+            self._miss_spool.setdefault((model_name, category), []).append(
+                (doc_id, 0, sequence, fingerprint)
+            )
+            pending = sum(len(items) for items in self._miss_spool.values())
+        if pending >= self.WRITEBACK_THRESHOLD:
+            self.flush_misses()
 
     def _pool_for(self, entry) -> WorkerPool:
         """The worker pool for a model entry, rebuilt when it reloads."""

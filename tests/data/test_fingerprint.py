@@ -1,0 +1,96 @@
+"""Content-address determinism and sensitivity."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.data.fingerprint import (
+    DIGEST_SIZE,
+    category_encoder_fingerprint,
+    dataset_address,
+    encoding_fingerprint,
+    features_fingerprint,
+    serve_miss_address,
+)
+from repro.encoding.hierarchy import CategoryEncoder
+
+
+def test_dataset_address_is_deterministic(tokenized, mi_features, encoder):
+    first = dataset_address(tokenized, mi_features, encoder, "earn", "train")
+    second = dataset_address(tokenized, mi_features, encoder, "earn", "train")
+    assert first == second
+    assert len(first) == 2 * DIGEST_SIZE
+    int(first, 16)  # valid hex
+
+
+def test_dataset_address_separates_category_and_split(
+    tokenized, mi_features, encoder
+):
+    addresses = {
+        dataset_address(tokenized, mi_features, encoder, category, split)
+        for category in ("earn", "grain")
+        for split in ("train", "test")
+    }
+    assert len(addresses) == 4
+
+
+def test_corpus_fingerprint_is_split_sensitive_and_cached(tokenized):
+    train = tokenized.fingerprint("train")
+    test = tokenized.fingerprint("test")
+    assert train != test
+    assert tokenized.fingerprint("train") == train  # cached, stable
+    with pytest.raises(ValueError, match="unknown split"):
+        tokenized.fingerprint("validation")
+
+
+def test_features_fingerprint_sees_the_term_set(mi_features):
+    earn = features_fingerprint(mi_features, "earn")
+    grain = features_fingerprint(mi_features, "grain")
+    assert earn != grain
+    smaller = dataclasses.replace(
+        mi_features,
+        per_category={
+            category: frozenset(sorted(terms)[: len(terms) // 2])
+            for category, terms in mi_features.per_category.items()
+        },
+    )
+    assert features_fingerprint(smaller, "earn") != earn
+
+
+def test_encoder_fingerprint_sees_the_weights(encoder):
+    original = category_encoder_fingerprint(encoder.encoder_for("earn"))
+    assert original == category_encoder_fingerprint(encoder.encoder_for("earn"))
+
+    perturbed = encoder.encoder_for("earn")
+    weights = perturbed.som.weights
+    saved = weights[0, 0]
+    weights[0, 0] = saved + 1e-12
+    try:
+        assert category_encoder_fingerprint(perturbed) != original
+    finally:
+        weights[0, 0] = saved  # exact bitwise restore of the session fixture
+    assert category_encoder_fingerprint(perturbed) == original
+
+
+def test_unfitted_encoder_refuses_to_fingerprint():
+    with pytest.raises(ValueError, match="unfitted"):
+        category_encoder_fingerprint(
+            CategoryEncoder(category="earn", vectorizer=None)
+        )
+
+
+def test_encoding_fingerprint_differs_between_categories(
+    encoder, mi_features
+):
+    assert encoding_fingerprint(encoder, mi_features, "earn") != (
+        encoding_fingerprint(encoder, mi_features, "grain")
+    )
+
+
+def test_serve_miss_address_is_model_name_scoped(encoder, mi_features):
+    default = serve_miss_address(encoder, mi_features, "earn")
+    named = serve_miss_address(encoder, mi_features, "earn", name="prod")
+    assert default != named
+    assert named == serve_miss_address(encoder, mi_features, "earn", name="prod")

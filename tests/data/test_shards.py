@@ -1,0 +1,126 @@
+"""Shard round-trips, zero-copy loading, and corruption detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.shards import (
+    SHARD_DTYPE,
+    ShardMeta,
+    file_checksum,
+    open_shard,
+    shard_sequences,
+    write_shard,
+)
+from repro.errors import PersistenceError
+from repro.gp.recurrent import PackedSequences
+
+
+def _sequences(seed=0, lengths=(5, 3, 9, 0, 4)):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((n, 2)) for n in lengths]
+
+
+def _write(tmp_path, sequences, **kwargs):
+    n = len(sequences)
+    return write_shard(
+        tmp_path,
+        "shard-00000.bin",
+        sequences,
+        doc_ids=list(range(n)),
+        labels=[1 if i % 2 else -1 for i in range(n)],
+        n_inputs=2,
+        **kwargs,
+    )
+
+
+def test_round_trip_is_bit_identical(tmp_path):
+    sequences = _sequences()
+    meta = _write(tmp_path, sequences)
+    packed = open_shard(tmp_path, meta)
+    reference = PackedSequences.from_sequences(sequences, 2)
+    assert np.array_equal(np.asarray(packed.inputs), reference.inputs)
+    assert np.array_equal(packed.lengths, reference.lengths)
+    assert np.array_equal(packed.order, reference.order)
+    assert np.array_equal(packed.active_counts, reference.active_counts)
+    for original, loaded in zip(sequences, shard_sequences(packed)):
+        assert np.array_equal(original, loaded)
+
+
+def test_open_shard_is_memory_mapped(tmp_path):
+    meta = _write(tmp_path, _sequences())
+    packed = open_shard(tmp_path, meta)
+    assert isinstance(packed.inputs, np.memmap)
+    # Per-document views are windows onto the map, not copies.
+    views = shard_sequences(packed)
+    assert any(isinstance(view.base, np.memmap) for view in views if len(view))
+
+
+def test_all_empty_sequences_round_trip(tmp_path):
+    sequences = [np.zeros((0, 2)), np.zeros((0, 2))]
+    meta = _write(tmp_path, sequences)
+    packed = open_shard(tmp_path, meta)
+    assert [len(s) for s in shard_sequences(packed)] == [0, 0]
+
+
+def test_truncation_raises_persistence_error(tmp_path):
+    meta = _write(tmp_path, _sequences())
+    path = tmp_path / meta.name
+    path.write_bytes(path.read_bytes()[:-8])
+    with pytest.raises(PersistenceError, match=str(path)):
+        open_shard(tmp_path, meta)
+
+
+def test_flipped_byte_raises_persistence_error(tmp_path):
+    meta = _write(tmp_path, _sequences())
+    path = tmp_path / meta.name
+    payload = bytearray(path.read_bytes())
+    payload[17] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    with pytest.raises(PersistenceError, match="checksum"):
+        open_shard(tmp_path, meta)
+    # Skipping verification maps the damaged payload without complaint
+    # (the caller opted out of the integrity check).
+    assert open_shard(tmp_path, meta, verify=False) is not None
+
+
+def test_missing_payload_raises_persistence_error(tmp_path):
+    meta = _write(tmp_path, _sequences())
+    (tmp_path / meta.name).unlink()
+    with pytest.raises(PersistenceError, match="missing"):
+        open_shard(tmp_path, meta)
+
+
+def test_checksum_format(tmp_path):
+    meta = _write(tmp_path, _sequences())
+    assert meta.checksum.startswith("sha256:")
+    assert meta.checksum == file_checksum(tmp_path / meta.name)
+    assert meta.nbytes == (tmp_path / meta.name).stat().st_size
+    assert SHARD_DTYPE.itemsize == 8
+
+
+def test_meta_payload_round_trip(tmp_path):
+    meta = _write(tmp_path, _sequences(), fingerprints=["a", "b", "c", "d", "e"])
+    restored = ShardMeta.from_payload(meta.payload(), "index.json")
+    assert restored == meta
+
+
+@pytest.mark.parametrize("drop", ["name", "checksum", "lengths", "labels"])
+def test_meta_missing_key_is_named(tmp_path, drop):
+    payload = _write(tmp_path, _sequences()).payload()
+    del payload[drop]
+    with pytest.raises(PersistenceError, match=drop):
+        ShardMeta.from_payload(payload, "index.json")
+
+
+def test_meta_misaligned_lengths_rejected(tmp_path):
+    payload = _write(tmp_path, _sequences()).payload()
+    payload["lengths"] = payload["lengths"][:-1]
+    with pytest.raises(PersistenceError, match="lengths"):
+        ShardMeta.from_payload(payload, "index.json")
+
+
+def test_meta_non_object_rejected():
+    with pytest.raises(PersistenceError, match="object"):
+        ShardMeta.from_payload(["not", "a", "dict"], "index.json")

@@ -80,3 +80,69 @@ def test_sequences_list():
     sequences = dataset.sequences
     assert sequences[0].shape == (4, 2)
     assert sequences[1].shape == (2, 2)
+
+
+# ----------------------------------------------------------------------
+# construction-time validation (actionable messages for bad inputs)
+# ----------------------------------------------------------------------
+def test_document_rejects_ragged_sequence():
+    with pytest.raises(ValueError, match="ragged|float-convertible"):
+        EncodedDocument(
+            doc_id=1,
+            category="earn",
+            sequence=[[0.1, 0.2], [0.3]],  # ragged rows
+            words=("a", "b"),
+            units=(0, 1),
+            label=1,
+        )
+
+
+def test_document_rejects_non_numeric_sequence():
+    with pytest.raises(ValueError, match="float-convertible"):
+        EncodedDocument(
+            doc_id=2,
+            category="earn",
+            sequence=[["x", "y"]],
+            words=("a",),
+            units=(0,),
+            label=1,
+        )
+
+
+def test_document_rejects_unreshapeable_sequence():
+    with pytest.raises(ValueError, match="no \\(T, 2\\) reshape"):
+        EncodedDocument(
+            doc_id=3,
+            category="earn",
+            sequence=np.zeros((1, 3)),
+            words=("a",),
+            units=(0,),
+            label=1,
+        )
+
+
+def test_dataset_rejects_non_document_members():
+    with pytest.raises(TypeError, match="not EncodedDocument"):
+        EncodedDataset(category="earn", documents=(np.zeros((2, 2)),))
+
+
+def test_dataset_rejects_smuggled_bad_dtype():
+    doc = _encoded(label=1)
+    object.__setattr__(doc, "sequence", doc.sequence.astype(np.float32))
+    with pytest.raises(ValueError, match="non-float64"):
+        EncodedDataset(category="earn", documents=(doc,))
+
+
+def test_dataset_rejects_smuggled_bad_shape():
+    doc = _encoded(label=1)
+    object.__setattr__(doc, "sequence", np.zeros((2, 3)))
+    with pytest.raises(ValueError, match="shape"):
+        EncodedDataset(category="earn", documents=(doc,))
+
+
+def test_dataset_error_names_the_offending_document():
+    with pytest.raises(ValueError, match=r"documents\[1\].*doc 7"):
+        EncodedDataset(
+            category="earn",
+            documents=(_encoded(1, label=1), _encoded(7, label=0)),
+        )

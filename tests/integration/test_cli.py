@@ -164,3 +164,65 @@ def test_train_rejects_unknown_seed_policy(data_dir, tmp_path):
             "train", "--data", str(data_dir), "--out", str(tmp_path),
             "--seed-policy", "chaos",
         ])
+
+
+# ----------------------------------------------------------------------
+# dataset store: encode subcommand + store-backed train
+# ----------------------------------------------------------------------
+def test_encode_materialises_then_reuses(model_dir, data_dir, tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    code = main([
+        "encode",
+        "--model", str(model_dir),
+        "--data", str(data_dir),
+        "--store", str(store_dir),
+        "--splits", "train",
+    ])
+    assert code == 0
+    first = capsys.readouterr().out
+    assert "encoded" in first
+    assert "misses=2" in first  # earn + grain train datasets
+
+    code = main([
+        "encode",
+        "--model", str(model_dir),
+        "--data", str(data_dir),
+        "--store", str(store_dir),
+        "--splits", "train",
+    ])
+    assert code == 0
+    second = capsys.readouterr().out
+    assert "cached" in second
+    assert "hits=2" in second
+    assert "misses=0" in second
+    assert "encoded=0" in second
+
+
+def test_encode_unknown_category_fails(model_dir, data_dir, tmp_path, capsys):
+    code = main([
+        "encode",
+        "--model", str(model_dir),
+        "--data", str(data_dir),
+        "--store", str(tmp_path / "store"),
+        "--categories", "bogus",
+    ])
+    assert code == 1
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_train_with_store_reports_stats(data_dir, tmp_path, capsys):
+    code = main([
+        "train",
+        "--data", str(data_dir),
+        "--out", str(tmp_path / "model"),
+        "--features", "mi",
+        "--n-features", "40",
+        "--tournaments", "40",
+        "--som-epochs", "3",
+        "--categories", "earn",
+        "--store", str(tmp_path / "store"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dataset store:" in out
+    assert "misses=1" in out

@@ -104,3 +104,47 @@ def test_wrong_format_version_rejected(fitted, corpus, tmp_path):
     (tmp_path / "manifest.json").write_text(json.dumps(manifest))
     with pytest.raises(PersistenceError, match="format"):
         load_pipeline(tmp_path, corpus)
+
+
+# ----------------------------------------------------------------------
+# corrupt array payloads surface as PersistenceError naming the file
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def saved_dir(fitted, tmp_path):
+    save_pipeline(fitted, tmp_path)
+    return tmp_path
+
+
+def test_truncated_arrays_named_in_error(saved_dir, corpus):
+    path = saved_dir / "arrays.npz"
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(PersistenceError, match="arrays.npz"):
+        load_pipeline(saved_dir, corpus)
+
+
+def test_garbage_arrays_named_in_error(saved_dir, corpus):
+    (saved_dir / "arrays.npz").write_bytes(b"this is not a zip archive")
+    with pytest.raises(PersistenceError, match="truncated or corrupt"):
+        load_pipeline(saved_dir, corpus)
+
+
+def test_flipped_byte_in_arrays_raises_persistence_error(saved_dir, corpus):
+    path = saved_dir / "arrays.npz"
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    with pytest.raises(PersistenceError):
+        load_pipeline(saved_dir, corpus)
+
+
+def test_corrupt_stage_checkpoint_raises_persistence_error(tmp_path):
+    from repro.persistence import _read_stage, _write_stage
+
+    _write_stage(
+        tmp_path, "character_encoder", {"rows": 1},
+        {"weights": np.ones((2, 2))},
+    )
+    arrays_path = tmp_path / "stage_arrays.npz"
+    arrays_path.write_bytes(arrays_path.read_bytes()[:-20])
+    with pytest.raises(PersistenceError, match="stage_arrays.npz"):
+        _read_stage(tmp_path, "character_encoder")

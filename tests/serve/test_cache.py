@@ -95,3 +95,74 @@ def test_sequence_key_separates_models_and_categories():
     assert sequence_key("m1", "earn", fingerprint) != sequence_key(
         "m1", "grain", fingerprint
     )
+
+
+# ----------------------------------------------------------------------
+# bulk warm (dataset-store startup path)
+# ----------------------------------------------------------------------
+def test_warm_inserts_without_touching_hit_accounting():
+    cache = LruCache(capacity=8)
+    inserted = cache.warm([("a", 1), ("b", 2)])
+    assert inserted == 2
+    assert len(cache) == 2
+    assert cache.misses == 0  # warming is not a lookup
+    assert cache.get("a") == 1
+    assert cache.hits == 1
+
+
+def test_warm_never_overwrites_live_entries():
+    cache = LruCache(capacity=8)
+    cache.put("a", "live")
+    assert cache.warm([("a", "stored"), ("b", "new")]) == 1
+    assert cache.get("a") == "live"
+
+
+def test_warm_respects_capacity_and_counts_evictions():
+    cache = LruCache(capacity=2)
+    assert cache.warm([(k, k) for k in "abcd"]) == 4
+    assert len(cache) == 2
+    assert cache.evictions == 2
+
+
+def test_warm_disabled_cache_is_noop():
+    cache = LruCache(capacity=0)
+    assert cache.warm([("a", 1)]) == 0
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# concurrency: the batcher threads and the reload path share one cache
+# ----------------------------------------------------------------------
+def test_concurrent_mixed_operations_do_not_corrupt():
+    import threading
+
+    cache = LruCache(capacity=64)
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def hammer(worker):
+        try:
+            barrier.wait()
+            for step in range(300):
+                key = f"{worker}-{step % 40}"
+                if cache.get(key) is None:
+                    cache.put(key, step)
+                if step % 50 == 0:
+                    cache.warm([(f"warm-{worker}-{step}", step)])
+                if worker == 0 and step % 97 == 0:
+                    cache.clear()
+                cache.stats()
+        except Exception as error:  # pragma: no cover - failure capture
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(worker,)) for worker in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    stats = cache.stats()
+    assert stats["size"] <= 64
+    assert stats["hits"] + stats["misses"] >= 8 * 300
