@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import shutil
 import tempfile
+import threading
 import time
 import uuid
 from pathlib import Path
@@ -207,6 +208,8 @@ class DatasetStore:
             "data_store_encode_seconds", "miss re-encode latency"
         )
         self._local = {name: 0 for name in self._counters}
+        self._write_locks: Dict[str, threading.Lock] = {}
+        self._write_locks_guard = threading.Lock()
         self._sweep_tmp()
 
     # ------------------------------------------------------------------
@@ -322,30 +325,38 @@ class DatasetStore:
         re-encoded) and only genuinely new documents -- deduplicated by
         fingerprint -- are packed into fresh shards.  Returns the
         re-opened dataset, or None when everything was a duplicate.
+
+        The read-extend-publish cycle is serialized per key (concurrent
+        ingests of the same key would each adopt the same base shards
+        and the last publish would silently drop the other's documents;
+        retiring the old dataset could also yank hard-link sources out
+        from under a writer still adopting them).
         """
-        with self.writer(key) as writer:
-            if extend and self.has(key):
-                try:
-                    writer.link_shards_from(self.open(key))
-                except PersistenceError:
-                    self._count("corrupt")
-                    self.discard(key)
-            before = writer.n_documents
-            for doc_id, label, sequence, fingerprint in items:
-                writer.add(doc_id, label, sequence, fingerprint=fingerprint)
-            if writer.n_documents == before and self.has(key):
-                writer.abort()  # nothing new; keep the sealed dataset
-                return None
-            writer.commit(extra_meta)
-        return self.open(key, verify=False)
+        with self._write_lock(key):
+            with self.writer(key) as writer:
+                if extend and self.has(key):
+                    try:
+                        writer.link_shards_from(self.open(key))
+                    except PersistenceError:
+                        self._count("corrupt")
+                        self.discard(key)
+                before = writer.n_documents
+                for doc_id, label, sequence, fingerprint in items:
+                    writer.add(doc_id, label, sequence, fingerprint=fingerprint)
+                if writer.n_documents == before and self.has(key):
+                    writer.abort()  # nothing new; keep the sealed dataset
+                    return None
+                writer.commit(extra_meta)
+            return self.open(key, verify=False)
 
     def write_dataset(
         self, key: str, dataset, extra_meta: Optional[dict] = None
     ) -> Path:
         """Persist an :class:`EncodedDataset` at ``key`` (full rewrite)."""
-        with self.writer(key) as writer:
-            writer.add_dataset(dataset)
-            return writer.commit(extra_meta)
+        with self._write_lock(key):
+            with self.writer(key) as writer:
+                writer.add_dataset(dataset)
+                return writer.commit(extra_meta)
 
     # ------------------------------------------------------------------
     # the call-site API
@@ -444,6 +455,11 @@ class DatasetStore:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _write_lock(self, key: str) -> threading.Lock:
+        """The per-key lock serializing writes (ingest / full rewrite)."""
+        with self._write_locks_guard:
+            return self._write_locks.setdefault(key, threading.Lock())
+
     def _count(self, name: str, amount: int = 1) -> None:
         self._local[name] += amount
         self._counters[name].inc(amount)

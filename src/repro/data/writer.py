@@ -1,8 +1,9 @@
 """Bounded-memory streaming writer with atomic commit.
 
 A :class:`DatasetWriter` accumulates encoded documents and flushes them
-to shard files as soon as either bound (document count or payload bytes)
-is reached, so materialising a corpus never holds more than one shard in
+to shard files as soon as either bound (document count or *padded*
+payload bytes -- the size of the packed array a flush materialises) is
+reached, so materialising a corpus never holds more than one shard in
 memory.  Everything is written into a private temp directory under the
 store root; :meth:`commit` seals it with the index and a ``_COMPLETE``
 marker (written *last*, the same discipline as
@@ -82,7 +83,7 @@ class DatasetWriter:
         self._doc_ids: List[int] = []
         self._labels: List[int] = []
         self._fingerprints: List[Optional[str]] = []
-        self._buffered_bytes = 0
+        self._max_rows = 0  # longest buffered sequence, in rows
         self._seen_fingerprints: Set[str] = set()
         self._closed = False
 
@@ -116,14 +117,25 @@ class DatasetWriter:
                 return
             self._seen_fingerprints.add(fingerprint)
         sequence = np.asarray(sequence, dtype=float).reshape(-1, self.n_inputs)
+        rows = max(len(sequence), 1)
+        # The byte bound tracks the *padded* payload write_shard builds
+        # (every document padded to the shard's max length), not the sum
+        # of raw sequence bytes -- one long document would otherwise
+        # inflate a shard of short ones far past shard_bytes.  A new
+        # longest document that would blow the projection seals the
+        # buffered shorts first, so the padding never applies to them.
+        if rows > self._max_rows and self._sequences:
+            if self._padded_nbytes(rows, len(self._sequences) + 1) > self.shard_bytes:
+                self.flush()
         self._sequences.append(sequence)
         self._doc_ids.append(int(doc_id))
         self._labels.append(int(label))
         self._fingerprints.append(fingerprint)
-        self._buffered_bytes += max(len(sequence), 1) * self.n_inputs * SHARD_DTYPE.itemsize
+        self._max_rows = max(self._max_rows, rows)
         if (
             len(self._sequences) >= self.shard_docs
-            or self._buffered_bytes >= self.shard_bytes
+            or self._padded_nbytes(self._max_rows, len(self._sequences))
+            >= self.shard_bytes
         ):
             self.flush()
 
@@ -181,7 +193,7 @@ class DatasetWriter:
         self._doc_ids = []
         self._labels = []
         self._fingerprints = []
-        self._buffered_bytes = 0
+        self._max_rows = 0
         if self._on_shard is not None:
             self._on_shard(meta)
         return meta
@@ -221,6 +233,10 @@ class DatasetWriter:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _padded_nbytes(self, max_rows: int, n_docs: int) -> int:
+        """Size of the packed (padded) array a flush would materialise."""
+        return max_rows * n_docs * self.n_inputs * SHARD_DTYPE.itemsize
+
     def _next_shard_name(self) -> str:
         return f"shard-{len(self.metas):05d}.bin"
 

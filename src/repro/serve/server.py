@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.streaming import StreamingClassifier
 from repro.corpus.document import Document
+from repro.errors import PersistenceError
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import LruCache, sequence_key, token_fingerprint
 from repro.gp.engine import shared_metrics
@@ -127,10 +128,20 @@ class InferenceService:
         self._store_writebacks = self.metrics.counter(
             "service_store_writebacks_total", "miss sequences written back"
         )
+        self._writeback_failures = self.metrics.counter(
+            "service_store_writeback_failures_total",
+            "miss sequences dropped because the store write failed",
+        )
 
         self._pools: Dict[str, Tuple[int, WorkerPool]] = {}
         self._pools_lock = threading.Lock()
-        self._miss_spool: Dict[Tuple[str, str], List[tuple]] = {}
+        #: store address -> {"meta": ingest metadata, "items": spooled
+        #: sequences}.  The address is computed when a miss is spooled
+        #: (it fingerprints the encoder that produced the sequence), so
+        #: a hot reload between spool and flush cannot retarget old
+        #: encodings at the new encoder's dataset.
+        self._miss_spool: Dict[str, dict] = {}
+        self._miss_addresses: Dict[Tuple[str, int, str], str] = {}
         self._spool_lock = threading.Lock()
         self._closed = False
         self.batcher = MicroBatcher(
@@ -236,22 +247,24 @@ class InferenceService:
         """
         if self.data_store is None:
             return 0
-        from repro.data.fingerprint import serve_miss_address
-
         entry = self.registry.get(model)
         pipeline = entry.pipeline
         model_key = f"{entry.name}@{entry.version}"
         warmed = 0
         for category in pipeline.suite.categories:
-            address = serve_miss_address(
-                pipeline.encoder, pipeline.feature_set, category, name=entry.name
-            )
+            address = self._serve_miss_address(entry, category)
             if not self.data_store.has(address):
                 continue
             try:
                 stored = self.data_store.open(address)
-            except Exception:  # noqa: BLE001 - warm is best-effort
+            except PersistenceError:
+                # Corrupt or unsealed: discard so the next write-back
+                # rebuilds the dataset from scratch.
                 self.data_store.discard(address)
+                continue
+            except OSError:
+                # Transient read failure (EMFILE, permissions, ...):
+                # skip warming but keep the accumulated history.
                 continue
             warmed += self.cache.warm(
                 (sequence_key(model_key, category, fingerprint), sequence)
@@ -268,38 +281,29 @@ class InferenceService:
 
         Idempotent and safe to call at any time (the store dedupes by
         token fingerprint, and existing shards are adopted by hard link,
-        not rewritten).  Returns the number of sequences handed to the
-        store.  Called automatically when a model's spool reaches
-        ``WRITEBACK_THRESHOLD``, on reload, and on :meth:`close`.
+        not rewritten).  Each spool batch targets the store address
+        recorded when the miss was spooled, so sequences always land in
+        the dataset of the encoder that produced them -- even if the
+        model hot-reloaded in between.  Write-back is an optimisation:
+        store failures are counted and the batch dropped (the sequences
+        respool on their next miss), never raised into serving.  Returns
+        the number of sequences accepted by the store.  Called
+        automatically when the spool reaches ``WRITEBACK_THRESHOLD``, on
+        reload, and on :meth:`close`.
         """
         if self.data_store is None:
             return 0
-        from repro.data.fingerprint import serve_miss_address
-
         with self._spool_lock:
             spooled = self._miss_spool
             self._miss_spool = {}
         flushed = 0
-        for (model_name, category), items in spooled.items():
+        for address, spool in spooled.items():
+            items = spool["items"]
             try:
-                entry = self.registry.get(model_name)
-            except KeyError:
-                continue  # model was retired while spooled
-            address = serve_miss_address(
-                entry.pipeline.encoder,
-                entry.pipeline.feature_set,
-                category,
-                name=entry.name,
-            )
-            self.data_store.ingest(
-                address,
-                items,
-                extra_meta={
-                    "category": category,
-                    "split": "serve",
-                    "model": entry.name,
-                },
-            )
+                self.data_store.ingest(address, items, extra_meta=spool["meta"])
+            except (PersistenceError, OSError):
+                self._writeback_failures.inc(len(items))
+                continue
             flushed += len(items)
         self._store_writebacks.inc(flushed)
         return flushed
@@ -424,24 +428,57 @@ class InferenceService:
                     sequence = encoded.sequence
                     self.cache.put(key, sequence)
                     self._spool_miss(
-                        entry.name, category, doc.doc_id, sequence, fingerprint
+                        entry, category, doc.doc_id, sequence, fingerprint
                     )
                 sequences_by_category[category].append(sequence)
         return sequences_by_category
 
     def _spool_miss(
-        self, model_name: str, category: str, doc_id: int, sequence, fingerprint: str
+        self, entry, category: str, doc_id: int, sequence, fingerprint: str
     ) -> None:
-        """Queue a freshly encoded sequence for store write-back."""
+        """Queue a freshly encoded sequence for store write-back.
+
+        The target store address is resolved *now*, from the entry that
+        encoded the sequence, and travels with the spool batch: a later
+        flush must never re-derive it from the registry, which may have
+        hot-reloaded to a different encoder in the meantime.
+        """
         if self.data_store is None:
             return
+        address = self._serve_miss_address(entry, category)
         with self._spool_lock:
-            self._miss_spool.setdefault((model_name, category), []).append(
-                (doc_id, 0, sequence, fingerprint)
+            spool = self._miss_spool.setdefault(
+                address,
+                {
+                    "meta": {
+                        "category": category,
+                        "split": "serve",
+                        "model": entry.name,
+                    },
+                    "items": [],
+                },
             )
-            pending = sum(len(items) for items in self._miss_spool.values())
+            spool["items"].append((doc_id, 0, sequence, fingerprint))
+            pending = sum(len(s["items"]) for s in self._miss_spool.values())
         if pending >= self.WRITEBACK_THRESHOLD:
             self.flush_misses()
+
+    def _serve_miss_address(self, entry, category: str) -> str:
+        """The store address for an entry's write-back dataset (cached:
+        the fingerprint hashes SOM weights, too costly per miss)."""
+        cache_key = (entry.name, entry.version, category)
+        address = self._miss_addresses.get(cache_key)
+        if address is None:
+            from repro.data.fingerprint import serve_miss_address
+
+            address = serve_miss_address(
+                entry.pipeline.encoder,
+                entry.pipeline.feature_set,
+                category,
+                name=entry.name,
+            )
+            self._miss_addresses[cache_key] = address
+        return address
 
     def _pool_for(self, entry) -> WorkerPool:
         """The worker pool for a model entry, rebuilt when it reloads."""

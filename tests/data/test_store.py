@@ -133,6 +133,33 @@ def test_ingest_appends_and_dedupes(store):
     assert len(store.open(key)) == 3
 
 
+def test_concurrent_ingest_same_key_loses_nothing(store):
+    # Concurrent writers to one key serialize: each adopts the other's
+    # documents instead of overwriting the published dataset.
+    import threading
+
+    key = "b" * 32
+    n_threads, per_thread = 4, 20
+
+    def ingest(thread_index):
+        store.ingest(
+            key,
+            [
+                (thread_index * 100 + i, 0, np.ones((2, 2)), f"fp-{thread_index}-{i}")
+                for i in range(per_thread)
+            ],
+        )
+
+    threads = [
+        threading.Thread(target=ingest, args=(t,)) for t in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(store.open(key)) == n_threads * per_thread
+
+
 def test_ingest_replaces_corrupt_dataset(store):
     key = "2" * 32
     store.ingest(key, [(0, 1, np.ones((2, 2)), "fp0")])

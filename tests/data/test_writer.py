@@ -70,6 +70,34 @@ def test_shard_bytes_bound_splits_shards(tmp_path):
     assert len(store.open(KEY).shard_metas) == 2
 
 
+def test_shard_bytes_bound_tracks_padded_payload(tmp_path):
+    # One 32-row document pads every document in its shard to 32 rows;
+    # the byte bound must account for that padding, not raw bytes.
+    store = DatasetStore(tmp_path / "store", shard_bytes=1024)
+    with store.writer(KEY) as writer:
+        writer.add(0, 1, np.ones((32, 2)))
+        for index in range(1, 64):
+            writer.add(index, 1, np.ones((1, 2)))
+        writer.commit()
+    stored = store.open(KEY)
+    assert len(stored) == 64
+    assert all(meta.nbytes <= 1024 for meta in stored.shard_metas)
+
+
+def test_long_document_does_not_inflate_buffered_shorts(tmp_path):
+    # A new longest document seals the buffered short ones first, so
+    # they are never padded to its length.
+    store = DatasetStore(tmp_path / "store", shard_bytes=2048)
+    with store.writer(KEY) as writer:
+        for index in range(8):
+            writer.add(index, 1, np.ones((1, 2)))
+        writer.add(99, 1, np.ones((100, 2)))
+        writer.commit()
+    stored = store.open(KEY)
+    assert [meta.n_docs for meta in stored.shard_metas] == [8, 1]
+    assert all(meta.nbytes <= 2048 for meta in stored.shard_metas)
+
+
 def test_multi_shard_sequences_keep_document_order(tmp_path):
     sequences = _sequences(7, seed=3)
     store = DatasetStore(tmp_path / "store", shard_docs=3)

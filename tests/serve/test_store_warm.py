@@ -90,6 +90,81 @@ def test_write_back_is_idempotent_across_restarts(
     assert len(store.open(address)) == len(docs)
 
 
+def test_flush_targets_spool_time_address_without_registry(
+    registry, serve_corpus, tmp_path
+):
+    """Spooled misses carry their store address: a flush never re-derives
+    it from the registry (which may have hot-reloaded a new encoder)."""
+    store = DatasetStore(tmp_path / "store", metrics=MetricsRegistry())
+    docs = list(serve_corpus.test_documents)[:3]
+    service = _service(registry, store)
+    try:
+        pipeline = registry.get().pipeline
+        expected = {
+            serve_miss_address(
+                pipeline.encoder, pipeline.feature_set, category, name="default"
+            )
+            for category in pipeline.suite.categories
+        }
+        service.classify(docs)
+        assert set(service._miss_spool) <= expected
+        # A flush must not consult the registry at all.
+        service.registry = None
+        assert service.flush_misses() > 0
+        assert all(store.has(address) for address in expected)
+    finally:
+        service.registry = registry
+        service.close()
+
+
+def test_store_failure_never_reaches_serving(
+    registry, serve_corpus, tmp_path, monkeypatch
+):
+    store = DatasetStore(tmp_path / "store", metrics=MetricsRegistry())
+    docs = list(serve_corpus.test_documents)[:3]
+    service = _service(registry, store)
+    try:
+        def broken_ingest(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "ingest", broken_ingest)
+        service.classify(docs)  # misses spool; must not raise
+        assert service.flush_misses() == 0  # dropped, not raised
+        snapshot = service.metrics.snapshot()
+        assert snapshot["service_store_writeback_failures_total"] > 0
+        assert snapshot["service_store_writebacks_total"] == 0
+    finally:
+        monkeypatch.undo()
+        service.close()
+
+
+def test_transient_warm_failure_keeps_stored_history(
+    registry, serve_corpus, tmp_path, monkeypatch
+):
+    store = DatasetStore(tmp_path / "store", metrics=MetricsRegistry())
+    docs = list(serve_corpus.test_documents)[:3]
+    first = _service(registry, store)
+    try:
+        first.classify(docs)
+    finally:
+        first.close()
+    written = store.keys()
+    assert written
+
+    def transient_open(*args, **kwargs):
+        raise OSError("too many open files")
+
+    monkeypatch.setattr(store, "open", transient_open)
+    second = _service(registry, store)  # warms (and fails) in __init__
+    try:
+        assert len(second.cache) == 0
+    finally:
+        second.close()
+    monkeypatch.undo()
+    # The accumulated write-back history survived the transient error.
+    assert store.keys() == written
+
+
 def test_service_without_store_is_unchanged(registry, serve_corpus):
     service = InferenceService(
         registry, n_workers=0, max_batch_size=8, max_delay=0.001,
