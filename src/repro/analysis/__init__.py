@@ -1,0 +1,33 @@
+"""Static analysis for the repro stack.
+
+Two halves:
+
+* :mod:`repro.analysis.ir` / :mod:`repro.analysis.verify` -- a dataflow
+  IR over the 2-address LGP ISA (recurrent liveness, reaching
+  definitions, intron sets, numeric-safety hazards) plus oracles that
+  prove the GP engine's cached analyses and ``PackedPrograms`` packing
+  agree with it.
+* :mod:`repro.analysis.lint` -- "reprolint", an AST rule engine
+  enforcing the repo's runtime invariants (``python -m repro.analysis``).
+"""
+
+from repro.analysis.ir import Hazard, IRInstruction, Liveness, ProgramIR
+from repro.analysis.verify import (
+    ProgramReport,
+    VerificationError,
+    analyze_program,
+    verify_packing,
+    verify_program,
+)
+
+__all__ = [
+    "Hazard",
+    "IRInstruction",
+    "Liveness",
+    "ProgramIR",
+    "ProgramReport",
+    "VerificationError",
+    "analyze_program",
+    "verify_packing",
+    "verify_program",
+]

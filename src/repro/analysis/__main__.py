@@ -1,0 +1,68 @@
+"""``python -m repro.analysis`` -- run reprolint over source trees.
+
+Exit status: 0 when every finding is allowlisted, 1 otherwise (including
+unused allowlist entries, which indicate the exemption went stale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint.engine import Allowlist, scan
+from repro.analysis.lint.rules import default_rules
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: enforce the repro repo's runtime invariants",
+    )
+    parser.add_argument(
+        "paths", nargs="+", type=Path,
+        help="files or directories to scan (*.py, recursive)",
+    )
+    parser.add_argument(
+        "--allowlist", type=Path, default=None,
+        help="exemption file (RULE path[::qualname]  # justification)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule set and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}  {rule.title}")
+        return 0
+
+    allowlist = (
+        Allowlist.load(args.allowlist) if args.allowlist else Allowlist.empty()
+    )
+    reported, suppressed = scan(args.paths, rules, allowlist)
+
+    for finding in reported:
+        print(finding.render())
+    unused = allowlist.unused_entries()
+    for entry in unused:
+        print(
+            f"{args.allowlist}:{entry.line}: unused allowlist entry "
+            f"({entry.rule} {entry.path}"
+            + (f"::{entry.qualname}" if entry.qualname else "")
+            + ")"
+        )
+    status = 1 if (reported or unused) else 0
+    print(
+        f"reprolint: {len(reported)} finding(s), "
+        f"{len(suppressed)} allowlisted"
+        + (f", {len(unused)} unused allowlist entries" if unused else "")
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

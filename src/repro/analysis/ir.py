@@ -1,0 +1,372 @@
+"""A linear IR and dataflow analyses for the 2-address RLGP ISA.
+
+The GP engine's hot paths (``Program.effective_fields``, the fused
+``PackedPrograms`` packing, the semantic fitness cache) all stand on the
+structural-intron analysis being exactly right: an instruction wrongly
+kept merely wastes cycles, but an instruction wrongly *dropped* silently
+corrupts every prediction.  This module is the analysis those layers
+build on -- and, through :mod:`repro.analysis.verify`, the oracle that
+proves the engine's packed streams agree with it.
+
+Design notes:
+
+* **Independent decode.**  :func:`decode_ir` re-derives the instruction
+  fields from the documented bit layout (paper Sec. 7.1) with its own
+  masks and shifts rather than calling
+  :func:`repro.gp.instructions.decode_instruction`, so the verifier
+  compares two genuinely separate readings of the same spec.
+* **Recurrent fixpoint.**  Registers persist across sequence steps
+  (paper Sec. 7.2), so backward liveness cannot assume registers are
+  dead at program exit: the set live after the last instruction feeds
+  the set live before the first, and both analyses here (liveness and
+  reaching definitions) iterate that back edge to convergence.
+* **No kills in liveness.**  Every instruction is ``R[dst] = R[dst] op
+  src`` -- the write always reads its own destination -- so a register,
+  once live, stays live at every earlier program point.  Liveness sets
+  therefore only grow and the fixpoint is trivially monotone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.gp.config import GpConfig
+from repro.gp.instructions import (
+    MODE_CONSTANT,
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_DIV,
+    OP_MUL,
+    OP_SYMBOLS,
+)
+
+#: Synthetic definition site for the zero-initialised register file.
+INITIAL_DEF = -1
+
+# The field layout of paper Sec. 7.1, restated independently of
+# repro.gp.instructions (verify_program proves the two decoders agree).
+_IR_MODE_SHIFT = 14
+_IR_OP_SHIFT = 12
+_IR_DST_SHIFT = 8
+_IR_SRC_MASK = 0xFF
+_IR_DST_MASK = 0xF
+_IR_FIELD_MASK = 0x3
+_IR_WORD_MASK = 0xFFFF
+
+
+@dataclass(frozen=True)
+class IRInstruction:
+    """One decoded instruction with its position in the stream.
+
+    Attributes:
+        index: position in the program's code stream.
+        raw: the encoded 16-bit integer.
+        mode: MODE_INTERNAL / MODE_EXTERNAL / MODE_CONSTANT.
+        opcode: OP_ADD / OP_SUB / OP_MUL / OP_DIV.
+        dst: destination (and first source) register.
+        src: source register, input port, or constant value by ``mode``.
+    """
+
+    index: int
+    raw: int
+    mode: int
+    opcode: int
+    dst: int
+    src: int
+
+    @property
+    def reads(self) -> Tuple[int, ...]:
+        """Registers this instruction reads (dst always; src if internal)."""
+        if self.mode == MODE_INTERNAL and self.src != self.dst:
+            return (self.dst, self.src)
+        return (self.dst,)
+
+    @property
+    def writes(self) -> int:
+        """The register this instruction writes."""
+        return self.dst
+
+    def render(self) -> str:
+        """Paper-style text form, identical to ``disassemble_one``."""
+        op = OP_SYMBOLS[self.opcode]
+        if self.mode == MODE_INTERNAL:
+            source = f"R{self.src}"
+        elif self.mode == MODE_EXTERNAL:
+            source = f"I{self.src}"
+        else:
+            source = str(self.src)
+        return f"R{self.dst}=R{self.dst}{op}{source}"
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """A numeric-safety pattern that leans on runtime protection.
+
+    None of these is a crash (protected division and the register clamp
+    make every program total), but each marks code whose value depends
+    on protection semantics rather than arithmetic -- worth surfacing
+    when a champion rule is audited for deployment.
+    """
+
+    kind: str
+    index: int
+    effective: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class Liveness:
+    """The recurrent backward-liveness solution.
+
+    Attributes:
+        live_in: registers live *before* each instruction.
+        live_out: registers live *after* each instruction.
+        entry: registers live at the start of a pass -- their carried
+            value from the previous word can influence the final output.
+        effective: indices whose write can reach the output register.
+        introns: the complement (structurally dead code).
+    """
+
+    live_in: Tuple[FrozenSet[int], ...]
+    live_out: Tuple[FrozenSet[int], ...]
+    entry: FrozenSet[int]
+    effective: Tuple[int, ...]
+    introns: Tuple[int, ...]
+
+
+def decode_ir(code: Sequence[int], config: GpConfig) -> Tuple[IRInstruction, ...]:
+    """Decode a code stream into IR instructions (total, closure-preserving).
+
+    Mirrors the ISA spec directly: a mode field of 3 wraps onto the three
+    valid modes and register/input/constant indices wrap modulo their
+    configured counts.
+    """
+    instructions = []
+    for index, value in enumerate(code):
+        raw = int(value) & _IR_WORD_MASK
+        mode = ((raw >> _IR_MODE_SHIFT) & _IR_FIELD_MASK) % 3
+        opcode = (raw >> _IR_OP_SHIFT) & _IR_FIELD_MASK
+        dst = ((raw >> _IR_DST_SHIFT) & _IR_DST_MASK) % config.n_registers
+        src_field = raw & _IR_SRC_MASK
+        if mode == MODE_INTERNAL:
+            src = src_field % config.n_registers
+        elif mode == MODE_EXTERNAL:
+            src = src_field % config.n_inputs
+        else:
+            src = src_field % config.constant_range
+        instructions.append(
+            IRInstruction(
+                index=index, raw=raw, mode=mode, opcode=opcode, dst=dst, src=src
+            )
+        )
+    return tuple(instructions)
+
+
+class ProgramIR:
+    """The dataflow view of one linear program.
+
+    Args:
+        code: encoded instruction integers (may be empty, unlike
+            :class:`~repro.gp.program.Program` -- the analyses are total).
+        config: field widths and register counts.
+    """
+
+    __slots__ = ("instructions", "config", "_liveness", "_fields")
+
+    def __init__(self, code: Sequence[int], config: GpConfig) -> None:
+        self.instructions = decode_ir(code, config)
+        self.config = config
+        self._liveness: Optional[Liveness] = None
+        self._fields = None
+
+    @classmethod
+    def from_program(cls, program) -> "ProgramIR":
+        """IR of a :class:`~repro.gp.program.Program` (duck-typed)."""
+        return cls(program.code, program.config)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def liveness(self) -> Liveness:
+        """Backward liveness with the recurrent back edge, to fixpoint."""
+        if self._liveness is None:
+            self._liveness = self._solve_liveness()
+        return self._liveness
+
+    def _solve_liveness(self) -> Liveness:
+        n = len(self.instructions)
+        out_reg = self.config.output_register
+        live_in: List[Set[int]] = [set() for _ in range(n)]
+        live_out: List[Set[int]] = [set() for _ in range(n)]
+        changed = True
+        while changed:
+            changed = False
+            # After the final instruction of the final pass only the
+            # output register is observed; after the final instruction of
+            # any earlier pass, everything live at the next pass's entry
+            # is too -- the recurrent back edge.
+            carry = {out_reg} | (live_in[0] if n else set())
+            for i in range(n - 1, -1, -1):
+                instr = self.instructions[i]
+                after = carry if i == n - 1 else live_in[i + 1]
+                before = set(after)
+                if instr.dst in after and instr.mode == MODE_INTERNAL:
+                    # The write reads dst itself, so dst stays live; the
+                    # internal source register becomes live too.
+                    before.add(instr.src)
+                if after != live_out[i]:
+                    live_out[i] = set(after)
+                    changed = True
+                if before != live_in[i]:
+                    live_in[i] = before
+                    changed = True
+        effective = tuple(
+            i for i in range(n) if self.instructions[i].dst in live_out[i]
+        )
+        introns = tuple(sorted(set(range(n)) - set(effective)))
+        entry = frozenset(live_in[0]) if n else frozenset({out_reg})
+        return Liveness(
+            live_in=tuple(frozenset(s) for s in live_in),
+            live_out=tuple(frozenset(s) for s in live_out),
+            entry=entry,
+            effective=effective,
+            introns=introns,
+        )
+
+    def effective_indices(self) -> List[int]:
+        """Indices whose write can influence the output register (sorted)."""
+        return list(self.liveness().effective)
+
+    def intron_indices(self) -> List[int]:
+        """Indices of structurally dead instructions (sorted)."""
+        return list(self.liveness().introns)
+
+    # ------------------------------------------------------------------
+    # reaching definitions
+    # ------------------------------------------------------------------
+    def reaching_definitions(
+        self, recurrent: bool = True
+    ) -> Tuple[FrozenSet[Tuple[int, int]], ...]:
+        """``(register, def_site)`` pairs reaching each instruction.
+
+        ``def_site`` is an instruction index or :data:`INITIAL_DEF` for
+        the zero-initialised register file.  With ``recurrent`` (the
+        default) definitions flow across the pass boundary; without it
+        the result describes the first word of a sequence only.
+        """
+        n = len(self.instructions)
+        n_registers = self.config.n_registers
+        entry_defs = {(r, INITIAL_DEF) for r in range(n_registers)}
+        in_sets: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
+        out_sets: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
+        changed = True
+        while changed:
+            changed = False
+            for i, instr in enumerate(self.instructions):
+                incoming = set(entry_defs) if i == 0 else set(out_sets[i - 1])
+                if i == 0 and recurrent and n:
+                    incoming |= out_sets[n - 1]
+                outgoing = {d for d in incoming if d[0] != instr.dst}
+                outgoing.add((instr.dst, i))
+                if incoming != in_sets[i]:
+                    in_sets[i] = incoming
+                    changed = True
+                if outgoing != out_sets[i]:
+                    out_sets[i] = outgoing
+                    changed = True
+        return tuple(frozenset(s) for s in in_sets)
+
+    # ------------------------------------------------------------------
+    # derived artefacts
+    # ------------------------------------------------------------------
+    def effective_fields(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(modes, opcodes, dsts, srcs)`` int64 arrays of the effective
+        stream -- the IR's reading of what the engine must execute."""
+        if self._fields is None:
+            keep = [self.instructions[i] for i in self.liveness().effective]
+            self._fields = (
+                np.array([i.mode for i in keep], dtype=np.int64),
+                np.array([i.opcode for i in keep], dtype=np.int64),
+                np.array([i.dst for i in keep], dtype=np.int64),
+                np.array([i.src for i in keep], dtype=np.int64),
+            )
+        return self._fields
+
+    def semantic_fingerprint(self) -> bytes:
+        """Digest of the effective stream, byte-compatible with
+        :meth:`repro.gp.program.Program.semantic_fingerprint`."""
+        digest = hashlib.blake2b(digest_size=16)
+        for array in self.effective_fields():
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.digest()
+
+    def hazards(self) -> Tuple[Hazard, ...]:
+        """Numeric-safety patterns (protected division / clamp reliance)."""
+        liveness = self.liveness()
+        effective = set(liveness.effective)
+        first_pass = self.reaching_definitions(recurrent=False)
+        found: List[Hazard] = []
+        for i, instr in enumerate(self.instructions):
+            if instr.opcode == OP_DIV:
+                if instr.mode == MODE_CONSTANT and instr.src == 0:
+                    found.append(Hazard(
+                        kind="div-by-zero-constant",
+                        index=i,
+                        effective=i in effective,
+                        detail=f"{instr.render()}: constant denominator 0; "
+                               "protected division always returns the "
+                               "numerator",
+                    ))
+                elif (
+                    instr.mode == MODE_INTERNAL
+                    and (instr.src, INITIAL_DEF) in first_pass[i]
+                ):
+                    found.append(Hazard(
+                        kind="div-by-initial-zero",
+                        index=i,
+                        effective=i in effective,
+                        detail=f"{instr.render()}: denominator R{instr.src} "
+                               "can hold its initial zero on the first "
+                               "word; relies on protected division",
+                    ))
+            elif (
+                instr.opcode == OP_MUL
+                and instr.mode == MODE_INTERNAL
+                and instr.src == instr.dst
+            ):
+                found.append(Hazard(
+                    kind="overflow-self-multiply",
+                    index=i,
+                    effective=i in effective,
+                    detail=f"{instr.render()}: repeated self-multiplication "
+                           "grows doubly exponentially; relies on the "
+                           "register magnitude clamp",
+                ))
+        return tuple(found)
+
+    def listing(self, effective_only: bool = False) -> List[str]:
+        """Rendered instructions (the whole stream or the effective rule)."""
+        if effective_only:
+            return [
+                self.instructions[i].render() for i in self.liveness().effective
+            ]
+        return [instr.render() for instr in self.instructions]
+
+
+def effective_indices(code: Sequence[int], config: GpConfig) -> List[int]:
+    """Effective-instruction indices of a raw code stream.
+
+    The single entry point :meth:`repro.gp.program.Program.effective_instructions`
+    delegates to, so the engine, the introspection layer and the verifier
+    all consume one analysis.
+    """
+    return ProgramIR(code, config).effective_indices()

@@ -1,0 +1,19 @@
+"""reprolint: the AST rule engine and the shipped rule set."""
+
+from repro.analysis.lint.engine import (
+    Allowlist,
+    Finding,
+    ModuleInfo,
+    Rule,
+    scan,
+)
+from repro.analysis.lint.rules import default_rules
+
+__all__ = [
+    "Allowlist",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "default_rules",
+    "scan",
+]

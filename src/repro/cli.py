@@ -122,9 +122,19 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
 
     analyze = commands.add_parser(
-        "analyze", help="corpus diagnostics (sizes, co-labels, overlap)"
+        "analyze",
+        help="corpus diagnostics (--data) and/or static verification of "
+             "a saved model's champion programs (--model)",
     )
-    _add_data_argument(analyze)
+    analyze.add_argument(
+        "--data", type=Path, default=None,
+        help="directory of Reuters-21578-format .sgm files",
+    )
+    analyze.add_argument(
+        "--model", type=Path, default=None,
+        help="saved model directory; runs the IR dataflow verifier and "
+             "numeric-safety report over its champion programs",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the batched HTTP inference service"
@@ -306,6 +316,41 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_model(model_dir: Path) -> int:
+    """Verify a saved model's champion programs against the IR oracle."""
+    from repro.analysis.verify import VerificationError, verify_program
+    from repro.gp.program import Program
+    from repro.persistence import _gp_config_from_dict, read_manifest
+
+    manifest = read_manifest(model_dir)
+    failures = 0
+    print(f"model {model_dir}: {len(manifest['classifiers'])} champion "
+          "program(s)")
+    for category, payload in sorted(manifest["classifiers"].items()):
+        program = Program(payload["code"], _gp_config_from_dict(payload["gp"]))
+        try:
+            report = verify_program(program)
+        except VerificationError as error:
+            failures += 1
+            print(f"  {category:10s} FAILED verification:")
+            print(f"    {error}")
+            continue
+        live = ",".join(f"R{r}" for r in report.live_entry) or "-"
+        print(f"  {category:10s} verified  "
+              f"{report.n_effective}/{report.n_instructions} effective "
+              f"({report.intron_fraction:.0%} introns), "
+              f"recurrent state {live}, "
+              f"inputs {','.join(f'I{i}' for i in report.inputs_read) or '-'}")
+        for hazard in report.hazards:
+            status = "effective" if hazard.effective else "intron"
+            print(f"    hazard[{status}] {hazard.kind}: {hazard.detail}")
+    if failures:
+        print(f"error: {failures} program(s) failed IR verification",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.corpus.analysis import (
         document_lengths,
@@ -314,6 +359,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     from repro.preprocessing.tokenized import TokenizedCorpus
 
+    if args.data is None and args.model is None:
+        print("error: analyze needs --data and/or --model", file=sys.stderr)
+        return 2
+    if args.model is not None:
+        status = _analyze_model(args.model)
+        if status or args.data is None:
+            return status
     corpus = load_corpus(args.data)
     tokenized = TokenizedCorpus(corpus)
     print(f"documents         : {len(corpus.train_documents)} train / "

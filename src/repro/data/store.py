@@ -207,8 +207,9 @@ class DatasetStore:
         self._encode_seconds = metrics.histogram(
             "data_store_encode_seconds", "miss re-encode latency"
         )
-        self._local = {name: 0 for name in self._counters}
-        self._write_locks: Dict[str, threading.Lock] = {}
+        self._stats_lock = threading.Lock()
+        self._local = {name: 0 for name in self._counters}  # guarded by _stats_lock
+        self._write_locks: Dict[str, threading.Lock] = {}  # guarded by _write_locks_guard
         self._write_locks_guard = threading.Lock()
         self._sweep_tmp()
 
@@ -440,11 +441,12 @@ class DatasetStore:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """This store's own activity (process counters may be shared)."""
-        return dict(self._local)
+        with self._stats_lock:
+            return dict(self._local)
 
     def stats_line(self) -> str:
         """One-line summary for CLI output."""
-        s = self._local
+        s = self.stats()
         return (
             f"hits={s['hits']} misses={s['misses']} "
             f"encoded={s['encoded_documents']} corrupt={s['corrupt']} "
@@ -461,7 +463,11 @@ class DatasetStore:
             return self._write_locks.setdefault(key, threading.Lock())
 
     def _count(self, name: str, amount: int = 1) -> None:
-        self._local[name] += amount
+        # The store is called from serve threads; the read-modify-write
+        # on the local tally needs the same discipline as the shared
+        # counters (which lock internally).
+        with self._stats_lock:
+            self._local[name] += amount
         self._counters[name].inc(amount)
 
     def _emit(self, kind: str, **payload) -> None:

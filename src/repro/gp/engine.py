@@ -33,6 +33,7 @@ registry through here.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -306,6 +307,13 @@ class FusedEngine:
         self.evaluator = RecurrentEvaluator(config)
         registry = metrics if metrics is not None else shared_metrics()
         self._metrics = _register_engine_metrics(registry)
+        # With REPRO_VERIFY_PACKING=1 every packed batch is checked
+        # against the IR dataflow oracle (repro.analysis.verify) before
+        # it runs -- used by the CI smoke train; far too slow for real
+        # training.
+        self._verify_packing = os.environ.get(
+            "REPRO_VERIFY_PACKING", ""
+        ) not in ("", "0")
 
     # ------------------------------------------------------------------
     # public API
@@ -358,6 +366,10 @@ class FusedEngine:
         self, programs: Sequence[Program], packed: PackedSequences
     ) -> np.ndarray:
         population = PackedPrograms.from_programs(programs, self.config)
+        if self._verify_packing:
+            from repro.analysis.verify import verify_packing
+
+            verify_packing(population, programs, self.config)
         with np.errstate(over="ignore", invalid="ignore"):
             finals = self._sweep(population, packed)
         # Undo both sorts: program rows and document columns.

@@ -4,6 +4,11 @@ The paper argues (Sec. 9) that the rules RLGP produces are "relatively
 simple and can be easily stored in a database or embedded in programs".
 This module quantifies that claim: instruction mix, register usage,
 structural-intron fraction, and a compact serialisable form of a rule.
+
+All structural facts come from the shared IR decode
+(:class:`repro.analysis.ir.ProgramIR`) rather than a private
+re-implementation of field extraction -- one analysis, consumed by the
+engine, this module, and the verification oracles alike.
 """
 
 from __future__ import annotations
@@ -12,13 +17,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.gp.instructions import (
-    MODE_CONSTANT,
-    MODE_EXTERNAL,
-    MODE_INTERNAL,
-    OP_SYMBOLS,
-    decode_instruction,
-)
+from repro.gp.instructions import MODE_EXTERNAL, OP_SYMBOLS
 from repro.gp.program import Program
 
 
@@ -50,20 +49,21 @@ class RuleSummary:
 
 
 def summarize_program(program: Program) -> RuleSummary:
-    """Compute the structural summary of ``program``."""
-    effective = set(program.effective_instructions())
+    """Compute the structural summary of ``program`` off its IR."""
+    from repro.analysis.ir import ProgramIR
+
+    ir = ProgramIR.from_program(program)
+    effective = ir.liveness().effective
     opcode_counts: Counter = Counter()
     registers_read = set()
     registers_written = set()
     inputs_read = set()
-    for index in sorted(effective):
-        instr = decode_instruction(program.code[index], program.config)
+    for index in effective:
+        instr = ir.instructions[index]
         opcode_counts[OP_SYMBOLS[instr.opcode]] += 1
         registers_written.add(instr.dst)
-        registers_read.add(instr.dst)  # 2-address: dst is also a source
-        if instr.mode == MODE_INTERNAL:
-            registers_read.add(instr.src)
-        elif instr.mode == MODE_EXTERNAL:
+        registers_read.update(instr.reads)
+        if instr.mode == MODE_EXTERNAL:
             inputs_read.add(instr.src)
     total = len(program)
     return RuleSummary(
@@ -80,9 +80,9 @@ def summarize_program(program: Program) -> RuleSummary:
 
 def effective_listing(program: Program) -> List[str]:
     """Disassembly of only the effective instructions (the readable rule)."""
-    effective = set(program.effective_instructions())
-    listing = program.disassemble()
-    return [listing[index] for index in sorted(effective)]
+    from repro.analysis.ir import ProgramIR
+
+    return ProgramIR.from_program(program).listing(effective_only=True)
 
 
 def serialize_rule(program: Program) -> str:

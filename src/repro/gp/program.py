@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import hashlib
 from random import Random
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -224,25 +224,19 @@ class Program:
     def effective_instructions(self) -> List[int]:
         """Indices of instructions that can influence the output register.
 
-        Standard backward intron analysis, iterated to a fixpoint because a
-        *recurrent* program's register state at the start of a pass comes
-        from the end of the previous pass.
+        Delegates to the IR's recurrent backward-liveness fixpoint
+        (:func:`repro.analysis.ir.effective_indices`): a *recurrent*
+        program's register state at the start of a pass comes from the
+        end of the previous pass, so liveness iterates to convergence
+        instead of assuming registers are dead at exit.  The engine, the
+        introspection layer and the ``verify_program`` oracle all consume
+        this one analysis.
         """
-        needed: Set[int] = {self.config.output_register}
-        effective: Set[int] = set()
-        while True:
-            needed_before = set(needed)
-            effective_before = set(effective)
-            for index in range(len(self.code) - 1, -1, -1):
-                instr = decode_instruction(self.code[index], self.config)
-                if instr.dst not in needed:
-                    continue
-                effective.add(index)
-                if instr.mode == MODE_INTERNAL:
-                    needed.add(instr.src)
-            if needed == needed_before and effective == effective_before:
-                break
-        return sorted(effective)
+        # Imported lazily: analysis.ir depends on gp.config/instructions,
+        # importing it at module level would be circular.
+        from repro.analysis.ir import effective_indices
+
+        return effective_indices(self.code, self.config)
 
     # ------------------------------------------------------------------
     # dunder plumbing

@@ -65,22 +65,34 @@ class CheckpointStore:
         return sorted(
             entry.name
             for entry in self._stages_dir.iterdir()
-            if entry.is_dir() and (entry / COMPLETE_MARKER).exists()
+            if entry.is_dir()
+            and not entry.name.startswith(".tmp-")
+            and (entry / COMPLETE_MARKER).exists()
         )
 
     def save(self, name: str, writer: Callable[[Path], None]) -> Path:
-        """Run ``writer(stage_dir)`` and seal the stage.
+        """Run ``writer`` in a staging directory, then seal and publish.
 
-        Any half-written previous attempt is discarded first; the
-        completion marker goes in only after ``writer`` returns, so a
-        crash mid-write leaves the stage unsealed (and re-runnable).
+        The stage is materialised in a ``.tmp-`` sibling, sealed with the
+        completion marker, and renamed into place only then -- so a crash
+        at any point leaves either the previous sealed stage or an
+        unsealed staging directory (swept on the next attempt), never a
+        half-written published one.
         """
         directory = self.stage_dir(name)
+        staging = self._stages_dir / f".tmp-{directory.name}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            writer(staging)
+            (staging / COMPLETE_MARKER).touch()
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
         if directory.exists():
             shutil.rmtree(directory)
-        directory.mkdir(parents=True)
-        writer(directory)
-        (directory / COMPLETE_MARKER).touch()
+        staging.rename(directory)
         return directory
 
     def load(self, name: str, reader: Callable[[Path], T]) -> T:
@@ -102,7 +114,11 @@ class CheckpointStore:
             raise PersistenceError(
                 f"checkpoint stage {name!r} in {directory} is corrupt: {error}"
             ) from error
-        except Exception as error:
+        except (OSError, EOFError, ValueError, KeyError, IndexError,
+                TypeError) as error:
+            # The failure modes of json/np.load on damaged bytes -- a
+            # deliberate list, not Exception, so programming errors in a
+            # reader surface as themselves.
             raise PersistenceError(
                 f"checkpoint stage {name!r} in {directory} is corrupt: "
                 f"{type(error).__name__}: {error}"

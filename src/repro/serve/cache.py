@@ -47,11 +47,11 @@ class LruCache:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()  # guarded by _lock
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  # guarded by _lock
+        self._misses = 0  # guarded by _lock
+        self._evictions = 0  # guarded by _lock
 
     def get(self, key: Hashable) -> Optional[object]:
         """The cached value, refreshed to most-recent; None on a miss."""

@@ -72,8 +72,8 @@ class ModelRegistry:
 
     def __init__(self, corpus: Corpus) -> None:
         self.corpus = corpus
-        self._entries: Dict[str, ModelEntry] = {}
-        self._default: Optional[str] = None
+        self._entries: Dict[str, ModelEntry] = {}  # guarded by _lock
+        self._default: Optional[str] = None  # guarded by _lock
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------

@@ -36,12 +36,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.classify.streaming import StreamingClassifier
 from repro.corpus.document import Document
 from repro.errors import PersistenceError
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import BatcherClosed, MicroBatcher
 from repro.serve.cache import LruCache, sequence_key, token_fingerprint
 from repro.gp.engine import shared_metrics
 from repro.serve.metrics import MetricsRegistry, render_snapshot
 from repro.serve.registry import ModelRegistry
-from repro.serve.workers import WorkerPool
+from repro.serve.workers import PoolClosed, WorkerCrash, WorkerPool
 
 
 def document_from_payload(payload: dict, fallback_id: int = 0) -> Document:
@@ -133,15 +133,15 @@ class InferenceService:
             "miss sequences dropped because the store write failed",
         )
 
-        self._pools: Dict[str, Tuple[int, WorkerPool]] = {}
+        self._pools: Dict[str, Tuple[int, WorkerPool]] = {}  # guarded by _pools_lock
         self._pools_lock = threading.Lock()
         #: store address -> {"meta": ingest metadata, "items": spooled
         #: sequences}.  The address is computed when a miss is spooled
         #: (it fingerprints the encoder that produced the sequence), so
         #: a hot reload between spool and flush cannot retarget old
         #: encodings at the new encoder's dataset.
-        self._miss_spool: Dict[str, dict] = {}
-        self._miss_addresses: Dict[Tuple[str, int, str], str] = {}
+        self._miss_spool: Dict[str, dict] = {}  # guarded by _spool_lock
+        self._miss_addresses: Dict[Tuple[str, int, str], str] = {}  # guarded by _spool_lock
         self._spool_lock = threading.Lock()
         self._closed = False
         self.batcher = MicroBatcher(
@@ -467,17 +467,23 @@ class InferenceService:
         """The store address for an entry's write-back dataset (cached:
         the fingerprint hashes SOM weights, too costly per miss)."""
         cache_key = (entry.name, entry.version, category)
-        address = self._miss_addresses.get(cache_key)
+        with self._spool_lock:
+            address = self._miss_addresses.get(cache_key)
         if address is None:
             from repro.data.fingerprint import serve_miss_address
 
+            # Computed outside the lock -- the fingerprint hashes SOM
+            # weights; a duplicate computation on a race is cheaper than
+            # holding the spool lock for it (both writers store the same
+            # deterministic address).
             address = serve_miss_address(
                 entry.pipeline.encoder,
                 entry.pipeline.feature_set,
                 category,
                 name=entry.name,
             )
-            self._miss_addresses[cache_key] = address
+            with self._spool_lock:
+                self._miss_addresses[cache_key] = address
         return address
 
     def _pool_for(self, entry) -> WorkerPool:
@@ -617,6 +623,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
             except KeyError as error:
                 self.service.metrics.counter("http_errors_total").inc()
                 self._send_error_json(404, str(error.args[0] if error.args else error))
+            except (PersistenceError, BatcherClosed, PoolClosed,
+                    WorkerCrash) as error:
+                # Backend trouble, not caller error: the store is
+                # damaged, the service is shutting down, or a worker
+                # died mid-batch.  Retryable, hence 503.
+                self.service.metrics.counter("http_errors_total").inc()
+                self._send_error_json(503, f"{type(error).__name__}: {error}")
             except Exception as error:  # noqa: BLE001 - boundary
                 self.service.metrics.counter("http_errors_total").inc()
                 self._send_error_json(500, f"{type(error).__name__}: {error}")

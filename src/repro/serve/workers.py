@@ -147,10 +147,10 @@ class WorkerPool:
 
         self._closed = False
         self._lock = threading.Lock()
-        self._pending: Dict[int, _Job] = {}
-        self._next_job_id = 0
-        self._next_worker_id = 0
-        self._workers: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._pending: Dict[int, _Job] = {}  # guarded by _lock
+        self._next_job_id = 0  # guarded by _lock
+        self._next_worker_id = 0  # guarded by _lock
+        self._workers: Dict[int, multiprocessing.process.BaseProcess] = {}  # guarded by _lock
 
         if n_workers == 0:
             self._context = None
@@ -271,8 +271,9 @@ class WorkerPool:
                 daemon=True,
             )
             self._workers[worker_id] = process
+            alive = len(self._workers)
         process.start()
-        self._alive_gauge.set(len(self._workers))
+        self._alive_gauge.set(alive)
 
     def _collect_loop(self) -> None:
         while not self._closed:
@@ -326,7 +327,9 @@ class WorkerPool:
                 if self.restart_workers:
                     self._restarts.inc()
                     self._spawn_worker()
-            self._alive_gauge.set(len(self._workers))
+            with self._lock:
+                alive = len(self._workers)
+            self._alive_gauge.set(alive)
 
     def _reassign_orphans(self, dead_worker_id: int) -> None:
         """Resubmit jobs claimed by a dead worker (or fail them)."""

@@ -1,0 +1,22 @@
+"""Fixture: determinism violations in a seeded (gp) path."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    random.seed(0)            # REPRO-L002: global seeding
+    np.random.seed(0)         # REPRO-L002: global numpy seeding
+    noise = np.random.rand()  # REPRO-L002: global numpy PRNG
+    pick = random.random()    # REPRO-L002: global stdlib PRNG
+    stamp = time.time()       # REPRO-L002: wall clock in a seeded path
+    return noise + pick + stamp
+
+
+def fine(seed):
+    rng = np.random.default_rng(seed)   # allowed: explicitly seeded
+    other = random.Random(seed)         # allowed: instance PRNG
+    started = time.perf_counter()       # allowed: timing metrics
+    return rng.random() + other.random() + started

@@ -1,0 +1,18 @@
+"""Fixture: fork-discipline and metric-naming violations."""
+
+import multiprocessing
+
+
+def rogue_worker(method):
+    proc = multiprocessing.Process(target=print)  # REPRO-L005: outside blessed modules
+    ctx = multiprocessing.get_context(method)     # REPRO-L005: non-literal start method
+    return proc, ctx
+
+
+def register(metrics):
+    metrics.counter("requests")              # REPRO-L006: counter without _total
+    metrics.histogram("latency_ms")          # REPRO-L006: bad unit suffix
+    metrics.gauge("depth_total")             # REPRO-L006: gauge ending _total
+    metrics.gauge("requests")                # REPRO-L006: kind conflict with counter
+    metrics.counter("jobs_total")            # fine
+    metrics.histogram("wait_seconds")        # fine

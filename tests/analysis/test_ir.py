@@ -1,0 +1,253 @@
+"""Differential tests: the IR dataflow vs the engine's own analyses.
+
+``Program.effective_instructions`` now *delegates* to the IR, so testing
+one against the other would be a tautology.  The legacy backward
+intron algorithm (global needed-set, iterated to fixpoint) is therefore
+re-implemented here, in the test, exactly as the engine shipped it --
+the property proves the per-point liveness formulation computes the same
+set, and the step-semantics properties tie both to what execution
+actually does.
+"""
+
+import dataclasses
+from random import Random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ir import INITIAL_DEF, ProgramIR, decode_ir
+from repro.gp.config import GpConfig
+from repro.gp.instructions import (
+    MODE_CONSTANT,
+    MODE_EXTERNAL,
+    MODE_INTERNAL,
+    OP_ADD,
+    OP_DIV,
+    OP_MUL,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.gp.program import Program
+
+
+@st.composite
+def program_cases(draw):
+    """A (config, code) pair over varied register files and programs."""
+    n_registers = draw(st.integers(min_value=2, max_value=8))
+    output_register = draw(st.integers(min_value=0, max_value=n_registers - 1))
+    config = dataclasses.replace(
+        GpConfig(),
+        n_registers=n_registers,
+        output_register=output_register,
+    )
+    code = draw(
+        st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                 min_size=1, max_size=48)
+    )
+    return config, code
+
+
+def _legacy_effective(code, config):
+    """The engine's original backward intron analysis, verbatim:
+    a single growing needed-set, iterated to fixpoint for recurrence."""
+    needed = {config.output_register}
+    effective = set()
+    while True:
+        needed_before = set(needed)
+        effective_before = set(effective)
+        for index in range(len(code) - 1, -1, -1):
+            instr = decode_instruction(code[index], config)
+            if instr.dst not in needed:
+                continue
+            effective.add(index)
+            if instr.mode == MODE_INTERNAL:
+                needed.add(instr.src)
+        if needed == needed_before and effective == effective_before:
+            break
+    return sorted(effective)
+
+
+# ----------------------------------------------------------------------
+# decode
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(program_cases())
+def test_ir_decode_agrees_with_engine_decode(case):
+    config, code = case
+    for ir_instr, value in zip(decode_ir(code, config), code):
+        engine_instr = decode_instruction(value, config)
+        assert (ir_instr.mode, ir_instr.opcode, ir_instr.dst, ir_instr.src) \
+            == (engine_instr.mode, engine_instr.opcode, engine_instr.dst,
+                engine_instr.src)
+
+
+@settings(max_examples=200, deadline=None)
+@given(program_cases())
+def test_ir_render_matches_disassembly(case):
+    config, code = case
+    program = Program(code, config)
+    assert ProgramIR(code, config).listing() == program.disassemble()
+
+
+# ----------------------------------------------------------------------
+# effective set / fingerprint: IR liveness vs the legacy algorithm
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(program_cases())
+def test_ir_effective_matches_legacy_backward_analysis(case):
+    config, code = case
+    ir = ProgramIR(code, config)
+    assert ir.effective_indices() == _legacy_effective(code, config)
+    # introns are exactly the complement
+    assert sorted(ir.effective_indices() + ir.intron_indices()) == list(
+        range(len(code))
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(program_cases())
+def test_ir_fingerprint_matches_program(case):
+    config, code = case
+    program = Program(code, config)
+    ir = ProgramIR(code, config)
+    assert ir.semantic_fingerprint() == program.semantic_fingerprint()
+    for ir_arr, engine_arr in zip(
+        ir.effective_fields(), program.effective_fields()
+    ):
+        assert np.array_equal(ir_arr, engine_arr)
+        assert ir_arr.dtype == engine_arr.dtype
+
+
+# ----------------------------------------------------------------------
+# liveness vs step semantics
+# ----------------------------------------------------------------------
+def _final_output(program, sequence, registers):
+    registers = np.array(registers, dtype=float)
+    for row in sequence:
+        registers = program.step(registers, row)
+    return registers[program.config.output_register]
+
+
+@settings(max_examples=200, deadline=None)
+@given(program_cases(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_dead_entry_registers_cannot_influence_output(case, seed):
+    """Registers outside the recurrent live-entry set can start at any
+    value without changing a single output -- the semantic meaning of
+    the liveness fixpoint."""
+    config, code = case
+    program = Program(code, config)
+    entry = ProgramIR(code, config).liveness().entry
+    rng = np.random.default_rng(seed)
+    sequence = rng.uniform(-2.0, 2.0, size=(4, config.n_inputs))
+    baseline = _final_output(program, sequence, np.zeros(config.n_registers))
+    perturbed_init = np.zeros(config.n_registers)
+    for register in range(config.n_registers):
+        if register not in entry:
+            perturbed_init[register] = rng.uniform(-100.0, 100.0)
+    assert _final_output(program, sequence, perturbed_init) == baseline
+
+
+@settings(max_examples=200, deadline=None)
+@given(program_cases(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_intron_removal_preserves_every_output(case, seed):
+    """Executing only the effective instructions is bit-identical on the
+    whole per-word trace."""
+    config, code = case
+    program = Program(code, config)
+    effective = ProgramIR(code, config).effective_indices()
+    rng = np.random.default_rng(seed)
+    sequence = rng.uniform(-2.0, 2.0, size=(3, config.n_inputs))
+    full_trace = program.trace_sequence(sequence)
+    if effective:
+        stripped = Program([code[i] for i in effective], config)
+        assert np.array_equal(stripped.trace_sequence(sequence), full_trace)
+    else:
+        # Nothing effective: the output register keeps its initial zero.
+        assert np.array_equal(full_trace, np.zeros(len(sequence)))
+
+
+# ----------------------------------------------------------------------
+# the recurrent back edge, concretely
+# ----------------------------------------------------------------------
+def test_recurrence_keeps_cross_pass_feeders_effective():
+    """R1 only matters because its value crosses the pass boundary --
+    the acyclic analysis would call instruction 1 an intron."""
+    config = dataclasses.replace(GpConfig(), n_registers=2, output_register=0)
+    code = [
+        encode_instruction(MODE_INTERNAL, OP_ADD, 0, 1),  # R0 = R0 + R1
+        encode_instruction(MODE_EXTERNAL, OP_ADD, 1, 0),  # R1 = R1 + I0
+    ]
+    ir = ProgramIR(code, config)
+    assert ir.effective_indices() == [0, 1]
+    assert 1 in ir.liveness().entry  # R1's carried value feeds next pass
+    # And semantically: the program sums inputs across words, so two
+    # words must differ from what a non-recurrent reading would give.
+    program = Program(code, config)
+    trace = program.trace_sequence(np.array([[1.0, 0.0], [1.0, 0.0]]))
+    assert trace[1] == 1.0  # word 2 sees word 1's input via R1
+
+
+def test_reaching_definitions_model_the_back_edge():
+    config = dataclasses.replace(GpConfig(), n_registers=2, output_register=0)
+    code = [encode_instruction(MODE_INTERNAL, OP_ADD, 0, 1)]  # R0 = R0 + R1
+    ir = ProgramIR(code, config)
+    acyclic = ir.reaching_definitions(recurrent=False)
+    recurrent = ir.reaching_definitions(recurrent=True)
+    # First word: only the initial zeros reach.
+    assert acyclic[0] == {(0, INITIAL_DEF), (1, INITIAL_DEF)}
+    # With the back edge, the instruction's own write also reaches it.
+    assert recurrent[0] == {(0, INITIAL_DEF), (0, 0), (1, INITIAL_DEF)}
+
+
+# ----------------------------------------------------------------------
+# hazards
+# ----------------------------------------------------------------------
+def test_hazard_div_by_constant_zero():
+    config = GpConfig()
+    code = [encode_instruction(MODE_CONSTANT, OP_DIV, 0, 0)]  # R0 = R0 / 0
+    hazards = ProgramIR(code, config).hazards()
+    assert [h.kind for h in hazards] == ["div-by-zero-constant"]
+    assert hazards[0].effective
+
+
+def test_hazard_div_by_initial_zero_only_when_def_reaches():
+    config = dataclasses.replace(GpConfig(), n_registers=2, output_register=0)
+    divide = encode_instruction(MODE_INTERNAL, OP_DIV, 0, 1)  # R0 = R0 / R1
+    write_r1 = encode_instruction(MODE_EXTERNAL, OP_ADD, 1, 0)  # R1 = R1 + I0
+    assert [h.kind for h in ProgramIR([divide], config).hazards()] == [
+        "div-by-initial-zero"
+    ]
+    # With R1 written first, its initial zero never reaches the divide...
+    hazards = ProgramIR([write_r1, divide], config).hazards()
+    # ...except R1 = R1 + I0 *reads* its own initial zero, which is fine
+    # (addition), so no division hazard remains.
+    assert "div-by-initial-zero" not in [h.kind for h in hazards]
+
+
+def test_hazard_overflow_self_multiply():
+    config = GpConfig()
+    code = [encode_instruction(MODE_INTERNAL, OP_MUL, 3, 3)]  # R3 = R3 * R3
+    hazards = ProgramIR(code, config).hazards()
+    assert [h.kind for h in hazards] == ["overflow-self-multiply"]
+    assert not hazards[0].effective  # R3 never reaches R0
+
+
+# ----------------------------------------------------------------------
+# totality
+# ----------------------------------------------------------------------
+def test_empty_program_is_total():
+    config = GpConfig()
+    ir = ProgramIR([], config)
+    assert ir.effective_indices() == []
+    assert ir.liveness().entry == {config.output_register}
+    assert [a.size for a in ir.effective_fields()] == [0, 0, 0, 0]
+
+
+def test_random_programs_roundtrip_through_from_program():
+    rng = Random(11)
+    config = GpConfig()
+    for _ in range(20):
+        program = Program.random(rng, config, config.max_page_size)
+        ir = ProgramIR.from_program(program)
+        assert len(ir) == len(program)

@@ -56,6 +56,23 @@ def test_effective_listing_subset_of_disassembly():
     assert len(listing) == len(program.effective_instructions())
 
 
+def test_summary_matches_program_analyses_on_random_rules():
+    """The IR-backed summary must agree with the engine's own primitives
+    on every derived quantity -- the regression contract for moving
+    introspection onto ``repro.analysis``."""
+    rng = Random(9)
+    for _ in range(50):
+        program = Program.random(rng, CONFIG, page_size=2)
+        summary = summarize_program(program)
+        effective = program.effective_instructions()
+        assert summary.total_instructions == len(program)
+        assert summary.effective_instructions == len(effective)
+        disassembly = program.disassemble()
+        assert effective_listing(program) == [
+            disassembly[index] for index in effective
+        ]
+
+
 def test_serialize_round_trip():
     rng = Random(4)
     program = Program.random(rng, CONFIG, page_size=2)

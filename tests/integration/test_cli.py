@@ -110,6 +110,32 @@ def test_analyze_prints_diagnostics(data_dir, capsys):
     assert "vocabulary overlaps" in out
 
 
+def test_analyze_model_verifies_champions(model_dir, capsys):
+    code = main(["analyze", "--model", str(model_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "champion program(s)" in out
+    assert "verified" in out
+    assert "earn" in out and "grain" in out
+    assert "FAILED" not in out
+
+
+def test_analyze_model_and_data_together(model_dir, data_dir, capsys):
+    code = main([
+        "analyze", "--model", str(model_dir), "--data", str(data_dir),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "label cardinality" in out
+
+
+def test_analyze_without_flags_is_a_usage_error(capsys):
+    code = main(["analyze"])
+    assert code == 2
+    assert "--data and/or --model" in capsys.readouterr().err
+
+
 
 
 # ----------------------------------------------------------------------
