@@ -18,6 +18,7 @@ from repro.baselines import (
     evaluate_baseline,
 )
 from repro.evaluation.metrics import score_binary
+from repro.temporal import category_problem
 
 CATEGORIES = ("earn", "grain")
 
@@ -25,33 +26,17 @@ CATEGORIES = ("earn", "grain")
 @pytest.fixture(scope="module")
 def problems(prosys_mi):
     """Per category: encoded train/test datasets plus raw word streams."""
-    problems = {}
-    for category in CATEGORIES:
-        train = prosys_mi.encoder.encode_dataset(
-            prosys_mi.tokenized, prosys_mi.feature_set, category, "train"
-        )
-        test = prosys_mi.encoder.encode_dataset(
-            prosys_mi.tokenized, prosys_mi.feature_set, category, "test"
-        )
-        streams = {}
-        for split, docs in (
-            ("train", prosys_mi.tokenized.train_documents),
-            ("test", prosys_mi.tokenized.test_documents),
-        ):
-            streams[split] = [
-                prosys_mi.feature_set.filter_tokens(
-                    prosys_mi.tokenized.tokens(doc), category
-                )
-                for doc in docs
-            ]
-        problems[category] = (train, test, streams)
-    return problems
+    return {
+        category: category_problem(prosys_mi, category)
+        for category in CATEGORIES
+    }
 
 
 def test_temporal_baselines(problems, prosys_mi, tokenized, benchmark):
     def run():
         results = {}
-        for category, (train, test, streams) in problems.items():
+        for category, problem in problems.items():
+            train, test, streams = problem.train, problem.test, problem.streams
             row = {}
 
             # RLGP: already fitted by the shared pipeline.

@@ -18,7 +18,8 @@ Quick start::
 Subpackages: :mod:`repro.corpus` (Reuters-21578 substrate),
 :mod:`repro.preprocessing`, :mod:`repro.features` (DF/IG/MI/Nouns),
 :mod:`repro.som`, :mod:`repro.encoding`, :mod:`repro.gp` (RLGP engine),
-:mod:`repro.classify`, :mod:`repro.baselines`, :mod:`repro.evaluation`.
+:mod:`repro.classify`, :mod:`repro.baselines`, :mod:`repro.evaluation`,
+:mod:`repro.temporal` (epochs, drift detection, retrain).
 """
 
 from repro.corpus import Corpus, Document, TOP10_CATEGORIES, load_corpus, make_corpus

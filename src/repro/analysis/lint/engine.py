@@ -291,8 +291,17 @@ def resolve_call(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
     ``np.random.seed(...)`` with ``import numpy as np`` resolves to
     ``"numpy.random.seed"``; calls on local objects resolve to ``None``.
     """
+    return resolve_reference(node.func, imports)
+
+
+def resolve_reference(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """The dotted origin of a bare name/attribute expression.
+
+    Like :func:`resolve_call` but for references that are *not* called,
+    e.g. ``time.time`` passed as ``default_factory=time.time``.
+    """
     parts: List[str] = []
-    current: ast.AST = node.func
+    current: ast.AST = node
     while isinstance(current, ast.Attribute):
         parts.append(current.attr)
         current = current.value

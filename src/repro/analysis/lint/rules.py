@@ -20,6 +20,7 @@ from repro.analysis.lint.engine import (
     is_self_attribute,
     qualname_of,
     resolve_call,
+    resolve_reference,
 )
 
 _GUARDED_BY = re.compile(r"#\s*guarded by\s+(?:self\.)?([A-Za-z_]\w*)")
@@ -605,6 +606,59 @@ class MetricNamesRule(Rule):
         self._registry = {}
 
 
+class WallClockRule(Rule):
+    """REPRO-L007: no wall-clock reads anywhere in the tree.
+
+    L002 bans the wall clock in *seeded* paths; this rule extends the
+    ban tree-wide.  Model behaviour must derive "time" from document
+    ``DATE`` metadata (:mod:`repro.temporal.epochs`), and durations
+    from ``time.perf_counter`` (monotonic, exempt).  The few legitimate
+    operational uses -- event timestamps, service uptime -- carry
+    allowlist entries explaining why a machine-clock read is the point.
+
+    Catches both calls (``time.time()``) and bare references handed to
+    other machinery (``field(default_factory=time.time)``).
+    """
+
+    name = "REPRO-L007"
+    title = "wall-clock read outside an allowlisted operational site"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                origin = resolve_call(node, module.imports)
+                if origin in _WALL_CLOCK_CALLS:
+                    yield self._finding(module, node, (
+                        f"{origin}() reads the machine clock; derive time "
+                        "from document DATE metadata (repro.temporal) or "
+                        "use time.perf_counter for durations"
+                    ))
+            elif isinstance(node, ast.Attribute):
+                parent = getattr(node, "_repro_parent", None)
+                if isinstance(parent, ast.Call) and parent.func is node:
+                    continue  # the Call branch above reports it
+                if isinstance(parent, ast.Attribute):
+                    continue  # inner link of a longer dotted chain
+                origin = resolve_reference(node, module.imports)
+                if origin in _WALL_CLOCK_CALLS:
+                    yield self._finding(module, node, (
+                        f"reference to {origin} hands the machine clock to "
+                        "other machinery (e.g. default_factory); wall-clock "
+                        "reads need an allowlisted operational site"
+                    ))
+
+    def _finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.path,
+            line=node.lineno,
+            qualname=qualname_of(node),
+            message=message,
+        )
+
+
 def default_rules() -> List[Rule]:
     """The shipped rule set, in numeric order."""
     return [
@@ -614,4 +668,5 @@ def default_rules() -> List[Rule]:
         SwallowedExceptionRule(),
         ForkDisciplineRule(),
         MetricNamesRule(),
+        WallClockRule(),
     ]

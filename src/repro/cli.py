@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli info     --model model/
     python -m repro.cli encode   --model model/ --data data/ --store store/
     python -m repro.cli serve    --model model/ --data data/ --port 8080
+    python -m repro.cli drift-eval --data data/ --features mi --tournaments 80
 
 ``--data`` accepts any directory of Reuters-21578-format ``.sgm`` files
 (the real distribution or one written by ``generate``).
@@ -52,6 +53,23 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.05,
                           help="fraction of the real collection's size")
     generate.add_argument("--seed", type=int, default=21578)
+    generate.add_argument("--epochs", type=int, default=1,
+                          help="monthly epochs to spread documents over "
+                               "(DATE fields start at JAN-1987)")
+    generate.add_argument("--drift-epoch", type=int, default=None,
+                          help="epoch at which drift kicks in "
+                               "(default: the last epoch)")
+    generate.add_argument("--vocab-churn", type=float, default=0.0,
+                          help="fraction of drifted categories' keywords "
+                               "replaced from the drift epoch on")
+    generate.add_argument("--topic-shift", type=float, default=0.0,
+                          help="extra document mass drifted categories "
+                               "receive from the drift epoch on")
+    generate.add_argument("--label-drift", type=float, default=0.0,
+                          help="co-label correlation flip strength for "
+                               "drifted categories")
+    generate.add_argument("--drift-categories", nargs="*", default=(),
+                          help="categories the drift knobs apply to")
 
     train = commands.add_parser("train", help="fit the ProSys pipeline")
     _add_data_argument(train)
@@ -160,14 +178,58 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", type=Path, default=None, metavar="STOREDIR",
                        help="dataset store; the LRU warms from it at "
                             "startup and cache misses are written back")
+    serve.add_argument("--drift-detect", action="store_true",
+                       help="run per-category drift detection over served "
+                            "traffic; state is exposed on GET /drift")
+
+    drift_eval = commands.add_parser(
+        "drift-eval",
+        help="rolling time-sliced evaluation: train on epochs <= t, "
+             "test on epoch t+1, for every epoch in the corpus",
+    )
+    _add_data_argument(drift_eval)
+    drift_eval.add_argument("--features", default="mi",
+                            choices=["df", "ig", "mi", "nouns", "chi2"])
+    drift_eval.add_argument("--n-features", type=int, default=None)
+    drift_eval.add_argument("--tournaments", type=int, default=150)
+    drift_eval.add_argument("--som-epochs", type=int, default=6)
+    drift_eval.add_argument("--seed", type=int, default=0)
+    drift_eval.add_argument("--categories", nargs="*", default=None,
+                            help="subset of categories (default: all ten)")
+    drift_eval.add_argument("--start-epoch", type=int, default=None,
+                            help="first train-through epoch (default: "
+                                 "earliest present)")
+    drift_eval.add_argument("--min-train-docs", type=int, default=2,
+                            help="skip steps with fewer training documents")
+    drift_eval.add_argument("--store", type=Path, default=None,
+                            metavar="STOREDIR",
+                            help="dataset store shared across steps; "
+                                 "overlapping windows reuse encodings")
 
     return parser
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    documents = SyntheticReutersGenerator(seed=args.seed, scale=args.scale).generate()
+    generator = SyntheticReutersGenerator(
+        seed=args.seed,
+        scale=args.scale,
+        n_epochs=args.epochs,
+        drift_epoch=args.drift_epoch,
+        vocab_churn=args.vocab_churn,
+        topic_shift=args.topic_shift,
+        label_drift=args.label_drift,
+        drift_categories=tuple(args.drift_categories),
+    )
+    documents = generator.generate()
     paths = write_sgml_files(documents, args.out)
     print(f"wrote {len(documents)} documents to {len(paths)} files in {args.out}")
+    if args.epochs > 1:
+        from repro.temporal import epochs_present
+
+        print(f"epochs {epochs_present(documents)}"
+              + (f", drift from epoch {generator.drift_epoch} on "
+                 f"{', '.join(generator.drift_categories)}"
+                 if generator.drift_categories else ""))
     return 0
 
 
@@ -409,6 +471,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay_ms / 1000.0,
         cache_size=args.cache_size,
         data_store=data_store,
+        drift_detect=args.drift_detect,
     )
     if data_store is not None:
         print(f"warmed {len(service.cache)} cached sequences "
@@ -418,8 +481,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving on http://{host}:{port}  "
           f"(workers={args.workers}, batch={args.batch_size}, "
           f"deadline={args.max_delay_ms:g}ms)")
-    print("endpoints: GET /healthz /metrics /models, "
-          "POST /classify /track /reload")
+    print("endpoints: GET /healthz /metrics /models"
+          + (" /drift" if args.drift_detect else "")
+          + ", POST /classify /track /reload")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -428,6 +492,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         server.server_close()
         service.close()
+    return 0
+
+
+def _cmd_drift_eval(args: argparse.Namespace) -> int:
+    from repro.corpus.sgml import iter_sgml_dir
+    from repro.temporal import epochs_present, rolling_evaluate
+
+    documents = list(iter_sgml_dir(args.data))
+    present = epochs_present(documents)
+    if len(present) < 2:
+        print(f"error: rolling evaluation needs >= 2 epochs, found "
+              f"{present} (generate with --epochs N)", file=sys.stderr)
+        return 1
+    print(f"{len(documents)} documents over epochs {present}")
+    config = ProSysConfig(
+        feature_method=args.features,
+        n_features=args.n_features,
+        som_epochs=args.som_epochs,
+        gp=GpConfig().small(tournaments=args.tournaments, seed=args.seed),
+        seed=args.seed,
+    )
+    data_store = None
+    if args.store is not None:
+        from repro.data import DatasetStore
+
+        data_store = DatasetStore(args.store)
+    results = rolling_evaluate(
+        documents,
+        config=config,
+        categories=args.categories,
+        data_store=data_store,
+        start_epoch=args.start_epoch,
+        min_train_docs=args.min_train_docs,
+    )
+    if not results:
+        print("error: no evaluable (train, test) epoch pairs",
+              file=sys.stderr)
+        return 1
+    print(f"{'train<=':>8s} {'test':>5s} {'n_train':>8s} {'n_test':>7s} "
+          f"{'macro F1':>9s} {'micro F1':>9s}")
+    for step in results:
+        print(f"{step.train_through:8d} {step.test_epoch:5d} "
+              f"{step.n_train:8d} {step.n_test:7d} "
+              f"{step.scores.macro_f1:9.3f} {step.scores.micro_f1:9.3f}")
+    if data_store is not None:
+        print(f"dataset store: {data_store.stats_line()}")
     return 0
 
 
@@ -440,6 +550,7 @@ _COMMANDS = {
     "encode": _cmd_encode,
     "analyze": _cmd_analyze,
     "serve": _cmd_serve,
+    "drift-eval": _cmd_drift_eval,
 }
 
 

@@ -2,8 +2,30 @@
 
 from __future__ import annotations
 
+import datetime
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
+
+#: The date the real collection opens on; documents with no ``<DATE>``
+#: element (and pre-temporal synthetic corpora) land here, so every
+#: document has a well-defined position on the time axis.
+DEFAULT_DATE = "1-JAN-1987 00:00:00.00"
+
+_DATE_FORMAT = "%d-%b-%Y %H:%M:%S"
+
+
+def parse_reuters_date(text: str) -> Optional[datetime.datetime]:
+    """Parse a Reuters-21578 ``<DATE>`` string (``26-FEB-1987 15:01:01.79``).
+
+    The trailing fractional seconds are dropped.  Returns None for text
+    that does not follow the collection's format (a handful of real
+    documents carry mangled dates; they simply fall off the time axis).
+    """
+    head = text.strip().split(".")[0]
+    try:
+        return datetime.datetime.strptime(head, _DATE_FORMAT)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -18,6 +40,9 @@ class Document:
             more than one topic.
         split: ``"train"`` or ``"test"`` under the ModApte split, or
             ``"unused"`` for documents the split discards.
+        date: the story's ``<DATE>`` field, verbatim (whitespace-stripped).
+            Temporal epochs are derived from this metadata -- never from
+            the machine clock (reprolint L007).
     """
 
     doc_id: int
@@ -25,6 +50,12 @@ class Document:
     body: str = ""
     topics: Tuple[str, ...] = field(default_factory=tuple)
     split: str = "train"
+    date: str = DEFAULT_DATE
+
+    @property
+    def parsed_date(self) -> Optional[datetime.datetime]:
+        """The ``date`` field as a datetime, or None when unparseable."""
+        return parse_reuters_date(self.date)
 
     @property
     def text(self) -> str:

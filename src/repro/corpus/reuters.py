@@ -10,7 +10,7 @@ synthetic).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
@@ -37,13 +37,8 @@ def _restrict_topics(doc: Document, categories: Sequence[str]) -> Document:
     kept = tuple(t for t in doc.topics if t in categories)
     if kept == doc.topics:
         return doc
-    return Document(
-        doc_id=doc.doc_id,
-        title=doc.title,
-        body=doc.body,
-        topics=kept,
-        split=doc.split,
-    )
+    # dataclasses.replace keeps every other field (date included) intact.
+    return replace(doc, topics=kept)
 
 
 @dataclass(frozen=True)

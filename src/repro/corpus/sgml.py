@@ -15,10 +15,11 @@ import re
 from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, Union
 
-from repro.corpus.document import Document
+from repro.corpus.document import DEFAULT_DATE, Document
 
 _REUTERS_RE = re.compile(r"<REUTERS\b(?P<attrs>[^>]*)>(?P<inner>.*?)</REUTERS>", re.DOTALL)
 _ATTR_RE = re.compile(r"(\w+)\s*=\s*\"([^\"]*)\"")
+_DATE_RE = re.compile(r"<DATE>(.*?)</DATE>", re.DOTALL)
 _TOPICS_RE = re.compile(r"<TOPICS>(.*?)</TOPICS>", re.DOTALL)
 _D_RE = re.compile(r"<D>(.*?)</D>", re.DOTALL)
 _TITLE_RE = re.compile(r"<TITLE>(.*?)</TITLE>", re.DOTALL)
@@ -81,6 +82,9 @@ def parse_sgml(text: str) -> List[Document]:
             raise SgmlError("REUTERS element without NEWID attribute")
         inner = match.group("inner")
 
+        date_match = _DATE_RE.search(inner)
+        date = _unescape(date_match.group(1)) if date_match else DEFAULT_DATE
+
         topics_match = _TOPICS_RE.search(inner)
         topics: tuple = ()
         if topics_match:
@@ -106,6 +110,7 @@ def parse_sgml(text: str) -> List[Document]:
                 body=body,
                 topics=topics,
                 split=_split_of(attrs),
+                date=date,
             )
         )
     return documents
@@ -143,7 +148,7 @@ def write_sgml(documents: Sequence[Document]) -> str:
         parts.append(
             f'<REUTERS TOPICS="YES" LEWISSPLIT="{lewis}" '
             f'CGISPLIT="TRAINING-SET" OLDID="{doc.doc_id}" NEWID="{doc.doc_id}">\n'
-            f"<DATE> 1-JAN-1987 00:00:00.00</DATE>\n"
+            f"<DATE>{_escape(doc.date or DEFAULT_DATE)}</DATE>\n"
             f"<TOPICS>{topics}</TOPICS>\n"
             f'<TEXT TYPE="NORM">\n'
             f"<TITLE>{_escape(doc.title)}</TITLE>\n"

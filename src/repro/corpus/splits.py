@@ -9,6 +9,7 @@ the standard greedy iterative-stratification heuristic.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -102,13 +103,5 @@ def kfold_corpora(
         for fold_index, fold in enumerate(folds):
             split = "test" if fold_index == test_index else "train"
             for doc in fold:
-                relabelled.append(
-                    Document(
-                        doc_id=doc.doc_id,
-                        title=doc.title,
-                        body=doc.body,
-                        topics=doc.topics,
-                        split=split,
-                    )
-                )
+                relabelled.append(replace(doc, split=split))
         yield test_index, Corpus.from_documents(relabelled, categories)

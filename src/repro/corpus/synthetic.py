@@ -31,6 +31,12 @@ from repro.corpus.document import Document
 from repro.corpus.stopwords import STOPWORDS
 from repro.runtime.seeds import SeedTree
 
+#: Reuters-style month abbreviations; epoch ``e`` maps to month ``e`` of
+#: 1987 onward, so synthetic epochs ride the same ``DATE`` field a real
+#: drop would use.
+_MONTHS = ("JAN", "FEB", "MAR", "APR", "MAY", "JUN",
+           "JUL", "AUG", "SEP", "OCT", "NOV", "DEC")
+
 # Per-category topical vocabulary.  money-fx and interest intentionally share
 # many terms (rate/rates/fed/bank/money/central/...).
 CATEGORY_KEYWORDS: Dict[str, Tuple[str, ...]] = {
@@ -192,6 +198,21 @@ class SyntheticReutersGenerator:
             (``documents`` and ``noise_pool`` children) instead of the
             legacy ``seed``/``seed ^ 0x5EED`` arithmetic -- independent
             streams no matter where in a run the corpus is built.
+        n_epochs: number of monthly epochs the corpus spans.  Every
+            document carries a ``DATE`` in the month of its epoch
+            (epoch 0 = JAN-1987).  The default 1 reproduces the legacy
+            single-epoch corpus bit-identically.
+        drift_epoch: first epoch at which the drift knobs below take
+            effect (default: the last epoch).
+        vocab_churn: fraction of a drifted category's topical keywords
+            replaced by new vocabulary from ``drift_epoch`` on -- the
+            "language change" regime of Zampieri et al.
+        topic_shift: relative increase of a drifted category's document
+            share in drifted epochs (topic-prior shift).
+        label_drift: probability that a drifted category's co-label rules
+            invert in drifted epochs (label-correlation drift).
+        drift_categories: the categories the drift knobs apply to;
+            everything else stays statistically stationary across epochs.
     """
 
     seed: int = 21578
@@ -201,27 +222,137 @@ class SyntheticReutersGenerator:
     noise_rate: float = 0.12
     distractor_rate: float = 0.18
     seed_tree: Optional[SeedTree] = None
+    n_epochs: int = 1
+    drift_epoch: Optional[int] = None
+    vocab_churn: float = 0.0
+    topic_shift: float = 0.0
+    label_drift: float = 0.0
+    drift_categories: Tuple[str, ...] = ()
     _rng: random.Random = field(init=False, repr=False)
     _noise_pool: Tuple[str, ...] = field(init=False, repr=False)
+    _drift_keywords: Dict[str, Tuple[str, ...]] = field(init=False, repr=False)
     _next_id: int = field(init=False, repr=False, default=1)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        for knob in ("vocab_churn", "topic_shift", "label_drift"):
+            value = getattr(self, knob)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{knob} must be in [0, 1], got {value}")
+        self.drift_categories = tuple(self.drift_categories)
+        unknown = set(self.drift_categories) - set(CATEGORY_KEYWORDS)
+        if unknown:
+            raise ValueError(f"unknown drift categories {sorted(unknown)}")
+        if self._has_drift and not self.drift_categories:
+            raise ValueError("drift knobs need drift_categories")
+        if self.drift_epoch is None:
+            self.drift_epoch = max(self.n_epochs - 1, 0)
+        if not 0 <= self.drift_epoch < max(self.n_epochs, 1):
+            raise ValueError(
+                f"drift_epoch {self.drift_epoch} outside 0..{self.n_epochs - 1}"
+            )
         if self.seed_tree is not None:
             self._rng = self.seed_tree.child("documents").python_random()
             noise_rng = self.seed_tree.child("noise_pool").python_random()
+            churn_rng = self.seed_tree.child("drift_vocab").python_random()
         else:
             self._rng = random.Random(self.seed)
             noise_rng = random.Random(self.seed ^ 0x5EED)
+            churn_rng = random.Random(self.seed ^ 0xD21F7)
         self._noise_pool = _build_noise_pool(noise_rng, self.noise_pool_size)
+        # Per drifted category: the keyword tuple used from drift_epoch
+        # on, with the first round(churn * len) terms replaced by fresh
+        # pseudo-words.  Built up front (sorted order) so the document
+        # RNG stream is untouched by the drift machinery.
+        self._drift_keywords = {}
+        if self.vocab_churn > 0.0:
+            for category in sorted(self.drift_categories):
+                keywords = CATEGORY_KEYWORDS[category]
+                n_churned = round(self.vocab_churn * len(keywords))
+                replacements = _build_noise_pool(churn_rng, n_churned or 1)
+                self._drift_keywords[category] = (
+                    replacements[:n_churned] + keywords[n_churned:]
+                )
+
+    @property
+    def _has_drift(self) -> bool:
+        return bool(self.vocab_churn or self.topic_shift or self.label_drift)
+
+    # ------------------------------------------------------------------
+    # epochs and dates
+    # ------------------------------------------------------------------
+    def _drifts(self, category: str, epoch: int) -> bool:
+        """Whether drift applies to ``category`` at ``epoch``."""
+        return (
+            self._has_drift
+            and category in self.drift_categories
+            and epoch >= self.drift_epoch
+        )
+
+    def _keywords_for(self, topic: str, epoch: int) -> Tuple[str, ...]:
+        if topic in self._drift_keywords and self._drifts(topic, epoch):
+            return self._drift_keywords[topic]
+        return CATEGORY_KEYWORDS[topic]
+
+    def _date_for(self, epoch: int) -> str:
+        """A Reuters-format date in epoch ``epoch``'s month.
+
+        Derived arithmetically from the document counter -- consuming no
+        PRNG draws keeps the legacy (``n_epochs=1``) text stream
+        bit-identical to pre-temporal corpora.
+        """
+        counter = self._next_id
+        year = 1987 + epoch // 12
+        month = _MONTHS[epoch % 12]
+        day = 1 + counter % 28
+        hour = (counter * 7) % 24
+        minute = (counter * 13) % 60
+        second = (counter * 31) % 60
+        return f"{day}-{month}-{year} {hour:02d}:{minute:02d}:{second:02d}.00"
+
+    def _epoch_counts(self, category: str, total: int) -> List[int]:
+        """Split ``total`` documents across epochs (largest remainder).
+
+        ``topic_shift`` raises a drifted category's share in drifted
+        epochs; stationary categories spread evenly.
+        """
+        if self.n_epochs == 1:
+            return [total]
+        weights = [
+            1.0 + (self.topic_shift if self._drifts(category, epoch) else 0.0)
+            for epoch in range(self.n_epochs)
+        ]
+        scale = total / sum(weights)
+        shares = [weight * scale for weight in weights]
+        counts = [int(share) for share in shares]
+        by_remainder = sorted(
+            range(self.n_epochs),
+            key=lambda e: (-(shares[e] - counts[e]), e),
+        )
+        for epoch in by_remainder[: total - sum(counts)]:
+            counts[epoch] += 1
+        return counts
+
+    def _colabel_probability(
+        self, category: str, probability: float, epoch: int
+    ) -> float:
+        """Co-label rule probability, inverted under label drift."""
+        if self.label_drift and self._drifts(category, epoch):
+            return (
+                (1.0 - self.label_drift) * probability
+                + self.label_drift * (1.0 - probability)
+            )
+        return probability
 
     # ------------------------------------------------------------------
     # sentence / document composition
     # ------------------------------------------------------------------
-    def _sentence(self, topic: str, n_tokens: int) -> str:
+    def _sentence(self, topic: str, n_tokens: int, epoch: int = 0) -> str:
         """One sentence dominated by ``topic``'s keywords."""
-        keywords = CATEGORY_KEYWORDS[topic]
+        keywords = self._keywords_for(topic, epoch)
         tokens = []
         for _ in range(n_tokens):
             roll = self._rng.random()
@@ -241,17 +372,17 @@ class SyntheticReutersGenerator:
             )
         return " ".join(tokens) + "."
 
-    def _segment(self, topic: str) -> str:
+    def _segment(self, topic: str, epoch: int = 0) -> str:
         """A run of sentences about one topic (the temporal unit)."""
         n_sentences = self._rng.randint(1, 3)
         return " ".join(
-            self._sentence(topic, self._rng.randint(7, 14))
+            self._sentence(topic, self._rng.randint(7, 14), epoch)
             for _ in range(n_sentences)
         )
 
-    def _title(self, topics: Sequence[str]) -> str:
+    def _title(self, topics: Sequence[str], epoch: int = 0) -> str:
         primary = topics[0]
-        keywords = CATEGORY_KEYWORDS[primary]
+        keywords = self._keywords_for(primary, epoch)
         n_tokens = self._rng.randint(3, 7)
         tokens = [
             self._rng.choice(keywords if self._rng.random() < 0.6 else GENERAL_WORDS)
@@ -264,11 +395,13 @@ class SyntheticReutersGenerator:
         topics: Sequence[str],
         split: str,
         n_segments: Optional[int] = None,
+        epoch: int = 0,
     ) -> Document:
         """Generate one document whose segments cycle through ``topics``.
 
         Multi-label documents interleave topic-dominated segments, giving
-        the temporal context changes the paper's Figure 6 tracks.
+        the temporal context changes the paper's Figure 6 tracks.  The
+        document is dated inside ``epoch``'s month.
         """
         topics = list(topics)
         if not topics:
@@ -285,13 +418,14 @@ class SyntheticReutersGenerator:
         for index, topic in enumerate(topics):
             if topic not in segment_topics:
                 segment_topics[index % len(segment_topics)] = topic
-        body = "\n    ".join(self._segment(t) for t in segment_topics)
+        body = "\n    ".join(self._segment(t, epoch) for t in segment_topics)
         doc = Document(
             doc_id=self._next_id,
-            title=self._title(topics),
+            title=self._title(topics, epoch),
             body=body,
             topics=tuple(topics),
             split=split,
+            date=self._date_for(epoch),
         )
         self._next_id += 1
         return doc
@@ -303,35 +437,55 @@ class SyntheticReutersGenerator:
         return max(self.min_docs, round(real_count * self.scale))
 
     def generate(self) -> List[Document]:
-        """Generate the full corpus (train + test), shuffled within splits."""
+        """Generate the full corpus (train + test), shuffled within splits.
+
+        With ``n_epochs > 1`` each category's documents spread across the
+        epochs (dated accordingly); the drift knobs reshape drifted
+        categories from ``drift_epoch`` on.  At ``n_epochs=1`` with the
+        knobs off, the PRNG stream -- and hence every document's text --
+        is bit-identical to the legacy single-epoch generator.
+        """
         documents: List[Document] = []
         for split_index, split in enumerate(("train", "test")):
             split_docs: List[Document] = []
             for category, counts in MODAPTE_COUNTS.items():
-                for _ in range(self._count(counts[split_index])):
-                    topics = [category]
-                    for primary, co_label, probability in _COLABEL_RULES:
-                        if primary == category and self._rng.random() < probability:
-                            topics.append(co_label)
-                    split_docs.append(self.make_document(topics, split))
+                total = self._count(counts[split_index])
+                for epoch, n_docs in enumerate(self._epoch_counts(category, total)):
+                    for _ in range(n_docs):
+                        topics = [category]
+                        for primary, co_label, probability in _COLABEL_RULES:
+                            effective = self._colabel_probability(
+                                category, probability, epoch
+                            )
+                            if primary == category and self._rng.random() < effective:
+                                topics.append(co_label)
+                        split_docs.append(
+                            self.make_document(topics, split, epoch=epoch)
+                        )
             self._rng.shuffle(split_docs)
             documents.extend(split_docs)
         return documents
 
 
 def make_corpus(
-    scale: float = 0.1, seed: int = 21578, seed_tree: Optional[SeedTree] = None
+    scale: float = 0.1,
+    seed: int = 21578,
+    seed_tree: Optional[SeedTree] = None,
+    **knobs,
 ) -> "Corpus":
     """Generate a synthetic corpus and wrap it in a :class:`Corpus`.
 
     Args:
         seed_tree: optional seed-tree node to derive all generator
             randomness from (``seed`` is ignored when given).
+        knobs: forwarded to :class:`SyntheticReutersGenerator` -- the
+            temporal knobs (``n_epochs``, ``vocab_churn``, ...) in
+            particular.
     """
     from repro.corpus.reuters import Corpus
 
     return Corpus.from_documents(
         SyntheticReutersGenerator(
-            seed=seed, scale=scale, seed_tree=seed_tree
+            seed=seed, scale=scale, seed_tree=seed_tree, **knobs
         ).generate()
     )

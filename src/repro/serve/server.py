@@ -19,6 +19,7 @@ batcher, which is exactly what makes micro-batching pay off):
     GET  /healthz   liveness + model inventory
     GET  /metrics   plain-text metrics exposition
     GET  /models    registered model descriptions
+    GET  /drift     per-category drift-detector state (when enabled)
     POST /classify  {"documents": [{"id", "title", "body"} | {"text": ...}],
                      "model": optional}
     POST /track     {"text": ..., "category": ..., "model": optional}
@@ -84,6 +85,10 @@ class InferenceService:
             from each model's stored serve-miss dataset, and cache
             misses are spooled and written back, so a restarted service
             starts warm from its own past traffic instead of cold.
+        drift_detect: when True, every classified document also feeds a
+            per-model :class:`~repro.temporal.detector.DriftMonitor`
+            (decision values + encoder word coverage); state is exposed
+            on ``/drift`` and as ``drift_*`` metrics.
     """
 
     #: Spooled misses per model triggering an automatic write-back.
@@ -98,12 +103,16 @@ class InferenceService:
         cache_size: int = 4096,
         metrics: Optional[MetricsRegistry] = None,
         data_store=None,
+        drift_detect: bool = False,
     ) -> None:
         self.registry = registry
         self.n_workers = n_workers
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = LruCache(cache_size)
         self.data_store = data_store
+        self.drift_detect = drift_detect
+        self._drift_monitors: Dict[str, object] = {}  # guarded by _drift_lock
+        self._drift_lock = threading.Lock()
         self.started_at = time.time()
 
         self._requests = self.metrics.counter(
@@ -308,6 +317,40 @@ class InferenceService:
         self._store_writebacks.inc(flushed)
         return flushed
 
+    def drift_monitor(self, model: Optional[str] = None):
+        """The model's :class:`~repro.temporal.detector.DriftMonitor`
+        (created on first use), or None when detection is off.
+
+        The monitor survives hot reloads: drift state describes the
+        *traffic*, and a reload that did not retrain the drifted
+        categories has not answered the alarm.  The retrain
+        orchestrator resets exactly the categories it refit.
+        """
+        if not self.drift_detect:
+            return None
+        entry = self.registry.get(model)
+        with self._drift_lock:
+            monitor = self._drift_monitors.get(entry.name)
+            if monitor is None:
+                from repro.temporal.detector import DriftMonitor
+
+                monitor = DriftMonitor(
+                    entry.pipeline.suite.categories, metrics=self.metrics
+                )
+                self._drift_monitors[entry.name] = monitor
+            return monitor
+
+    def drift_report(self, model: Optional[str] = None) -> dict:
+        """JSON-ready drift state for one model (the ``/drift`` view)."""
+        entry = self.registry.get(model)
+        monitor = self.drift_monitor(model)
+        if monitor is None:
+            return {"model": entry.name, "enabled": False}
+        report = monitor.report()
+        report["model"] = entry.name
+        report["enabled"] = True
+        return report
+
     def health(self) -> dict:
         return {
             "status": "ok",
@@ -370,15 +413,26 @@ class InferenceService:
         pipeline = entry.pipeline
         categories = list(pipeline.suite.categories)
         with self._encode_latency.time():
-            sequences_by_category = self._encode_batch(entry, documents)
+            sequences_by_category, token_counts = self._encode_batch(
+                entry, documents
+            )
         pool = self._pool_for(entry)
         values_by_category = pool.evaluate_many(sequences_by_category)
+        monitor = self.drift_monitor(model_name)
         results = []
         for position, doc in enumerate(documents):
             values = {
                 category: float(values_by_category[category][position])
                 for category in categories
             }
+            if monitor is not None:
+                for category in categories:
+                    monitor.observe(
+                        category,
+                        values[category],
+                        len(sequences_by_category[category][position]),
+                        token_counts[position],
+                    )
             topics = [
                 category
                 for category in categories
@@ -395,13 +449,18 @@ class InferenceService:
             )
         return results
 
-    def _encode_batch(self, entry, documents: Sequence[Document]) -> Dict[str, list]:
+    def _encode_batch(
+        self, entry, documents: Sequence[Document]
+    ) -> Tuple[Dict[str, list], List[int]]:
         """Per-category sequences for a document batch, via the LRU cache.
 
         Tokenisation is done fresh from the document text (never through
         ``TokenizedCorpus``'s doc-id keyed cache: served documents carry
         client-chosen ids).  Encoding is deterministic, so identical token
         streams are served from the cache.
+
+        Returns the sequences and each document's raw token count (the
+        drift monitor's coverage denominator).
         """
         pipeline = entry.pipeline
         preprocessor = pipeline.tokenized.preprocessor
@@ -409,8 +468,10 @@ class InferenceService:
         sequences_by_category: Dict[str, list] = {
             category: [] for category in pipeline.suite.categories
         }
+        token_counts: List[int] = []
         for doc in documents:
             tokens = preprocessor.document_tokens(doc)
+            token_counts.append(len(tokens))
             fingerprint = token_fingerprint(tokens)
             for category in pipeline.suite.categories:
                 key = sequence_key(model_key, category, fingerprint)
@@ -431,7 +492,7 @@ class InferenceService:
                         entry, category, doc.doc_id, sequence, fingerprint
                     )
                 sequences_by_category[category].append(sequence)
-        return sequences_by_category
+        return sequences_by_category, token_counts
 
     def _spool_miss(
         self, entry, category: str, doc_id: int, sequence, fingerprint: str
@@ -576,6 +637,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
         elif path == "/models":
             self._observe("models")
             self._send_json({"models": self.service.registry.describe()})
+        elif path == "/drift":
+            self._observe("drift")
+            try:
+                self._send_json(self.service.drift_report())
+            except KeyError as error:
+                self.service.metrics.counter("http_errors_total").inc()
+                self._send_error_json(
+                    404, str(error.args[0] if error.args else error)
+                )
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 

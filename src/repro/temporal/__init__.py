@@ -1,0 +1,49 @@
+"""Temporal workloads: rolling epochs, drift detection, surgical retrain.
+
+The paper exploits temporal structure *within* documents; this package
+extends the reproduction across the corpus's time axis:
+
+* :mod:`repro.temporal.epochs` -- monthly epochs from document dates and
+  the train-on-the-past / test-on-the-next rolling harness;
+* :mod:`repro.temporal.detector` -- Page-Hinkley and encode-rate drift
+  detection over the classifier's own signals;
+* :mod:`repro.temporal.retrain` -- drift response that refits only the
+  drifted categories, reusing stored datasets for everyone else.
+"""
+
+from repro.temporal.detector import (
+    DriftAlarm,
+    DriftMonitor,
+    EncodeRateDetector,
+    PageHinkley,
+)
+from repro.temporal.epochs import (
+    EPOCH_ORIGIN_YEAR,
+    CategoryProblem,
+    EpochScores,
+    category_problem,
+    documents_in_epoch,
+    epoch_of,
+    epochs_present,
+    rolling_evaluate,
+    time_slice,
+)
+from repro.temporal.retrain import RetrainOrchestrator, RetrainReport
+
+__all__ = [
+    "EPOCH_ORIGIN_YEAR",
+    "CategoryProblem",
+    "DriftAlarm",
+    "DriftMonitor",
+    "EncodeRateDetector",
+    "EpochScores",
+    "PageHinkley",
+    "RetrainOrchestrator",
+    "RetrainReport",
+    "category_problem",
+    "documents_in_epoch",
+    "epoch_of",
+    "epochs_present",
+    "rolling_evaluate",
+    "time_slice",
+]

@@ -1,0 +1,351 @@
+"""Concept-drift detection over the classifier's own signals.
+
+Two complementary detectors watch a live document stream:
+
+* :class:`PageHinkley` -- a two-sided Page-Hinkley test on each
+  category's squashed decision values.  When the topics a category
+  covers shift, the distribution of its decision values moves before
+  headline F1 can be measured (labels arrive late or never in serving),
+  so the mean-shift statistic is the earliest model-side signal.
+* an encode-rate monitor -- the fraction of seen words the hierarchical
+  SOM encoder actually encodes.  Vocabulary churn shows up here first:
+  new words are not member words of any SOM node, so the encode rate
+  drops even when decision values look stable.
+
+:class:`DriftMonitor` runs both per category, publishes ``drift_*``
+counters and gauges on a shared :class:`~repro.serve.metrics.MetricsRegistry`,
+and reports which categories need retraining.  Nothing here reads the
+wall clock; "time" is the document stream itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.serve.metrics import MetricsRegistry
+
+
+def _metric_suffix(category: str) -> str:
+    """Category name as a metric-name component (L006: snake_case)."""
+    return category.replace("-", "_")
+
+
+@dataclass
+class PageHinkley:
+    """Two-sided Page-Hinkley mean-shift test.
+
+    Tracks the running mean of a scalar stream and accumulates the
+    deviation of each observation from that mean (minus a ``delta``
+    slack).  An alarm fires when the accumulated deviation in either
+    direction exceeds ``threshold``.
+
+    Decision-value streams are bimodal (in-class documents score high,
+    out-of-class low), so the statistic random-walks with the stream's
+    natural variance; ``threshold`` must sit above those excursions.
+    The defaults are tuned for squashed decision values in [0, 1] over
+    a few hundred documents -- detection latency for a mean shift of
+    size ``s`` is roughly ``threshold / s`` documents.
+
+    Attributes:
+        delta: magnitude tolerance; deviations smaller than this are
+            treated as noise.
+        threshold: alarm level for the accumulated statistic.
+        min_samples: observations required before alarms may fire
+            (the running mean is meaningless at n=1).
+    """
+
+    delta: float = 0.02
+    threshold: float = 12.0
+    min_samples: int = 30
+    n: int = field(default=0, init=False)
+    mean: float = field(default=0.0, init=False)
+    _sum_up: float = field(default=0.0, init=False)
+    _min_up: float = field(default=0.0, init=False)
+    _sum_down: float = field(default=0.0, init=False)
+    _max_down: float = field(default=0.0, init=False)
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True when a mean shift is detected."""
+        self.n += 1
+        self.mean += (value - self.mean) / self.n
+        # Upward shift: cumulative (value - mean - delta).
+        self._sum_up += value - self.mean - self.delta
+        self._min_up = min(self._min_up, self._sum_up)
+        # Downward shift: cumulative (value - mean + delta).
+        self._sum_down += value - self.mean + self.delta
+        self._max_down = max(self._max_down, self._sum_down)
+        if self.n < self.min_samples:
+            return False
+        return self.statistic > self.threshold
+
+    @property
+    def statistic(self) -> float:
+        """Current two-sided test statistic (max of both directions)."""
+        return max(self._sum_up - self._min_up, self._max_down - self._sum_down)
+
+    def reset(self) -> None:
+        """Forget all state (e.g. after the model was retrained)."""
+        self.n = 0
+        self.mean = 0.0
+        self._sum_up = self._min_up = 0.0
+        self._sum_down = self._max_down = 0.0
+
+
+@dataclass
+class EncodeRateDetector:
+    """Windowed monitor of the encoder's word-coverage rate.
+
+    The hierarchical SOM only emits codes for member words of its
+    nodes; out-of-vocabulary words are dropped.  A reference rate is
+    learned from the first ``warmup`` documents, and an alarm fires
+    when the rate over the last ``window`` documents falls below
+    ``(1 - tolerance) * reference`` -- the signature of vocabulary
+    churn.  The drop test is *relative* because absolute coverage
+    varies wildly per category (a category's selected terms are a thin
+    slice of any document's words), and must persist for ``patience``
+    consecutive documents before alarming -- a window light on the
+    category's documents dips transiently, real churn stays down.
+    """
+
+    window: int = 32
+    warmup: int = 32
+    tolerance: float = 0.5
+    patience: int = 8
+    _seen: List[Tuple[int, int]] = field(default_factory=list, init=False)
+    _below: int = field(default=0, init=False)
+    _reference: Optional[float] = None
+
+    def update(self, words_encoded: int, words_seen: int) -> bool:
+        """Feed one document's coverage counts; True on an alarm."""
+        if words_seen <= 0:
+            return False
+        self._seen.append((words_encoded, words_seen))
+        if self._reference is None:
+            if len(self._seen) < self.warmup:
+                return False
+            encoded = sum(e for e, _ in self._seen)
+            seen = sum(s for _, s in self._seen)
+            self._reference = encoded / seen if seen else 0.0
+            self._seen = []
+            return False
+        if len(self._seen) > self.window:
+            self._seen.pop(0)
+        if len(self._seen) < self.window:
+            return False
+        if self.rate < (1.0 - self.tolerance) * self._reference:
+            self._below += 1
+        else:
+            self._below = 0
+        return self._below >= self.patience
+
+    @property
+    def rate(self) -> float:
+        """Encode rate over the current window (1.0 when empty)."""
+        seen = sum(s for _, s in self._seen)
+        if not seen:
+            return 1.0
+        return sum(e for e, _ in self._seen) / seen
+
+    @property
+    def reference(self) -> Optional[float]:
+        return self._reference
+
+    def reset(self) -> None:
+        """Forget the window but keep the learned reference rate."""
+        self._seen = []
+        self._below = 0
+
+
+@dataclass(frozen=True)
+class DriftAlarm:
+    """One detection event.
+
+    Attributes:
+        category: the drifted category.
+        source: ``"decision"`` (Page-Hinkley) or ``"encode_rate"``.
+        at_document: stream position (documents observed so far for the
+            category) when the alarm fired -- the detection latency
+            anchor used by the benchmarks.
+        statistic: the detector value at alarm time.
+    """
+
+    category: str
+    source: str
+    at_document: int
+    statistic: float
+
+
+class DriftMonitor:
+    """Per-category drift detection with shared-registry metrics.
+
+    Thread-safe: the serving layer calls :meth:`observe` from batcher
+    worker threads while ``/drift`` renders :meth:`report`.
+
+    Metrics published (L006 names):
+        ``drift_documents_total``       documents observed
+        ``drift_alarms_total``          alarms raised (all categories)
+        ``drift_statistic_<category>``  current Page-Hinkley statistic
+        ``drift_encode_rate_<category>``  windowed encode rate
+    """
+
+    def __init__(
+        self,
+        categories: Sequence[str],
+        metrics: Optional[MetricsRegistry] = None,
+        delta: float = 0.02,
+        threshold: float = 12.0,
+        min_samples: int = 30,
+        encode_window: int = 32,
+        encode_warmup: int = 32,
+        encode_tolerance: float = 0.5,
+        encode_patience: int = 8,
+    ) -> None:
+        self.categories = tuple(categories)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._decision: Dict[str, PageHinkley] = {
+            c: PageHinkley(delta=delta, threshold=threshold, min_samples=min_samples)
+            for c in self.categories
+        }
+        self._encode: Dict[str, EncodeRateDetector] = {
+            c: EncodeRateDetector(
+                window=encode_window,
+                warmup=encode_warmup,
+                tolerance=encode_tolerance,
+                patience=encode_patience,
+            )
+            for c in self.categories
+        }
+        self._observed: Dict[str, int] = {c: 0 for c in self.categories}
+        self._alarms: List[DriftAlarm] = []
+        self._drifted: Dict[str, DriftAlarm] = {}
+        self._documents = self.metrics.counter(
+            "drift_documents_total", "documents observed by the drift monitor"
+        )
+        self._alarm_counter = self.metrics.counter(
+            "drift_alarms_total", "drift alarms raised"
+        )
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        category: str,
+        decision_value: float,
+        words_encoded: Optional[int] = None,
+        words_seen: Optional[int] = None,
+    ) -> Optional[DriftAlarm]:
+        """Feed one document's signals for one category.
+
+        Returns the first alarm this observation raised (decision-value
+        alarms win ties), or None.  A category that already alarmed
+        stays drifted until :meth:`reset`; its detectors go quiet.
+        """
+        if category not in self._decision:
+            raise KeyError(f"unknown category {category!r}")
+        with self._lock:
+            self._observed[category] += 1
+            self._documents.inc()
+            if category in self._drifted:
+                return None
+            position = self._observed[category]
+            alarm: Optional[DriftAlarm] = None
+            detector = self._decision[category]
+            if detector.update(decision_value):
+                alarm = DriftAlarm(
+                    category, "decision", position, detector.statistic
+                )
+            encode = self._encode[category]
+            if words_seen is not None and words_encoded is not None:
+                if encode.update(words_encoded, words_seen) and alarm is None:
+                    alarm = DriftAlarm(
+                        category, "encode_rate", position, encode.rate
+                    )
+            suffix = _metric_suffix(category)
+            self.metrics.gauge(
+                f"drift_statistic_{suffix}",
+                "two-sided Page-Hinkley statistic",
+            ).set(detector.statistic)
+            self.metrics.gauge(
+                f"drift_encode_rate_{suffix}",
+                "windowed encoder word-coverage rate",
+            ).set(encode.rate)
+            if alarm is not None:
+                self._alarms.append(alarm)
+                self._drifted[category] = alarm
+                self._alarm_counter.inc()
+            return alarm
+
+    def observe_batch(
+        self,
+        decision_values: Mapping[str, Iterable[float]],
+        coverage: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> List[DriftAlarm]:
+        """Feed one served batch: category -> per-document decision
+        values, plus optional per-document (encoded, seen) counts
+        shared across categories.  Returns alarms raised."""
+        coverage_list = list(coverage) if coverage is not None else None
+        alarms: List[DriftAlarm] = []
+        for category, values in decision_values.items():
+            for index, value in enumerate(values):
+                encoded = seen = None
+                if coverage_list is not None and index < len(coverage_list):
+                    encoded, seen = coverage_list[index]
+                alarm = self.observe(category, value, encoded, seen)
+                if alarm is not None:
+                    alarms.append(alarm)
+        return alarms
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    def drifted(self) -> Tuple[str, ...]:
+        """Categories currently flagged as drifted, in category order."""
+        with self._lock:
+            return tuple(c for c in self.categories if c in self._drifted)
+
+    def alarms(self) -> Tuple[DriftAlarm, ...]:
+        with self._lock:
+            return tuple(self._alarms)
+
+    def reset(self, category: str) -> None:
+        """Clear a category's drifted flag and detector state -- called
+        after its classifier has been retrained."""
+        with self._lock:
+            self._drifted.pop(category, None)
+            self._decision[category].reset()
+            # Keep the encode reference: a retrained encoder re-learns
+            # its own reference only if coverage genuinely changed.
+            self._encode[category].reset()
+
+    def report(self) -> Dict[str, object]:
+        """JSON-ready snapshot for the ``/drift`` view and EventBus."""
+        with self._lock:
+            return {
+                "categories": {
+                    category: {
+                        "observed": self._observed[category],
+                        "drifted": category in self._drifted,
+                        "statistic": self._decision[category].statistic,
+                        "decision_mean": self._decision[category].mean,
+                        "encode_rate": self._encode[category].rate,
+                        "encode_reference": self._encode[category].reference,
+                    }
+                    for category in self.categories
+                },
+                "alarms": [
+                    {
+                        "category": alarm.category,
+                        "source": alarm.source,
+                        "at_document": alarm.at_document,
+                        "statistic": alarm.statistic,
+                    }
+                    for alarm in self._alarms
+                ],
+                "drifted": [
+                    c for c in self.categories if c in self._drifted
+                ],
+            }

@@ -1,0 +1,289 @@
+"""Drift response: retrain only the categories that drifted.
+
+The expensive part of the pipeline is per category (word SOM + RLGP
+evolution), and drift is per category too -- the "earn" vocabulary can
+churn while "grain" stays put.  The orchestrator therefore treats a
+drift alarm as a *surgical* retrain:
+
+* undrifted categories keep their word SOMs, classifiers and selected
+  terms; when a :class:`~repro.data.DatasetStore` is attached, their
+  training datasets re-open at their original content addresses (store
+  hits, ``encoded=0``) -- the store's stats are the proof that nothing
+  was recomputed for them;
+* drifted categories get fresh feature selection on the extended
+  corpus (their term sets are grafted into the shared
+  :class:`~repro.features.base.FeatureSet`; per-category fingerprints
+  keep everyone else's dataset addresses stable), a refit word SOM at
+  the category's original seed offset, and a retrained classifier at
+  its original legacy seed -- so a surgical retrain of category *c* is
+  bit-identical to what a full refit on the same corpus would produce
+  for *c*.
+
+Checkpoints for drifted categories are invalidated and re-saved; the
+updated pipeline can be republished to a model directory for the
+serving layer's manifest-driven hot reload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.corpus.reuters import Corpus
+from repro.features.base import FeatureSet
+from repro.pipeline import ProSysPipeline
+from repro.preprocessing.pipeline import Preprocessor
+from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.runtime import RunContext
+
+
+@dataclass(frozen=True)
+class RetrainReport:
+    """What a surgical retrain did, category by category.
+
+    Attributes:
+        retrained: categories refit (feature selection + word SOM +
+            RLGP), in pipeline category order.
+        kept: categories left untouched.
+        reused_datasets: store hits scored while re-opening the kept
+            categories' training data (0 without a data store).
+        reencoded_documents: documents encoded for the retrained
+            categories (0 without a data store).
+        store_stats: store counter deltas over the whole retrain.
+        features_changed: retrained category -> (terms dropped,
+            terms added) relative to the previous selection.
+    """
+
+    retrained: Tuple[str, ...]
+    kept: Tuple[str, ...]
+    reused_datasets: int
+    reencoded_documents: int
+    store_stats: Dict[str, int]
+    features_changed: Dict[str, Tuple[int, int]]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready form for events and CLI output."""
+        return {
+            "retrained": list(self.retrained),
+            "kept": list(self.kept),
+            "reused_datasets": self.reused_datasets,
+            "reencoded_documents": self.reencoded_documents,
+            "store_stats": dict(self.store_stats),
+            "features_changed": {
+                category: {"dropped": dropped, "added": added}
+                for category, (dropped, added) in self.features_changed.items()
+            },
+        }
+
+
+class RetrainOrchestrator:
+    """Turns drift alarms into the cheapest sufficient retrain.
+
+    Args:
+        pipeline: the fitted pipeline to update in place.
+        data_store: optional dataset store; reuse/re-encode activity is
+            measured through it.
+        monitor: optional :class:`~repro.temporal.detector.DriftMonitor`;
+            retrained categories get their detectors reset.
+        model_dir: optional directory; when set, the updated pipeline
+            is republished there after every retrain (the serving
+            layer's ``maybe_reload`` picks up the new manifest).
+    """
+
+    def __init__(
+        self,
+        pipeline: ProSysPipeline,
+        data_store=None,
+        monitor=None,
+        model_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if not pipeline.is_fitted:
+            raise ValueError("retrain needs a fitted pipeline")
+        self.pipeline = pipeline
+        self.data_store = data_store
+        self.monitor = monitor
+        self.model_dir = Path(model_dir) if model_dir is not None else None
+
+    def retrain(
+        self,
+        corpus: Corpus,
+        drifted: Sequence[str],
+        ctx: Optional[RunContext] = None,
+    ) -> RetrainReport:
+        """Refit the drifted categories on ``corpus``; keep the rest.
+
+        Args:
+            corpus: the extended corpus (old training docs plus the
+                drifted epoch's), e.g. from
+                :func:`repro.temporal.epochs.time_slice`.
+            drifted: categories to refit; order-insensitive.
+            ctx: execution context (seeds/events/checkpoints).
+
+        Returns:
+            A :class:`RetrainReport`; also emitted as a
+            ``retrain_finished`` event on the context's bus.
+        """
+        pipeline = self.pipeline
+        config = pipeline.config
+        if ctx is None:
+            ctx = RunContext(seed=config.seed)
+        categories = tuple(pipeline.suite.categories)
+        drifted_set = set(drifted)
+        unknown = drifted_set - set(categories)
+        if unknown:
+            raise KeyError(f"unknown categories {sorted(unknown)}")
+        if not drifted_set:
+            raise ValueError("no drifted categories to retrain")
+        kept = tuple(c for c in categories if c not in drifted_set)
+        retrained = tuple(c for c in categories if c in drifted_set)
+        ctx.emit("retrain_started", drifted=list(retrained), kept=list(kept))
+
+        store = self.data_store
+        stats_before = store.stats() if store is not None else {}
+
+        old_tokenized = pipeline.tokenized
+        old_features = pipeline.feature_set
+
+        # 1. Prove the kept categories need nothing: their training data
+        #    re-opens at the original addresses (old tokenized corpus,
+        #    old term sets) and must hit the store without encoding.
+        if store is not None:
+            for category in kept:
+                store.get_or_encode(
+                    old_tokenized,
+                    old_features,
+                    pipeline.encoder,
+                    category,
+                    "train",
+                    ctx=ctx.child("retrain", "reuse", category),
+                )
+
+        # 2. Re-select features on the extended corpus, then graft: the
+        #    drifted categories take their new term sets, everyone else
+        #    keeps the old ones (stable per-category fingerprints).
+        with ctx.stage("retrain_features", drifted=len(retrained)):
+            tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
+            reselected = config.selector().select(tokenized)
+            per_category = dict(old_features.per_category)
+            features_changed: Dict[str, Tuple[int, int]] = {}
+            for category in retrained:
+                old_terms = old_features.per_category[category]
+                new_terms = reselected.per_category[category]
+                features_changed[category] = (
+                    len(old_terms - new_terms),
+                    len(new_terms - old_terms),
+                )
+                per_category[category] = new_terms
+            feature_set = FeatureSet(
+                method=old_features.method,
+                per_category=per_category,
+                scope=old_features.scope,
+            )
+
+        # 3. Per drifted category: refit the word SOM at the original
+        #    seed offset, encode its extended training split (a store
+        #    miss encoding only this category's documents), and retrain
+        #    the classifier at its original legacy seed.
+        from repro.classify.binary import RlgpBinaryClassifier
+        from repro.gp.trainer import RlgpTrainer
+        from repro.persistence import (
+            save_category_encoder,
+            save_classifier,
+        )
+
+        checkpoints = ctx.checkpoints
+        for offset, category in enumerate(categories):
+            if category not in drifted_set:
+                continue
+            with ctx.stage("retrain_category", category=category):
+                encoder = pipeline.encoder.fit_category(
+                    category,
+                    tokenized,
+                    feature_set,
+                    offset,
+                    ctx=ctx.child("word_som", category),
+                )
+                pipeline.encoder.category_encoders[category] = encoder
+
+                rlgp_ctx = ctx.child("rlgp", category)
+                base_seed = rlgp_ctx.seed_for(
+                    legacy=config.seed + 101 * (offset + 1)
+                )
+                if store is not None:
+                    dataset = store.get_or_encode(
+                        tokenized,
+                        feature_set,
+                        pipeline.encoder,
+                        category,
+                        "train",
+                        ctx=rlgp_ctx,
+                    )
+                else:
+                    dataset = pipeline.encoder.encode_dataset(
+                        tokenized, feature_set, category, "train"
+                    )
+                trainer = RlgpTrainer(
+                    replace(config.gp, seed=base_seed),
+                    use_dss=config.use_dss,
+                    dynamic_pages=config.dynamic_pages,
+                    recurrent=config.recurrent,
+                    fitness=config.fitness,
+                    engine=config.gp_engine,
+                )
+                classifier = RlgpBinaryClassifier.fit(
+                    dataset,
+                    trainer,
+                    n_restarts=config.n_restarts,
+                    base_seed=base_seed,
+                    ctx=rlgp_ctx,
+                )
+                pipeline.suite.add(classifier)
+                pipeline._train_datasets[category] = dataset
+
+                if checkpoints is not None:
+                    for stage, writer in (
+                        (
+                            f"word_som/{category}",
+                            lambda d, e=encoder: save_category_encoder(e, d),
+                        ),
+                        (
+                            f"rlgp/{category}",
+                            lambda d, c=classifier: save_classifier(c, d),
+                        ),
+                    ):
+                        checkpoints.invalidate(stage)
+                        checkpoints.save(stage, writer)
+                        ctx.emit("checkpoint_saved", stage=stage)
+
+        # 4. Adopt the extended corpus for everyone.  Kept categories
+        #    still filter through their old term sets, so their encoders
+        #    and classifiers remain exactly as fitted.
+        pipeline.tokenized = tokenized
+        pipeline.feature_set = feature_set
+
+        if self.monitor is not None:
+            for category in retrained:
+                self.monitor.reset(category)
+
+        if self.model_dir is not None:
+            from repro.persistence import save_pipeline
+
+            save_pipeline(pipeline, self.model_dir)
+            ctx.emit("model_published", directory=str(self.model_dir))
+
+        stats_after = store.stats() if store is not None else {}
+        delta = {
+            key: stats_after.get(key, 0) - stats_before.get(key, 0)
+            for key in stats_after
+        }
+        report = RetrainReport(
+            retrained=retrained,
+            kept=kept,
+            reused_datasets=delta.get("hits", 0),
+            reencoded_documents=delta.get("encoded_documents", 0),
+            store_stats=delta,
+            features_changed=features_changed,
+        )
+        ctx.emit("retrain_finished", **report.to_payload())
+        return report

@@ -1,0 +1,18 @@
+"""Fixture: wall-clock reads in a non-seeded path (L007 is tree-wide)."""
+
+import datetime
+import time
+from dataclasses import dataclass, field
+
+
+def stamp_now():
+    return datetime.datetime.now()  # REPRO-L007: machine clock, any path
+
+
+@dataclass
+class Stamped:
+    created: float = field(default_factory=time.time)  # REPRO-L007: reference
+
+
+def elapsed(start):
+    return time.perf_counter() - start  # allowed: monotonic duration

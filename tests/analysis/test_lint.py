@@ -29,7 +29,7 @@ def test_fixtures_trigger_every_rule():
     reported, _ = _scan_fixtures()
     assert {f.rule for f in reported} == {
         "REPRO-L001", "REPRO-L002", "REPRO-L003", "REPRO-L004",
-        "REPRO-L005", "REPRO-L006",
+        "REPRO-L005", "REPRO-L006", "REPRO-L007",
     }
 
 
@@ -73,6 +73,18 @@ def test_metric_names_flags_conventions_and_kind_conflict():
     assert len(messages) == 4
     assert any("registered as gauge here but as counter" in m
                for m in messages)
+
+
+def test_wall_clock_rule_flags_calls_and_references_tree_wide():
+    reported, _ = _scan_fixtures()
+    l007 = [f for f in reported if f.rule == "REPRO-L007"]
+    # jitter's time.time() (seeded path, also L002) plus the non-seeded
+    # fixture's datetime.now() call and default_factory=time.time reference.
+    assert len(l007) == 3
+    assert {f.qualname for f in l007} == {"jitter", "stamp_now", "Stamped"}
+    assert any("default_factory" in f.message for f in l007)
+    # time.perf_counter is monotonic, not wall clock: never flagged
+    assert all("elapsed" not in f.qualname for f in l007)
 
 
 # ----------------------------------------------------------------------
@@ -123,7 +135,7 @@ def test_cli_exits_zero_on_clean_source(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules", "unused"]) == 0
     out = capsys.readouterr().out
-    for number in range(1, 7):
+    for number in range(1, 8):
         assert f"REPRO-L00{number}" in out
 
 

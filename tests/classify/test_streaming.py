@@ -77,6 +77,53 @@ def test_states_carry_positions(stream, tokenized, mi_features):
         assert isinstance(state.in_class, (bool, np.bool_))
 
 
+def test_push_many_equals_repeated_push(stream, classifier, encoder, tokenized, mi_features):
+    doc = tokenized.train_documents[1]
+    words = mi_features.filter_tokens(tokenized.tokens(doc), "earn")
+
+    batch_states = stream.push_many(words)
+    batch_value = stream.decision_value
+    batch_encoded = stream.words_encoded
+
+    stream.reset()
+    single_states = [
+        state for state in (stream.push(word) for word in words)
+        if state is not None
+    ]
+    assert stream.decision_value == batch_value
+    assert stream.words_encoded == batch_encoded
+    assert stream.words_seen == len(words)
+    assert [s.position for s in single_states] == [
+        s.position for s in batch_states
+    ]
+    assert [s.value for s in single_states] == [s.value for s in batch_states]
+
+
+def test_reset_allows_exact_reuse(stream, tokenized, mi_features):
+    """A reset stream replays a document bit-identically -- no state
+    leaks across documents."""
+    words = mi_features.filter_tokens(
+        tokenized.tokens(tokenized.train_documents[0]), "earn"
+    )
+    stream.push_many(words)
+    first_value = stream.decision_value
+    first_encoded = stream.words_encoded
+
+    # Pollute with a different document, then reset and replay.
+    other = mi_features.filter_tokens(
+        tokenized.tokens(tokenized.train_documents[2]), "earn"
+    )
+    stream.push_many(other)
+    stream.reset()
+    assert stream.words_seen == 0
+    assert stream.words_encoded == 0
+    assert stream.decision_value == 0.0
+
+    stream.push_many(words)
+    assert stream.decision_value == first_value
+    assert stream.words_encoded == first_encoded
+
+
 def test_repr_compact(stream):
     state = stream.push("profit")
     if state is not None:

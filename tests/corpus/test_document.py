@@ -1,8 +1,10 @@
 """Unit tests for the Document record."""
 
+import datetime
+
 import pytest
 
-from repro.corpus.document import Document
+from repro.corpus.document import DEFAULT_DATE, Document, parse_reuters_date
 
 
 def test_text_joins_title_and_body():
@@ -52,3 +54,25 @@ def test_document_is_hashable():
 
 def test_unused_split_allowed():
     assert Document(doc_id=1, split="unused").split == "unused"
+
+
+def test_default_date_opens_the_collection():
+    doc = Document(doc_id=1)
+    assert doc.date == DEFAULT_DATE
+    assert doc.parsed_date == datetime.datetime(1987, 1, 1)
+
+
+def test_parse_reuters_date_drops_fractional_seconds():
+    parsed = parse_reuters_date("26-FEB-1987 15:01:01.79")
+    assert parsed == datetime.datetime(1987, 2, 26, 15, 1, 1)
+
+
+def test_parse_reuters_date_tolerates_whitespace():
+    assert parse_reuters_date("  1-JAN-1988 00:00:00.00 ") == (
+        datetime.datetime(1988, 1, 1)
+    )
+
+
+def test_parse_reuters_date_mangled_text_is_none():
+    assert parse_reuters_date("not a date") is None
+    assert Document(doc_id=1, date="garbage").parsed_date is None

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.corpus.document import Document
+from repro.corpus.document import DEFAULT_DATE, Document
 from repro.corpus.sgml import (
     SgmlError,
     iter_sgml_dir,
@@ -63,6 +63,32 @@ def test_not_used_lewissplit_goes_unused():
     docs = parse_sgml(REAL_FORMAT_SAMPLE)
     assert docs[2].split == "unused"
     assert docs[2].topics == ("earn", "acq")
+
+
+def test_date_field_parsed_verbatim():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert docs[0].date == "26-FEB-1987 15:01:01.79"
+    parsed = docs[0].parsed_date
+    assert (parsed.year, parsed.month, parsed.day) == (1987, 2, 26)
+
+
+def test_missing_date_falls_back_to_the_collection_default():
+    docs = parse_sgml(REAL_FORMAT_SAMPLE)
+    assert docs[2].date == DEFAULT_DATE  # third sample has no <DATE>
+
+
+def test_date_round_trips_through_the_writer():
+    original = Document(
+        doc_id=9,
+        title="DATED",
+        body="body",
+        topics=("earn",),
+        split="train",
+        date="17-JUN-1987 08:30:00.00",
+    )
+    parsed = parse_sgml(write_sgml([original]))
+    assert parsed == [original]
+    assert parsed[0].date == "17-JUN-1987 08:30:00.00"
 
 
 def test_missing_body_yields_empty_string():

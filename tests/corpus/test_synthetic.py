@@ -9,6 +9,7 @@ from repro.corpus.synthetic import (
     SyntheticReutersGenerator,
     make_corpus,
 )
+from repro.temporal import documents_in_epoch, epoch_of, epochs_present
 
 
 def test_deterministic_per_seed():
@@ -93,3 +94,107 @@ def test_doc_ids_unique():
 
 def test_modapte_counts_cover_top10():
     assert set(MODAPTE_COUNTS) == set(TOP10_CATEGORIES)
+
+
+# ----------------------------------------------------------------------
+# temporal epochs and drift knobs
+# ----------------------------------------------------------------------
+def test_single_epoch_stream_unchanged_by_the_temporal_knobs():
+    """The legacy text stream is bit-identical at ``n_epochs=1``."""
+    legacy = SyntheticReutersGenerator(seed=42, scale=0.01).generate()
+    explicit = SyntheticReutersGenerator(
+        seed=42, scale=0.01, n_epochs=1
+    ).generate()
+    assert legacy == explicit
+    assert all(epoch_of(doc) == 0 for doc in legacy)  # all in JAN-1987
+
+
+def test_epochs_spread_documents_across_months():
+    corpus = make_corpus(scale=0.01, seed=5, n_epochs=3)
+    assert epochs_present(corpus.documents) == [0, 1, 2]
+    assert all(doc.parsed_date is not None for doc in corpus.documents)
+
+
+def test_epochal_generation_is_deterministic_per_seed():
+    knobs = dict(
+        seed=42,
+        scale=0.01,
+        n_epochs=3,
+        drift_epoch=2,
+        vocab_churn=0.5,
+        topic_shift=0.2,
+        drift_categories=("earn",),
+    )
+    assert (
+        SyntheticReutersGenerator(**knobs).generate()
+        == SyntheticReutersGenerator(**knobs).generate()
+    )
+
+
+def test_topic_shift_raises_the_drifted_share():
+    corpus = make_corpus(
+        scale=0.02,
+        seed=5,
+        n_epochs=3,
+        drift_epoch=2,
+        topic_shift=0.5,
+        drift_categories=("earn",),
+    )
+    earn = [d for d in corpus.documents if d.has_topic("earn")]
+    per_epoch = {e: len(documents_in_epoch(earn, e)) for e in (0, 1, 2)}
+    assert per_epoch[2] > per_epoch[0]
+    assert per_epoch[2] > per_epoch[1]
+
+
+def test_vocab_churn_changes_the_drifted_epoch_text():
+    stationary = SyntheticReutersGenerator(seed=9, scale=0.01, n_epochs=2)
+    churned = SyntheticReutersGenerator(
+        seed=9,
+        scale=0.01,
+        n_epochs=2,
+        drift_epoch=1,
+        vocab_churn=0.8,
+        drift_categories=("earn",),
+    )
+    before = {d.doc_id: d for d in stationary.generate()}
+    after = {d.doc_id: d for d in churned.generate()}
+    changed = [
+        doc_id
+        for doc_id, doc in after.items()
+        if doc.has_topic("earn")
+        and epoch_of(doc) == 1
+        and before[doc_id].body != doc.body
+    ]
+    assert changed, "churned vocabulary should rewrite drifted-epoch text"
+
+
+def test_drift_knobs_require_drift_categories():
+    with pytest.raises(ValueError, match="drift_categories"):
+        SyntheticReutersGenerator(seed=1, n_epochs=2, vocab_churn=0.5)
+
+
+def test_unknown_drift_category_rejected():
+    with pytest.raises(ValueError, match="ship-to-shore"):
+        SyntheticReutersGenerator(
+            seed=1,
+            n_epochs=2,
+            vocab_churn=0.5,
+            drift_categories=("ship-to-shore",),
+        )
+
+
+def test_out_of_range_knobs_rejected():
+    with pytest.raises(ValueError, match="n_epochs"):
+        SyntheticReutersGenerator(seed=1, n_epochs=0)
+    with pytest.raises(ValueError, match="vocab_churn"):
+        SyntheticReutersGenerator(
+            seed=1, n_epochs=2, vocab_churn=1.5, drift_categories=("earn",)
+        )
+    with pytest.raises(ValueError, match="drift_epoch"):
+        SyntheticReutersGenerator(
+            seed=1,
+            n_epochs=2,
+            drift_epoch=5,
+            vocab_churn=0.5,
+            drift_categories=("earn",),
+        )

@@ -65,6 +65,30 @@ def test_empty_document_yields_no_segments(tracker):
     assert tracker.segment(doc) == []
 
 
+def test_zero_encoded_words_document(tracker):
+    """A document with tokens but no encodable words: every signal stays
+    flat at zero, the whole document becomes one topicless segment, and
+    no topic is reported present."""
+    doc = Document(
+        doc_id=999_998,
+        title="zzzz qqqq",
+        body="xylophone zzzz qqqq vvvv xylophone",
+        topics=("earn",),
+        split="test",
+    )
+    signals, n_tokens = tracker.category_signals(doc)
+    assert n_tokens > 0
+    for signal in signals.values():
+        assert np.all(signal == 0.0)
+
+    segments = tracker.segment(doc)
+    assert len(segments) == 1
+    assert segments[0].topic is None
+    assert segments[0].start == 0
+    assert segments[0].end == n_tokens
+    assert tracker.topics_present(doc) == []
+
+
 def test_segment_lengths_positive(tracker, corpus):
     for doc in corpus.test_documents[:5]:
         for segment in tracker.segment(doc):

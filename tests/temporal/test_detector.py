@@ -1,0 +1,226 @@
+"""Unit tests for the drift detectors and the per-category monitor."""
+
+import pytest
+
+from repro.serve.metrics import MetricsRegistry
+from repro.temporal import DriftMonitor, EncodeRateDetector, PageHinkley
+
+
+# ----------------------------------------------------------------------
+# Page-Hinkley
+# ----------------------------------------------------------------------
+def test_page_hinkley_quiet_on_a_constant_stream():
+    ph = PageHinkley(delta=0.1, threshold=5.0, min_samples=5)
+    assert not any(ph.update(0.5) for _ in range(200))
+    assert ph.statistic == pytest.approx(0.0)
+
+
+def test_page_hinkley_detects_an_upward_mean_shift():
+    ph = PageHinkley(delta=0.1, threshold=5.0, min_samples=5)
+    for _ in range(50):
+        ph.update(0.5)
+    fired_at = None
+    for position in range(50):
+        if ph.update(1.5):
+            fired_at = position
+            break
+    assert fired_at is not None
+    # Latency is roughly threshold / shift size.
+    assert fired_at < 15
+
+
+def test_page_hinkley_detects_a_downward_mean_shift():
+    ph = PageHinkley(delta=0.1, threshold=5.0, min_samples=5)
+    for _ in range(50):
+        ph.update(0.5)
+    assert any(ph.update(-0.5) for _ in range(50))
+
+
+def test_page_hinkley_holds_fire_before_min_samples():
+    ph = PageHinkley(delta=0.0, threshold=0.1, min_samples=30)
+    for _ in range(10):
+        assert not ph.update(0.0)
+    # A massive shift inside the warm-up window still cannot alarm.
+    for _ in range(19):
+        assert not ph.update(100.0)
+    assert ph.update(100.0)  # n == 30: now it may
+
+
+def test_page_hinkley_reset_forgets_everything():
+    ph = PageHinkley(delta=0.1, threshold=5.0, min_samples=5)
+    for _ in range(50):
+        ph.update(0.5)
+    for _ in range(20):
+        ph.update(1.5)
+    ph.reset()
+    assert ph.n == 0
+    assert ph.statistic == pytest.approx(0.0)
+    assert not any(ph.update(1.5) for _ in range(4))  # fresh warm-up
+
+
+# ----------------------------------------------------------------------
+# encode-rate detector
+# ----------------------------------------------------------------------
+def test_encode_rate_learns_its_reference_during_warmup():
+    detector = EncodeRateDetector(window=4, warmup=4, tolerance=0.5, patience=2)
+    for _ in range(3):
+        assert not detector.update(5, 10)
+        assert detector.reference is None
+    assert not detector.update(5, 10)
+    assert detector.reference == pytest.approx(0.5)
+
+
+def test_encode_rate_relative_drop_needs_patience():
+    detector = EncodeRateDetector(window=4, warmup=4, tolerance=0.5, patience=2)
+    for _ in range(4):
+        detector.update(5, 10)
+    # Window must fill before the rate means anything.
+    for _ in range(3):
+        assert not detector.update(1, 10)
+    assert not detector.update(1, 10)  # first full window below: patience 1/2
+    assert detector.update(1, 10)  # second consecutive: alarm
+    assert detector.rate < 0.5 * detector.reference
+
+
+def test_encode_rate_transient_dip_does_not_alarm():
+    detector = EncodeRateDetector(window=4, warmup=4, tolerance=0.5, patience=3)
+    for _ in range(4):
+        detector.update(5, 10)
+    # Dips below half-reference, recovers, dips again: patience resets.
+    pattern = [(1, 10)] * 4 + [(10, 10)] + [(1, 10)] * 2 + [(10, 10)]
+    assert not any(detector.update(e, s) for e, s in pattern)
+
+
+def test_encode_rate_ignores_empty_documents():
+    detector = EncodeRateDetector(window=2, warmup=2, tolerance=0.5, patience=1)
+    for _ in range(10):
+        assert not detector.update(0, 0)
+    assert detector.reference is None  # empty docs never count
+
+
+def test_encode_rate_reset_keeps_the_reference():
+    detector = EncodeRateDetector(window=4, warmup=4, tolerance=0.5, patience=1)
+    for _ in range(4):
+        detector.update(5, 10)
+    for _ in range(4):
+        detector.update(1, 10)
+    detector.reset()
+    assert detector.reference == pytest.approx(0.5)
+    assert detector.rate == 1.0  # empty window
+
+
+# ----------------------------------------------------------------------
+# drift monitor
+# ----------------------------------------------------------------------
+def _touchy_monitor(**overrides):
+    """A monitor with hair-trigger detectors for unit-level streams."""
+    defaults = dict(
+        delta=0.0,
+        threshold=0.5,
+        min_samples=2,
+        encode_window=2,
+        encode_warmup=2,
+        encode_tolerance=0.5,
+        encode_patience=1,
+    )
+    defaults.update(overrides)
+    return DriftMonitor(("earn", "grain"), metrics=MetricsRegistry(), **defaults)
+
+
+def test_monitor_rejects_unknown_categories():
+    monitor = _touchy_monitor()
+    with pytest.raises(KeyError):
+        monitor.observe("ship", 0.5)
+
+
+def test_monitor_decision_alarm_marks_the_category_drifted():
+    monitor = _touchy_monitor()
+    monitor.observe("earn", 0.0)
+    monitor.observe("earn", 0.0)
+    alarm = monitor.observe("earn", 5.0)
+    assert alarm is not None
+    assert alarm.category == "earn"
+    assert alarm.source == "decision"
+    assert alarm.at_document == 3
+    assert monitor.drifted() == ("earn",)
+    assert monitor.alarms() == (alarm,)
+
+
+def test_monitor_goes_quiet_after_an_alarm_until_reset():
+    monitor = _touchy_monitor()
+    monitor.observe("earn", 0.0)
+    monitor.observe("earn", 0.0)
+    assert monitor.observe("earn", 5.0) is not None
+    assert monitor.observe("earn", 50.0) is None  # drifted: detectors quiet
+    monitor.reset("earn")
+    assert monitor.drifted() == ()
+    # Detector state is fresh: the next observation is inside min_samples.
+    assert monitor.observe("earn", 50.0) is None
+
+
+def test_monitor_encode_rate_alarm():
+    monitor = _touchy_monitor()
+    for _ in range(2):  # warmup: learns reference 0.5
+        monitor.observe("grain", 0.0, words_encoded=5, words_seen=10)
+    monitor.observe("grain", 0.0, words_encoded=0, words_seen=10)
+    alarm = monitor.observe("grain", 0.0, words_encoded=0, words_seen=10)
+    assert alarm is not None
+    assert alarm.source == "encode_rate"
+    assert monitor.drifted() == ("grain",)
+
+
+def test_monitor_decision_alarm_wins_a_tie():
+    monitor = _touchy_monitor(encode_window=1)
+    for _ in range(2):
+        monitor.observe("earn", 0.0, words_encoded=5, words_seen=10)
+    # This observation trips Page-Hinkley AND drops coverage to zero.
+    alarm = monitor.observe("earn", 5.0, words_encoded=0, words_seen=10)
+    assert alarm is not None
+    assert alarm.source == "decision"
+
+
+def test_monitor_drifted_follows_category_order():
+    monitor = _touchy_monitor()
+    for category in ("grain", "earn"):  # alarm grain first
+        monitor.observe(category, 0.0)
+        monitor.observe(category, 0.0)
+        assert monitor.observe(category, 5.0) is not None
+    assert monitor.drifted() == ("earn", "grain")
+
+
+def test_monitor_publishes_metrics_on_the_shared_registry():
+    monitor = _touchy_monitor()
+    monitor.observe("earn", 0.0, words_encoded=5, words_seen=10)
+    monitor.observe("earn", 0.0, words_encoded=5, words_seen=10)
+    assert monitor.observe("earn", 5.0) is not None
+    snapshot = monitor.metrics.snapshot()
+    assert snapshot["drift_documents_total"] == 3
+    assert snapshot["drift_alarms_total"] == 1
+    assert snapshot["drift_statistic_earn"] > 0.5
+    assert "drift_encode_rate_earn" in snapshot
+
+
+def test_monitor_observe_batch_feeds_shared_coverage():
+    monitor = _touchy_monitor()
+    alarms = monitor.observe_batch(
+        {"earn": [0.0, 0.0, 5.0], "grain": [0.0, 0.0, 0.0]},
+        coverage=[(5, 10), (5, 10), (5, 10)],
+    )
+    assert [a.category for a in alarms] == ["earn"]
+    report = monitor.report()
+    assert report["categories"]["grain"]["observed"] == 3
+    assert report["categories"]["grain"]["drifted"] is False
+
+
+def test_monitor_report_is_json_ready():
+    import json
+
+    monitor = _touchy_monitor()
+    monitor.observe("earn", 0.0)
+    monitor.observe("earn", 0.0)
+    monitor.observe("earn", 5.0)
+    report = monitor.report()
+    json.dumps(report)  # no exotic types
+    assert report["drifted"] == ["earn"]
+    assert report["alarms"][0]["source"] == "decision"
+    assert report["categories"]["earn"]["observed"] == 3

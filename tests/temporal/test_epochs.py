@@ -1,0 +1,146 @@
+"""Epoch bucketing, time slicing, and the rolling evaluation harness."""
+
+import pytest
+
+from repro import GpConfig, ProSysConfig, make_corpus
+from repro.corpus.document import Document
+from repro.temporal import (
+    documents_in_epoch,
+    epoch_of,
+    epochs_present,
+    rolling_evaluate,
+    time_slice,
+)
+
+
+def _doc(doc_id, date, topics=("earn",), split="train"):
+    return Document(
+        doc_id=doc_id,
+        title=f"doc {doc_id}",
+        body="words",
+        topics=topics,
+        split=split,
+        date=date,
+    )
+
+
+# ----------------------------------------------------------------------
+# epoch arithmetic
+# ----------------------------------------------------------------------
+def test_epoch_of_counts_months_from_jan_1987():
+    assert epoch_of(_doc(1, "1-JAN-1987 00:00:00.00")) == 0
+    assert epoch_of(_doc(2, "26-FEB-1987 15:01:01.79")) == 1
+    assert epoch_of(_doc(3, "31-DEC-1987 23:59:59.00")) == 11
+    assert epoch_of(_doc(4, "1-JAN-1988 00:00:00.00")) == 12
+
+
+def test_epoch_of_unparseable_date_is_none():
+    assert epoch_of(_doc(1, "not a date")) is None
+
+
+def test_epochs_present_sorted_and_deduplicated():
+    docs = [
+        _doc(1, "1-MAR-1987 00:00:00.00"),
+        _doc(2, "1-JAN-1987 00:00:00.00"),
+        _doc(3, "1-MAR-1987 12:00:00.00"),
+        _doc(4, "garbage"),
+    ]
+    assert epochs_present(docs) == [0, 2]
+    assert [d.doc_id for d in documents_in_epoch(docs, 2)] == [1, 3]
+
+
+# ----------------------------------------------------------------------
+# time slicing
+# ----------------------------------------------------------------------
+def test_time_slice_relabels_by_epoch():
+    docs = [
+        _doc(1, "1-JAN-1987 00:00:00.00", split="test"),  # original split dies
+        _doc(2, "1-FEB-1987 00:00:00.00"),
+        _doc(3, "1-MAR-1987 00:00:00.00"),
+        _doc(4, "1-APR-1987 00:00:00.00"),
+        _doc(5, "garbage"),
+    ]
+    sliced = time_slice(docs, train_through=1, test_epoch=2)
+    by_id = {d.doc_id: d.split for d in sliced.documents}
+    # Epochs outside both windows and undated docs fall off entirely
+    # (the corpus drops "unused" documents).
+    assert by_id == {1: "train", 2: "train", 3: "test"}
+
+
+def test_time_slice_default_test_epoch_is_the_next_month():
+    docs = [_doc(1, "1-JAN-1987 00:00:00.00"), _doc(2, "1-FEB-1987 00:00:00.00")]
+    sliced = time_slice(docs, train_through=0)
+    assert [d.split for d in sliced.documents] == ["train", "test"]
+
+
+def test_time_slice_rejects_a_test_epoch_inside_the_training_window():
+    docs = [_doc(1, "1-JAN-1987 00:00:00.00")]
+    with pytest.raises(ValueError, match="must follow"):
+        time_slice(docs, train_through=2, test_epoch=1)
+
+
+def test_time_slice_respects_an_explicit_category_universe():
+    docs = [
+        _doc(1, "1-JAN-1987 00:00:00.00", topics=("earn", "grain")),
+        _doc(2, "1-FEB-1987 00:00:00.00", topics=("grain",)),
+    ]
+    sliced = time_slice(docs, train_through=0, categories=("earn",))
+    assert sliced.categories == ("earn",)
+
+
+# ----------------------------------------------------------------------
+# rolling evaluation
+# ----------------------------------------------------------------------
+def test_rolling_evaluate_needs_at_least_two_epochs():
+    docs = [_doc(1, "1-JAN-1987 00:00:00.00"), _doc(2, "2-JAN-1987 00:00:00.00")]
+    with pytest.raises(ValueError, match=">= 2 epochs"):
+        rolling_evaluate(docs)
+
+
+@pytest.fixture(scope="module")
+def epoch_corpus():
+    return make_corpus(scale=0.01, seed=7, n_epochs=3)
+
+
+def _small_config():
+    return ProSysConfig(
+        feature_method="mi",
+        n_features=40,
+        som_epochs=3,
+        gp=GpConfig().small(tournaments=30),
+        seed=5,
+    )
+
+
+def test_rolling_evaluate_is_bit_identical_across_reruns(epoch_corpus):
+    docs = list(epoch_corpus.documents)
+    runs = [
+        rolling_evaluate(
+            docs, config=_small_config(), categories=("earn", "grain")
+        )
+        for _ in range(2)
+    ]
+    assert len(runs[0]) >= 1
+    for first, second in zip(*runs):
+        assert first.train_through == second.train_through
+        assert first.test_epoch == second.test_epoch
+        assert first.n_train == second.n_train
+        assert first.n_test == second.n_test
+        assert first.macro_f1 == second.macro_f1  # exact, not approx
+        for category in ("earn", "grain"):
+            assert first.scores.f1(category) == second.scores.f1(category)
+
+
+def test_rolling_evaluate_steps_cover_consecutive_epoch_pairs(epoch_corpus):
+    docs = list(epoch_corpus.documents)
+    results = rolling_evaluate(
+        docs, config=_small_config(), categories=("earn", "grain")
+    )
+    present = epochs_present(docs)
+    assert [(r.train_through, r.test_epoch) for r in results] == list(
+        zip(present, present[1:])
+    )
+    for step in results:
+        assert step.n_train >= 2
+        assert step.n_test >= 1
+        assert 0.0 <= step.macro_f1 <= 1.0
