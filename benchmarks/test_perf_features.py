@@ -1,0 +1,166 @@
+"""Feature-selection benchmark: the contingency substrate's two axes.
+
+Axis 1 (speed): scoring all four classic selectors through one shared
+:class:`~repro.features.contingency.ContingencyTable` versus the
+pre-refactor path (a fresh ``Counter`` scan plus pure-Python scalar
+scoring per selector, preserved verbatim in ``repro.features.legacy``).
+The selections must be *identical* before their speed matters; the
+measured ratio lands in ``BENCH_features.json``.
+
+Axis 2 (quality): the round-robin multi-label selector end to end --
+fit ProSys on a drafted vocabulary and record Table-3-style per-category
+and micro/macro F1 next to the speed numbers.
+
+``REPRO_BENCH_ASSERT=0`` disables the >= 3x threshold (CI smoke runs on
+noisy shared runners; the artifact still records the measured ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import ProSysPipeline
+from repro.evaluation.reporting import format_table
+from repro.features import ALL_SELECTORS
+from repro.features.contingency import build_contingency
+from repro.features.legacy import legacy_select
+
+#: Selectors with a scalar ancestor to race (and match) against.
+METHODS = ("df", "ig", "mi", "chi2")
+
+#: Budget used on both sides of the race.
+N_FEATURES = 300
+
+#: Categories for the round-robin quality fit (kept small: the quality
+#: axis is about the drafted vocabulary, not corpus scale).
+QUALITY_CATEGORIES = ("earn", "grain", "crude")
+
+#: Where both axes are recorded.
+BENCH_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_features.json"
+
+
+def _legacy_all(tokenized):
+    """Pre-refactor shape: every selector re-scans the corpus itself."""
+    return {
+        method: legacy_select(method, tokenized, N_FEATURES)
+        for method in METHODS
+    }
+
+
+def _vectorized_all(tokenized):
+    """Substrate shape: one tensor build, four array-expression scorings."""
+    table = build_contingency(tokenized)
+    return {
+        method: ALL_SELECTORS[method](N_FEATURES).select_from(table)
+        for method in METHODS
+    }
+
+
+def test_perf_legacy_scalar_selection(tokenized, benchmark):
+    selected = benchmark.pedantic(
+        lambda: _legacy_all(tokenized), rounds=2, iterations=1
+    )
+    assert set(selected) == set(METHODS)
+
+
+def test_perf_vectorized_selection(tokenized, benchmark):
+    selected = benchmark.pedantic(
+        lambda: _vectorized_all(tokenized), rounds=3, iterations=1
+    )
+    assert set(selected) == set(METHODS)
+
+
+def test_selection_speedup(tokenized):
+    """Race the two paths, prove the selections identical, record the
+    ratio, and (unless REPRO_BENCH_ASSERT=0) require the >= 3x speedup
+    the substrate was built for."""
+
+    def timed(fn, rounds):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    legacy = _legacy_all(tokenized)
+    vectorized = _vectorized_all(tokenized)
+    for method in METHODS:
+        assert vectorized[method] == legacy[method], method
+
+    legacy_seconds = timed(lambda: _legacy_all(tokenized), rounds=2)
+    vectorized_seconds = timed(lambda: _vectorized_all(tokenized), rounds=3)
+    speedup = legacy_seconds / vectorized_seconds
+
+    table = build_contingency(tokenized)
+    payload = {}
+    if BENCH_RESULT_PATH.exists():
+        payload = json.loads(BENCH_RESULT_PATH.read_text())
+    payload["selection"] = {
+        "methods": list(METHODS),
+        "n_features": N_FEATURES,
+        "n_terms": table.n_terms,
+        "n_categories": len(table.categories),
+        "n_docs": table.n_docs,
+        "legacy_seconds": legacy_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": speedup,
+    }
+    BENCH_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if os.environ.get("REPRO_BENCH_ASSERT", "1") != "0":
+        assert speedup >= 3.0, (
+            f"substrate scoring only {speedup:.2f}x faster than the scalar "
+            f"path (legacy {legacy_seconds * 1e3:.1f}ms vs vectorized "
+            f"{vectorized_seconds * 1e3:.1f}ms)"
+        )
+
+
+@pytest.fixture(scope="module")
+def round_robin_fit(corpus, settings):
+    config = settings.prosys("round_robin", seed=1)
+    return ProSysPipeline(config).fit(corpus, categories=QUALITY_CATEGORIES)
+
+
+def test_round_robin_quality(round_robin_fit, capsys):
+    """Fit on a round-robin drafted vocabulary and record Table-3-style
+    F1 figures next to the speed axis."""
+    scores = round_robin_fit.evaluate("test")
+    per_category = {c: scores.f1(c) for c in QUALITY_CATEGORIES}
+
+    rows = list(QUALITY_CATEGORIES) + ["Macro Ave.", "Micro Ave."]
+    column = dict(per_category)
+    column["Macro Ave."] = scores.macro_f1
+    column["Micro Ave."] = scores.micro_f1
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                "Round-robin feature selection (Table 3 layout, F1)",
+                rows,
+                {"round_robin": column},
+            )
+        )
+
+    payload = {}
+    if BENCH_RESULT_PATH.exists():
+        payload = json.loads(BENCH_RESULT_PATH.read_text())
+    payload["round_robin_quality"] = {
+        "categories": list(QUALITY_CATEGORIES),
+        "feature_counts": round_robin_fit.feature_set.counts(),
+        "per_category_f1": per_category,
+        "macro_f1": scores.macro_f1,
+        "micro_f1": scores.micro_f1,
+    }
+    BENCH_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # The draft must not collapse: every category fit on a non-empty,
+    # disjoint vocabulary and the easiest category stays learnable.
+    feature_counts = round_robin_fit.feature_set.counts()
+    assert all(feature_counts[c] > 0 for c in QUALITY_CATEGORIES)
+    assert scores.f1("earn") > 0.5

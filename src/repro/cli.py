@@ -76,7 +76,8 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--out", required=True, type=Path,
                        help="model output directory")
     train.add_argument("--features", default="mi",
-                       choices=["df", "ig", "mi", "nouns", "chi2"])
+                       choices=["df", "ig", "mi", "nouns", "chi2",
+                                "round_robin"])
     train.add_argument("--n-features", type=int, default=None)
     train.add_argument("--tournaments", type=int, default=600)
     train.add_argument("--restarts", type=int, default=1)
@@ -189,7 +190,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_data_argument(drift_eval)
     drift_eval.add_argument("--features", default="mi",
-                            choices=["df", "ig", "mi", "nouns", "chi2"])
+                            choices=["df", "ig", "mi", "nouns", "chi2",
+                                     "round_robin"])
     drift_eval.add_argument("--n-features", type=int, default=None)
     drift_eval.add_argument("--tournaments", type=int, default=150)
     drift_eval.add_argument("--som-epochs", type=int, default=6)

@@ -1,33 +1,50 @@
 """Feature selection (paper Sec. 4).
 
-Four selectors are provided, matching the paper's Table 1:
+Four selectors match the paper's Table 1, with two extensions:
 
-======================  =========================
+======================  ==========================================
 Document Frequency      1000 features, whole corpus
 Information Gain        1000 features, whole corpus
 Mutual Information      300 features per category
 Frequent Nouns          100 features per category
-======================  =========================
+Chi-square (ext.)       1000 features, whole corpus (chi-max [11])
+Round robin (ext.)      300 features per category, drafted so the
+                        one-vs-rest vocabulary is balanced
+======================  ==========================================
+
+All selectors except Frequent Nouns score as array expressions over one
+shared :class:`~repro.features.contingency.ContingencyTable` -- the
+term x category contingency tensor, built once per corpus.
 """
 
-from repro.features.base import CorpusStatistics, FeatureSelector, FeatureSet
+from repro.features.base import (
+    ContingencySelector,
+    CorpusStatistics,
+    FeatureSelector,
+    FeatureSet,
+)
 from repro.features.chi_square import ChiSquareSelector
+from repro.features.contingency import ContingencyTable, build_contingency
 from repro.features.document_frequency import DocumentFrequencySelector
 from repro.features.frequent_nouns import FrequentNounsSelector
 from repro.features.information_gain import InformationGainSelector
 from repro.features.mutual_information import MutualInformationSelector
 from repro.features.pos import PosTagger, tag_tokens
+from repro.features.round_robin import RoundRobinSelector
 
 ALL_SELECTORS = {
     "df": DocumentFrequencySelector,
     "ig": InformationGainSelector,
     "mi": MutualInformationSelector,
     "nouns": FrequentNounsSelector,
-    # Extension beyond the paper's four (Yang & Pedersen's chi-max).
+    # Extensions beyond the paper's four (Yang & Pedersen [11]).
     "chi2": ChiSquareSelector,
+    "round_robin": RoundRobinSelector,
 }
 
 __all__ = [
+    "ContingencySelector",
+    "ContingencyTable",
     "CorpusStatistics",
     "FeatureSelector",
     "FeatureSet",
@@ -36,7 +53,9 @@ __all__ = [
     "MutualInformationSelector",
     "FrequentNounsSelector",
     "ChiSquareSelector",
+    "RoundRobinSelector",
     "PosTagger",
+    "build_contingency",
     "tag_tokens",
     "ALL_SELECTORS",
 ]

@@ -1,23 +1,36 @@
 """Shared infrastructure for feature selection.
 
-:class:`CorpusStatistics` gathers the document-frequency and per-category
-contingency counts every selector needs; :class:`FeatureSet` is the common
-result type; :class:`FeatureSelector` is the abstract interface.
+:class:`CorpusStatistics` exposes the document-frequency and
+per-category contingency counts every selector needs -- since the
+substrate refactor it is a thin dict-like view over one shared
+:class:`~repro.features.contingency.ContingencyTable` rather than a pile
+of independently-scanned ``Counter`` dicts.  :class:`FeatureSet` is the
+common result type; :class:`FeatureSelector` is the abstract interface
+and :class:`ContingencySelector` the base of every selector that scores
+off the tensor.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.features.contingency import ContingencyTable, build_contingency
 from repro.preprocessing.tokenized import TokenizedCorpus
 
 
-@dataclass(frozen=True)
 class CorpusStatistics:
     """Term/category counts over the *training* split.
+
+    A compatibility view: the counts live in a shared
+    :class:`ContingencyTable` (one vectorized build); the mapping
+    attributes below are materialised from its columns on first access,
+    with the same keys the historical ``Counter`` scan produced (terms
+    with a zero count in a category are absent from that category's
+    mapping).  ``tf_in_category`` additionally defers the underlying
+    term-frequency counting pass itself -- selectors that never read it
+    (DF, IG, MI, chi-square, round-robin) do not pay for it.
 
     Attributes:
         n_docs: number of training documents.
@@ -27,47 +40,84 @@ class CorpusStatistics:
         df_in_category: category -> (term -> number of that category's docs
             containing the term).
         tf_in_category: category -> (term -> total occurrences of the term
-            in that category's docs).
+            in that category's docs).  Lazy; see above.
         categories: label universe, in corpus order.
     """
 
-    n_docs: int
-    document_frequency: Mapping[str, int]
-    docs_per_category: Mapping[str, int]
-    df_in_category: Mapping[str, Mapping[str, int]]
-    tf_in_category: Mapping[str, Mapping[str, int]]
-    categories: Tuple[str, ...]
+    def __init__(self, table: ContingencyTable) -> None:
+        self.table = table
+        self._document_frequency: Optional[Dict[str, int]] = None
+        self._docs_per_category: Optional[Dict[str, int]] = None
+        self._df_in_category: Optional[Dict[str, Dict[str, int]]] = None
+        self._tf_in_category: Optional[Dict[str, Dict[str, int]]] = None
 
     @classmethod
-    def from_tokenized(cls, tokenized: TokenizedCorpus) -> "CorpusStatistics":
+    def from_tokenized(
+        cls, tokenized: TokenizedCorpus, n_jobs: int = 0
+    ) -> "CorpusStatistics":
         """Compute statistics over the training split of ``tokenized``."""
-        document_frequency: Counter = Counter()
-        docs_per_category: Counter = Counter()
-        df_in_category: Dict[str, Counter] = {c: Counter() for c in tokenized.categories}
-        tf_in_category: Dict[str, Counter] = {c: Counter() for c in tokenized.categories}
+        return cls(build_contingency(tokenized, n_jobs=n_jobs))
 
-        for doc in tokenized.train_documents:
-            tokens = tokenized.tokens(doc)
-            unique = set(tokens)
-            document_frequency.update(unique)
-            for category in doc.topics:
-                docs_per_category[category] += 1
-                df_in_category[category].update(unique)
-                tf_in_category[category].update(tokens)
+    @property
+    def n_docs(self) -> int:
+        return self.table.n_docs
 
-        return cls(
-            n_docs=len(tokenized.train_documents),
-            document_frequency=dict(document_frequency),
-            docs_per_category=dict(docs_per_category),
-            df_in_category={c: dict(v) for c, v in df_in_category.items()},
-            tf_in_category={c: dict(v) for c, v in tf_in_category.items()},
-            categories=tokenized.categories,
-        )
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        return self.table.categories
+
+    @property
+    def document_frequency(self) -> Mapping[str, int]:
+        if self._document_frequency is None:
+            self._document_frequency = {
+                term: int(count)
+                for term, count in zip(self.table.terms, self.table.df.tolist())
+            }
+        return self._document_frequency
+
+    @property
+    def docs_per_category(self) -> Mapping[str, int]:
+        if self._docs_per_category is None:
+            # Counter semantics: a category no training doc carries has
+            # no key (the scalar formulas rely on .get(category, 0)).
+            self._docs_per_category = {
+                category: int(count)
+                for category, count in zip(
+                    self.table.categories, self.table.docs_per_category.tolist()
+                )
+                if count
+            }
+        return self._docs_per_category
+
+    @property
+    def df_in_category(self) -> Mapping[str, Mapping[str, int]]:
+        if self._df_in_category is None:
+            self._df_in_category = self._nonzero_columns(self.table.a)
+        return self._df_in_category
+
+    @property
+    def tf_in_category(self) -> Mapping[str, Mapping[str, int]]:
+        if self._tf_in_category is None:
+            # First access triggers the table's lazy tf counting pass.
+            self._tf_in_category = self._nonzero_columns(self.table.tf)
+        return self._tf_in_category
+
+    def _nonzero_columns(self, matrix) -> Dict[str, Dict[str, int]]:
+        """category -> {term: count} keeping only nonzero cells."""
+        terms = self.table.terms
+        result: Dict[str, Dict[str, int]] = {}
+        for j, category in enumerate(self.table.categories):
+            column = matrix[:, j]
+            rows = column.nonzero()[0]
+            result[category] = {
+                terms[i]: int(column[i]) for i in rows.tolist()
+            }
+        return result
 
     @property
     def vocabulary(self) -> FrozenSet[str]:
         """Every term seen in the training split."""
-        return frozenset(self.document_frequency)
+        return frozenset(self.table.terms)
 
 
 def top_terms(scores: Mapping[str, float], n_features: int) -> FrozenSet[str]:
@@ -82,10 +132,12 @@ class FeatureSet:
     """The outcome of feature selection.
 
     For corpus-wide methods (DF, IG) every category maps to the same term
-    set; per-category methods (MI, Frequent Nouns) select independently.
+    set; per-category methods (MI, Frequent Nouns, round-robin) select
+    independently.
 
     Attributes:
-        method: selector name (``"df"``, ``"ig"``, ``"mi"``, ``"nouns"``).
+        method: selector name (``"df"``, ``"ig"``, ``"mi"``, ``"nouns"``,
+            ``"chi2"``, ``"round_robin"``).
         per_category: category -> selected terms.
         scope: ``"corpus"`` or ``"category"`` (Table 1's two regimes).
     """
@@ -125,11 +177,13 @@ class FeatureSet:
         return {category: len(terms) for category, terms in self.per_category.items()}
 
     def union_vocabulary(self) -> FrozenSet[str]:
-        """All terms selected for any category."""
-        result: FrozenSet[str] = frozenset()
-        for terms in self.per_category.values():
-            result |= terms
-        return result
+        """All terms selected for any category.
+
+        One union over all the per-category sets: the incremental
+        ``result |= terms`` form copied the accumulated frozenset per
+        category, which is quadratic in the union size.
+        """
+        return frozenset().union(*self.per_category.values())
 
 
 class FeatureSelector(ABC):
@@ -146,8 +200,58 @@ class FeatureSelector(ABC):
         self.n_features = n_features
 
     @abstractmethod
-    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
-        """Select features from the training split of ``tokenized``."""
+    def select(
+        self, tokenized: TokenizedCorpus, n_jobs: int = 0
+    ) -> FeatureSet:
+        """Select features from the training split of ``tokenized``.
 
-    def _statistics(self, tokenized: TokenizedCorpus) -> CorpusStatistics:
-        return CorpusStatistics.from_tokenized(tokenized)
+        Args:
+            n_jobs: forked workers for the statistics build
+                (``repro.runtime.parallel_map`` semantics; 0 = inline).
+                Any value produces the identical selection.
+        """
+
+    def select_categories(
+        self,
+        tokenized: TokenizedCorpus,
+        categories: Sequence[str],
+        n_jobs: int = 0,
+    ) -> Dict[str, FrozenSet[str]]:
+        """Term sets a full :meth:`select` would assign to ``categories``.
+
+        The surgical-retrain entry point: the temporal layer grafts the
+        returned sets into an existing :class:`FeatureSet` for the
+        drifted categories only, so every other category keeps its
+        exact terms (and therefore its exact dataset-store addresses).
+        The default runs the full selection and projects it; subclasses
+        override when scoring a category subset is genuinely cheaper.
+        """
+        feature_set = self.select(tokenized, n_jobs=n_jobs)
+        return {
+            category: feature_set.per_category[category]
+            for category in categories
+        }
+
+    def _statistics(
+        self, tokenized: TokenizedCorpus, n_jobs: int = 0
+    ) -> CorpusStatistics:
+        return CorpusStatistics.from_tokenized(tokenized, n_jobs=n_jobs)
+
+
+class ContingencySelector(FeatureSelector):
+    """A selector whose scores are array expressions over the tensor.
+
+    Subclasses implement :meth:`select_from`; :meth:`select` builds the
+    shared :class:`ContingencyTable` and delegates, so callers that
+    already hold a table (the all-selector benchmark, multi-selector
+    studies) can reuse one build across selectors.
+    """
+
+    def select(
+        self, tokenized: TokenizedCorpus, n_jobs: int = 0
+    ) -> FeatureSet:
+        return self.select_from(build_contingency(tokenized, n_jobs=n_jobs))
+
+    @abstractmethod
+    def select_from(self, table: ContingencyTable) -> FeatureSet:
+        """Select features from a prebuilt contingency table."""

@@ -12,18 +12,39 @@ with A = docs in C containing f, B = docs outside C containing f,
 C_ = docs in C without f, D = docs outside C without f.  Per-category
 scores combine corpus-wide via the max over categories (Yang & Pedersen's
 chi-max variant).
+
+:func:`chi_square` is the scalar reference formula (kept for unit tests
+and the differential suite); :func:`chi_square_scores` computes the
+whole score matrix as array expressions over the contingency tensor.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Optional, Sequence
 
-from repro.features.base import CorpusStatistics, FeatureSelector, FeatureSet, top_terms
-from repro.preprocessing.tokenized import TokenizedCorpus
+import numpy as np
+
+from repro.features.base import (
+    ContingencySelector,
+    CorpusStatistics,
+    FeatureSet,
+)
+from repro.features.contingency import ContingencyTable, top_term_indices
+
+#: Largest corpus for which the int64 numerator ``N * (AD - CB)^2`` is
+#: exactly representable in float64 (``N**5 < 2**53``); below it the
+#: vectorized scores are bit-identical to the scalar reference, above it
+#: they may differ in the last ulp (never enough to reorder a ranking in
+#: practice, but the guarantee is documented rather than silent).
+_EXACT_N_DOCS = 1552
 
 
 def chi_square(stats: CorpusStatistics, term: str, category: str) -> float:
-    """chi2(f, C) over the document-count contingency table."""
+    """chi2(f, C) over the document-count contingency table.
+
+    The scalar reference implementation; selection itself runs through
+    :func:`chi_square_scores`.
+    """
     n_docs = stats.n_docs
     df = stats.document_frequency.get(term, 0)
     n_cat = stats.docs_per_category.get(category, 0)
@@ -37,7 +58,44 @@ def chi_square(stats: CorpusStatistics, term: str, category: str) -> float:
     return n_docs * (a * d - c * b) ** 2 / denominator
 
 
-class ChiSquareSelector(FeatureSelector):
+def chi_square_scores(
+    table: ContingencyTable, columns: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """``(n_terms, n_columns)`` chi-square scores over the tensor.
+
+    Up to ``_EXACT_N_DOCS`` training documents the numerator and
+    denominator are exact int64 products below 2**53, so the single
+    float division matches the scalar formula bit for bit; beyond that
+    the products are carried in float64 (see ``_EXACT_N_DOCS``).
+
+    Args:
+        columns: optional category-column subset; defaults to every
+            category, in corpus order.
+    """
+    if columns is None:
+        a = table.a
+        n_cat = table.docs_per_category[None, :]
+    else:
+        a = table.a[:, list(columns)]
+        n_cat = table.docs_per_category[list(columns)][None, :]
+    n_docs = table.n_docs
+    df = table.df[:, None]
+
+    b = df - a
+    c = n_cat - a
+    d = n_docs - df - c
+    if n_docs <= _EXACT_N_DOCS:
+        numerator = n_docs * (a * d - c * b) ** 2
+        denominator = (a + c) * (b + d) * (a + b) * (c + d)
+    else:
+        af, bf, cf, dn = (x.astype(np.float64) for x in (a, b, c, d))
+        numerator = n_docs * (af * dn - cf * bf) ** 2
+        denominator = (af + cf) * (bf + dn) * (af + bf) * (cf + dn)
+    safe = np.where(denominator == 0, 1, denominator)
+    return np.where(denominator == 0, 0.0, numerator / safe)
+
+
+class ChiSquareSelector(ContingencySelector):
     """Select the top terms by max-over-categories chi-square.
 
     Corpus-wide scope (like DF and IG), so it drops into the same
@@ -49,16 +107,16 @@ class ChiSquareSelector(FeatureSelector):
     def __init__(self, n_features: int = 1000) -> None:
         super().__init__(n_features)
 
-    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
-        stats = self._statistics(tokenized)
-        scores: Dict[str, float] = {}
-        for term in stats.vocabulary:
-            scores[term] = max(
-                chi_square(stats, term, category) for category in stats.categories
-            )
-        selected = top_terms(scores, self.n_features)
+    def select_from(self, table: ContingencyTable) -> FeatureSet:
+        scores = chi_square_scores(table)
+        if scores.shape[1]:
+            combined = scores.max(axis=1)
+        else:
+            combined = np.zeros(table.n_terms, dtype=np.float64)
+        keep = top_term_indices(table.terms, combined, self.n_features)
+        selected = frozenset(table.terms[i] for i in keep.tolist())
         return FeatureSet(
             method=self.name,
-            per_category={category: selected for category in stats.categories},
+            per_category={category: selected for category in table.categories},
             scope="corpus",
         )

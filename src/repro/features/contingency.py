@@ -1,0 +1,254 @@
+"""The shared vectorized substrate under every feature selector.
+
+Every term-goodness function the paper compares (DF, IG, MI -- and the
+chi-square / round-robin extensions) is a function of the same four
+document counts, per term ``f`` and category ``C`` over the training
+split:
+
+    A = docs in C containing f          B = docs outside C containing f
+    C_ = docs in C without f            D = docs outside C without f
+
+Historically each selector re-derived those counts by scanning Python
+``Counter`` dicts term by term.  :class:`ContingencyTable` computes the
+``(n_terms, n_categories)`` A-tensor **once** as numpy arrays -- with a
+stable, sorted term index -- and B, C_ and D fall out of A, the
+document-frequency vector and the per-category document counts by pure
+array arithmetic.  All selectors then score as array expressions over
+the tensor (see the selector modules), which is where the measured
+multi-x speedup of ``benchmarks/test_perf_features.py`` comes from.
+
+The build fans out over categories through
+:func:`repro.runtime.parallel_map` (one per-category count column per
+job, merged positionally in the parent), so ``n_jobs>0`` produces the
+exact same integer tensor as the inline build.
+
+Term-frequency counts (token occurrences per category, used only by
+:class:`~repro.features.base.CorpusStatistics.tf_in_category`) are
+built lazily on first access -- DF/IG/chi-square runs never pay for
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.preprocessing.tokenized import TokenizedCorpus
+from repro.runtime import parallel_map
+
+
+def exact_log2(values: np.ndarray) -> np.ndarray:
+    """Element-wise base-2 log that is bit-identical to ``math.log2``.
+
+    ``np.log2`` and ``math.log2`` disagree in the last ulp for a small
+    fraction of inputs (different libm implementations), which would be
+    enough to flip near-ties between the vectorized selectors and their
+    scalar reference formulas.  Selection must be *score-identical* to
+    the legacy implementations, so the log itself has to match bit for
+    bit: deduplicate the inputs and apply ``math.log2`` once per unique
+    value.  Real score matrices are heavily quantized (counts, smoothed
+    ratios of counts), so the unique set stays small and the overall
+    scoring path remains dominated by array arithmetic.
+
+    All inputs must be positive.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    unique, inverse = np.unique(values, return_inverse=True)
+    logs = np.array([math.log2(v) for v in unique.tolist()], dtype=np.float64)
+    return logs[inverse].reshape(values.shape)
+
+
+@dataclass
+class ContingencyTable:
+    """The 4-cell term x category contingency tensor of a training split.
+
+    Attributes:
+        terms: the training vocabulary, sorted (the stable term index:
+            row ``i`` of every array is ``terms[i]``).
+        categories: label universe, in corpus order (column order).
+        n_docs: number of training documents.
+        a: ``(n_terms, n_categories)`` int64 -- cell A: documents of the
+            category containing the term.
+        df: ``(n_terms,)`` int64 -- document frequency (A + B).
+        docs_per_category: ``(n_categories,)`` int64 -- documents per
+            category (A + C_; multi-label documents count once per label).
+    """
+
+    terms: Tuple[str, ...]
+    categories: Tuple[str, ...]
+    n_docs: int
+    a: np.ndarray
+    df: np.ndarray
+    docs_per_category: np.ndarray
+    _tokenized: Optional[TokenizedCorpus] = field(
+        default=None, repr=False, compare=False
+    )
+    _tf: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _term_index: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- derived cells (pure array arithmetic over A) -------------------
+    @property
+    def b(self) -> np.ndarray:
+        """Cell B: documents outside the category containing the term."""
+        return self.df[:, None] - self.a
+
+    @property
+    def c(self) -> np.ndarray:
+        """Cell C: documents of the category without the term."""
+        return self.docs_per_category[None, :] - self.a
+
+    @property
+    def d(self) -> np.ndarray:
+        """Cell D: documents outside the category without the term."""
+        return self.n_docs - self.df[:, None] - self.c
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def term_index(self) -> Dict[str, int]:
+        """term -> row, cached."""
+        if self._term_index is None:
+            self._term_index = {term: i for i, term in enumerate(self.terms)}
+        return self._term_index
+
+    @property
+    def tf(self) -> np.ndarray:
+        """``(n_terms, n_categories)`` token occurrences per category.
+
+        Only :attr:`CorpusStatistics.tf_in_category` reads this; it is
+        built on first access so selectors that never need
+        term-frequency mass (DF, IG, MI, chi-square, round-robin) do
+        not pay its memory or its counting pass.
+        """
+        if self._tf is None:
+            if self._tokenized is None:
+                raise ValueError(
+                    "term frequencies unavailable: table was built "
+                    "without a TokenizedCorpus reference"
+                )
+            self._tf = _count_tf(self._tokenized, self)
+        return self._tf
+
+    def column(self, category: str) -> int:
+        """Column index of ``category``."""
+        try:
+            return self.categories.index(category)
+        except ValueError:
+            raise KeyError(f"unknown category {category!r}") from None
+
+
+def build_contingency(
+    tokenized: TokenizedCorpus, n_jobs: int = 0
+) -> ContingencyTable:
+    """Build the contingency tensor over ``tokenized``'s training split.
+
+    Two passes: the parent tokenizes every training document once
+    (cached in ``tokenized``), fixing the sorted term index, the
+    document-frequency vector and each document's unique term-id array;
+    then the per-category A columns are counted with ``np.bincount``
+    over the member documents' id arrays -- one job per category via
+    :func:`repro.runtime.parallel_map` (forked workers inherit the
+    token cache; the parent merges the returned columns in category
+    order).  Counting is integer-exact, so any ``n_jobs`` produces the
+    same tensor.
+    """
+    train = tokenized.train_documents
+    categories = tokenized.categories
+
+    vocabulary: set = set()
+    unique_tokens: List[List[str]] = []
+    members: Dict[str, List[int]] = {category: [] for category in categories}
+    for position, doc in enumerate(train):
+        unique = sorted(set(tokenized.tokens(doc)))
+        unique_tokens.append(unique)
+        vocabulary.update(unique)
+        for category in doc.topics:
+            members[category].append(position)
+
+    terms = tuple(sorted(vocabulary))
+    index = {term: i for i, term in enumerate(terms)}
+    n_terms = len(terms)
+
+    doc_term_ids = [
+        np.fromiter((index[t] for t in unique), dtype=np.int64, count=len(unique))
+        for unique in unique_tokens
+    ]
+
+    df = np.zeros(n_terms, dtype=np.int64)
+    for ids in doc_term_ids:
+        df[ids] += 1
+
+    docs_per_category = np.array(
+        [len(members[category]) for category in categories], dtype=np.int64
+    )
+
+    def category_column(category: str) -> np.ndarray:
+        positions = members[category]
+        if not positions:
+            return np.zeros(n_terms, dtype=np.int64)
+        ids = np.concatenate([doc_term_ids[p] for p in positions])
+        return np.bincount(ids, minlength=n_terms).astype(np.int64)
+
+    columns = parallel_map(category_column, list(categories), n_jobs=n_jobs)
+    if n_terms and categories:
+        a = np.stack(columns, axis=1)
+    else:
+        a = np.zeros((n_terms, len(categories)), dtype=np.int64)
+
+    return ContingencyTable(
+        terms=terms,
+        categories=tuple(categories),
+        n_docs=len(train),
+        a=a,
+        df=df,
+        docs_per_category=docs_per_category,
+        _tokenized=tokenized,
+        _term_index=index,
+    )
+
+
+def _count_tf(tokenized: TokenizedCorpus, table: ContingencyTable) -> np.ndarray:
+    """Token-occurrence counts per category (the lazy ``tf`` tensor)."""
+    index = table.term_index
+    tf = np.zeros((table.n_terms, len(table.categories)), dtype=np.int64)
+    column = {category: j for j, category in enumerate(table.categories)}
+    for doc in tokenized.train_documents:
+        tokens = tokenized.tokens(doc)
+        if not tokens:
+            continue
+        ids = np.fromiter(
+            (index[t] for t in tokens), dtype=np.int64, count=len(tokens)
+        )
+        counts = np.bincount(ids, minlength=table.n_terms)
+        for category in doc.topics:
+            tf[:, column[category]] += counts
+    return tf
+
+
+def top_term_indices(
+    terms: Sequence[str], scores: np.ndarray, n_features: int
+) -> np.ndarray:
+    """Row indices of the ``n_features`` best scores, ranked exactly like
+    :func:`repro.features.base.top_terms`: score descending, ties broken
+    by term ascending."""
+    order = ranked_order(terms, scores)
+    return order[:n_features]
+
+
+def ranked_order(terms: Sequence[str], scores: np.ndarray) -> np.ndarray:
+    """Full ranking (score desc, term asc) as an index array.
+
+    ``np.lexsort`` sorts by the *last* key first, so the primary key is
+    the negated score and the alphabetical term order breaks ties --
+    the same total order ``sorted(..., key=lambda kv: (-score, term))``
+    produces in the scalar path.
+    """
+    terms_array = np.asarray(terms, dtype=object)
+    return np.lexsort((terms_array, -np.asarray(scores, dtype=np.float64)))

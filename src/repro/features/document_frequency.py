@@ -1,16 +1,24 @@
 """Document Frequency feature selection (paper Sec. 4, [11]).
 
 Features occurring in the most training documents are kept; the paper uses
-the top 1000 over the whole corpus.
+the top 1000 over the whole corpus.  The score *is* the ``df`` vector of
+the contingency tensor, so selection is one ranked slice.
 """
 
 from __future__ import annotations
 
-from repro.features.base import FeatureSelector, FeatureSet, top_terms
-from repro.preprocessing.tokenized import TokenizedCorpus
+import numpy as np
+
+from repro.features.base import ContingencySelector, FeatureSet
+from repro.features.contingency import ContingencyTable, top_term_indices
 
 
-class DocumentFrequencySelector(FeatureSelector):
+def document_frequency_scores(table: ContingencyTable) -> np.ndarray:
+    """``(n_terms,)`` DF scores: the tensor's document-frequency vector."""
+    return table.df.astype(np.float64)
+
+
+class DocumentFrequencySelector(ContingencySelector):
     """Select the ``n_features`` terms with highest document frequency."""
 
     name = "df"
@@ -18,12 +26,12 @@ class DocumentFrequencySelector(FeatureSelector):
     def __init__(self, n_features: int = 1000) -> None:
         super().__init__(n_features)
 
-    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
-        stats = self._statistics(tokenized)
-        scores = {term: float(df) for term, df in stats.document_frequency.items()}
-        selected = top_terms(scores, self.n_features)
+    def select_from(self, table: ContingencyTable) -> FeatureSet:
+        scores = document_frequency_scores(table)
+        keep = top_term_indices(table.terms, scores, self.n_features)
+        selected = frozenset(table.terms[i] for i in keep.tolist())
         return FeatureSet(
             method=self.name,
-            per_category={category: selected for category in stats.categories},
+            per_category={category: selected for category in table.categories},
             scope="corpus",
         )

@@ -3,12 +3,16 @@
 Nouns are assumed to be more informative than other parts of speech.  All
 tokens tagged ``NN``/``NNS`` in a category's training documents are ranked
 by frequency and the top 100 per category are kept.
+
+This is the one selector that does not score off the contingency tensor:
+its statistic is POS-filtered token frequency, which the tagger has to
+produce from the raw streams.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from typing import Dict, FrozenSet, Sequence
 
 from repro.features.base import FeatureSelector, FeatureSet, top_terms
 from repro.features.pos import PosTagger
@@ -24,20 +28,41 @@ class FrequentNounsSelector(FeatureSelector):
         super().__init__(n_features)
         self.tagger = tagger if tagger is not None else PosTagger()
 
-    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
+    def select(
+        self, tokenized: TokenizedCorpus, n_jobs: int = 0
+    ) -> FeatureSet:
+        per_category = self._count_and_rank(tokenized, tokenized.categories)
+        return FeatureSet(method=self.name, per_category=per_category, scope="category")
+
+    def select_categories(
+        self,
+        tokenized: TokenizedCorpus,
+        categories: Sequence[str],
+        n_jobs: int = 0,
+    ) -> Dict[str, FrozenSet[str]]:
+        """Noun counting is purely per-category, so a surgical retrain
+        only tags the documents of the requested categories."""
+        return self._count_and_rank(tokenized, tuple(categories))
+
+    def _count_and_rank(
+        self, tokenized: TokenizedCorpus, categories: Sequence[str]
+    ) -> Dict[str, FrozenSet[str]]:
+        wanted = set(categories)
         noun_counts: Dict[str, Counter] = {
-            category: Counter() for category in tokenized.categories
+            category: Counter() for category in categories
         }
         for doc in tokenized.train_documents:
+            relevant = [c for c in doc.topics if c in wanted]
+            if not relevant:
+                continue
             nouns = self.tagger.nouns(tokenized.tokens(doc))
-            for category in doc.topics:
+            for category in relevant:
                 noun_counts[category].update(nouns)
 
-        per_category = {
+        return {
             category: top_terms(
                 {term: float(count) for term, count in counts.items()},
                 self.n_features,
             )
             for category, counts in noun_counts.items()
         }
-        return FeatureSet(method=self.name, per_category=per_category, scope="category")

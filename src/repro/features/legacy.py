@@ -1,0 +1,132 @@
+"""The pre-substrate scalar selector implementations, kept as oracles.
+
+Before the contingency refactor every selector re-scanned Python
+``Counter`` dicts term by term.  This module preserves that code path
+verbatim -- the ``Counter``-based statistics scan and the per-term
+scoring loops -- for two jobs:
+
+* the **differential suite** (``tests/features/test_differential.py``)
+  proves each vectorized selector term-for-term score- and
+  selection-identical to its scalar ancestor on random corpora;
+* the **benchmark** (``benchmarks/test_perf_features.py``) measures the
+  vectorized substrate against exactly what it replaced.
+
+Nothing in the production pipeline imports this module.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.features.base import FeatureSet, top_terms
+from repro.features.chi_square import chi_square
+from repro.features.information_gain import information_gain
+from repro.features.mutual_information import mutual_information
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+@dataclass(frozen=True)
+class LegacyStatistics:
+    """The historical eager ``CorpusStatistics``: one dict per count.
+
+    Field-compatible with :class:`repro.features.base.CorpusStatistics`
+    (the scalar scoring formulas accept either), but built by the
+    original per-document ``Counter`` scan, ``tf_in_category``
+    included.
+    """
+
+    n_docs: int
+    document_frequency: Mapping[str, int]
+    docs_per_category: Mapping[str, int]
+    df_in_category: Mapping[str, Mapping[str, int]]
+    tf_in_category: Mapping[str, Mapping[str, int]]
+    categories: Tuple[str, ...]
+
+    @classmethod
+    def from_tokenized(cls, tokenized: TokenizedCorpus) -> "LegacyStatistics":
+        document_frequency: Counter = Counter()
+        docs_per_category: Counter = Counter()
+        df_in_category: Dict[str, Counter] = {c: Counter() for c in tokenized.categories}
+        tf_in_category: Dict[str, Counter] = {c: Counter() for c in tokenized.categories}
+
+        for doc in tokenized.train_documents:
+            tokens = tokenized.tokens(doc)
+            unique = set(tokens)
+            document_frequency.update(unique)
+            for category in doc.topics:
+                docs_per_category[category] += 1
+                df_in_category[category].update(unique)
+                tf_in_category[category].update(tokens)
+
+        return cls(
+            n_docs=len(tokenized.train_documents),
+            document_frequency=dict(document_frequency),
+            docs_per_category=dict(docs_per_category),
+            df_in_category={c: dict(v) for c, v in df_in_category.items()},
+            tf_in_category={c: dict(v) for c, v in tf_in_category.items()},
+            categories=tokenized.categories,
+        )
+
+    @property
+    def vocabulary(self):
+        return frozenset(self.document_frequency)
+
+
+def legacy_df_scores(stats: LegacyStatistics) -> Dict[str, float]:
+    return {term: float(df) for term, df in stats.document_frequency.items()}
+
+
+def legacy_ig_scores(stats: LegacyStatistics) -> Dict[str, float]:
+    return {term: information_gain(stats, term) for term in stats.vocabulary}
+
+
+def legacy_mi_scores(stats: LegacyStatistics, category: str) -> Dict[str, float]:
+    return {
+        term: mutual_information(stats, term, category)
+        for term in stats.vocabulary
+    }
+
+
+def legacy_chi2_scores(stats: LegacyStatistics) -> Dict[str, float]:
+    return {
+        term: max(chi_square(stats, term, category) for category in stats.categories)
+        for term in stats.vocabulary
+    }
+
+
+def legacy_select(
+    method: str, tokenized: TokenizedCorpus, n_features: int
+) -> FeatureSet:
+    """Run one selector exactly as it ran before the substrate refactor.
+
+    ``"nouns"`` delegates to :class:`FrequentNounsSelector` (its POS
+    scan never went through the statistics and is unchanged by the
+    refactor).
+    """
+    if method == "nouns":
+        from repro.features.frequent_nouns import FrequentNounsSelector
+
+        return FrequentNounsSelector(n_features).select(tokenized)
+
+    stats = LegacyStatistics.from_tokenized(tokenized)
+    if method == "df":
+        selected = top_terms(legacy_df_scores(stats), n_features)
+        per_category = {category: selected for category in stats.categories}
+        return FeatureSet(method="df", per_category=per_category, scope="corpus")
+    if method == "ig":
+        selected = top_terms(legacy_ig_scores(stats), n_features)
+        per_category = {category: selected for category in stats.categories}
+        return FeatureSet(method="ig", per_category=per_category, scope="corpus")
+    if method == "chi2":
+        selected = top_terms(legacy_chi2_scores(stats), n_features)
+        per_category = {category: selected for category in stats.categories}
+        return FeatureSet(method="chi2", per_category=per_category, scope="corpus")
+    if method == "mi":
+        per_category = {
+            category: top_terms(legacy_mi_scores(stats, category), n_features)
+            for category in stats.categories
+        }
+        return FeatureSet(method="mi", per_category=per_category, scope="category")
+    raise ValueError(f"unknown legacy selector {method!r}")

@@ -8,19 +8,40 @@ MI between term presence and category membership:
 computed from the 2x2 document-count contingency table with add-one
 smoothing (so empty cells do not produce log 0).  The paper keeps the top
 300 terms *per category*.
+
+:func:`mutual_information` is the scalar reference formula (kept for
+unit tests and the differential suite); :func:`mutual_information_scores`
+computes the full ``(n_terms, n_categories)`` score matrix as array
+expressions over the contingency tensor, mirroring the scalar cell
+order and using ``exact_log2`` so every entry is bit-identical to the
+reference.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
-from repro.features.base import CorpusStatistics, FeatureSelector, FeatureSet, top_terms
-from repro.preprocessing.tokenized import TokenizedCorpus
+import numpy as np
+
+from repro.features.base import (
+    ContingencySelector,
+    CorpusStatistics,
+    FeatureSet,
+)
+from repro.features.contingency import (
+    ContingencyTable,
+    exact_log2,
+    top_term_indices,
+)
 
 
 def mutual_information(stats: CorpusStatistics, term: str, category: str) -> float:
-    """MI(f, Cj) over the smoothed 2x2 contingency table (base-2 logs)."""
+    """MI(f, Cj) over the smoothed 2x2 contingency table (base-2 logs).
+
+    The scalar reference implementation; selection itself runs through
+    :func:`mutual_information_scores`.
+    """
     n_docs = stats.n_docs
     df = stats.document_frequency.get(term, 0)
     n_cat = stats.docs_per_category.get(category, 0)
@@ -44,7 +65,51 @@ def mutual_information(stats: CorpusStatistics, term: str, category: str) -> flo
     return score
 
 
-class MutualInformationSelector(FeatureSelector):
+def mutual_information_scores(
+    table: ContingencyTable, columns: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """``(n_terms, n_columns)`` MI scores over the smoothed 2x2 tables.
+
+    Mirrors the scalar accumulation cell for cell -- (f,C), (f,!C),
+    (!f,C), (!f,!C), in that order -- so the matrix is bit-identical to
+    :func:`mutual_information` entry for entry.
+
+    Args:
+        columns: optional category-column subset (used by the surgical
+            retrain path to score drifted categories only); defaults to
+            every category, in corpus order.
+    """
+    if columns is None:
+        a = table.a
+        n_cat = table.docs_per_category[None, :]
+    else:
+        a = table.a[:, list(columns)]
+        n_cat = table.docs_per_category[list(columns)][None, :]
+    n_docs = table.n_docs
+    df = table.df[:, None]
+
+    # Smoothed cells, shaped (n_terms, n_columns).
+    tt = a + 1
+    tf = df - a + 1
+    ft = n_cat - a + 1
+    ff = n_docs - df - n_cat + a + 1
+    total = n_docs + 4
+
+    score = np.zeros(tt.shape, dtype=np.float64)
+    for cell, row_mate, col_mate in (
+        (tt, tf, ft),
+        (tf, tt, ff),
+        (ft, ff, tt),
+        (ff, ft, tf),
+    ):
+        p_xy = cell / total
+        p_x = (cell + row_mate) / total
+        p_y = (cell + col_mate) / total
+        score += p_xy * exact_log2(p_xy / (p_x * p_y))
+    return score
+
+
+class MutualInformationSelector(ContingencySelector):
     """Select the ``n_features`` highest-MI terms independently per category."""
 
     name = "mi"
@@ -52,13 +117,33 @@ class MutualInformationSelector(FeatureSelector):
     def __init__(self, n_features: int = 300) -> None:
         super().__init__(n_features)
 
-    def select(self, tokenized: TokenizedCorpus) -> FeatureSet:
-        stats = self._statistics(tokenized)
+    def select_from(self, table: ContingencyTable) -> FeatureSet:
+        scores = mutual_information_scores(table)
         per_category: Dict[str, frozenset] = {}
-        for category in stats.categories:
-            scores = {
-                term: mutual_information(stats, term, category)
-                for term in stats.vocabulary
-            }
-            per_category[category] = top_terms(scores, self.n_features)
+        for j, category in enumerate(table.categories):
+            keep = top_term_indices(table.terms, scores[:, j], self.n_features)
+            per_category[category] = frozenset(
+                table.terms[i] for i in keep.tolist()
+            )
         return FeatureSet(method=self.name, per_category=per_category, scope="category")
+
+    def select_categories(
+        self,
+        tokenized,
+        categories: Sequence[str],
+        n_jobs: int = 0,
+    ) -> Dict[str, frozenset]:
+        """Score only the requested categories' columns (MI is purely
+        per-category, so a subset never changes the selected terms)."""
+        from repro.features.contingency import build_contingency
+
+        table = build_contingency(tokenized, n_jobs=n_jobs)
+        columns = [table.column(category) for category in categories]
+        scores = mutual_information_scores(table, columns=columns)
+        result: Dict[str, frozenset] = {}
+        for position, category in enumerate(categories):
+            keep = top_term_indices(
+                table.terms, scores[:, position], self.n_features
+            )
+            result[category] = frozenset(table.terms[i] for i in keep.tolist())
+        return result

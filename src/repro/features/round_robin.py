@@ -1,0 +1,157 @@
+"""Round-robin multi-label feature selection (extension; [11]).
+
+The Table 1 regime gives every category an independent budget, so
+nothing stops two categories from spending their budgets on the same
+few globally-strong terms while a rare category's best evidence is
+crowded out of the shared vocabulary.  Round-robin selection -- the
+multi-label balancing idea behind Yang & Pedersen's comparative study
+and the ``learning-to-weight`` feature-selection suite -- fixes the
+allocation instead of the scores:
+
+1. score every (term, category) pair with a base term-goodness
+   function over the shared contingency tensor (binary information
+   gain by default; chi-square or MI by choice);
+2. rank terms per category (score descending, alphabetical tie-break);
+3. draft in rounds: category order is corpus order, and on its turn a
+   category claims its best not-yet-claimed term.  A category leaves
+   the draft when its budget is filled or no unclaimed terms remain.
+
+Each category's vocabulary is exactly what it drafted, so the
+one-vs-rest suite's union vocabulary is balanced across categories (and
+disjoint: every term belongs to the category that valued it most, net
+of draft order).  The draft is fully deterministic -- counts, ranking
+and the round order contain no randomness -- so a fixed corpus always
+yields the same selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+import numpy as np
+
+from repro.features.base import ContingencySelector, FeatureSet
+from repro.features.chi_square import chi_square_scores
+from repro.features.contingency import ContingencyTable, ranked_order
+from repro.features.mutual_information import mutual_information_scores
+
+#: Base term-goodness functions a draft can rank by.
+RR_BASES = ("ig", "chi2", "mi")
+
+
+def _binary_entropy_terms(p: np.ndarray) -> np.ndarray:
+    """``p log2 p + (1-p) log2 (1-p)`` with ``0 log 0 = 0``."""
+    result = np.zeros_like(p)
+    for q in (p, 1.0 - p):
+        mask = q > 1e-12
+        result[mask] += q[mask] * np.log2(q[mask])
+    return result
+
+
+def binary_information_gain_scores(table: ContingencyTable) -> np.ndarray:
+    """``(n_terms, n_categories)`` one-vs-rest information gain.
+
+    The two-class reading of Eq. 1: how much does observing the term
+    reduce the entropy of *this category vs everything else*?  (The
+    corpus-wide IG selector sums over all categories at once; the
+    draft needs a per-category ranking, so each column here scores the
+    binary split.)
+    """
+    n_docs = table.n_docs
+    df = table.df[:, None].astype(np.float64)
+    a = table.a.astype(np.float64)
+    n_cat = table.docs_per_category[None, :].astype(np.float64)
+
+    p_f = df / n_docs
+    p_not_f = 1.0 - p_f
+    prior = -_binary_entropy_terms(n_cat / n_docs)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p_cat_given_f = np.where(df > 0, a / np.where(df > 0, df, 1.0), 0.0)
+        complement = n_docs - df
+        p_cat_given_not_f = np.where(
+            complement > 0,
+            (n_cat - a) / np.where(complement > 0, complement, 1.0),
+            0.0,
+        )
+    with_f = _binary_entropy_terms(p_cat_given_f)
+    without_f = _binary_entropy_terms(p_cat_given_not_f)
+    return prior + p_f * with_f + p_not_f * without_f
+
+
+def base_scores(table: ContingencyTable, base: str) -> np.ndarray:
+    """The per-category score matrix for one draft base."""
+    if base == "ig":
+        return binary_information_gain_scores(table)
+    if base == "chi2":
+        return chi_square_scores(table)
+    if base == "mi":
+        return mutual_information_scores(table)
+    raise ValueError(f"unknown round-robin base {base!r}; choose from {RR_BASES}")
+
+
+def round_robin_draft(
+    table: ContingencyTable, scores: np.ndarray, budget: int
+) -> Dict[str, FrozenSet[str]]:
+    """Draft ``budget`` terms per category from per-category rankings.
+
+    Every category either fills its budget or leaves only when all
+    terms are claimed, so the drafted sets are disjoint and
+    ``sum(len(terms)) == min(budget * n_categories, n_terms)``.
+    """
+    categories = table.categories
+    rankings = [
+        ranked_order(table.terms, scores[:, j]) for j in range(len(categories))
+    ]
+    pointers = [0] * len(categories)
+    claimed = np.zeros(table.n_terms, dtype=bool)
+    drafted: Dict[str, List[str]] = {category: [] for category in categories}
+
+    active = list(range(len(categories)))
+    while active:
+        remaining = []
+        for j in active:
+            ranking = rankings[j]
+            position = pointers[j]
+            while position < table.n_terms and claimed[ranking[position]]:
+                position += 1
+            if position >= table.n_terms:
+                continue  # vocabulary exhausted for everyone downstream
+            row = int(ranking[position])
+            claimed[row] = True
+            drafted[categories[j]].append(table.terms[row])
+            pointers[j] = position + 1
+            if len(drafted[categories[j]]) < budget:
+                remaining.append(j)
+        active = remaining
+
+    return {
+        category: frozenset(terms) for category, terms in drafted.items()
+    }
+
+
+class RoundRobinSelector(ContingencySelector):
+    """Draft ``n_features`` terms per category, round-robin, base-TSR ranked."""
+
+    name = "round_robin"
+
+    def __init__(self, n_features: int = 300, base: str = "ig") -> None:
+        super().__init__(n_features)
+        if base not in RR_BASES:
+            raise ValueError(
+                f"unknown round-robin base {base!r}; choose from {RR_BASES}"
+            )
+        self.base = base
+
+    def select_from(self, table: ContingencyTable) -> FeatureSet:
+        scores = base_scores(table, self.base)
+        per_category = round_robin_draft(table, scores, self.n_features)
+        return FeatureSet(
+            method=self.name, per_category=per_category, scope="category"
+        )
+
+    # The draft is a cross-category allocation: which terms one category
+    # gets depends on every other category's claims, so a subset cannot
+    # be re-scored in isolation -- the base-class default (full draft,
+    # then project the requested categories) is the correct semantics
+    # for surgical retrains and is inherited deliberately.

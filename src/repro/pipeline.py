@@ -35,9 +35,17 @@ from repro.runtime import RunContext, parallel_map
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.data.store import DatasetStore
 
-#: Table 1 defaults: method -> features selected (chi2 is an extension,
-#: given the same corpus-wide budget as DF/IG).
-DEFAULT_FEATURE_COUNTS = {"df": 1000, "ig": 1000, "mi": 300, "nouns": 100, "chi2": 1000}
+#: Table 1 defaults: method -> features selected (chi2 and round_robin
+#: are extensions: chi2 gets the corpus-wide DF/IG budget, round_robin
+#: the per-category MI budget).
+DEFAULT_FEATURE_COUNTS = {
+    "df": 1000,
+    "ig": 1000,
+    "mi": 300,
+    "nouns": 100,
+    "chi2": 1000,
+    "round_robin": 300,
+}
 
 
 @dataclass(frozen=True)
@@ -45,7 +53,8 @@ class ProSysConfig:
     """End-to-end configuration.
 
     Attributes:
-        feature_method: ``"df"``, ``"ig"``, ``"mi"`` or ``"nouns"``.
+        feature_method: ``"df"``, ``"ig"``, ``"mi"``, ``"nouns"``,
+            ``"chi2"`` or ``"round_robin"``.
         n_features: override of the method's Table 1 default.
         som_epochs: SOM training epochs for both hierarchy levels.
         char_shape / word_shape: SOM grid sizes (paper: 7x13 and 8x8).
@@ -177,7 +186,12 @@ class ProSysPipeline:
         with ctx.stage("tokenize"):
             self.tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
         with ctx.stage("features", method=config.feature_method):
-            self.feature_set = config.selector().select(self.tokenized)
+            # The contingency build fans out over categories on the same
+            # worker budget as the per-category stages; any n_jobs value
+            # yields the identical selection (integer count merging).
+            self.feature_set = config.selector().select(
+                self.tokenized, n_jobs=ctx.n_jobs
+            )
 
         encoder = HierarchicalSomEncoder(
             char_rows=config.char_shape[0],

@@ -159,17 +159,23 @@ class RetrainOrchestrator:
                     ctx=ctx.child("retrain", "reuse", category),
                 )
 
-        # 2. Re-select features on the extended corpus, then graft: the
-        #    drifted categories take their new term sets, everyone else
-        #    keeps the old ones (stable per-category fingerprints).
+        # 2. Re-select features on the extended corpus through the
+        #    contingency substrate -- for the drifted categories only
+        #    (``select_categories``; per-category selectors score just
+        #    those columns) -- then graft: the drifted categories take
+        #    their new term sets, everyone else keeps the old ones
+        #    byte for byte (stable per-category fingerprints, so kept
+        #    categories' dataset-store addresses cannot move).
         with ctx.stage("retrain_features", drifted=len(retrained)):
             tokenized = TokenizedCorpus(corpus, Preprocessor(stem=config.stem))
-            reselected = config.selector().select(tokenized)
+            reselected = config.selector().select_categories(
+                tokenized, retrained, n_jobs=ctx.n_jobs
+            )
             per_category = dict(old_features.per_category)
             features_changed: Dict[str, Tuple[int, int]] = {}
             for category in retrained:
                 old_terms = old_features.per_category[category]
-                new_terms = reselected.per_category[category]
+                new_terms = reselected[category]
                 features_changed[category] = (
                     len(old_terms - new_terms),
                     len(new_terms - old_terms),

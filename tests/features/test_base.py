@@ -78,6 +78,21 @@ def test_union_vocabulary():
     assert fs.union_vocabulary() == frozenset({"a", "b"})
 
 
+def test_union_vocabulary_many_disjoint_sets():
+    # Micro-regression for the single-union rewrite: the result over
+    # many disjoint per-category sets is the exact union, and the
+    # mapping's own sets are left untouched.
+    per_category = {
+        f"cat{i}": frozenset({f"term{i}_{j}" for j in range(20)})
+        for i in range(50)
+    }
+    fs = FeatureSet(method="mi", per_category=per_category, scope="category")
+    union = fs.union_vocabulary()
+    assert len(union) == 50 * 20
+    assert union == frozenset().union(*per_category.values())
+    assert all(terms <= union for terms in per_category.values())
+
+
 def test_selector_rejects_nonpositive_n():
     from repro.features import DocumentFrequencySelector
 

@@ -1,0 +1,150 @@
+"""Unit tests for the shared contingency tensor substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features.base import CorpusStatistics
+from repro.features.contingency import (
+    build_contingency,
+    exact_log2,
+    ranked_order,
+    top_term_indices,
+)
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+
+def _tokenized(docs, categories=("earn", "grain", "wheat")):
+    corpus = Corpus.from_documents(docs, categories=categories)
+    return TokenizedCorpus(corpus)
+
+
+def _tiny():
+    return _tokenized(
+        [
+            Document(doc_id=1, body="profit profit dividend", topics=("earn",)),
+            Document(doc_id=2, body="wheat crop profit", topics=("grain", "wheat")),
+            Document(doc_id=3, body="wheat tonnes", topics=("grain",), split="test"),
+        ]
+    )
+
+
+def test_tensor_shapes_and_counts():
+    table = build_contingency(_tiny())
+    assert table.n_docs == 2
+    assert table.categories == ("earn", "grain", "wheat")
+    assert table.terms == ("crop", "dividend", "profit", "wheat")
+    assert table.a.shape == (4, 3)
+    # "profit" is in both training docs; one is earn, one is grain+wheat.
+    profit = table.term_index["profit"]
+    assert table.df[profit] == 2
+    assert table.a[profit, 0] == 1  # earn
+    assert table.a[profit, 1] == 1  # grain
+    assert table.a[profit, 2] == 1  # wheat
+
+
+def test_test_split_terms_excluded():
+    table = build_contingency(_tiny())
+    assert "tonnes" not in table.term_index
+
+
+def test_derived_cells_are_consistent():
+    table = build_contingency(_tiny())
+    # A + B = df, A + C = docs_per_category, A+B+C+D = n_docs everywhere.
+    assert np.array_equal(table.a + table.b, np.broadcast_to(
+        table.df[:, None], table.a.shape))
+    assert np.array_equal(table.a + table.c, np.broadcast_to(
+        table.docs_per_category[None, :], table.a.shape))
+    total = table.a + table.b + table.c + table.d
+    assert np.all(total == table.n_docs)
+
+
+def test_multilabel_doc_counts_once_per_category():
+    table = build_contingency(_tiny())
+    assert table.docs_per_category.tolist() == [1, 1, 1]
+    wheat = table.term_index["wheat"]
+    assert table.a[wheat, 2] == 1
+
+
+def test_parallel_build_identical_to_inline():
+    inline = build_contingency(_tiny(), n_jobs=0)
+    forked = build_contingency(_tiny(), n_jobs=2)
+    assert inline.terms == forked.terms
+    assert inline.categories == forked.categories
+    assert np.array_equal(inline.a, forked.a)
+    assert np.array_equal(inline.df, forked.df)
+    assert np.array_equal(inline.docs_per_category, forked.docs_per_category)
+
+
+def test_tf_is_lazy_and_correct():
+    table = build_contingency(_tiny())
+    assert table._tf is None
+    profit = table.term_index["profit"]
+    assert table.tf[profit, 0] == 2  # "profit profit" in the earn doc
+    assert table.tf[profit, 1] == 1
+    assert table._tf is not None
+
+
+def test_statistics_view_matches_legacy_scan():
+    tokenized = _tiny()
+    from repro.features.legacy import LegacyStatistics
+
+    view = CorpusStatistics.from_tokenized(tokenized)
+    legacy = LegacyStatistics.from_tokenized(tokenized)
+    assert view.n_docs == legacy.n_docs
+    assert view.categories == legacy.categories
+    assert dict(view.document_frequency) == dict(legacy.document_frequency)
+    assert dict(view.docs_per_category) == dict(legacy.docs_per_category)
+    for category in legacy.categories:
+        assert dict(view.df_in_category[category]) == dict(
+            legacy.df_in_category[category]
+        )
+        assert dict(view.tf_in_category[category]) == dict(
+            legacy.tf_in_category[category]
+        )
+
+
+def test_statistics_view_tf_not_built_until_read():
+    stats = CorpusStatistics.from_tokenized(_tiny())
+    _ = stats.document_frequency
+    _ = stats.df_in_category
+    assert stats.table._tf is None
+    _ = stats.tf_in_category
+    assert stats.table._tf is not None
+
+
+def test_exact_log2_matches_math_log2_bitwise():
+    rng = np.random.default_rng(5)
+    values = rng.random(2000) * rng.choice([1e-9, 1e-3, 1.0, 1e4], size=2000)
+    values = values[values > 0]
+    vectorized = exact_log2(values)
+    for value, log in zip(values.tolist(), vectorized.tolist()):
+        assert log == math.log2(value)
+
+
+def test_ranked_order_matches_scalar_sort():
+    terms = ("b", "a", "d", "c")
+    scores = np.array([2.0, 1.0, 2.0, 3.0])
+    order = ranked_order(terms, scores)
+    assert [terms[i] for i in order.tolist()] == ["c", "b", "d", "a"]
+    keep = top_term_indices(terms, scores, 2)
+    assert {terms[i] for i in keep.tolist()} == {"c", "b"}
+
+
+def test_empty_category_column_is_zero():
+    tokenized = _tokenized(
+        [Document(doc_id=1, body="profit dividend", topics=("earn",))],
+        categories=("earn", "grain"),
+    )
+    table = build_contingency(tokenized)
+    assert table.docs_per_category.tolist() == [1, 0]
+    assert np.all(table.a[:, 1] == 0)
+
+
+def test_unknown_category_column_raises():
+    table = build_contingency(_tiny())
+    with pytest.raises(KeyError):
+        table.column("oil")

@@ -1,0 +1,175 @@
+"""Differential suite: vectorized selectors vs their scalar ancestors.
+
+Every vectorized selector must be *score-identical* -- not just
+rank-identical -- to the ``Counter``-scanning scalar implementation it
+replaced, term for term, on arbitrary corpora.  Hypothesis generates
+random multi-label corpora; the suite compares raw score values with
+``==`` (no tolerance) and the selected ``FeatureSet``s with equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import (
+    ChiSquareSelector,
+    DocumentFrequencySelector,
+    InformationGainSelector,
+    MutualInformationSelector,
+)
+from repro.features.chi_square import chi_square, chi_square_scores
+from repro.features.contingency import build_contingency
+from repro.features.information_gain import (
+    information_gain,
+    information_gain_scores,
+)
+from repro.features.legacy import LegacyStatistics, legacy_select
+from repro.features.mutual_information import (
+    mutual_information,
+    mutual_information_scores,
+)
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+CATEGORIES = ("earn", "grain", "crude")
+
+# Plain lowercase words that survive the tokenizer (len > 1) and the
+# stop-word filter.
+WORDS = st.sampled_from(
+    [
+        "profit", "wheat", "barrel", "dividend", "tonnes", "crop",
+        "drilling", "quarterly", "shipment", "market", "price", "export",
+    ]
+)
+
+DOCUMENTS = st.builds(
+    lambda i, words, topics, split: Document(
+        doc_id=i, body=" ".join(words), topics=tuple(sorted(topics)), split=split
+    ),
+    st.integers(0, 10_000),
+    st.lists(WORDS, min_size=1, max_size=12),
+    st.sets(st.sampled_from(CATEGORIES), min_size=1, max_size=3),
+    st.sampled_from(["train", "train", "train", "test"]),
+)
+
+
+def _tokenized(docs):
+    # Re-key doc ids so the token cache never collides.
+    docs = [
+        Document(
+            doc_id=i,
+            body=d.body,
+            topics=d.topics,
+            split=d.split,
+        )
+        for i, d in enumerate(docs)
+    ]
+    corpus = Corpus.from_documents(docs, categories=CATEGORIES)
+    return TokenizedCorpus(corpus)
+
+
+CORPORA = st.lists(DOCUMENTS, min_size=2, max_size=25).map(_tokenized)
+
+
+def _has_training_docs(tokenized):
+    return len(tokenized.train_documents) > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(CORPORA, st.integers(1, 20))
+def test_df_selection_identical(tokenized, n_features):
+    if not _has_training_docs(tokenized):
+        return
+    assert DocumentFrequencySelector(n_features).select(tokenized) == legacy_select(
+        "df", tokenized, n_features
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(CORPORA, st.integers(1, 20))
+def test_ig_scores_and_selection_identical(tokenized, n_features):
+    if not _has_training_docs(tokenized):
+        return
+    table = build_contingency(tokenized)
+    stats = LegacyStatistics.from_tokenized(tokenized)
+    vectorized = information_gain_scores(table)
+    for row, term in enumerate(table.terms):
+        assert vectorized[row] == information_gain(stats, term), term
+    assert InformationGainSelector(n_features).select(tokenized) == legacy_select(
+        "ig", tokenized, n_features
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(CORPORA, st.integers(1, 20))
+def test_mi_scores_and_selection_identical(tokenized, n_features):
+    if not _has_training_docs(tokenized):
+        return
+    table = build_contingency(tokenized)
+    stats = LegacyStatistics.from_tokenized(tokenized)
+    vectorized = mutual_information_scores(table)
+    for j, category in enumerate(table.categories):
+        for row, term in enumerate(table.terms):
+            assert vectorized[row, j] == mutual_information(
+                stats, term, category
+            ), (term, category)
+    assert MutualInformationSelector(n_features).select(tokenized) == legacy_select(
+        "mi", tokenized, n_features
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(CORPORA, st.integers(1, 20))
+def test_chi2_scores_and_selection_identical(tokenized, n_features):
+    if not _has_training_docs(tokenized):
+        return
+    table = build_contingency(tokenized)
+    stats = LegacyStatistics.from_tokenized(tokenized)
+    vectorized = chi_square_scores(table)
+    for j, category in enumerate(table.categories):
+        for row, term in enumerate(table.terms):
+            assert vectorized[row, j] == chi_square(stats, term, category), (
+                term,
+                category,
+            )
+    assert ChiSquareSelector(n_features).select(tokenized) == legacy_select(
+        "chi2", tokenized, n_features
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(CORPORA)
+def test_statistics_view_counts_identical(tokenized):
+    """The substrate-backed CorpusStatistics view is count-for-count the
+    legacy Counter scan."""
+    if not _has_training_docs(tokenized):
+        return
+    from repro.features.base import CorpusStatistics
+
+    view = CorpusStatistics.from_tokenized(tokenized)
+    legacy = LegacyStatistics.from_tokenized(tokenized)
+    assert dict(view.document_frequency) == dict(legacy.document_frequency)
+    assert dict(view.docs_per_category) == dict(legacy.docs_per_category)
+    for category in CATEGORIES:
+        assert dict(view.df_in_category[category]) == dict(
+            legacy.df_in_category[category]
+        )
+        assert dict(view.tf_in_category[category]) == dict(
+            legacy.tf_in_category[category]
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(CORPORA)
+def test_parallel_build_differential(tokenized):
+    """n_jobs > 0 merges per-job counts into the identical tensor."""
+    if not _has_training_docs(tokenized):
+        return
+    inline = build_contingency(tokenized, n_jobs=0)
+    forked = build_contingency(tokenized, n_jobs=2)
+    assert inline.terms == forked.terms
+    assert np.array_equal(inline.a, forked.a)
+    assert np.array_equal(inline.df, forked.df)

@@ -1,0 +1,161 @@
+"""Tests for the round-robin multi-label selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.document import Document
+from repro.corpus.reuters import Corpus
+from repro.features import ALL_SELECTORS, RoundRobinSelector
+from repro.features.contingency import build_contingency
+from repro.features.round_robin import (
+    RR_BASES,
+    base_scores,
+    binary_information_gain_scores,
+    round_robin_draft,
+)
+from repro.preprocessing.tokenized import TokenizedCorpus
+
+CATEGORIES = ("earn", "grain", "crude")
+WORDS = [
+    "profit", "wheat", "barrel", "dividend", "tonnes", "crop",
+    "drilling", "quarterly", "shipment", "market", "price", "export",
+]
+
+
+def _tokenized(docs, categories=CATEGORIES):
+    corpus = Corpus.from_documents(docs, categories=categories)
+    return TokenizedCorpus(corpus)
+
+
+def _corpus():
+    return _tokenized(
+        [
+            Document(doc_id=1, body="profit dividend quarterly", topics=("earn",)),
+            Document(doc_id=2, body="wheat crop tonnes", topics=("grain",)),
+            Document(doc_id=3, body="barrel drilling price", topics=("crude",)),
+            Document(doc_id=4, body="profit market price", topics=("earn", "crude")),
+            Document(doc_id=5, body="wheat shipment export", topics=("grain",)),
+        ]
+    )
+
+
+def test_registered_in_all_selectors():
+    assert ALL_SELECTORS["round_robin"] is RoundRobinSelector
+
+
+def test_unknown_base_rejected():
+    with pytest.raises(ValueError, match="round-robin base"):
+        RoundRobinSelector(10, base="tfidf")
+    table = build_contingency(_corpus())
+    with pytest.raises(ValueError, match="round-robin base"):
+        base_scores(table, "df")
+
+
+def test_scope_and_method():
+    feature_set = RoundRobinSelector(2).select(_corpus())
+    assert feature_set.method == "round_robin"
+    assert feature_set.scope == "category"
+    assert set(feature_set.per_category) == set(CATEGORIES)
+
+
+def test_drafted_sets_are_disjoint_and_budget_sized():
+    table = build_contingency(_corpus())
+    scores = base_scores(table, "ig")
+    drafted = round_robin_draft(table, scores, 2)
+    sets = list(drafted.values())
+    for i, left in enumerate(sets):
+        for right in sets[i + 1:]:
+            assert not (left & right)
+    assert sum(len(s) for s in sets) == min(2 * len(CATEGORIES), table.n_terms)
+
+
+def test_vocabulary_exhaustion_splits_everything():
+    # Budget far above the vocabulary: every term ends up claimed by
+    # exactly one category, none left over.
+    table = build_contingency(_corpus())
+    scores = base_scores(table, "chi2")
+    drafted = round_robin_draft(table, scores, 10_000)
+    union = frozenset().union(*drafted.values())
+    assert union == frozenset(table.terms)
+    assert sum(len(s) for s in drafted.values()) == table.n_terms
+
+
+def test_first_pick_is_each_categorys_best_term():
+    # With budget 1 and no earlier claims, round 1 hands every category
+    # its own top-ranked term (corpus category order breaks collisions).
+    table = build_contingency(_corpus())
+    scores = base_scores(table, "ig")
+    drafted = round_robin_draft(table, scores, 1)
+    claimed = set()
+    for j, category in enumerate(table.categories):
+        ranked = sorted(
+            range(table.n_terms),
+            key=lambda i: (-scores[i, j], table.terms[i]),
+        )
+        expected = next(i for i in ranked if table.terms[i] not in claimed)
+        assert drafted[category] == frozenset({table.terms[expected]})
+        claimed.add(table.terms[expected])
+
+
+def test_deterministic_across_builds():
+    for base in RR_BASES:
+        first = RoundRobinSelector(3, base=base).select(_corpus())
+        second = RoundRobinSelector(3, base=base).select(_corpus())
+        assert first == second
+
+
+def test_binary_ig_scores_shape_and_range():
+    table = build_contingency(_corpus())
+    scores = binary_information_gain_scores(table)
+    assert scores.shape == (table.n_terms, len(table.categories))
+    assert np.all(np.isfinite(scores))
+    # IG is a KL divergence decomposition: never negative (beyond noise).
+    assert scores.min() > -1e-12
+
+
+def test_select_categories_projects_full_draft():
+    selector = RoundRobinSelector(2)
+    full = selector.select(_corpus())
+    projected = selector.select_categories(_corpus(), ["grain"])
+    assert projected == {"grain": full.per_category["grain"]}
+
+
+DOCUMENTS = st.builds(
+    lambda words, topics: Document(
+        doc_id=0, body=" ".join(words), topics=tuple(sorted(topics))
+    ),
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=10),
+    st.sets(st.sampled_from(CATEGORIES), min_size=1, max_size=3),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(DOCUMENTS, min_size=1, max_size=20),
+    st.integers(1, 15),
+    st.sampled_from(RR_BASES),
+)
+def test_draft_invariants(docs, budget, base):
+    """Every category fills its budget or the vocabulary exhausts; the
+    drafted sets are disjoint and the draft is deterministic."""
+    docs = [
+        Document(doc_id=i, body=d.body, topics=d.topics)
+        for i, d in enumerate(docs)
+    ]
+    tokenized = _tokenized(docs)
+    table = build_contingency(tokenized)
+    if table.n_terms == 0:
+        return
+    scores = base_scores(table, base)
+    drafted = round_robin_draft(table, scores, budget)
+
+    total = sum(len(terms) for terms in drafted.values())
+    assert total == min(budget * len(table.categories), table.n_terms)
+    union = frozenset().union(*drafted.values())
+    assert len(union) == total  # disjoint
+    for terms in drafted.values():
+        assert len(terms) <= budget
+
+    assert round_robin_draft(table, scores, budget) == drafted

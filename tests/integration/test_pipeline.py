@@ -86,6 +86,7 @@ def test_default_config_feature_counts():
 
     assert DEFAULT_FEATURE_COUNTS == {
         "df": 1000, "ig": 1000, "mi": 300, "nouns": 100, "chi2": 1000,
+        "round_robin": 300,
     }
 
 
