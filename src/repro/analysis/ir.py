@@ -28,7 +28,6 @@ Design notes:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -303,11 +302,11 @@ class ProgramIR:
 
     def semantic_fingerprint(self) -> bytes:
         """Digest of the effective stream, byte-compatible with
-        :meth:`repro.gp.program.Program.semantic_fingerprint`."""
-        digest = hashlib.blake2b(digest_size=16)
-        for array in self.effective_fields():
-            digest.update(np.ascontiguousarray(array).tobytes())
-        return digest.digest()
+        :meth:`repro.gp.program.Program.semantic_fingerprint` (both
+        call :func:`repro.gp.program.fingerprint_fields`)."""
+        from repro.gp.program import fingerprint_fields
+
+        return fingerprint_fields(self.effective_fields())
 
     def hazards(self) -> Tuple[Hazard, ...]:
         """Numeric-safety patterns (protected division / clamp reliance)."""

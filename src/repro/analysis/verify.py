@@ -11,19 +11,28 @@ do that:
 * :func:`verify_packing` proves a :class:`~repro.gp.engine.PackedPrograms`
   batch is exactly the IR's effective streams: a permutation ordering,
   non-increasing lengths, per-slot fields, no-op padding, and the
-  ``active_counts`` schedule the fused kernel trusts blindly.
+  ``active_counts`` schedule the fused kernel trusts blindly.  With an
+  ``optimizer``, rows are checked against an independent re-optimization
+  of the IR's streams instead.
+* :func:`verify_optimized` proves one program's pack-time optimization
+  (:mod:`repro.gp.optimize`) is semantics-preserving: the re-encoded
+  stream decodes back to the packed fields, carries no structural
+  introns, and -- replayed under :meth:`Program.step` interpreter
+  semantics on deterministic probe documents -- reproduces the source
+  program's per-word output trace bit-for-bit.
 
-Both raise :class:`VerificationError` listing every discrepancy rather
+All raise :class:`VerificationError` listing every discrepancy rather
 than stopping at the first, so a failure report localises the bug.
 Setting ``REPRO_VERIFY_PACKING=1`` makes the fused engine call
-:func:`verify_packing` on every batch it packs (used by the CI smoke
-train run).
+:func:`verify_packing` on every batch it packs -- optimized batches
+included (used by the CI smoke train run).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from random import Random
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +40,16 @@ from repro.analysis.ir import Hazard, ProgramIR, decode_ir
 from repro.gp.config import GpConfig
 
 _FIELD_NAMES = ("modes", "opcodes", "dsts", "srcs")
+
+#: Fixed seed for the replay-probe documents -- verification must be
+#: deterministic so a CI failure reproduces locally.
+_PROBE_SEED = 0xC0FFEE
+
+#: Values that exercise the protective semantics: zero signs, exact
+#: identities, the protected-division threshold, and the register clamp.
+_PROBE_VALUES = (
+    0.0, -0.0, 1.0, -1.0, 0.5, -2.0, 1e-10, -1e-10, 1e12, -1e12, 3.25,
+)
 
 
 class VerificationError(AssertionError):
@@ -138,7 +157,107 @@ def verify_program(program) -> ProgramReport:
     return analyze_program(program)
 
 
-def verify_packing(packed, programs: Sequence, config: GpConfig) -> None:
+def _probe_sequences(config: GpConfig):
+    """Deterministic probe documents for the replay oracle.
+
+    A handful of short sequences mixing adversarial values (zero signs,
+    identities, the protected-division threshold, clamp-scale
+    magnitudes) with seeded pseudo-random magnitudes across many orders
+    of magnitude.
+    """
+    rng = Random(_PROBE_SEED)
+    sequences = []
+    for length in (1, 2, 5, 9):
+        rows = []
+        for _ in range(length):
+            rows.append([
+                rng.choice(_PROBE_VALUES)
+                if rng.random() < 0.5
+                else rng.uniform(-1.0, 1.0) * 10.0 ** rng.randint(-6, 6)
+                for _ in range(config.n_inputs)
+            ])
+        sequences.append(np.array(rows))
+    return sequences
+
+
+def verify_optimized(program, optimized=None):
+    """Prove a pack-time optimization of ``program`` is exact.
+
+    Checks, in order: the re-encoded code decodes (via the IR's
+    independent decoder) back to the packed field arrays; the optimized
+    stream carries no structural introns (the optimizer runs DCE to
+    fixpoint); and the optimized stream, *interpreted* under
+    :meth:`Program.step` reference semantics, reproduces the source
+    program's output-register trace bit-for-bit after every word of
+    every probe document.  An empty optimized stream must mean the
+    program's trace is identically ``0.0``.
+
+    Args:
+        program: the source :class:`~repro.gp.program.Program`.
+        optimized: the :class:`~repro.gp.optimize.OptimizedProgram`
+            under test (freshly computed when omitted).
+
+    Returns:
+        The verified :class:`~repro.gp.optimize.OptimizedProgram`.
+
+    Raises:
+        VerificationError: listing every discrepancy found.
+    """
+    from repro.gp.optimize import optimize_program
+    from repro.gp.program import Program
+
+    if optimized is None:
+        optimized = optimize_program(program)
+    config = program.config
+    errors: List[str] = []
+
+    decoded = decode_ir(optimized.code, config)
+    re_decoded = (
+        np.array([i.mode for i in decoded], dtype=np.int64),
+        np.array([i.opcode for i in decoded], dtype=np.int64),
+        np.array([i.dst for i in decoded], dtype=np.int64),
+        np.array([i.src for i in decoded], dtype=np.int64),
+    )
+    for name, field, expected in zip(_FIELD_NAMES, optimized.fields, re_decoded):
+        if not np.array_equal(field, expected):
+            errors.append(
+                f"optimized {name} {field.tolist()} do not survive the "
+                f"encode/decode round trip: IR reads {expected.tolist()}"
+            )
+
+    stream_ir = ProgramIR(optimized.code, config)
+    if stream_ir.effective_indices() != list(range(len(optimized.code))):
+        errors.append(
+            "optimized stream still carries structural introns at "
+            f"indices {stream_ir.intron_indices()}"
+        )
+
+    replay = (
+        Program(optimized.code, config) if optimized.code else None
+    )
+    for probe_index, sequence in enumerate(_probe_sequences(config)):
+        expected = program.trace_sequence(sequence)
+        got = (
+            replay.trace_sequence(sequence)
+            if replay is not None
+            else np.zeros(len(sequence))
+        )
+        if not np.array_equal(expected, got):
+            errors.append(
+                f"probe {probe_index}: optimized trace {got.tolist()} != "
+                f"source trace {expected.tolist()}"
+            )
+
+    if errors:
+        raise VerificationError(
+            "optimization fails verification:\n  " + "\n  ".join(errors)
+        )
+    return optimized
+
+
+def verify_packing(
+    packed, programs: Sequence, config: GpConfig, optimizer=None
+) -> None:
     """Prove a :class:`PackedPrograms` batch matches the IR exactly.
 
     Args:
@@ -147,6 +266,11 @@ def verify_packing(packed, programs: Sequence, config: GpConfig) -> None:
             and ``active_counts``).
         programs: the population it was built from, in original order.
         config: the engine configuration (defines the padding no-op).
+        optimizer: when the batch was packed through a
+            :class:`~repro.gp.optimize.ProgramOptimizer`, pass it here:
+            expected rows are then an *independent* re-optimization of
+            the IR's effective streams, and every optimization is
+            additionally replay-proven by :func:`verify_optimized`.
 
     Raises:
         VerificationError: listing every discrepancy found.
@@ -167,7 +291,24 @@ def verify_packing(packed, programs: Sequence, config: GpConfig) -> None:
         )
 
     irs = [ProgramIR.from_program(p) for p in programs]
-    ir_lengths = [len(ir.effective_indices()) for ir in irs]
+    if optimizer is None:
+        expected_rows = [ir.effective_fields() for ir in irs]
+    else:
+        from repro.gp.optimize import optimize_fields
+
+        # Re-derive each optimization from the IR's own decode of the
+        # effective stream (not the engine's cached one), then prove it
+        # exact against interpreter semantics.
+        reoptimized = [
+            optimize_fields(ir.effective_fields(), config) for ir in irs
+        ]
+        for program, optimized in zip(programs, reoptimized):
+            try:
+                verify_optimized(program, optimized)
+            except VerificationError as failure:
+                errors.append(str(failure))
+        expected_rows = [optimized.fields for optimized in reoptimized]
+    ir_lengths = [len(fields[0]) for fields in expected_rows]
     (noop,) = decode_ir([NOOP_INSTRUCTION], config)
 
     expected_lengths = [ir_lengths[order[row]] for row in range(n)]
@@ -189,7 +330,7 @@ def verify_packing(packed, programs: Sequence, config: GpConfig) -> None:
 
     noop_fields = (noop.mode, noop.opcode, noop.dst, noop.src)
     for row in range(n):
-        ir_fields = irs[order[row]].effective_fields()
+        ir_fields = expected_rows[order[row]]
         length = int(lengths[row])
         for name, field, expected, pad in zip(
             _FIELD_NAMES, packed_fields, ir_fields, noop_fields

@@ -102,6 +102,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["fused", "vectorised", "interpreted"],
                        help="RLGP evaluation engine (all three train "
                             "identical models; fused is fastest)")
+    train.add_argument("--no-gp-optimize", action="store_true",
+                       help="disable the fused engine's pack-time IR "
+                            "optimizer and fingerprint dedup (bit-exact "
+                            "either way; the flag exists for differential "
+                            "comparisons)")
+    train.add_argument("--gp-engine-dtype", default="float64",
+                       choices=["float64", "float32"],
+                       help="fused-engine register-bank dtype; float64 is "
+                            "bit-identical to the reference evaluators, "
+                            "float32 trades exactness for bandwidth")
     train.add_argument("--store", type=Path, default=None, metavar="STOREDIR",
                        help="content-addressed dataset store; encoded "
                             "sequences are loaded from it when present "
@@ -273,6 +283,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         gp=GpConfig().small(tournaments=args.tournaments, seed=args.seed),
         n_restarts=args.restarts,
         gp_engine=args.gp_engine,
+        gp_optimize=not args.no_gp_optimize,
+        gp_engine_dtype=args.gp_engine_dtype,
         seed=args.seed,
     )
     data_store = None
@@ -382,7 +394,14 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
 def _analyze_model(model_dir: Path) -> int:
     """Verify a saved model's champion programs against the IR oracle."""
-    from repro.analysis.verify import VerificationError, verify_program
+    from collections import Counter
+
+    from repro.analysis.ir import ProgramIR
+    from repro.analysis.verify import (
+        VerificationError,
+        verify_optimized,
+        verify_program,
+    )
     from repro.gp.program import Program
     from repro.persistence import _gp_config_from_dict, read_manifest
 
@@ -394,6 +413,7 @@ def _analyze_model(model_dir: Path) -> int:
         program = Program(payload["code"], _gp_config_from_dict(payload["gp"]))
         try:
             report = verify_program(program)
+            optimized = verify_optimized(program)
         except VerificationError as error:
             failures += 1
             print(f"  {category:10s} FAILED verification:")
@@ -405,6 +425,27 @@ def _analyze_model(model_dir: Path) -> int:
               f"({report.intron_fraction:.0%} introns), "
               f"recurrent state {live}, "
               f"inputs {','.join(f'I{i}' for i in report.inputs_read) or '-'}")
+        stats = optimized.stats
+        print(f"    optimization: {stats.n_effective} -> "
+              f"{stats.n_optimized} instructions "
+              f"({stats.folded_operands} operand(s) folded, "
+              f"{stats.eliminated} semantic intron(s) eliminated, "
+              f"{stats.passes} pass(es); replay-proven bit-exact)")
+        # Hazard deltas: optimization may fold away protected divisions
+        # or clamp-reliant chains; anything that remains is intrinsic to
+        # the champion's semantics.
+        before = Counter(
+            hazard.kind for hazard in report.hazards if hazard.effective
+        )
+        after = Counter(
+            hazard.kind for hazard in ProgramIR(
+                optimized.code, program.config
+            ).hazards()
+        )
+        for kind in sorted(before | after):
+            delta = after[kind] - before[kind]
+            print(f"    hazard delta {kind}: {before[kind]} -> "
+                  f"{after[kind]} ({delta:+d})")
         for hazard in report.hazards:
             status = "effective" if hazard.effective else "intron"
             print(f"    hazard[{status}] {hazard.kind}: {hazard.detail}")

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.gp.config import GpConfig
+from repro.gp.config import ENGINE_DTYPES, GpConfig
 from repro.gp.instructions import (
     MODE_CONSTANT,
     MODE_EXTERNAL,
@@ -51,6 +51,14 @@ from repro.gp.instructions import (
 )
 from repro.gp.program import DIV_EPSILON, Program, REGISTER_LIMIT
 from repro.gp.recurrent import PackedSequences, RecurrentEvaluator
+
+try:  # single-pass clamp without np.clip's per-call wrapper overhead
+    from numpy._core.umath import clip as _clip_ufunc
+except ImportError:  # pragma: no cover - older numpy layouts
+    try:
+        from numpy.core.umath import clip as _clip_ufunc
+    except ImportError:
+        _clip_ufunc = None
 
 #: The padding no-op: ``R0 = R0 * 1`` leaves every register bit-identical
 #: (multiplying by 1.0 is exact in IEEE-754, and the clamp is idempotent
@@ -107,6 +115,18 @@ def _register_engine_metrics(registry) -> Dict[str, object]:
         "cache_hit_rate": registry.gauge(
             "engine_cache_hit_rate", "hits / lookups over the cache lifetime"
         ),
+        "folded": registry.counter(
+            "engine_folded_instructions_total",
+            "instructions folded or eliminated by the pack-time optimizer",
+        ),
+        "dedup_hits": registry.counter(
+            "engine_dedup_hits_total",
+            "batch rows served by population-level fingerprint dedup",
+        ),
+        "block_sweeps": registry.counter(
+            "engine_block_sweeps_total",
+            "document-block register-bank sweeps",
+        ),
     }
 
 
@@ -128,13 +148,17 @@ class PackedPrograms:
         order: original index of each sorted row.
         active_counts: ``active_counts[i]`` = programs whose effective
             code reaches slot ``i`` (a prefix of the sorted rows).
+        levels: ``(n_programs, max_len)`` dependency level of every
+            instruction (:func:`repro.gp.optimize.schedule_levels`),
+            row-aligned with ``modes``; cached per unique program by
+            the optimizer, so warm packs skip the analysis.
     """
 
     __slots__ = ("modes", "opcodes", "dsts", "srcs", "lengths", "order",
-                 "active_counts")
+                 "active_counts", "levels")
 
     def __init__(self, modes, opcodes, dsts, srcs, lengths, order,
-                 active_counts) -> None:
+                 active_counts, levels) -> None:
         self.modes = modes
         self.opcodes = opcodes
         self.dsts = dsts
@@ -142,13 +166,36 @@ class PackedPrograms:
         self.lengths = lengths
         self.order = order
         self.active_counts = active_counts
+        self.levels = levels
 
     @classmethod
     def from_programs(
-        cls, programs: Sequence[Program], config: GpConfig
+        cls,
+        programs: Sequence[Program],
+        config: GpConfig,
+        optimizer=None,
     ) -> "PackedPrograms":
-        """Pack the (cached) effective fields of ``programs``."""
-        fields = [program.effective_fields() for program in programs]
+        """Pack the (cached) effective fields of ``programs``.
+
+        Args:
+            optimizer: optional
+                :class:`~repro.gp.optimize.ProgramOptimizer`; when given,
+                each program's *optimized* stream (constants folded,
+                semantic introns eliminated) is packed instead of its
+                structural effective stream.  Optimized streams are
+                bit-exact, so the sweep's outputs are unchanged.
+        """
+        from repro.gp.optimize import schedule_levels
+
+        if optimizer is not None:
+            optimized = [optimizer.optimize(p) for p in programs]
+            fields = [o.fields for o in optimized]
+            level_rows = [o.levels(config.n_registers) for o in optimized]
+        else:
+            fields = [program.effective_fields() for program in programs]
+            level_rows = [
+                schedule_levels(f, config.n_registers) for f in fields
+            ]
         raw_lengths = np.array([len(f[0]) for f in fields], dtype=np.int64)
         order = np.argsort(-raw_lengths, kind="stable")
         lengths = raw_lengths[order]
@@ -158,6 +205,7 @@ class PackedPrograms:
         opcodes = np.full((n_programs, max_len), _NOOP_OPCODE, dtype=np.int64)
         dsts = np.full((n_programs, max_len), _NOOP_DST, dtype=np.int64)
         srcs = np.full((n_programs, max_len), _NOOP_SRC, dtype=np.int64)
+        levels = np.zeros((n_programs, max_len), dtype=np.int64)
         for row, original in enumerate(order):
             mode, opcode, dst, src = fields[original]
             n = len(mode)
@@ -165,9 +213,12 @@ class PackedPrograms:
             opcodes[row, :n] = opcode
             dsts[row, :n] = dst
             srcs[row, :n] = src
+            levels[row, :n] = level_rows[original]
         slots = np.arange(max_len)
         active_counts = np.searchsorted(-lengths, -(slots + 1), side="right")
-        return cls(modes, opcodes, dsts, srcs, lengths, order, active_counts)
+        return cls(
+            modes, opcodes, dsts, srcs, lengths, order, active_counts, levels
+        )
 
     @property
     def n_programs(self) -> int:
@@ -179,40 +230,32 @@ class PackedPrograms:
 
 
 class _Slot:
-    """Precomputed execution plan for one instruction slot.
+    """Precomputed execution plan for one scheduled *level*.
 
-    Within a slot the programs are independent, so their rows may be
-    permuted freely: sorting by opcode turns the opcode groups into
-    contiguous *slices* (in-place ufuncs on views, no masked copies),
-    and the permutation rides along for free inside the flattened
-    gather/scatter index arrays.
+    A level holds mutually independent instructions -- one or more per
+    program (see :func:`repro.gp.optimize.schedule_levels`).  Entries
+    arrive sorted by opcode, so the opcode groups are contiguous
+    *slices* (in-place ufuncs on views, no masked copies).
+
+    Every operand lives in one *extended* register bank laid out as
+    ``[zero row | instruction defs | input rows | constant rows]``
+    (see :meth:`FusedEngine._schedule`), so the single
+    fancy-indexed gather of ``flat_pair`` fetches each instruction's
+    running destination value *and* its source: no per-mode fill-in
+    passes.  Each instruction owns the def row numbered by its slot
+    position, so this slot *writes* the contiguous bank rows
+    ``[def_lo, def_hi)`` -- the group ufuncs emit straight into the
+    bank and there is no scatter pass at all.
     """
 
-    __slots__ = ("flat_dst", "flat_src", "ext_rows", "ext_src",
-                 "const_rows", "const_vals", "groups")
+    __slots__ = ("flat_pair", "size", "def_lo", "def_hi", "groups")
 
-    def __init__(self, modes, opcodes, dsts, srcs, n_registers: int) -> None:
-        perm = np.argsort(opcodes, kind="stable")
-        modes = modes[perm]
-        opcodes = opcodes[perm]
-        srcs = srcs[perm]
-        internal = modes == MODE_INTERNAL
-        external = modes == MODE_EXTERNAL
-        constant = modes == MODE_CONSTANT
-        # Flat row indices into the (n_programs * n_registers, n_docs)
-        # register bank; source indices are forced in-range for
-        # non-internal rows (the gathered value is overwritten below).
-        self.flat_dst = perm * n_registers + dsts[perm]
-        self.flat_src = perm * n_registers + np.where(internal, srcs, 0)
-        self.ext_rows = np.flatnonzero(external) if external.any() else None
-        self.ext_src = srcs[self.ext_rows] if self.ext_rows is not None else None
-        self.const_rows = np.flatnonzero(constant) if constant.any() else None
-        self.const_vals = (
-            srcs[self.const_rows].astype(float)[:, None]
-            if self.const_rows is not None
-            else None
-        )
-        # Contiguous opcode runs in the permuted order.
+    def __init__(self, opcodes, prev_rows, src_rows, def_lo) -> None:
+        self.flat_pair = np.concatenate((prev_rows, src_rows))
+        self.size = len(opcodes)
+        self.def_lo = int(def_lo)
+        self.def_hi = self.def_lo + self.size
+        # Contiguous opcode runs in the presorted order.
         self.groups = []
         boundaries = np.flatnonzero(np.diff(opcodes)) + 1
         for start, stop in zip(
@@ -220,6 +263,27 @@ class _Slot:
             np.concatenate((boundaries, [len(opcodes)])),
         ):
             self.groups.append((int(opcodes[start]), slice(int(start), int(stop))))
+
+
+class _SweepPlan:
+    """A full sweep's execution plan: slots plus bank geometry.
+
+    Attributes:
+        slots: one :class:`_Slot` per dependency level.
+        const_vals: distinct constant immediates, prefilled as bank rows.
+        out_rows: per sorted program row, the bank row holding the
+            output register's value after each word (its final def row,
+            or the always-zero initial row for empty streams).
+        n_rows: total extended-bank rows.
+    """
+
+    __slots__ = ("slots", "const_vals", "out_rows", "n_rows")
+
+    def __init__(self, slots, const_vals, out_rows, n_rows) -> None:
+        self.slots = slots
+        self.const_vals = const_vals
+        self.out_rows = out_rows
+        self.n_rows = n_rows
 
 
 class SemanticCache:
@@ -289,6 +353,15 @@ class SemanticCache:
             self._entries.popitem(last=False)
 
 
+#: Auto-blocking targets register banks of roughly this many bytes so the
+#: working set stays cache-resident on large document batches.
+_BLOCK_BYTES = 4 << 20
+
+#: Retained (packing, sweep plan) pairs per engine (see
+#: :meth:`FusedEngine._packed_plan`); entries are a few hundred KB.
+_PLAN_CACHE_SIZE = 8
+
+
 class FusedEngine:
     """Scores whole populations in one numpy pass.
 
@@ -296,17 +369,60 @@ class FusedEngine:
         config: the GP configuration shared by every program evaluated.
         metrics: registry for activity counters (shared engine registry
             by default).
+        optimize: run the pack-time IR optimizer
+            (:class:`~repro.gp.optimize.ProgramOptimizer`) so the sweep
+            executes folded, semantic-intron-free streams.  Bit-exact;
+            on by default.
+        dedup: population-level fingerprint dedup -- semantically
+            identical programs in a batch are swept once and their rows
+            scattered back.  Bit-exact (fingerprint-equal programs have
+            identical outputs by construction); on by default.
+        dtype: register-bank dtype, one of
+            :data:`~repro.gp.config.ENGINE_DTYPES`.  The default
+            ``"float64"`` is bit-identical to the per-program
+            evaluators; ``"float32"`` halves bank traffic at reduced
+            precision (opt-in, not bit-exact).
+        block_docs: sweep the document axis in blocks of this many
+            columns (0 = automatic: blocks only when the register bank
+            would exceed ~4 MiB, so small batches keep the single-sweep
+            fast path).  Documents are independent, so blocking never
+            changes outputs.
 
     A single-program call delegates to the vectorised
     :class:`RecurrentEvaluator` (same numbers, less slot machinery); the
     fused kernel takes over from two programs up.
     """
 
-    def __init__(self, config: GpConfig, metrics=None) -> None:
+    def __init__(
+        self,
+        config: GpConfig,
+        metrics=None,
+        optimize: bool = True,
+        dedup: bool = True,
+        dtype: str = "float64",
+        block_docs: int = 0,
+    ) -> None:
+        if dtype not in ENGINE_DTYPES:
+            raise ValueError(
+                f"unknown engine dtype {dtype!r}; choose from {ENGINE_DTYPES}"
+            )
+        if block_docs < 0:
+            raise ValueError(f"block_docs must be >= 0, got {block_docs}")
         self.config = config
         self.evaluator = RecurrentEvaluator(config)
         registry = metrics if metrics is not None else shared_metrics()
         self._metrics = _register_engine_metrics(registry)
+        self._dedup = dedup
+        self._dtype = np.dtype(dtype)
+        self._block_docs = block_docs
+        if optimize:
+            from repro.gp.optimize import ProgramOptimizer
+
+            self.optimizer: Optional[ProgramOptimizer] = ProgramOptimizer(
+                config, metrics=registry
+            )
+        else:
+            self.optimizer = None
         # With REPRO_VERIFY_PACKING=1 every packed batch is checked
         # against the IR dataflow oracle (repro.analysis.verify) before
         # it runs -- used by the CI smoke train; far too slow for real
@@ -314,6 +430,9 @@ class FusedEngine:
         self._verify_packing = os.environ.get(
             "REPRO_VERIFY_PACKING", ""
         ) not in ("", "0")
+        self._plan_cache: "OrderedDict[Tuple[bytes, ...], Tuple[PackedPrograms, Optional[_SweepPlan]]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -342,9 +461,51 @@ class FusedEngine:
         """
         programs = list(programs)
         n_docs = len(packed)
-        self._count(programs, packed)
+        if self._dedup and len(programs) > 1:
+            unique, rows = self._dedup_rows(programs)
+        else:
+            unique, rows = programs, None
+        self._count(programs, unique, packed)
         if not programs:
             return np.zeros((0, n_docs))
+        raws = self._outputs_unique(unique, packed, n_jobs)
+        if rows is None:
+            return raws
+        # Scatter the unique sweeps back onto the caller's rows.
+        return raws[rows]
+
+    def _dedup_rows(
+        self, programs: Sequence[Program]
+    ) -> Tuple[List[Program], Optional[np.ndarray]]:
+        """Unique-semantics representatives plus the row scatter map.
+
+        Fingerprint-equal programs produce identical outputs on every
+        input (the fingerprint digests the effective stream), so one
+        sweep per unique fingerprint is exact.  Returns ``(programs,
+        None)`` when every row is unique -- the fast path allocates
+        nothing.
+        """
+        index: Dict[bytes, int] = {}
+        unique: List[Program] = []
+        rows = np.empty(len(programs), dtype=np.intp)
+        hits = 0
+        for i, program in enumerate(programs):
+            slot = index.get(program.semantic_fingerprint())
+            if slot is None:
+                slot = len(unique)
+                index[program.semantic_fingerprint()] = slot
+                unique.append(program)
+            else:
+                hits += 1
+            rows[i] = slot
+        if not hits:
+            return list(programs), None
+        self._metrics["dedup_hits"].inc(hits)
+        return unique, rows
+
+    def _outputs_unique(
+        self, programs: List[Program], packed: PackedSequences, n_jobs: int
+    ) -> np.ndarray:
         if len(programs) == 1:
             return self.evaluator.outputs(programs[0], packed).reshape(1, -1)
         if n_jobs > 1 and len(programs) > n_jobs:
@@ -365,106 +526,301 @@ class FusedEngine:
     def _outputs_fused(
         self, programs: Sequence[Program], packed: PackedSequences
     ) -> np.ndarray:
-        population = PackedPrograms.from_programs(programs, self.config)
-        if self._verify_packing:
-            from repro.analysis.verify import verify_packing
-
-            verify_packing(population, programs, self.config)
+        population, plan = self._packed_plan(programs)
         with np.errstate(over="ignore", invalid="ignore"):
-            finals = self._sweep(population, packed)
+            finals = self._sweep(population, packed, plan)
         # Undo both sorts: program rows and document columns.
         outputs = np.zeros_like(finals)
         outputs[np.ix_(population.order, packed.order)] = finals
         return outputs
 
+    def _packed_plan(
+        self, programs: Sequence[Program]
+    ) -> Tuple[PackedPrograms, Optional["_SweepPlan"]]:
+        """Memoized ``(packing, sweep plan)`` for one program batch.
+
+        The *ordered* semantic fingerprints fully determine the packed
+        streams (the optimizer is a pure function of the effective
+        stream, and the pack's length-sort is stable) and therefore the
+        plan -- so rescoring an unchanged batch skips re-packing and
+        re-scheduling entirely.  Steady-state training hits this
+        constantly: model-selection passes and post-dedup tournament
+        batches repeat across calls.  ``REPRO_VERIFY_PACKING`` verifies
+        on build; a cache hit returns an already-verified packing.
+        """
+        key = tuple(p.semantic_fingerprint() for p in programs)
+        hit = self._plan_cache.get(key)
+        if hit is not None:
+            self._plan_cache.move_to_end(key)
+            return hit
+        population = PackedPrograms.from_programs(
+            programs, self.config, optimizer=self.optimizer
+        )
+        if self._verify_packing:
+            from repro.analysis.verify import verify_packing
+
+            verify_packing(
+                population, programs, self.config, optimizer=self.optimizer
+            )
+        plan = self._schedule(population) if population.max_len else None
+        self._plan_cache[key] = (population, plan)
+        if len(self._plan_cache) > _PLAN_CACHE_SIZE:
+            self._plan_cache.popitem(last=False)
+        return population, plan
+
+    def _block_size(self, n_rows: int, n_docs: int) -> int:
+        """Documents per bank sweep (cache-aware blocking).
+
+        An explicit ``block_docs`` wins; otherwise blocks are sized so
+        one extended bank (``plan.n_rows x block``) stays around
+        :data:`_BLOCK_BYTES` -- small batches (the training workload)
+        fit in one block and skip the blocking loop entirely.
+        """
+        if self._block_docs:
+            return min(self._block_docs, n_docs)
+        per_doc = n_rows * self._dtype.itemsize
+        return max(64, _BLOCK_BYTES // max(per_doc, 1))
+
+    def _schedule(self, population: PackedPrograms) -> "_SweepPlan":
+        """Level-scheduled execution plan for one register-bank sweep.
+
+        Each program's packed stream is list-scheduled into dependency
+        levels (:func:`repro.gp.optimize.schedule_levels`, cached per
+        unique program by the optimizer); level ``s`` of every program
+        executes in one slot, so the sweep runs ``max(depth)`` slots
+        per word instead of ``max(length)`` -- identical instructions
+        and arithmetic, ~3x fewer dispatches.
+
+        Operands are rebased onto an *extended*, SSA-style bank layout
+        ``[zero row | instruction defs | input rows | constant rows]``.
+        Each instruction owns one *def row*, numbered in slot order so
+        a slot's writes are the contiguous rows ``[def_lo, def_hi)`` --
+        the compute ufuncs write straight into the bank, eliminating
+        the scatter pass.  A read of register ``r`` resolves statically
+        to the def row of the most recent write before it in program
+        order; with no earlier write it wraps to ``r``'s *final* def
+        row, which still holds the previous word's value when the
+        reader executes (the scheduler's WAR constraint places that
+        final write at the reader's level or later, and a slot gathers
+        all operands before writing any result) -- exactly the
+        recurrent entry semantics.  A register never written anywhere
+        in its program is zero at every word, so all such reads share
+        the single always-zero row 0 (nothing ever writes it: defs,
+        inputs, and constants own every other row).  External reads
+        point at the input rows (refreshed per word) and constant
+        immediates at one prefilled row per distinct value.  Plans are
+        built once and reused by every document block.
+        """
+        n_registers = self.config.n_registers
+        n_programs = population.n_programs
+        lengths = population.lengths
+        # Row-major flattening of every effective instruction, paired
+        # with its program row and scheduled level.
+        mask = np.arange(population.max_len)[None, :] < lengths[:, None]
+        rows = np.repeat(np.arange(n_programs), lengths)
+        modes = population.modes[mask]
+        opcodes = population.opcodes[mask]
+        dsts = population.dsts[mask]
+        srcs = population.srcs[mask]
+        levels = population.levels[mask]
+        n_entries = len(rows)
+        def_base = 1  # row 0 is the shared always-zero row
+        # Def rows are numbered by (level, opcode) rank so every slot's
+        # defs are contiguous and its opcode groups are runs.
+        order = np.lexsort((opcodes, levels))
+        def_row = np.empty(n_entries, dtype=np.int64)
+        def_row[order] = def_base + np.arange(n_entries)
+        # Static read resolution per (program, register), walking each
+        # program in original instruction order.
+        reg_key = (rows * n_registers + dsts).astype(np.int64)
+        final_def = {}
+        for i in range(n_entries):
+            final_def[reg_key[i]] = def_row[i]
+        prev_rows = np.empty(n_entries, dtype=np.int64)
+        src_rows = np.empty(n_entries, dtype=np.int64)
+        ext_base = def_base + n_entries
+        const_base = ext_base + self.config.n_inputs
+        const_vals, const_index = np.unique(
+            srcs[modes == MODE_CONSTANT], return_inverse=True
+        )
+        running = {}
+        mode_list = modes.tolist()
+        src_list = srcs.tolist()
+        key_list = reg_key.tolist()
+        def_list = def_row.tolist()
+        row_list = (rows * n_registers).tolist()
+        const_iter = iter(const_index.tolist())
+        for i in range(n_entries):
+            key = key_list[i]
+            # The entry itself writes ``key``, so ``final_def`` always
+            # holds it: the destination read never hits the zero row.
+            prev_rows[i] = running.get(key, final_def[key])
+            mode = mode_list[i]
+            if mode == MODE_INTERNAL:
+                src_key = row_list[i] + src_list[i]
+                src_rows[i] = running.get(
+                    src_key, final_def.get(src_key, 0)
+                )
+            elif mode == MODE_EXTERNAL:
+                src_rows[i] = ext_base + src_list[i]
+            else:
+                src_rows[i] = const_base + next(const_iter)
+            running[key] = def_list[i]
+        sorted_levels = levels[order]
+        bounds = np.searchsorted(
+            sorted_levels, np.arange(int(sorted_levels[-1]) + 2)
+        )
+        slots = [
+            _Slot(opcodes[order[lo:hi]], prev_rows[order[lo:hi]],
+                  src_rows[order[lo:hi]], def_base + lo)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        # Output row per program: final def of the output register, or
+        # the shared zero row if never written.
+        out_reg = self.config.output_register
+        out_rows = np.array(
+            [
+                final_def.get(p * n_registers + out_reg, 0)
+                for p in range(n_programs)
+            ],
+            dtype=np.int64,
+        )
+        return _SweepPlan(
+            slots, const_vals.astype(self._dtype), out_rows,
+            def_base + n_entries + self.config.n_inputs + len(const_vals),
+        )
+
     def _sweep(
-        self, population: PackedPrograms, packed: PackedSequences
+        self,
+        population: PackedPrograms,
+        packed: PackedSequences,
+        plan: Optional["_SweepPlan"],
     ) -> np.ndarray:
         """Time-axis sweep; finals in the packed (sorted x sorted) order."""
         n_programs = population.n_programs
         n_docs = len(packed)
-        finals = np.zeros((n_programs, n_docs))
-        if n_docs == 0 or population.max_len == 0:
+        finals = np.zeros((n_programs, n_docs), dtype=self._dtype)
+        if n_docs == 0 or population.max_len == 0 or plan is None:
             return finals
-        # Slot i touches only the first active_counts[i] (sorted) rows --
-        # every instruction the plan executes is effective.
-        n_registers = self.config.n_registers
-        slots = [
-            _Slot(
-                population.modes[: int(count), i],
-                population.opcodes[: int(count), i],
-                population.dsts[: int(count), i],
-                population.srcs[: int(count), i],
-                n_registers,
+        block = self._block_size(plan.n_rows, n_docs)
+        for start in range(0, n_docs, block):
+            self._metrics["block_sweeps"].inc()
+            self._sweep_block(
+                packed, plan, start, min(start + block, n_docs), finals
             )
-            for i, count in enumerate(population.active_counts)
-        ]
-        registers = np.zeros((n_programs, n_registers, n_docs))
-        bank = registers.reshape(n_programs * n_registers, n_docs)
-        out_reg = self.config.output_register
+        return finals
+
+    def _sweep_block(
+        self,
+        packed: PackedSequences,
+        plan: "_SweepPlan",
+        start: int,
+        stop: int,
+        finals: np.ndarray,
+    ) -> None:
+        """Sweep packed documents ``[start, stop)`` into ``finals``.
+
+        Documents are sorted by decreasing length, so the block's active
+        set at step ``t`` is ``[start, min(stop, active_counts[t]))`` --
+        a prefix of the block, exactly like the unblocked sweep.
+        Per-document state lives in the bank's columns, so blocking
+        cannot change any output.
+        """
+        n_inputs = self.config.n_inputs
+        width = stop - start
+        n_const = len(plan.const_vals)
+        ext_lo = plan.n_rows - n_const - n_inputs
+        bank = np.zeros((plan.n_rows, width), dtype=self._dtype)
+        # Constant rows are valid at any active width: prefill once.
+        if n_const:
+            bank[ext_lo + n_inputs :] = plan.const_vals[:, None]
         max_len = packed.inputs.shape[1]
 
         for t in range(max_len):
-            n_active = int(packed.active_counts[t])
-            if n_active == 0:
+            n_active = min(int(packed.active_counts[t]), stop) - start
+            if n_active <= 0:
                 break
             live = bank[:, :n_active]
-            inputs_t = packed.inputs[:n_active, t, :].T  # (n_inputs, n_active)
-            for slot in slots:
-                # Gather R[dst] and the source operand of every program.
-                # (Plain fancy indexing: np.take degrades badly on the
-                # non-contiguous column slice.)
-                current = live[slot.flat_dst]
-                source = live[slot.flat_src]
-                if slot.ext_rows is not None:
-                    source[slot.ext_rows] = inputs_t[slot.ext_src]
-                if slot.const_rows is not None:
-                    source[slot.const_rows] = slot.const_vals
-                # Opcode groups are contiguous views: compute in place.
+            live[ext_lo : ext_lo + n_inputs] = packed.inputs[
+                start : start + n_active, t, :
+            ].T
+            for slot in plan.slots:
+                # One gather fetches each instruction's running
+                # destination value *and* its source (def rows, inputs,
+                # constants all live in the extended bank), and because
+                # the fancy-indexed gather copies, every operand is
+                # pinned before the slot writes anything -- required by
+                # the wrap-around reads of same-level final defs.
+                pair = live[slot.flat_pair]
+                current = pair[: slot.size]
+                source = pair[slot.size :]
+                defs = live[slot.def_lo : slot.def_hi]
+                # Opcode groups are contiguous runs: each ufunc emits
+                # straight into the slot's own def rows -- no scatter.
                 for opcode, group in slot.groups:
                     cur = current[group]
                     src = source[group]
                     if opcode == OP_ADD:
-                        np.add(cur, src, out=cur)
+                        np.add(cur, src, out=defs[group])
                     elif opcode == OP_SUB:
-                        np.subtract(cur, src, out=cur)
+                        np.subtract(cur, src, out=defs[group])
                     elif opcode == OP_MUL:
-                        np.multiply(cur, src, out=cur)
+                        np.multiply(cur, src, out=defs[group])
                     else:
                         # Protected division: a ~0 denominator becomes 1,
                         # and x / 1.0 == x bit-exactly, so the protected
                         # lanes keep the numerator -- identical semantics
                         # to the vectorised evaluator and the interpreter.
                         src[np.abs(src) < DIV_EPSILON] = 1.0
-                        np.divide(cur, src, out=cur)
-                # Clamp via raw ufuncs (np.clip's wrapper is too slow at
-                # this call frequency -- same trick as the vectorised
-                # evaluator), then scatter back.
-                np.maximum(current, -REGISTER_LIMIT, out=current)
-                np.minimum(current, REGISTER_LIMIT, out=current)
-                live[slot.flat_dst] = current
+                        np.divide(cur, src, out=defs[group])
+                # Single-pass clamp in place on the def rows (the raw
+                # clip ufunc skips np.clip's wrapper, which is too slow
+                # at this call frequency).
+                if _clip_ufunc is not None:
+                    _clip_ufunc(defs, -REGISTER_LIMIT, REGISTER_LIMIT, defs)
+                else:  # pragma: no cover - older numpy layouts
+                    np.maximum(defs, -REGISTER_LIMIT, out=defs)
+                    np.minimum(defs, REGISTER_LIMIT, out=defs)
             # Documents ending at step t occupy a suffix of the active
-            # prefix (lengths sorted descending): snapshot their outputs.
-            still_active = (
+            # prefix (lengths sorted descending): snapshot each
+            # program's output row for them.
+            still_global = (
                 int(packed.active_counts[t + 1]) if t + 1 < max_len else 0
             )
+            still_active = min(max(still_global - start, 0), n_active)
             if still_active < n_active:
-                finals[:, still_active:n_active] = registers[
-                    :, out_reg, still_active:n_active
+                finals[:, start + still_active : start + n_active] = bank[
+                    plan.out_rows, still_active:n_active
                 ]
-        return finals
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
-    def _count(self, programs: List[Program], packed: PackedSequences) -> None:
+    def _count(
+        self,
+        programs: List[Program],
+        unique: List[Program],
+        packed: PackedSequences,
+    ) -> None:
+        """``programs``/``documents`` count requested (logical) work;
+        ``instructions`` counts what actually executes after dedup and
+        optimization."""
         n_docs = len(packed)
         total_words = int(packed.active_counts.sum()) if n_docs else 0
-        effective = sum(len(p.effective_fields()[0]) for p in programs)
+        if len(unique) == 1:
+            # The single-program path delegates to the vectorised
+            # evaluator, which runs the structural effective stream.
+            executed = len(unique[0].effective_fields()[0])
+        elif self.optimizer is not None:
+            executed = sum(
+                self.optimizer.optimize(p).stats.n_optimized for p in unique
+            )
+        else:
+            executed = sum(len(p.effective_fields()[0]) for p in unique)
         self._metrics["batches"].inc()
         self._metrics["programs"].inc(len(programs))
         self._metrics["documents"].inc(len(programs) * n_docs)
-        # Every program executes its effective stream once per active
+        # Every swept program executes its packed stream once per active
         # word-step, so the product is the exact executed-instruction
         # count (padding no-ops excluded).
-        self._metrics["instructions"].inc(effective * total_words)
+        self._metrics["instructions"].inc(executed * total_words)

@@ -36,6 +36,22 @@ def protected_divide(numerator: float, denominator: float) -> float:
     return numerator / denominator
 
 
+def fingerprint_fields(
+    fields: Sequence[np.ndarray],
+) -> bytes:
+    """BLAKE2b-16 digest of decoded ``(modes, opcodes, dsts, srcs)`` arrays.
+
+    The one definition of "semantic fingerprint" shared by
+    :meth:`Program.semantic_fingerprint`, the IR verifier
+    (:meth:`repro.analysis.ir.ProgramIR.semantic_fingerprint`) and the
+    pack-time optimizer, so the byte format can never drift apart.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for array in fields:
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.digest()
+
+
 class Program:
     """An immutable linear program.
 
@@ -142,11 +158,7 @@ class Program:
         keys on this.
         """
         if self._fingerprint is None:
-            fields = self.effective_fields()
-            digest = hashlib.blake2b(digest_size=16)
-            for array in fields:
-                digest.update(np.ascontiguousarray(array).tobytes())
-            self._fingerprint = digest.digest()
+            self._fingerprint = fingerprint_fields(self.effective_fields())
         return self._fingerprint
 
     def disassemble(self) -> List[str]:

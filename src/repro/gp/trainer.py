@@ -15,7 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.encoding.representation import EncodedDataset
-from repro.gp.config import GpConfig
+from repro.gp.config import ENGINE_DTYPES, GpConfig
 from repro.gp.dss import DynamicSubsetSelector
 from repro.gp.dynamic_pages import DynamicPageController
 from repro.gp.fitness import (
@@ -115,6 +115,14 @@ class RlgpTrainer:
             (effective-code fingerprint x DSS subset version).  Offspring
             whose crossover/mutation landed in introns are scored from
             the cache instead of re-running the engine.  0 disables.
+        engine_optimize: run the fused engine's pack-time IR optimizer
+            (constant folding + semantic-intron elimination) and
+            population-level fingerprint dedup.  Bit-exact at float64,
+            so evolution is unchanged; on by default.
+        engine_dtype: fused-engine register-bank dtype
+            (:data:`~repro.gp.config.ENGINE_DTYPES`).  ``"float64"``
+            (default) keeps bit-identity with the reference evaluators;
+            ``"float32"`` trades exactness for bank bandwidth.
     """
 
     def __init__(
@@ -130,6 +138,8 @@ class RlgpTrainer:
         engine: str = "fused",
         engine_jobs: int = 0,
         semantic_cache_size: int = 8192,
+        engine_optimize: bool = True,
+        engine_dtype: str = "float64",
     ) -> None:
         if fitness not in FITNESS_FUNCTIONS:
             raise ValueError(
@@ -146,6 +156,11 @@ class RlgpTrainer:
             raise ValueError(
                 f"semantic_cache_size must be >= 0, got {semantic_cache_size}"
             )
+        if engine_dtype not in ENGINE_DTYPES:
+            raise ValueError(
+                f"unknown engine dtype {engine_dtype!r}; choose from "
+                f"{ENGINE_DTYPES}"
+            )
         self.fitness_name = fitness
         self._fitness_fn = FITNESS_FUNCTIONS[fitness]
         self.config = config
@@ -158,6 +173,8 @@ class RlgpTrainer:
         self.engine_name = engine
         self.engine_jobs = engine_jobs
         self.semantic_cache_size = semantic_cache_size
+        self.engine_optimize = engine_optimize
+        self.engine_dtype = engine_dtype
         self.evaluator = RecurrentEvaluator(config)
 
     # ------------------------------------------------------------------
@@ -208,7 +225,11 @@ class RlgpTrainer:
         )
 
         engine = FusedEngine(
-            self.config, metrics=ctx.metrics if ctx is not None else None
+            self.config,
+            metrics=ctx.metrics if ctx is not None else None,
+            optimize=self.engine_optimize,
+            dedup=self.engine_optimize,
+            dtype=self.engine_dtype,
         )
         semantic_cache = (
             SemanticCache(

@@ -27,6 +27,7 @@ from repro.evaluation.metrics import BinaryCounts, MultiLabelScores, score_multi
 from repro.features import ALL_SELECTORS
 from repro.features.base import FeatureSet
 from repro.gp.config import GpConfig
+from repro.gp.config import ENGINE_DTYPES
 from repro.gp.trainer import ENGINES, RlgpTrainer
 from repro.preprocessing.pipeline import Preprocessor
 from repro.preprocessing.tokenized import TokenizedCorpus
@@ -76,6 +77,14 @@ class ProSysConfig:
             ``"vectorised"``, or ``"interpreted"``.  All three produce
             the same models; the knob exists for debugging and for the
             differential tests.
+        gp_optimize: run the fused engine's pack-time IR optimizer and
+            population-level fingerprint dedup (bit-exact at float64;
+            see :mod:`repro.gp.optimize`).  On by default; turning it
+            off recovers the pre-optimizer engine for differential
+            comparisons.
+        gp_engine_dtype: fused-engine register-bank dtype --
+            ``"float64"`` (default, bit-identical) or ``"float32"``
+            (opt-in, halves bank traffic at reduced precision).
         seed: base seed for the whole pipeline.
     """
 
@@ -95,6 +104,8 @@ class ProSysConfig:
     recurrent: bool = True
     fitness: str = "sse"
     gp_engine: str = "fused"
+    gp_optimize: bool = True
+    gp_engine_dtype: str = "float64"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -106,6 +117,11 @@ class ProSysConfig:
         if self.gp_engine not in ENGINES:
             raise ValueError(
                 f"unknown gp_engine {self.gp_engine!r}; choose from {ENGINES}"
+            )
+        if self.gp_engine_dtype not in ENGINE_DTYPES:
+            raise ValueError(
+                f"unknown gp_engine_dtype {self.gp_engine_dtype!r}; "
+                f"choose from {ENGINE_DTYPES}"
             )
 
     def selector(self):
@@ -301,6 +317,8 @@ class ProSysPipeline:
                     recurrent=config.recurrent,
                     fitness=config.fitness,
                     engine=config.gp_engine,
+                    engine_optimize=config.gp_optimize,
+                    engine_dtype=config.gp_engine_dtype,
                 )
                 classifier = RlgpBinaryClassifier.fit(
                     dataset,

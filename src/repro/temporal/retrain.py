@@ -236,6 +236,8 @@ class RetrainOrchestrator:
                     recurrent=config.recurrent,
                     fitness=config.fitness,
                     engine=config.gp_engine,
+                    engine_optimize=config.gp_optimize,
+                    engine_dtype=config.gp_engine_dtype,
                 )
                 classifier = RlgpBinaryClassifier.fit(
                     dataset,

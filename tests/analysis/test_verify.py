@@ -148,9 +148,9 @@ def test_every_packing_in_a_trainer_run_verifies(monkeypatch):
     captured = []
     original = engine_module.PackedPrograms.from_programs.__func__
 
-    def capturing(cls, programs, config):
-        packed = original(cls, programs, config)
-        captured.append((packed, list(programs), config))
+    def capturing(cls, programs, config, optimizer=None):
+        packed = original(cls, programs, config, optimizer=optimizer)
+        captured.append((packed, list(programs), config, optimizer))
         return packed
 
     monkeypatch.setattr(
@@ -159,8 +159,11 @@ def test_every_packing_in_a_trainer_run_verifies(monkeypatch):
     config = GpConfig().small(tournaments=60, seed=3)
     RlgpTrainer(config).train(_toy_dataset(), seed=3)
     assert captured, "the fused engine built no packings?"
-    for packed, programs, config in captured:
-        verify_packing(packed, programs, config)
+    assert any(optimizer is not None for *_, optimizer in captured), (
+        "the trainer's engine should pack through the optimizer by default"
+    )
+    for packed, programs, config, optimizer in captured:
+        verify_packing(packed, programs, config, optimizer=optimizer)
 
 
 def test_env_gate_verifies_inside_the_engine(monkeypatch):
@@ -170,7 +173,7 @@ def test_env_gate_verifies_inside_the_engine(monkeypatch):
     real = verify_module.verify_packing
     monkeypatch.setattr(
         verify_module, "verify_packing",
-        lambda *args: (calls.append(args), real(*args))[1],
+        lambda *args, **kwargs: (calls.append(args), real(*args, **kwargs))[1],
     )
     monkeypatch.setenv("REPRO_VERIFY_PACKING", "1")
     engine = FusedEngine(CONFIG)
