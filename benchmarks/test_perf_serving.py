@@ -1,4 +1,5 @@
-"""Serving throughput: single-doc sequential vs batched multi-worker.
+"""Serving throughput: single-doc sequential vs batched multi-worker,
+and the threaded HTTP front end vs the asyncio gateway.
 
 Characterises the ``repro.serve`` subsystem on one fitted pipeline:
 
@@ -7,27 +8,53 @@ Characterises the ``repro.serve`` subsystem on one fitted pipeline:
 * **batched** -- the same documents pushed through
   :class:`~repro.serve.server.InferenceService` (micro-batching +
   encoded-sequence cache + per-category worker fan-out) at
-  ``n_workers`` of 1 and 4.
+  ``n_workers`` of 1 and 4;
+* **front ends** -- 64 concurrent connection-per-request HTTP clients
+  against the PR 1 ``ThreadingHTTPServer`` and against the asyncio
+  :class:`~repro.serve.gateway.GatewayServer`, identical service
+  underneath; request p50/p99 and requests/sec per tier are written to
+  ``BENCH_serving.json`` at the repo root.
 
 Prints the paper-style table and emits one ``SERVING_BENCH_JSON`` line
-(docs/sec per mode) for the bench trajectory.  The serving acceptance
-bar -- batched multi-worker throughput at least twice the single-doc
-sequential baseline -- is asserted at the end.
+(docs/sec per mode) for the bench trajectory.  Two acceptance bars are
+asserted at the end: batched multi-worker throughput at least twice the
+single-doc sequential baseline, and async-gateway throughput at least
+twice the threaded front end at concurrency 64.  ``REPRO_BENCH_ASSERT=0``
+disables both (noisy shared CI runners; the artifact still records the
+measured ratios).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import pytest
 
 from repro import GpConfig, ProSysConfig, ProSysPipeline
-from repro.serve import InferenceService, ModelRegistry
+from repro.serve import (
+    InferenceService,
+    ModelRegistry,
+    create_gateway,
+    create_server,
+)
 
 SERVING_CATEGORIES = ("earn", "grain", "trade")
 WORKER_COUNTS = (1, 4)
 MAX_DOCS = 64
+
+#: Front-end comparison shape: this many clients, one request each at a
+#: time, fresh connection per request (the load-balancer-facing pattern).
+GATEWAY_CONCURRENCY = 64
+GATEWAY_REQUESTS = 384
+
+#: Where the front-end comparison is recorded (committed artifact).
+BENCH_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 
 @pytest.fixture(scope="module")
@@ -141,7 +168,158 @@ def test_perf_serving_throughput(serving_pipeline, serving_docs, corpus, benchma
     best_batched = max(
         value for mode, value in results.items() if mode.startswith("batched")
     )
-    assert best_batched >= 2.0 * single, (
-        f"batched throughput {best_batched:.1f} docs/s is below twice the "
-        f"single-doc serving baseline {single:.1f} docs/s"
+    if os.environ.get("REPRO_BENCH_ASSERT", "1") != "0":
+        assert best_batched >= 2.0 * single, (
+            f"batched throughput {best_batched:.1f} docs/s is below twice the "
+            f"single-doc serving baseline {single:.1f} docs/s"
+        )
+
+
+# ----------------------------------------------------------------------
+# front ends: threaded HTTP server vs the asyncio gateway
+# ----------------------------------------------------------------------
+def _percentile_ms(sorted_latencies, fraction):
+    index = min(
+        len(sorted_latencies) - 1,
+        int(round(fraction * (len(sorted_latencies) - 1))),
     )
+    return 1000.0 * sorted_latencies[index]
+
+
+def _drive_front_end(port, n_requests, concurrency):
+    """``n_requests`` POST /classify calls from ``concurrency`` clients,
+    one fresh connection per request; returns (wall, sorted latencies)."""
+    body = json.dumps(
+        {"documents": [{"text": "wheat corn grain export tonnes shipment"}]}
+    ).encode()
+    latencies = []
+    retries = [0]
+    lock = threading.Lock()
+
+    def one_request(_index):
+        # Refused/reset connections (the threaded server's listen backlog
+        # overflows under burst) are retried, and the retry time stays on
+        # the clock -- the stall is that front end's cost, not noise.
+        started = time.perf_counter()
+        for _attempt in range(200):
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=120
+            )
+            try:
+                connection.request(
+                    "POST", "/classify", body=body,
+                    headers={"Content-Type": "application/json",
+                             "Connection": "close"},
+                )
+                response = connection.getresponse()
+                assert response.status == 200, response.status
+                response.read()
+                break
+            except (ConnectionError, http.client.BadStatusLine):
+                with lock:
+                    retries[0] += 1
+                time.sleep(0.005)
+            finally:
+                connection.close()
+        else:
+            raise AssertionError("front end never answered after 200 tries")
+        elapsed = time.perf_counter() - started
+        with lock:
+            latencies.append(elapsed)
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as executor:
+        list(executor.map(one_request, range(n_requests)))
+    return time.perf_counter() - started, sorted(latencies), retries[0]
+
+
+def _front_end_stats(wall, latencies, n_requests, retries):
+    return {
+        "requests_per_second": round(n_requests / wall, 1),
+        "p50_ms": round(_percentile_ms(latencies, 0.50), 3),
+        "p99_ms": round(_percentile_ms(latencies, 0.99), 3),
+        "connect_retries": retries,
+    }
+
+
+def test_perf_async_gateway_vs_threaded(serving_pipeline, corpus, benchmark):
+    """The tentpole SLO: at {GATEWAY_CONCURRENCY} concurrent clients the
+    asyncio gateway must carry at least twice the threaded front end's
+    request rate (thread-per-connection setup cost is the bottleneck the
+    gateway removes; the service underneath is identical and warm)."""
+
+    def run():
+        results = {}
+        warm = {"documents": [
+            {"text": "wheat corn grain export tonnes shipment"}
+        ]}
+
+        service = _service(corpus, serving_pipeline, n_workers=0)
+        server = create_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            service.classify_payloads(warm["documents"])  # warm encode cache
+            wall, latencies, retries = _drive_front_end(
+                server.server_address[1], GATEWAY_REQUESTS,
+                GATEWAY_CONCURRENCY,
+            )
+            results["threaded"] = _front_end_stats(
+                wall, latencies, GATEWAY_REQUESTS, retries
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+        service = _service(corpus, serving_pipeline, n_workers=0)
+        try:
+            with create_gateway(service) as gateway:
+                service.classify_payloads(warm["documents"])
+                wall, latencies, retries = _drive_front_end(
+                    gateway.port, GATEWAY_REQUESTS, GATEWAY_CONCURRENCY
+                )
+                results["async_gateway"] = _front_end_stats(
+                    wall, latencies, GATEWAY_REQUESTS, retries
+                )
+        finally:
+            service.close()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    threaded = results["threaded"]
+    async_gateway = results["async_gateway"]
+    speedup = (
+        async_gateway["requests_per_second"]
+        / threaded["requests_per_second"]
+    )
+
+    print(f"\nFront ends at concurrency {GATEWAY_CONCURRENCY} "
+          f"({GATEWAY_REQUESTS} requests, connection per request)")
+    print(f"{'front end':16s}{'req/sec':>10s}{'p50 ms':>10s}{'p99 ms':>10s}")
+    print("-" * 46)
+    for name, stats in results.items():
+        print(f"{name:16s}{stats['requests_per_second']:>10.1f}"
+              f"{stats['p50_ms']:>10.2f}{stats['p99_ms']:>10.2f}")
+    print(f"async/threaded speedup: {speedup:.2f}x")
+
+    payload = {
+        "benchmark": "serving_front_ends",
+        "concurrency": GATEWAY_CONCURRENCY,
+        "n_requests": GATEWAY_REQUESTS,
+        "categories": list(SERVING_CATEGORIES),
+        "threaded": threaded,
+        "async_gateway": async_gateway,
+        "async_speedup": round(speedup, 2),
+        "slo": {"min_async_speedup": 2.0},
+    }
+    BENCH_RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print("SERVING_BENCH_JSON " + json.dumps(payload))
+
+    if os.environ.get("REPRO_BENCH_ASSERT", "1") != "0":
+        assert speedup >= 2.0, (
+            f"async gateway at {async_gateway['requests_per_second']:.1f} "
+            f"req/s is below twice the threaded front end's "
+            f"{threaded['requests_per_second']:.1f} req/s "
+            f"at concurrency {GATEWAY_CONCURRENCY}"
+        )

@@ -10,7 +10,10 @@ Subcommands::
                                  --category earn
     python -m repro.cli info     --model model/
     python -m repro.cli encode   --model model/ --data data/ --store store/
-    python -m repro.cli serve    --model model/ --data data/ --port 8080
+    python -m repro.cli serve    --model model/ --data data/ --port 8080 \
+                                 --async --max-inflight 256
+    python -m repro.cli rollout  --url http://127.0.0.1:8080 \
+                                 --candidate v2 --drive data/
     python -m repro.cli drift-eval --data data/ --features mi --tournaments 80
 
 ``--data`` accepts any directory of Reuters-21578-format ``.sgm`` files
@@ -192,6 +195,72 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drift-detect", action="store_true",
                        help="run per-category drift detection over served "
                             "traffic; state is exposed on GET /drift")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve through the asyncio gateway (admission "
+                            "control, request shedding, per-route latency "
+                            "histograms) instead of the threaded server")
+    serve.add_argument("--max-inflight", type=int, default=256,
+                       help="admitted-but-unanswered classify bound before "
+                            "shedding with 503 (asyncio gateway only)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="sustained classify requests/second before "
+                            "shedding with 429 (asyncio gateway only)")
+    serve.add_argument("--burst", type=int, default=32,
+                       help="rate-limit burst headroom (with --rate)")
+    serve.add_argument("--max-queue", type=int, default=0,
+                       help="micro-batcher queue bound; 0 = unbounded")
+    serve.add_argument("--shadow", type=float, default=None,
+                       metavar="FRACTION",
+                       help="start a rollout of --candidate at launch, "
+                            "mirroring this fraction of classify traffic")
+    serve.add_argument("--canary", type=float, default=0.25,
+                       metavar="FRACTION",
+                       help="canary slice answered by the candidate once "
+                            "the shadow phase passes (with --shadow)")
+    serve.add_argument("--candidate", type=str, default=None,
+                       help="model name (from --model NAME=DIR) the "
+                            "--shadow rollout drives toward promotion")
+
+    rollout = commands.add_parser(
+        "rollout",
+        help="drive a shadow/canary rollout on a running serve instance",
+    )
+    rollout.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="base URL of the serving gateway")
+    rollout.add_argument("--candidate", required=True,
+                         help="registered model name to roll out")
+    rollout.add_argument("--incumbent", default=None,
+                         help="model whose traffic is compared "
+                              "(default: the serving default)")
+    rollout.add_argument("--shadow", type=float, default=1.0,
+                         help="fraction of classify traffic mirrored "
+                              "during the shadow phase")
+    rollout.add_argument("--canary", type=float, default=0.25,
+                         help="fraction answered by the candidate during "
+                              "the canary phase")
+    rollout.add_argument("--min-samples", type=int, default=50,
+                         help="compared documents required per phase")
+    rollout.add_argument("--min-agreement", type=float, default=0.98,
+                         help="lowest acceptable topic agreement rate")
+    rollout.add_argument("--max-divergence", type=float, default=0.05,
+                         help="highest acceptable mean decision-value "
+                              "divergence")
+    rollout.add_argument("--max-latency-ratio", type=float, default=5.0,
+                         help="highest acceptable candidate/incumbent "
+                              "latency ratio")
+    rollout.add_argument("--drive", type=Path, default=None, metavar="DATADIR",
+                         help="corpus directory; documents are replayed as "
+                              "classify traffic until the rollout finishes")
+    rollout.add_argument("--drive-batch", type=int, default=8,
+                         help="documents per replayed classify request")
+    rollout.add_argument("--timeout", type=float, default=300.0,
+                         help="seconds to wait for a verdict before "
+                              "giving up")
+    rollout.add_argument("--out", type=Path, default=None, metavar="REPORT",
+                         help="write the final rollout report as JSON")
+    rollout.add_argument("--abort", action="store_true",
+                         help="abort the live rollout instead of "
+                              "starting one")
 
     drift_eval = commands.add_parser(
         "drift-eval",
@@ -491,6 +560,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.events import ConsoleSink, EventBus
     from repro.serve import InferenceService, ModelRegistry, create_server
 
     corpus = load_corpus(args.data)
@@ -507,24 +577,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.data import DatasetStore
 
         data_store = DatasetStore(args.store)
+    events = EventBus([ConsoleSink()])
     service = InferenceService(
         registry,
         n_workers=args.workers,
         max_batch_size=args.batch_size,
         max_delay=args.max_delay_ms / 1000.0,
         cache_size=args.cache_size,
+        max_queue=args.max_queue,
         data_store=data_store,
         drift_detect=args.drift_detect,
+        events=events,
     )
     if data_store is not None:
         print(f"warmed {len(service.cache)} cached sequences "
               f"from {args.store}")
+    if args.shadow is not None:
+        if not args.candidate:
+            print("error: --shadow needs --candidate NAME (a --model entry)",
+                  file=sys.stderr)
+            service.close()
+            return 1
+        report = service.start_rollout(
+            args.candidate,
+            config={
+                "shadow_fraction": args.shadow,
+                "canary_fraction": args.canary,
+            },
+        )
+        print(f"rollout started: {report['incumbent']} -> "
+              f"{report['candidate']} (shadow={args.shadow:g}, "
+              f"canary={args.canary:g})")
+    if args.use_async:
+        return _serve_async(args, service)
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}  "
           f"(workers={args.workers}, batch={args.batch_size}, "
           f"deadline={args.max_delay_ms:g}ms)")
-    print("endpoints: GET /healthz /metrics /models"
+    print("endpoints: GET /healthz /metrics /models /rollout"
           + (" /drift" if args.drift_detect else "")
           + ", POST /classify /track /reload")
     try:
@@ -536,6 +627,138 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close()
     return 0
+
+
+def _serve_async(args: argparse.Namespace, service) -> int:
+    import threading
+
+    from repro.serve import AdmissionController, GatewayServer, RoutePolicy
+
+    admission = AdmissionController(
+        policies={
+            "classify": RoutePolicy(
+                max_inflight=args.max_inflight,
+                rate=args.rate,
+                burst=args.burst,
+            ),
+        },
+        metrics=service.metrics,
+    )
+    gateway = GatewayServer(
+        service, host=args.host, port=args.port, admission=admission
+    ).start()
+    rate_note = f", rate={args.rate:g}/s" if args.rate else ""
+    print(f"serving (asyncio) on http://{args.host}:{gateway.port}  "
+          f"(workers={args.workers}, batch={args.batch_size}, "
+          f"max_inflight={args.max_inflight}{rate_note})")
+    print("endpoints: GET /healthz /metrics /models /rollout"
+          + (" /drift" if args.drift_detect else "")
+          + ", POST /classify /track /reload /rollout, DELETE /rollout")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        gateway.close()
+        service.close()
+    return 0
+
+
+def _cmd_rollout(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def call(method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = json_module.dumps(payload).encode() if payload else None
+        request = urllib.request.Request(
+            base + path, data=body, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return json_module.loads(response.read())
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode(errors="replace")
+            raise RuntimeError(f"{method} {path}: {error.code} {detail}")
+
+    if args.abort:
+        report = call("DELETE", "/rollout")
+        print(f"rollout aborted: {report['state']}")
+        return 0
+
+    report = call("POST", "/rollout", {
+        "candidate": args.candidate,
+        "incumbent": args.incumbent,
+        "config": {
+            "shadow_fraction": args.shadow,
+            "canary_fraction": args.canary,
+            "min_samples": args.min_samples,
+            "min_agreement": args.min_agreement,
+            "max_divergence": args.max_divergence,
+            "max_latency_ratio": args.max_latency_ratio,
+        },
+    })
+    print(f"rollout started: {report['incumbent']} -> {report['candidate']}")
+
+    documents = []
+    if args.drive is not None:
+        from repro.corpus.sgml import iter_sgml_dir
+
+        documents = [
+            {"id": doc.doc_id, "title": doc.title, "body": doc.body}
+            for doc in iter_sgml_dir(args.drive)
+        ]
+        print(f"driving {len(documents)} documents as classify traffic")
+
+    deadline = time.perf_counter() + args.timeout
+    cursor = 0
+    last_state = report["state"]
+    while time.perf_counter() < deadline:
+        report = call("GET", "/rollout")
+        if report["state"] != last_state:
+            last_state = report["state"]
+            print(f"rollout phase: {last_state}")
+        if report["finished"]:
+            break
+        if documents:
+            batch = [
+                documents[(cursor + offset) % len(documents)]
+                for offset in range(args.drive_batch)
+            ]
+            cursor += args.drive_batch
+            try:
+                call("POST", "/classify", {"documents": batch})
+            except RuntimeError as error:
+                if "429" in str(error) or "503" in str(error):
+                    time.sleep(0.2)  # shed under load; back off and retry
+                else:
+                    raise
+        else:
+            time.sleep(0.5)  # passive watch: real traffic drives the verdict
+    else:
+        print(f"timed out after {args.timeout:g}s in state "
+              f"{report['state']}", file=sys.stderr)
+
+    print(f"rollout finished: state={report['state']}"
+          + (f" reason={report['reason']}" if report.get("reason") else ""))
+    for phase, stats in report.get("phases", {}).items():
+        print(f"  {phase}: samples={stats['samples']} "
+              f"agreement={stats['agreement_rate']:.4f} "
+              f"divergence={stats['mean_divergence']:.6f} "
+              f"latency_ratio={stats['latency_ratio']:.2f}")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json_module.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.out}")
+    if report["state"] == "promoted":
+        return 0
+    if report["state"] == "rolled_back":
+        return 2
+    return 1
 
 
 def _cmd_drift_eval(args: argparse.Namespace) -> int:
@@ -593,6 +816,7 @@ _COMMANDS = {
     "encode": _cmd_encode,
     "analyze": _cmd_analyze,
     "serve": _cmd_serve,
+    "rollout": _cmd_rollout,
     "drift-eval": _cmd_drift_eval,
 }
 

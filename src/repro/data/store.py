@@ -153,6 +153,102 @@ class StoredDataset(SequenceDataset):
         return PackedSequences.from_sequences(self.sequences, self.n_inputs)
 
 
+def dataset_path(root: Union[str, Path], key: str) -> Path:
+    """The dataset directory for ``key`` under ``root`` (may not exist)."""
+    if not key or any(c in key for c in "/\\."):
+        raise ValueError(f"malformed dataset key {key!r}")
+    return Path(root) / key[:2] / key
+
+
+def open_sealed(
+    root: Union[str, Path], key: str, verify: bool = True
+) -> StoredDataset:
+    """Open one sealed dataset by address, with no store construction.
+
+    The pure read path of :meth:`DatasetStore.open`: no tmp sweep, no
+    counters, no events -- safe to call from worker processes that must
+    not disturb a live store directory (sweeping ``tmp/`` from a worker
+    would yank in-flight writers out from under the parent).
+
+    Raises:
+        PersistenceError: unsealed/missing dataset, malformed index,
+            truncated or corrupt shard -- always naming the path.
+    """
+    directory = dataset_path(root, key)
+    if not (directory / COMPLETE_MARKER).exists():
+        raise PersistenceError(f"no sealed dataset {key} in {root}")
+    payload = _read_index_payload(directory)
+    if payload.get("key") not in (None, key):
+        raise PersistenceError(
+            f"{directory / DATASET_INDEX}: index is for key "
+            f"{payload.get('key')!r}, not {key!r}"
+        )
+    source = str(directory / DATASET_INDEX)
+    shards_payload = payload.get("shards")
+    if not isinstance(shards_payload, list):
+        raise PersistenceError(f"{source}: 'shards' must be a list")
+    metas = [ShardMeta.from_payload(entry, source) for entry in shards_payload]
+    packed = [open_shard(directory, meta, verify=verify) for meta in metas]
+    return StoredDataset(key, directory, payload, metas, packed)
+
+
+#: Process-local attach cache: (resolved root, key) -> StoredDataset.
+_ATTACH_CACHE: Dict[Tuple[str, str], StoredDataset] = {}  # guarded by _ATTACH_LOCK
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_dataset(
+    root: Union[str, Path], key: str, verify: bool = True,
+    refresh: bool = False,
+) -> StoredDataset:
+    """Attach to a sealed dataset by content address, memoized per process.
+
+    This is the zero-copy worker handoff: instead of pickling encoded
+    sequences over a pipe, the parent ships ``(store root, address,
+    row)`` and the worker memory-maps the very same shard files.  The
+    attach is cached, so a worker touching the same dataset across many
+    batches opens (and optionally checksums) it exactly once; the kernel
+    shares the mapped pages across every attached process.
+
+    ``refresh`` bypasses and replaces the cached attach -- used when a
+    row index outruns the cached view because the dataset was extended
+    (incremental ingest adopts existing shards in order, so row indices
+    are stable across extensions; only *new* rows need the re-attach).
+    """
+    cache_key = (str(Path(root).resolve()), key)
+    if not refresh:
+        with _ATTACH_LOCK:
+            stored = _ATTACH_CACHE.get(cache_key)
+        if stored is not None:
+            return stored
+    stored = open_sealed(root, key, verify=verify)
+    with _ATTACH_LOCK:
+        if refresh:
+            _ATTACH_CACHE[cache_key] = stored
+            return stored
+        return _ATTACH_CACHE.setdefault(cache_key, stored)
+
+
+def _read_index_payload(directory: Path) -> dict:
+    index_path = directory / DATASET_INDEX
+    if not index_path.exists():
+        raise PersistenceError(f"{directory}: dataset has no {DATASET_INDEX}")
+    try:
+        payload = json.loads(index_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(
+            f"{index_path}: dataset index is unreadable ({error})"
+        ) from error
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"{index_path}: expected a JSON object")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{index_path}: unsupported dataset format "
+            f"{payload.get('format_version')!r} (expected {FORMAT_VERSION})"
+        )
+    return payload
+
+
 class DatasetStore:
     """Content-addressed store of encoded datasets under one root.
 
@@ -224,9 +320,7 @@ class DatasetStore:
 
     def path_for(self, key: str) -> Path:
         """The dataset directory for ``key`` (may not exist)."""
-        if not key or any(c in key for c in "/\\."):
-            raise ValueError(f"malformed dataset key {key!r}")
-        return self.root / key[:2] / key
+        return dataset_path(self.root, key)
 
     def has(self, key: str) -> bool:
         """Whether a sealed dataset exists at ``key``."""
@@ -259,34 +353,17 @@ class DatasetStore:
             PersistenceError: unsealed/missing dataset, malformed index,
                 truncated or corrupt shard -- always naming the path.
         """
-        directory = self.path_for(key)
-        if not self.has(key):
-            raise PersistenceError(
-                f"no sealed dataset {key} in {self.root}"
-            )
         verify = self.verify_checksums if verify is None else verify
         start = time.perf_counter()
-        payload = self._read_index(directory)
-        if payload.get("key") not in (None, key):
-            raise PersistenceError(
-                f"{directory / DATASET_INDEX}: index is for key "
-                f"{payload.get('key')!r}, not {key!r}"
-            )
-        source = str(directory / DATASET_INDEX)
-        shards_payload = payload.get("shards")
-        if not isinstance(shards_payload, list):
-            raise PersistenceError(f"{source}: 'shards' must be a list")
-        metas = [ShardMeta.from_payload(entry, source) for entry in shards_payload]
-        packed = [open_shard(directory, meta, verify=verify) for meta in metas]
-        self._count("shards_read", len(metas))
-        self._count("mmap_bytes", sum(meta.nbytes for meta in metas))
-        stored = StoredDataset(key, directory, payload, metas, packed)
+        stored = open_sealed(self.root, key, verify=verify)
+        self._count("shards_read", len(stored.shard_metas))
+        self._count("mmap_bytes", stored.nbytes)
         self._load_seconds.observe(time.perf_counter() - start)
         self._emit(
             "data_dataset_opened",
             key=key,
             n_documents=len(stored),
-            n_shards=len(metas),
+            n_shards=len(stored.shard_metas),
             nbytes=stored.nbytes,
         )
         return stored
@@ -486,25 +563,6 @@ class DatasetStore:
             n_docs=meta.n_docs,
             nbytes=meta.nbytes,
         )
-
-    def _read_index(self, directory: Path) -> dict:
-        index_path = directory / DATASET_INDEX
-        if not index_path.exists():
-            raise PersistenceError(f"{directory}: dataset has no {DATASET_INDEX}")
-        try:
-            payload = json.loads(index_path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise PersistenceError(
-                f"{index_path}: dataset index is unreadable ({error})"
-            ) from error
-        if not isinstance(payload, dict):
-            raise PersistenceError(f"{index_path}: expected a JSON object")
-        if payload.get("format_version") != FORMAT_VERSION:
-            raise PersistenceError(
-                f"{index_path}: unsupported dataset format "
-                f"{payload.get('format_version')!r} (expected {FORMAT_VERSION})"
-            )
-        return payload
 
     def _publish(self, tmp_directory: Path, key: str) -> Path:
         """Atomically move a sealed temp directory to its address."""

@@ -101,6 +101,7 @@ class ConsoleSink:
         "stage_started", "stage_finished", "task_finished",
         "checkpoint_loaded", "checkpoint_saved", "gp_best",
         "classifier_fitted", "run_finished",
+        "rollout_started", "rollout_phase", "rollout_finished",
     })
 
     def __init__(

@@ -12,46 +12,80 @@ long-lived service::
     server = create_server(service, "0.0.0.0", 8080)
     server.serve_forever()
 
+or, for real traffic, the asyncio gateway with admission control::
+
+    from repro.serve import create_gateway
+
+    gateway = create_gateway(service, "0.0.0.0", 8080).start()
+
 or from the command line::
 
-    python -m repro.cli serve --model model/ --data data/ --port 8080
+    python -m repro.cli serve --model model/ --data data/ --port 8080 --async
 
 Components: :mod:`~repro.serve.registry` (named models + hot reload),
 :mod:`~repro.serve.batcher` (deadline micro-batching),
-:mod:`~repro.serve.workers` (crash-supervised process pool),
+:mod:`~repro.serve.workers` (crash-supervised process pool, zero-copy
+store/shared-memory dataset handoff),
 :mod:`~repro.serve.cache` (encoded-sequence LRU),
 :mod:`~repro.serve.metrics` (counters/gauges/histograms),
-:mod:`~repro.serve.server` (the service + HTTP front-end).
+:mod:`~repro.serve.admission` (queues, shedding, rate limits),
+:mod:`~repro.serve.gateway` (asyncio HTTP front end),
+:mod:`~repro.serve.rollout` (shadow/canary promotion),
+:mod:`~repro.serve.server` (the service + threaded HTTP front-end).
 """
 
-from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.serve.admission import (
+    AdmissionController,
+    Decision,
+    RoutePolicy,
+    TokenBucket,
+)
+from repro.serve.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 from repro.serve.cache import LruCache, sequence_key, token_fingerprint
+from repro.serve.gateway import GatewayServer, create_gateway
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.registry import ModelEntry, ModelRegistry
+from repro.serve.rollout import RolloutConfig, RolloutManager
 from repro.serve.server import (
     InferenceService,
     create_server,
     document_from_payload,
 )
-from repro.serve.workers import CRASH_CATEGORY, PoolClosed, WorkerCrash, WorkerPool
+from repro.serve.workers import (
+    CRASH_CATEGORY,
+    PoolClosed,
+    SequenceRef,
+    WorkerCrash,
+    WorkerPool,
+)
 
 __all__ = [
+    "AdmissionController",
+    "Decision",
+    "RoutePolicy",
+    "TokenBucket",
     "BatcherClosed",
+    "BatcherSaturated",
     "MicroBatcher",
     "LruCache",
     "sequence_key",
     "token_fingerprint",
+    "GatewayServer",
+    "create_gateway",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ModelEntry",
     "ModelRegistry",
+    "RolloutConfig",
+    "RolloutManager",
     "InferenceService",
     "create_server",
     "document_from_payload",
     "CRASH_CATEGORY",
     "PoolClosed",
+    "SequenceRef",
     "WorkerCrash",
     "WorkerPool",
 ]

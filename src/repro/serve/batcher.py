@@ -27,6 +27,17 @@ class BatcherClosed(RuntimeError):
     """Raised by :meth:`MicroBatcher.submit` after the batcher is closed."""
 
 
+class BatcherSaturated(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` at the queue bound.
+
+    The batcher's last line of defence under overload: admission control
+    sheds at the gateway door, but anything that bypasses it (direct
+    ``classify()`` callers, several gateways over one service) still may
+    not grow the queue without bound.  Retryable -- HTTP layers answer
+    503 + ``Retry-After``.
+    """
+
+
 class _Item:
     __slots__ = ("payload", "future", "enqueued_at")
 
@@ -45,6 +56,9 @@ class MicroBatcher:
             every future of the batch.
         max_batch_size: dispatch as soon as this many items are pending.
         max_delay: seconds the first item of a batch may wait for company.
+        max_queue: queued-item bound; beyond it :meth:`submit` raises
+            :class:`BatcherSaturated` instead of growing memory
+            (0 = unbounded, the historical behaviour).
         metrics: optional registry; the batcher records batch sizes,
             queue depth and per-item queue latency under ``batcher_*``.
     """
@@ -54,15 +68,19 @@ class MicroBatcher:
         handler: Callable[[List[object]], Sequence[object]],
         max_batch_size: int = 16,
         max_delay: float = 0.02,
+        max_queue: int = 0,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
         self.handler = handler
         self.max_batch_size = max_batch_size
         self.max_delay = max_delay
+        self.max_queue = max_queue
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue: "queue.Queue[Optional[_Item]]" = queue.Queue()
         self._closed = False
@@ -76,6 +94,9 @@ class MicroBatcher:
         self._dispatched = self.metrics.counter(
             "batcher_batches_total", "batches dispatched"
         )
+        self._saturated = self.metrics.counter(
+            "batcher_saturated_total", "submissions refused at the queue bound"
+        )
         self._thread = threading.Thread(
             target=self._drain_loop, name="micro-batcher", daemon=True
         )
@@ -88,6 +109,11 @@ class MicroBatcher:
         """Enqueue one item; the future resolves to its handler result."""
         if self._closed:
             raise BatcherClosed("batcher is closed")
+        if self.max_queue and self._queue.qsize() >= self.max_queue:
+            self._saturated.inc()
+            raise BatcherSaturated(
+                f"batcher queue at its {self.max_queue}-item bound"
+            )
         item = _Item(payload)
         self._queue.put(item)
         self._depth.set(self._queue.qsize())

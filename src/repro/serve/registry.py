@@ -116,6 +116,25 @@ class ModelRegistry:
             if self._default == name:
                 self._default = next(iter(self._entries), None)
 
+    def set_default(self, name: str) -> ModelEntry:
+        """Make ``name`` the default model (rollout promotion).
+
+        Requests that name no model are answered by the default, so this
+        is the whole traffic swap: atomic under the registry lock, no
+        restart, no cache invalidation (entries are keyed per model).
+
+        Raises:
+            KeyError: unknown name.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: {sorted(self._entries)}"
+                )
+            self._default = name
+            return entry
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------

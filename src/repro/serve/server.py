@@ -16,14 +16,19 @@
 (``ThreadingHTTPServer`` -- one thread per connection feeding the shared
 batcher, which is exactly what makes micro-batching pay off):
 
-    GET  /healthz   liveness + model inventory
+    GET  /healthz   liveness + model inventory (503 when degraded)
     GET  /metrics   plain-text metrics exposition
     GET  /models    registered model descriptions
     GET  /drift     per-category drift-detector state (when enabled)
+    GET  /rollout   live shadow/canary rollout report (when one exists)
     POST /classify  {"documents": [{"id", "title", "body"} | {"text": ...}],
                      "model": optional}
     POST /track     {"text": ..., "category": ..., "model": optional}
     POST /reload    {"model": optional} -- hot reload if manifest changed
+
+The asyncio tier (:mod:`repro.serve.gateway`) serves the same service
+behind admission control; this threaded server remains for small
+deployments and as the benchmark baseline.
 """
 
 from __future__ import annotations
@@ -34,15 +39,24 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from concurrent.futures import Future
+
 from repro.classify.streaming import StreamingClassifier
 from repro.corpus.document import Document
 from repro.errors import PersistenceError
-from repro.serve.batcher import BatcherClosed, MicroBatcher
+from repro.runtime.events import EventBus
+from repro.serve.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 from repro.serve.cache import LruCache, sequence_key, token_fingerprint
 from repro.gp.engine import shared_metrics
 from repro.serve.metrics import MetricsRegistry, render_snapshot
 from repro.serve.registry import ModelRegistry
-from repro.serve.workers import PoolClosed, WorkerCrash, WorkerPool
+from repro.serve.rollout import RolloutConfig, RolloutManager
+from repro.serve.workers import (
+    PoolClosed,
+    SequenceRef,
+    WorkerCrash,
+    WorkerPool,
+)
 
 
 def document_from_payload(payload: dict, fallback_id: int = 0) -> Document:
@@ -101,9 +115,11 @@ class InferenceService:
         max_batch_size: int = 16,
         max_delay: float = 0.02,
         cache_size: int = 4096,
+        max_queue: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         data_store=None,
         drift_detect: bool = False,
+        events: Optional[EventBus] = None,
     ) -> None:
         self.registry = registry
         self.n_workers = n_workers
@@ -111,6 +127,12 @@ class InferenceService:
         self.cache = LruCache(cache_size)
         self.data_store = data_store
         self.drift_detect = drift_detect
+        self.events = events
+        #: Attached by the asyncio gateway; lets /healthz fold admission
+        #: saturation into its degraded signal.
+        self.admission = None
+        self._rollout: Optional[RolloutManager] = None
+        self._rollout_lock = threading.Lock()
         self._drift_monitors: Dict[str, object] = {}  # guarded by _drift_lock
         self._drift_lock = threading.Lock()
         self.started_at = time.time()
@@ -157,6 +179,7 @@ class InferenceService:
             self._handle_batch,
             max_batch_size=max_batch_size,
             max_delay=max_delay,
+            max_queue=max_queue,
             metrics=self.metrics,
         )
         if self.data_store is not None:
@@ -170,18 +193,39 @@ class InferenceService:
         self, documents: Sequence[Document], model: Optional[str] = None
     ) -> List[dict]:
         """Classify documents; one result dict per input, in order."""
+        start = time.perf_counter()
+        futures = self.submit_documents(documents, model=model)
+        results = [future.result() for future in futures]
+        self._request_latency.observe(time.perf_counter() - start)
+        return results
+
+    def submit_documents(
+        self, documents: Sequence[Document], model: Optional[str] = None
+    ) -> List[Future]:
+        """Enqueue documents for classification; one future per input.
+
+        The non-blocking half of :meth:`classify`: the asyncio gateway
+        submits here and awaits the futures on its event loop instead of
+        parking a thread per request.
+        """
         if self._closed:
             raise RuntimeError("service is closed")
         entry = self.registry.get(model)  # resolve + validate the name now
         self._requests.inc()
         self._documents.inc(len(documents))
-        start = time.perf_counter()
-        futures = self.batcher.submit_many(
+        return self.batcher.submit_many(
             [(entry.name, doc) for doc in documents]
         )
-        results = [future.result() for future in futures]
-        self._request_latency.observe(time.perf_counter() - start)
-        return results
+
+    def submit_payloads(
+        self, payloads: Sequence[dict], model: Optional[str] = None
+    ) -> List[Future]:
+        """Enqueue raw request payloads; one future per input."""
+        documents = [
+            document_from_payload(payload, fallback_id=index)
+            for index, payload in enumerate(payloads)
+        ]
+        return self.submit_documents(documents, model=model)
 
     def classify_payloads(
         self, payloads: Sequence[dict], model: Optional[str] = None
@@ -275,10 +319,16 @@ class InferenceService:
                 # Transient read failure (EMFILE, permissions, ...):
                 # skip warming but keep the accumulated history.
                 continue
+            # Warm with provenance: the sequence is row N of a sealed
+            # store dataset, so the worker pool can ship (address, row)
+            # instead of the array -- zero-copy all the way across.
             warmed += self.cache.warm(
-                (sequence_key(model_key, category, fingerprint), sequence)
-                for fingerprint, sequence in zip(
-                    stored.fingerprints, stored.sequences
+                (
+                    sequence_key(model_key, category, fingerprint),
+                    SequenceRef(sequence, address=stored.key, row=row),
+                )
+                for row, (fingerprint, sequence) in enumerate(
+                    zip(stored.fingerprints, stored.sequences)
                 )
                 if fingerprint
             )
@@ -351,9 +401,93 @@ class InferenceService:
         report["enabled"] = True
         return report
 
+    # ------------------------------------------------------------------
+    # shadow/canary rollout
+    # ------------------------------------------------------------------
+    def start_rollout(
+        self,
+        candidate: str,
+        incumbent: Optional[str] = None,
+        config: Optional[dict] = None,
+    ) -> dict:
+        """Start driving ``candidate`` through shadow -> canary -> verdict.
+
+        Args:
+            candidate: a registered model (register or hot-load it
+                first); promoted to registry default on metric parity.
+            incumbent: the model whose traffic is compared (defaults to
+                the registry default).
+            config: :class:`~repro.serve.rollout.RolloutConfig` fields.
+
+        Raises:
+            ValueError: a rollout is already live, the names coincide,
+                or the config is malformed.
+            KeyError: unknown model name.
+        """
+        candidate_entry = self.registry.get(candidate)
+        incumbent_name = (
+            incumbent
+            if incumbent is not None
+            else self.registry.default_name
+        )
+        incumbent_entry = self.registry.get(incumbent_name)
+        rollout_config = RolloutConfig.from_payload(config or {})
+        with self._rollout_lock:
+            if self._rollout is not None and not self._rollout.finished:
+                raise ValueError(
+                    f"a rollout of {self._rollout.candidate!r} is already "
+                    "live; abort it first (DELETE /rollout)"
+                )
+            previous = self._rollout
+            manager = RolloutManager(
+                incumbent_entry.name,
+                candidate_entry.name,
+                evaluate=self._classify_model_batch,
+                promote=lambda: self.registry.set_default(
+                    candidate_entry.name
+                ),
+                config=rollout_config,
+                events=self.events,
+                metrics=self.metrics,
+            )
+            self._rollout = manager
+        if previous is not None:
+            previous.close()  # free the finished rollout's mirror thread
+        return manager.report()
+
+    def rollout_report(self) -> Optional[dict]:
+        """The live (or last finished) rollout's report; None if none."""
+        with self._rollout_lock:
+            rollout = self._rollout
+        return rollout.report() if rollout is not None else None
+
+    def abort_rollout(self) -> Optional[dict]:
+        """Terminate the live rollout without a verdict; None if none."""
+        with self._rollout_lock:
+            rollout = self._rollout
+        if rollout is None:
+            return None
+        rollout.abort()
+        return rollout.report()
+
     def health(self) -> dict:
+        """Liveness view; ``status`` degrades (load-balancer drain cue)
+        when any model's worker pool is below its target size or the
+        gateway's admission queues are saturated."""
+        degraded: List[str] = []
+        with self._pools_lock:
+            pools = list(self._pools.items())
+        for name, (_, pool) in pools:
+            alive = pool.n_alive
+            if pool.n_workers and alive < pool.n_workers:
+                degraded.append(
+                    f"pool {name!r} at {alive}/{pool.n_workers} workers"
+                )
+        if self.admission is not None and self.admission.saturated:
+            degraded.append("admission queue saturated")
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
+            "degraded_reasons": degraded,
             "uptime_seconds": time.time() - self.started_at,
             "models": self.registry.names,
             "default_model": self.registry.default_name,
@@ -380,6 +514,10 @@ class InferenceService:
         if self._closed:
             return
         self._closed = True
+        with self._rollout_lock:
+            rollout, self._rollout = self._rollout, None
+        if rollout is not None:
+            rollout.close()
         self.flush_misses()
         self.batcher.close()
         with self._pools_lock:
@@ -409,6 +547,7 @@ class InferenceService:
     def _classify_model_batch(
         self, model_name: str, documents: Sequence[Document]
     ) -> List[dict]:
+        batch_started = time.perf_counter()
         entry = self.registry.get(model_name)
         pipeline = entry.pipeline
         categories = list(pipeline.suite.categories)
@@ -446,6 +585,15 @@ class InferenceService:
                     "topics": topics,
                     "decision_values": values,
                 }
+            )
+        with self._rollout_lock:
+            rollout = self._rollout
+        if rollout is not None and rollout.wants(model_name):
+            # Incumbent traffic only: the manager's own candidate
+            # evaluations come back through this method under the
+            # candidate's name and must not re-enter the rollout.
+            results = rollout.intercept(
+                documents, results, time.perf_counter() - batch_started
             )
         return results
 
@@ -558,6 +706,11 @@ class InferenceService:
                 entry.pipeline.suite.classifiers,
                 n_workers=self.n_workers,
                 metrics=self.metrics,
+                store_root=(
+                    self.data_store.root
+                    if self.data_store is not None
+                    else None
+                ),
             )
             self._pools[entry.name] = (entry.version, pool)
         if stale is not None:
@@ -630,7 +783,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._observe("healthz")
-            self._send_json(self.service.health())
+            health = self.service.health()
+            self._send_json(
+                health, status=200 if health.get("status") == "ok" else 503
+            )
         elif path == "/metrics":
             self._observe("metrics")
             self._send_text(self.service.metrics_text())
@@ -646,6 +802,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(
                     404, str(error.args[0] if error.args else error)
                 )
+        elif path == "/rollout":
+            self._observe("rollout")
+            report = self.service.rollout_report()
+            if report is None:
+                self._send_error_json(404, "no rollout is live")
+            else:
+                self._send_json(report)
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 
@@ -693,8 +856,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
             except KeyError as error:
                 self.service.metrics.counter("http_errors_total").inc()
                 self._send_error_json(404, str(error.args[0] if error.args else error))
-            except (PersistenceError, BatcherClosed, PoolClosed,
-                    WorkerCrash) as error:
+            except (PersistenceError, BatcherClosed, BatcherSaturated,
+                    PoolClosed, WorkerCrash) as error:
                 # Backend trouble, not caller error: the store is
                 # damaged, the service is shutting down, or a worker
                 # died mid-batch.  Retryable, hence 503.

@@ -6,11 +6,25 @@ CPU-bound part, and it parallelises naturally across *categories* — each
 one-vs-rest classifier scores the batch independently.  The pool fans
 ``(category, sequences)`` jobs across ``n_workers`` processes.
 
+Dataset handoff is zero-copy wherever the data already lives on disk:
+sequences the service resolved from the content-addressed dataset store
+travel as ``(address, row)`` references (a :class:`SequenceRef`), and the
+worker memory-maps the very same sealed shards — the kernel shares the
+pages, nothing crosses the pipe but a few integers.  Freshly encoded
+sequences that have no store address yet are packed into one
+``multiprocessing.shared_memory`` segment per job; only when shared
+memory is unavailable does the pool fall back to pickling arrays over
+the queue.  The three paths are counted (``pool_store_sequences_total``,
+``pool_shm_sequences_total``, ``pool_pickled_sequences_total``) so tests
+and operators can assert that store-resident traffic pickles nothing.
+
 Supervision: every job is acknowledged by the worker that picks it up
 ("claim"), so when a worker dies mid-job the monitor thread respawns a
-replacement and resubmits the orphaned jobs.  ``n_workers=0`` degrades to
-inline evaluation in the calling thread (no processes), which keeps unit
-tests and single-core deployments simple.
+replacement and resubmits the orphaned jobs.  A batch orphaned by a
+crash is re-queued once by :meth:`WorkerPool.evaluate_many`
+(``serve_batch_requeues_total``) before the failure reaches callers.
+``n_workers=0`` degrades to inline evaluation in the calling thread (no
+processes), which keeps unit tests and single-core deployments simple.
 
 The pool prefers the ``fork`` start method (workers inherit the evolved
 programs for free) and falls back to ``spawn``, where the classifier
@@ -27,13 +41,20 @@ import threading
 import time
 import traceback
 from concurrent.futures import Future
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.classify.binary import RlgpBinaryClassifier
 from repro.gp.engine import shared_metrics
 from repro.serve.metrics import MetricsRegistry
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    resource_tracker = None
+    shared_memory = None
 
 #: Reserved category that makes a worker die abruptly (``os._exit``).
 #: Exists so operators and tests can exercise the crash-restart path of a
@@ -45,6 +66,40 @@ class WorkerCrash(RuntimeError):
     """The worker evaluating a job died before producing a result."""
 
 
+class PoolClosed(RuntimeError):
+    """Raised by :meth:`WorkerPool.evaluate` after shutdown."""
+
+
+class SequenceRef:
+    """An encoded sequence plus its dataset-store provenance.
+
+    ``sequence`` is always usable in-process.  When ``address`` is set,
+    the sequence is row ``row`` of the sealed store dataset at that
+    content address, and the pool ships the *reference* to workers
+    instead of the array.
+    """
+
+    __slots__ = ("sequence", "address", "row")
+
+    def __init__(
+        self,
+        sequence: np.ndarray,
+        address: Optional[str] = None,
+        row: int = -1,
+    ) -> None:
+        self.sequence = sequence
+        self.address = address
+        self.row = row
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def unwrap_sequence(item: Union[np.ndarray, SequenceRef]) -> np.ndarray:
+    """The plain array behind a sequence or reference."""
+    return item.sequence if isinstance(item, SequenceRef) else item
+
+
 def _engine_counter_values() -> Dict[str, float]:
     """Current values of the shared GP-engine counters (``*_total``)."""
     return {
@@ -54,12 +109,63 @@ def _engine_counter_values() -> Dict[str, float]:
     }
 
 
-class PoolClosed(RuntimeError):
-    """Raised by :meth:`WorkerPool.evaluate` after shutdown."""
+def _untrack_shm(segment) -> None:
+    """Detach a *attached* (not created) segment from the resource tracker.
+
+    ``SharedMemory.__init__`` registers the segment with the tracker even
+    on attach (observed on this interpreter), so a worker exiting would
+    let the tracker unlink a segment the parent still owns.  The parent
+    created it; the parent unlinks it.
+    """
+    if resource_tracker is None:
+        return
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except (KeyError, ValueError, AttributeError):
+        pass  # tracker never knew it (platform variance); nothing to undo
 
 
-def _worker_main(worker_id, classifiers, task_queue, result_queue):
-    """Worker process body: claim, evaluate, report — forever."""
+def _materialize(handoff: dict, store_root: Optional[str]):
+    """Rebuild a job's sequence list from its handoff descriptor.
+
+    Returns ``(sequences, segment)`` -- the caller must release
+    ``segment`` (the attached shared-memory block, or None) after
+    evaluation, once no views into it remain.
+    """
+    from repro.data.store import attach_dataset
+
+    sequences: List[Optional[np.ndarray]] = [None] * handoff["n"]
+    row_lists: Dict[str, List[np.ndarray]] = {}
+    for position, address, row in handoff["store"]:
+        rows = row_lists.get(address)
+        if rows is None or row >= len(rows):
+            # Checksums were verified by the service when it opened the
+            # dataset to warm its cache; re-hashing per worker would put
+            # the whole shard through the CPU for nothing.
+            stored = attach_dataset(store_root, address, verify=False)
+            if row >= len(stored):
+                stored = attach_dataset(
+                    store_root, address, verify=False, refresh=True
+                )
+            rows = stored.sequences
+            row_lists[address] = rows
+        sequences[position] = rows[row]
+    segment = None
+    if handoff["shm"] is not None:
+        name, metas = handoff["shm"]
+        segment = shared_memory.SharedMemory(name=name)
+        _untrack_shm(segment)
+        for position, offset, shape in metas:
+            sequences[position] = np.ndarray(
+                shape, dtype=np.float64, buffer=segment.buf, offset=offset
+            )
+    for position, array in handoff["raw"]:
+        sequences[position] = array
+    return sequences, segment
+
+
+def _worker_main(worker_id, classifiers, task_queue, result_queue, store_root):
+    """Worker process body: claim, materialize, evaluate, report — forever."""
     # A terminal Ctrl-C reaches the whole foreground process group;
     # shutdown is the parent's job (sentinel / terminate), so workers
     # must not die mid-protocol with a KeyboardInterrupt traceback.
@@ -68,41 +174,65 @@ def _worker_main(worker_id, classifiers, task_queue, result_queue):
         message = task_queue.get()
         if message is None:
             return
-        job_id, category, sequences = message
+        job_id, category, handoff = message
         result_queue.put(("claim", worker_id, job_id))
         if category == CRASH_CATEGORY:
             # Simulated hard crash; the sleep lets the claim flush through
             # the queue's feeder thread so supervision sees it.
             time.sleep(0.05)
             os._exit(1)
+        segment = None
         try:
-            classifier = classifiers[category]
-            # Engine counters tick in *this* process's shared registry,
-            # invisible to the parent; ship the per-job deltas back so
-            # the service's /metrics reflects worker activity.
-            before = _engine_counter_values()
-            values = classifier.decision_values(sequences)
-            deltas = {
-                name: after - before.get(name, 0.0)
-                for name, after in _engine_counter_values().items()
-            }
-            result_queue.put(("done", job_id, np.asarray(values), deltas))
+            try:
+                sequences, segment = _materialize(handoff, store_root)
+                classifier = classifiers[category]
+                # Engine counters tick in *this* process's shared registry,
+                # invisible to the parent; ship the per-job deltas back so
+                # the service's /metrics reflects worker activity.
+                before = _engine_counter_values()
+                values = classifier.decision_values(sequences)
+                deltas = {
+                    name: after - before.get(name, 0.0)
+                    for name, after in _engine_counter_values().items()
+                }
+                result_queue.put(("done", job_id, np.asarray(values), deltas))
+            finally:
+                if segment is not None:
+                    # Views into the segment die with this scope; the
+                    # evaluator copies sequences into its own packing.
+                    sequences = None
+                    try:
+                        segment.close()
+                    except BufferError:
+                        pass  # a view survived; mapping dies with the process
         except BaseException:  # noqa: BLE001 - reported to the parent
             result_queue.put(("error", job_id, traceback.format_exc()))
 
 
 class _Job:
-    __slots__ = ("job_id", "category", "sequences", "future", "claimed_by",
-                 "submitted_at", "retries")
+    __slots__ = ("job_id", "category", "handoff", "shm", "future",
+                 "claimed_by", "submitted_at", "retries")
 
-    def __init__(self, job_id, category, sequences):
+    def __init__(self, job_id, category, handoff, shm=None):
         self.job_id = job_id
         self.category = category
-        self.sequences = sequences
+        self.handoff = handoff
+        self.shm = shm
         self.future: Future = Future()
         self.claimed_by: Optional[int] = None
         self.submitted_at = time.perf_counter()
         self.retries = 0
+
+    def release(self) -> None:
+        """Free the job's shared-memory segment (parent side, once)."""
+        segment, self.shm = self.shm, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, BufferError):
+            pass  # already unlinked / view outstanding; nothing to leak
 
 
 class WorkerPool:
@@ -116,6 +246,12 @@ class WorkerPool:
         restart_workers: respawn workers that die (on by default).
         max_retries: resubmissions of a job orphaned by worker deaths
             before its future fails with :class:`WorkerCrash`.
+        store_root: dataset-store root for address-based zero-copy
+            handoff; None disables the store path (references fall back
+            to shared memory / pickling).
+        use_shared_memory: pack fresh (store-less) sequences into one
+            ``multiprocessing.shared_memory`` segment per job instead of
+            pickling them over the task queue.
     """
 
     def __init__(
@@ -126,6 +262,8 @@ class WorkerPool:
         restart_workers: bool = True,
         max_retries: int = 2,
         monitor_interval: float = 0.1,
+        store_root: Optional[Union[str, Path]] = None,
+        use_shared_memory: bool = True,
     ) -> None:
         if n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {n_workers}")
@@ -135,6 +273,8 @@ class WorkerPool:
         self.restart_workers = restart_workers
         self.max_retries = max_retries
         self.monitor_interval = monitor_interval
+        self.store_root = str(store_root) if store_root is not None else None
+        self.use_shared_memory = use_shared_memory and shared_memory is not None
 
         self._restarts = self.metrics.counter(
             "pool_worker_restarts_total", "workers respawned after a crash"
@@ -144,6 +284,22 @@ class WorkerPool:
             "pool_eval_seconds", "job latency: submit to result"
         )
         self._jobs_total = self.metrics.counter("pool_jobs_total", "jobs submitted")
+        self._requeues = self.metrics.counter(
+            "serve_batch_requeues_total",
+            "batches re-queued once after a worker crash",
+        )
+        self._store_seqs = self.metrics.counter(
+            "pool_store_sequences_total",
+            "sequences handed to workers as store (address, row) refs",
+        )
+        self._shm_seqs = self.metrics.counter(
+            "pool_shm_sequences_total",
+            "sequences handed to workers via shared memory",
+        )
+        self._pickled_seqs = self.metrics.counter(
+            "pool_pickled_sequences_total",
+            "sequences pickled over the task queue (fallback path)",
+        )
 
         self._closed = False
         self._lock = threading.Lock()
@@ -177,8 +333,13 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def evaluate(self, category: str, sequences: Sequence[np.ndarray]) -> Future:
-        """Submit one (category, batch) job; resolves to decision values."""
+    def evaluate(self, category: str, sequences: Sequence) -> Future:
+        """Submit one (category, batch) job; resolves to decision values.
+
+        ``sequences`` items may be plain arrays or :class:`SequenceRef`\\ s;
+        references whose dataset address matches this pool's store root
+        cross to workers as addresses, not bytes.
+        """
         if self._closed:
             raise PoolClosed("worker pool is shut down")
         if category != CRASH_CATEGORY and category not in self.classifiers:
@@ -190,26 +351,55 @@ class WorkerPool:
         self._jobs_total.inc()
         if self.n_workers == 0:
             return self._evaluate_inline(category, sequences)
+        handoff, shm = self._build_handoff(sequences)
         with self._lock:
-            job = _Job(self._next_job_id, category, list(sequences))
+            job = _Job(self._next_job_id, category, handoff, shm)
             self._next_job_id += 1
             self._pending[job.job_id] = job
-        self._task_queue.put((job.job_id, job.category, job.sequences))
+        self._task_queue.put((job.job_id, job.category, job.handoff))
         return job.future
 
     def evaluate_many(
-        self, sequences_by_category: Mapping[str, Sequence[np.ndarray]]
+        self, sequences_by_category: Mapping[str, Sequence]
     ) -> Dict[str, np.ndarray]:
-        """Fan one batch across categories and block for all results."""
+        """Fan one batch across categories and block for all results.
+
+        A category whose job is killed by a worker crash is re-queued
+        once (``serve_batch_requeues_total``) before the crash is
+        allowed to reach the caller: by then the monitor has respawned
+        workers, so a single mid-batch death costs latency, not errors.
+        """
         futures = {
             category: self.evaluate(category, sequences)
             for category, sequences in sequences_by_category.items()
         }
-        return {category: future.result() for category, future in futures.items()}
+        results: Dict[str, np.ndarray] = {}
+        for category, future in futures.items():
+            try:
+                results[category] = future.result()
+            except WorkerCrash:
+                if (self._closed or self.n_workers == 0
+                        or not (self.restart_workers or self.n_alive)):
+                    raise  # nobody left to run a retry; fail honestly
+                self._requeues.inc()
+                results[category] = self.evaluate(
+                    category, sequences_by_category[category]
+                ).result()
+        return results
 
     @property
     def n_restarts(self) -> int:
         return int(self._restarts.value)
+
+    @property
+    def n_alive(self) -> int:
+        """Live worker processes right now (0 in inline mode)."""
+        if self.n_workers == 0:
+            return 0
+        with self._lock:
+            return sum(
+                1 for process in self._workers.values() if process.is_alive()
+            )
 
     @property
     def worker_pids(self) -> List[int]:
@@ -239,6 +429,7 @@ class WorkerPool:
             pending = list(self._pending.values())
             self._pending.clear()
         for job in pending:
+            job.release()
             if not job.future.done():
                 job.future.set_exception(PoolClosed("pool shut down"))
         self._alive_gauge.set(0)
@@ -246,13 +437,76 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _build_handoff(self, sequences: Sequence):
+        """Partition a batch into store refs / shared memory / pickled.
+
+        Returns ``(descriptor, shm_segment)``; the segment (if any) must
+        stay alive until the job resolves and is released by the parent.
+        """
+        store_items: List[Tuple[int, str, int]] = []
+        raw_items: List[Tuple[int, np.ndarray]] = []
+        for position, item in enumerate(sequences):
+            if (
+                isinstance(item, SequenceRef)
+                and item.address is not None
+                and item.row >= 0
+                and self.store_root is not None
+            ):
+                store_items.append((position, item.address, item.row))
+            else:
+                raw_items.append((
+                    position,
+                    np.ascontiguousarray(
+                        unwrap_sequence(item), dtype=np.float64
+                    ),
+                ))
+        shm = None
+        shm_desc = None
+        if raw_items and self.use_shared_memory:
+            total = sum(array.nbytes for _, array in raw_items)
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, total)
+                )
+            except OSError:
+                shm = None  # no /dev/shm headroom; pickle this batch
+            if shm is not None:
+                metas = []
+                offset = 0
+                for position, array in raw_items:
+                    view = np.ndarray(
+                        array.shape, dtype=np.float64,
+                        buffer=shm.buf, offset=offset,
+                    )
+                    view[...] = array
+                    metas.append((position, offset, array.shape))
+                    offset += array.nbytes
+                del view  # drop the buffer export before workers attach
+                shm_desc = (shm.name, metas)
+                self._shm_seqs.inc(len(raw_items))
+                raw_items = []
+        if store_items:
+            self._store_seqs.inc(len(store_items))
+        if raw_items:
+            self._pickled_seqs.inc(len(raw_items))
+        handoff = {
+            "n": len(sequences) if hasattr(sequences, "__len__")
+            else len(list(sequences)),
+            "store": store_items,
+            "shm": shm_desc,
+            "raw": raw_items,
+        }
+        return handoff, shm
+
     def _evaluate_inline(self, category, sequences) -> Future:
         future: Future = Future()
         start = time.perf_counter()
         try:
             if category == CRASH_CATEGORY:
                 raise WorkerCrash("crash requested with no worker processes")
-            values = self.classifiers[category].decision_values(list(sequences))
+            values = self.classifiers[category].decision_values(
+                [unwrap_sequence(item) for item in sequences]
+            )
             future.set_result(np.asarray(values))
         except BaseException as error:  # noqa: BLE001
             future.set_exception(error)
@@ -263,16 +517,20 @@ class WorkerPool:
         with self._lock:
             worker_id = self._next_worker_id
             self._next_worker_id += 1
-            process = self._context.Process(
-                target=_worker_main,
-                args=(worker_id, self.classifiers, self._task_queue,
-                      self._result_queue),
-                name=f"rlgp-worker-{worker_id}",
-                daemon=True,
-            )
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, self.classifiers, self._task_queue,
+                  self._result_queue, self.store_root),
+            name=f"rlgp-worker-{worker_id}",
+            daemon=True,
+        )
+        # Publish only after start(): the monitor and shutdown() join
+        # whatever they find in _workers, and joining a never-started
+        # process raises.
+        process.start()
+        with self._lock:
             self._workers[worker_id] = process
             alive = len(self._workers)
-        process.start()
         self._alive_gauge.set(alive)
 
     def _collect_loop(self) -> None:
@@ -297,6 +555,7 @@ class WorkerPool:
                 with self._lock:
                     job = self._pending.pop(job_id, None)
                 if job is not None:
+                    job.release()
                     self._latency.observe(time.perf_counter() - job.submitted_at)
                     job.future.set_result(values)
             elif kind == "error":
@@ -304,6 +563,7 @@ class WorkerPool:
                 with self._lock:
                     job = self._pending.pop(job_id, None)
                 if job is not None:
+                    job.release()
                     job.future.set_exception(
                         RuntimeError(f"worker evaluation failed:\n{text}")
                     )
@@ -342,6 +602,7 @@ class WorkerPool:
             if job.category == CRASH_CATEGORY or job.retries >= self.max_retries:
                 with self._lock:
                     self._pending.pop(job.job_id, None)
+                job.release()
                 job.future.set_exception(
                     WorkerCrash(
                         f"worker died evaluating category {job.category!r} "
@@ -351,4 +612,4 @@ class WorkerPool:
                 continue
             job.retries += 1
             job.claimed_by = None
-            self._task_queue.put((job.job_id, job.category, job.sequences))
+            self._task_queue.put((job.job_id, job.category, job.handoff))

@@ -1,0 +1,73 @@
+"""Module-level store read path: open_sealed and the memoized attach."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetStore
+from repro.data.store import attach_dataset, dataset_path, open_sealed
+from repro.errors import PersistenceError
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DatasetStore(tmp_path / "store", metrics=MetricsRegistry())
+
+
+def _items(n, offset=0):
+    rng = np.random.default_rng(11 + offset)
+    return [
+        (offset + index, 1, rng.random((4 + index, 2)), f"fp-{offset + index}")
+        for index in range(n)
+    ]
+
+
+def test_dataset_path_validates_keys(tmp_path):
+    assert dataset_path(tmp_path, "abcd1234").parent.name == "ab"
+    for bad in ("", "a/b", "a\\b", "a.b"):
+        with pytest.raises(ValueError, match="malformed dataset key"):
+            dataset_path(tmp_path, bad)
+
+
+def test_open_sealed_matches_store_open(store):
+    key = "beef0sealed"
+    store.ingest(key, _items(3))
+    via_store = store.open(key)
+    via_module = open_sealed(store.root, key)
+    assert len(via_module) == len(via_store) == 3
+    for ours, theirs in zip(via_module.sequences, via_store.sequences):
+        np.testing.assert_array_equal(ours, theirs)
+
+
+def test_open_sealed_refuses_missing_dataset(store):
+    with pytest.raises(PersistenceError, match="no sealed dataset"):
+        open_sealed(store.root, "beef1absent")
+
+
+def test_attach_is_memoized_per_root_and_key(store):
+    key = "beef2cached"
+    store.ingest(key, _items(2))
+    first = attach_dataset(store.root, key)
+    second = attach_dataset(store.root, key)
+    assert first is second
+
+
+def test_refresh_picks_up_incremental_ingest(store):
+    """Row indices are stable across extension (adopted shards keep
+    their order), so a stale attach only needs refreshing when a row
+    index outruns it."""
+    key = "beef3growing"
+    store.ingest(key, _items(2))
+    stale = attach_dataset(store.root, key)
+    assert len(stale) == 2
+    store.ingest(key, _items(2, offset=2))
+    assert attach_dataset(store.root, key) is stale  # memo still serves
+    fresh = attach_dataset(store.root, key, refresh=True)
+    assert len(fresh) == 4
+    for row in range(2):  # old rows kept their indices
+        np.testing.assert_array_equal(
+            fresh.sequences[row], stale.sequences[row]
+        )
+    assert attach_dataset(store.root, key) is fresh  # cache replaced
