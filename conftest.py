@@ -1,0 +1,18 @@
+"""Repository-root pytest config.
+
+When ``REPRO_SANITIZE=1``, loads the runtime concurrency sanitizers
+(:mod:`repro.analysis.sanitize.pytest_plugin`): lock-order recording,
+shm-leak tracking, and event-loop blocking detection run underneath the
+whole tier-1 suite, and any violation fails the session.  Without the
+flag this file is inert.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+if os.environ.get("REPRO_SANITIZE", "") == "1":
+    _src = str(Path(__file__).resolve().parent / "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+    pytest_plugins = ["repro.analysis.sanitize.pytest_plugin"]

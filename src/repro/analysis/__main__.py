@@ -7,12 +7,44 @@ unused allowlist entries, which indicate the exemption went stale).
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.lint.engine import Allowlist, scan
 from repro.analysis.lint.rules import default_rules
+
+
+def changed_files(paths: List[Path]) -> List[Path]:
+    """Git-dirty ``*.py`` files (staged, unstaged, or untracked) that
+    fall under one of ``paths``.
+
+    Fast local iteration: ``--changed`` lints only what you touched.
+    An empty answer means a clean tree, which lints trivially.
+    """
+    out = subprocess.run(
+        ["git", "status", "--porcelain", "--untracked-files=all"],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    roots = [p.resolve() for p in paths]
+    dirty: List[Path] = []
+    for line in out.splitlines():
+        if len(line) < 4 or line[0] == "D" or line[1] == "D":
+            continue
+        name = line[3:]
+        if " -> " in name:  # rename: lint the new side
+            name = name.split(" -> ", 1)[1]
+        if not name.endswith(".py"):
+            continue
+        candidate = Path(name).resolve()
+        if not candidate.exists():
+            continue
+        for root in roots:
+            if candidate == root or root in candidate.parents:
+                dirty.append(candidate)
+                break
+    return sorted(set(dirty))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -32,6 +64,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule set and exit",
     )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only git-dirty files under the given paths",
+    )
     args = parser.parse_args(argv)
 
     rules = default_rules()
@@ -40,14 +76,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.name}  {rule.title}")
         return 0
 
+    targets: List[Path] = args.paths
+    if args.changed:
+        targets = changed_files(args.paths)
+        if not targets:
+            print("reprolint: no changed files, nothing to lint")
+            return 0
+
     allowlist = (
         Allowlist.load(args.allowlist) if args.allowlist else Allowlist.empty()
     )
-    reported, suppressed = scan(args.paths, rules, allowlist)
+    reported, suppressed = scan(targets, rules, allowlist)
 
     for finding in reported:
         print(finding.render())
-    unused = allowlist.unused_entries()
+    # A partial scan can't prove an exemption stale, so the staleness
+    # check only runs on full scans.
+    unused = [] if args.changed else allowlist.unused_entries()
     for entry in unused:
         print(
             f"{args.allowlist}:{entry.line}: unused allowlist entry "

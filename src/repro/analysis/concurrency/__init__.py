@@ -1,0 +1,29 @@
+"""Whole-program concurrency analysis for the repro tree.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.concurrency.lockgraph` -- the static analyzer:
+  walks every module's AST, registers each ``threading.Lock``/``RLock``/
+  ``Condition`` attribute, builds an inter-procedural lock-acquisition
+  graph from ``with self._lock:`` scopes plus resolved call edges, and
+  reports cycles (potential deadlocks), locks held across fork/await/
+  blocking calls, and double-acquisition of non-reentrant locks -- each
+  with a witness path.  Surfaced by ``repro.cli analyze --concurrency``.
+* :mod:`repro.analysis.sanitize` -- the runtime half: wraps the same
+  locks under ``REPRO_SANITIZE=1`` and checks the *observed* acquisition
+  orders against this graph.
+"""
+
+from repro.analysis.concurrency.lockgraph import (
+    LockGraphReport,
+    LockInfo,
+    LockOrderEdge,
+    analyze_tree,
+)
+
+__all__ = [
+    "LockGraphReport",
+    "LockInfo",
+    "LockOrderEdge",
+    "analyze_tree",
+]

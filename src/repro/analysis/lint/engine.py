@@ -61,6 +61,25 @@ class ModuleInfo:
     source: str
     lines: List[str]
     imports: Dict[str, str] = field(default_factory=dict)
+    node_index: Dict[type, List[ast.AST]] = field(default_factory=dict)
+
+    def nodes(self, *types: type) -> Iterator[ast.AST]:
+        """Every node of the given AST type(s), in source order.
+
+        Backed by the index built during the single parse-time
+        traversal, so N rules asking for ``ast.Call`` cost one walk
+        total instead of N.
+        """
+        if len(types) == 1:
+            yield from self.node_index.get(types[0], ())
+            return
+        picked = [
+            node for t in types for node in self.node_index.get(t, ())
+        ]
+        picked.sort(key=lambda n: (
+            getattr(n, "lineno", 0), getattr(n, "col_offset", 0)
+        ))
+        yield from picked
 
 
 class Rule:
@@ -166,8 +185,18 @@ class Allowlist:
         return [e for e, used in zip(self.entries, self._used) if not used]
 
 
-def _annotate(tree: ast.Module) -> None:
-    """Attach ``_repro_parent`` and ``_repro_qualname`` to every node."""
+def _index_module(
+    tree: ast.Module,
+) -> Tuple[Dict[str, str], Dict[type, List[ast.AST]]]:
+    """One traversal: annotate scopes, collect imports, index by type.
+
+    Attaches ``_repro_parent`` and ``_repro_qualname`` to every node
+    (as before), and in the same pass gathers the import table and a
+    ``type -> [nodes in source order]`` index so rules never re-walk
+    the tree.
+    """
+    imports: Dict[str, str] = {}
+    index: Dict[type, List[ast.AST]] = {}
 
     def visit(node: ast.AST, parent: Optional[ast.AST], scope: str) -> None:
         node._repro_parent = parent  # type: ignore[attr-defined]
@@ -178,16 +207,7 @@ def _annotate(tree: ast.Module) -> None:
         ):
             child_scope = f"{scope}.{node.name}" if scope else node.name
             node._repro_qualname = child_scope  # type: ignore[attr-defined]
-        for child in ast.iter_child_nodes(node):
-            visit(child, node, child_scope)
-
-    visit(tree, None, "")
-
-
-def _collect_imports(tree: ast.Module) -> Dict[str, str]:
-    imports: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
+        elif isinstance(node, ast.Import):
             for alias in node.names:
                 imports[alias.asname or alias.name.split(".")[0]] = (
                     alias.name if alias.asname else alias.name.split(".")[0]
@@ -199,20 +219,26 @@ def _collect_imports(tree: ast.Module) -> Dict[str, str]:
                 imports[alias.asname or alias.name] = (
                     f"{node.module}.{alias.name}"
                 )
-    return imports
+        index.setdefault(type(node), []).append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child, node, child_scope)
+
+    visit(tree, None, "")
+    return imports, index
 
 
 def parse_module(path: Path) -> ModuleInfo:
     source = path.read_text()
     tree = ast.parse(source, filename=str(path))
-    _annotate(tree)
+    imports, index = _index_module(tree)
     return ModuleInfo(
         path=path,
         posix=path.resolve().as_posix(),
         tree=tree,
         source=source,
         lines=source.splitlines(),
-        imports=_collect_imports(tree),
+        imports=imports,
+        node_index=index,
     )
 
 

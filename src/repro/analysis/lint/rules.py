@@ -43,9 +43,8 @@ class GuardedAttributeRule(Rule):
     title = "guarded attribute accessed outside its lock"
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef):
-                yield from self._check_class(module, node)
+        for node in module.nodes(ast.ClassDef):
+            yield from self._check_class(module, node)
 
     def _declared_guards(
         self, module: ModuleInfo, init: ast.FunctionDef
@@ -156,9 +155,7 @@ class DeterminismRule(Rule):
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         seeded = any(marker in module.posix for marker in _SEEDED_MARKERS)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.nodes(ast.Call):
             origin = resolve_call(node, module.imports)
             if origin is None:
                 continue
@@ -224,9 +221,8 @@ class AtomicPublishRule(Rule):
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         if not any(marker in module.posix for marker in _ATOMIC_MARKERS):
             return
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_function(module, node)
+        for node in module.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            yield from self._check_function(module, node)
 
     # -- taint machinery -------------------------------------------------
     def _is_tainted(self, node: ast.AST, tainted_names: Set[str]) -> bool:
@@ -385,9 +381,7 @@ class SwallowedExceptionRule(Rule):
     title = "broad except swallows the exception"
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        for node in module.nodes(ast.ExceptHandler):
             caught = self._caught_names(node)
             broad = node.type is None or bool(caught & _BROAD_NAMES)
             if broad and not self._handles(node):
@@ -484,9 +478,7 @@ class ForkDisciplineRule(Rule):
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         blessed = any(module.posix.endswith(site) for site in _FORK_SITES)
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.nodes(ast.Call):
             origin = resolve_call(node, module.imports)
             if origin is None:
                 continue
@@ -545,9 +537,7 @@ class MetricNamesRule(Rule):
         self._registry: Dict[str, List[Tuple[str, ModuleInfo, int, str]]] = {}
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in module.nodes(ast.Call):
             func = node.func
             if not (
                 isinstance(func, ast.Attribute) and func.attr in _METRIC_KINDS
@@ -624,7 +614,7 @@ class WallClockRule(Rule):
     title = "wall-clock read outside an allowlisted operational site"
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes(ast.Call, ast.Attribute):
             if isinstance(node, ast.Call):
                 origin = resolve_call(node, module.imports)
                 if origin in _WALL_CLOCK_CALLS:
@@ -633,7 +623,7 @@ class WallClockRule(Rule):
                         "from document DATE metadata (repro.temporal) or "
                         "use time.perf_counter for durations"
                     ))
-            elif isinstance(node, ast.Attribute):
+            else:
                 parent = getattr(node, "_repro_parent", None)
                 if isinstance(parent, ast.Call) and parent.func is node:
                     continue  # the Call branch above reports it

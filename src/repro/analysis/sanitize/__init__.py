@@ -1,0 +1,125 @@
+"""Runtime concurrency sanitizers, gated on ``REPRO_SANITIZE=1``.
+
+The static analyzer (:mod:`repro.analysis.concurrency`) proves facts
+about lock orders it can resolve; this package watches the orders that
+*actually happen* and the resources that actually leak:
+
+* :mod:`.locks` — wraps ``threading.Lock``/``RLock`` created by repro
+  code, records acquisition orders, flags inversions, double acquires,
+  and fork-while-locked.
+* :mod:`.resources` — tracks ``shared_memory`` segments (leak = created
+  but never unlinked) and censuses memmap opens.
+* :mod:`.loopcheck` — asyncio debug mode on repro-created loops;
+  slow-callback log records become violations.
+* :mod:`.pytest_plugin` — installs everything at session start when
+  enabled, finalizes and fails the session on violations at the end.
+
+Usage outside pytest::
+
+    REPRO_SANITIZE=1 python my_script.py   # with sanitize.install()
+
+All patches are process-global; ``install()``/``uninstall()`` nest, so
+the sanitizer's own tests can install and uninstall around each case
+without stripping a session-wide installation (the ``REPRO_SANITIZE=1``
+pytest plugin) out from under the rest of the suite.  The self-tests
+use :func:`snapshot_state`/:func:`restore_state` so the violations they
+deliberately provoke never leak into the session report, and state the
+session accumulated before them survives.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.sanitize import locks, loopcheck, resources
+from repro.analysis.sanitize.report import COLLECTOR, Violation
+
+__all__ = [
+    "COLLECTOR",
+    "Violation",
+    "enabled",
+    "install",
+    "uninstall",
+    "finalize",
+    "reset",
+    "snapshot_state",
+    "restore_state",
+    "violations",
+    "write_report",
+]
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+
+def enabled() -> bool:
+    """True when the process opted into sanitizing."""
+    return os.environ.get(_ENV_FLAG, "") == "1"
+
+
+def install() -> None:
+    """Install every sanitizer (idempotent)."""
+    locks.install()
+    resources.install()
+    loopcheck.install()
+
+
+def uninstall() -> None:
+    """Restore all patched factories/classes."""
+    locks.uninstall()
+    resources.uninstall()
+    loopcheck.uninstall()
+
+
+def finalize() -> List[Violation]:
+    """End-of-run checks (shm leaks); returns everything collected."""
+    resources.finalize()
+    return COLLECTOR.snapshot()
+
+
+def reset() -> None:
+    """Drop collected state (between sanitizer self-tests)."""
+    COLLECTOR.clear()
+    locks.reset()
+    resources.reset()
+
+
+def snapshot_state() -> tuple:
+    """Opaque copy of all accumulated sanitizer state."""
+    return (
+        COLLECTOR.snapshot(),
+        locks.observed_edges(),
+        resources.leaked_segments(),
+        resources.memmap_open_count(),
+    )
+
+
+def restore_state(state: tuple) -> None:
+    """Put back a :func:`snapshot_state` copy, dropping anything newer."""
+    saved_violations, edges, segments, memmap_opens = state
+    reset()
+    for violation in saved_violations:
+        COLLECTOR.record(violation)
+    locks.restore_edges(edges)
+    resources.restore(segments, memmap_opens)
+
+
+def violations() -> List[Violation]:
+    return COLLECTOR.snapshot()
+
+
+def write_report(path: Optional[Path] = None) -> Path:
+    """Write the machine-readable report; returns the path written."""
+    if path is None:
+        path = Path(
+            os.environ.get("REPRO_SANITIZE_REPORT", "sanitize_report.json")
+        )
+    COLLECTOR.write_json(path, extra={
+        "memmap_opens": resources.memmap_open_count(),
+        "observed_lock_edges": [
+            {"first": a, "second": b, "witness": w}
+            for (a, b), w in sorted(locks.observed_edges().items())
+        ],
+    })
+    return path

@@ -1,0 +1,291 @@
+"""Lock sanitizer: observe real acquisition orders, flag real hazards.
+
+``install()`` replaces the ``threading.Lock`` / ``threading.RLock``
+factories.  The replacement inspects its *caller's* module: only locks
+created by ``repro.*`` code are wrapped — stdlib machinery
+(``queue.Queue``, ``concurrent.futures``, ``threading.Condition``'s
+internal RLock) keeps raw locks, which bounds both overhead and noise.
+
+Each wrapped lock is named by its creation site (``module:line``) so
+every lock born at one assignment — including per-key factory locks —
+shares one identity, matching the static analyzer's model.  The wrapper
+maintains a per-thread stack of held locks and a global observed-order
+graph, reporting:
+
+* **lock_inversion** — thread observed acquiring A then B after some
+  thread acquired B then A (the classic deadlock recipe, caught even
+  when the schedule never actually deadlocks);
+* **double_acquire** — a non-reentrant lock re-acquired by its holder;
+  raises ``RuntimeError`` rather than letting the test hang;
+* **fork_while_locked** — ``os.fork`` while the forking thread holds a
+  wrapped lock (the child inherits a mutex nobody will ever release);
+* **static_order_violation** — via :func:`check_against_static`, an
+  observed edge whose *reverse* is the order the static graph blessed.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.sanitize.report import COLLECTOR, Violation
+
+_state_lock = _thread.allocate_lock()
+_original_lock = None
+_original_rlock = None
+#: install() nesting depth -- the sanitizer's own tests install/uninstall
+#: around each case, and must not strip a session-wide installation
+#: (the REPRO_SANITIZE=1 pytest plugin) out from under the suite.
+_install_count = 0
+_fork_hook_registered = False
+
+#: observed order: (first, second) -> witness description
+_observed_edges: Dict[Tuple[str, str], str] = {}
+
+_tls = threading.local()
+
+
+def _held_stack() -> List["_SanitizedBase"]:
+    stack = getattr(_tls, "held", None)
+    if stack is None:
+        stack = []
+        _tls.held = stack
+    return stack
+
+
+def _caller_site() -> Tuple[str, str]:
+    """``(module_name, site)`` of the frame that called the factory."""
+    frame = sys._getframe(2)
+    module = frame.f_globals.get("__name__", "")
+    return module, f"{module}:{frame.f_lineno}"
+
+
+class _SanitizedBase:
+    """Common acquire/release bookkeeping around a raw lock."""
+
+    reentrant = False
+
+    def __init__(self, inner, site: str) -> None:
+        self._inner = inner
+        self.site = site
+        self._depth = 0  # owner-side recursion depth (RLock only)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = _held_stack()
+        if (
+            blocking
+            and not self.reentrant
+            and any(h is self for h in stack)
+        ):
+            # A non-blocking re-acquire just returns False (no hazard);
+            # a blocking one would deadlock this thread forever, so
+            # fail loudly instead of hanging the suite.
+            witness = " -> ".join(h.site for h in stack) or "<empty>"
+            COLLECTOR.record(Violation(
+                kind="double_acquire",
+                message=(
+                    f"non-reentrant lock {self.site} re-acquired by its "
+                    f"holder ({threading.current_thread().name})"
+                ),
+                witness=witness,
+            ))
+            raise RuntimeError(
+                f"sanitize: double acquire of non-reentrant lock "
+                f"{self.site}"
+            )
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._record_order(stack)
+            stack.append(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        stack = _held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def _record_order(self, stack: List["_SanitizedBase"]) -> None:
+        if not stack:
+            return
+        me = self.site
+        thread = threading.current_thread().name
+        with _state_lock:
+            for holder in stack:
+                if holder.site == me:
+                    continue  # same family (factory locks): no ordering
+                edge = (holder.site, me)
+                if edge not in _observed_edges:
+                    _observed_edges[edge] = (
+                        f"{thread}: held {holder.site}, acquired {me}"
+                    )
+                reverse = _observed_edges.get((me, holder.site))
+                if reverse is not None:
+                    COLLECTOR.record(Violation(
+                        kind="lock_inversion",
+                        message=(
+                            f"opposite acquisition orders observed for "
+                            f"{holder.site} and {me}"
+                        ),
+                        witness=(
+                            f"{_observed_edges[edge]} | {reverse}"
+                        ),
+                    ))
+
+
+class SanitizedLock(_SanitizedBase):
+    reentrant = False
+
+
+class SanitizedRLock(_SanitizedBase):
+    reentrant = True
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = _held_stack()
+        if any(h is self for h in stack):
+            # Plain recursion: count it, skip order bookkeeping.
+            acquired = self._inner.acquire(blocking, timeout)
+            if acquired:
+                self._depth += 1
+            return acquired
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._record_order(stack)
+            stack.append(self)
+            self._depth = 1
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._depth -= 1
+        if self._depth <= 0:
+            stack = _held_stack()
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is self:
+                    del stack[i]
+                    break
+
+
+def _should_wrap(module: str) -> bool:
+    return module.startswith("repro")
+
+
+def _lock_factory():
+    module, site = _caller_site()
+    if _should_wrap(module):
+        return SanitizedLock(_original_lock(), site)
+    return _original_lock()
+
+
+def _rlock_factory():
+    module, site = _caller_site()
+    if _should_wrap(module):
+        return SanitizedRLock(_original_rlock(), site)
+    return _original_rlock()
+
+
+def _before_fork() -> None:
+    held = [h for h in _held_stack() if isinstance(h, _SanitizedBase)]
+    if held:
+        COLLECTOR.record(Violation(
+            kind="fork_while_locked",
+            message=(
+                f"process forked while "
+                f"{threading.current_thread().name} holds "
+                f"{', '.join(h.site for h in held)}"
+            ),
+            witness=" -> ".join(h.site for h in held),
+        ))
+
+
+def install() -> None:
+    global _original_lock, _original_rlock, _install_count
+    global _fork_hook_registered
+    _install_count += 1
+    if _install_count > 1:
+        return
+    _original_lock = threading.Lock
+    _original_rlock = threading.RLock
+    threading.Lock = _lock_factory
+    threading.RLock = _rlock_factory
+    if not _fork_hook_registered and hasattr(os, "register_at_fork"):
+        # register_at_fork is permanent; the hook itself stays cheap
+        # and inert once the wrappers are gone.
+        os.register_at_fork(before=_before_fork)
+        _fork_hook_registered = True
+
+
+def uninstall() -> None:
+    global _install_count
+    if _install_count == 0:
+        return
+    _install_count -= 1
+    if _install_count > 0:
+        return
+    threading.Lock = _original_lock
+    threading.RLock = _original_rlock
+
+
+def reset() -> None:
+    with _state_lock:
+        _observed_edges.clear()
+    # Only the calling thread's stack is reachable; other threads clear
+    # theirs naturally as their locks release.
+    _tls.held = []
+
+
+def restore_edges(edges: Dict[Tuple[str, str], str]) -> None:
+    """Re-seed the observed-order graph (self-test save/restore)."""
+    with _state_lock:
+        _observed_edges.update(edges)
+
+
+def observed_edges() -> Dict[Tuple[str, str], str]:
+    with _state_lock:
+        return dict(_observed_edges)
+
+
+def check_against_static(
+    static_pairs: Set[Tuple[str, str]],
+    site_names: Optional[Dict[str, str]] = None,
+) -> List[Violation]:
+    """Flag observed orders that contradict the static graph.
+
+    ``site_names`` maps runtime creation sites (``module:line``) to the
+    static analyzer's lock ids; sites without a mapping are skipped
+    (locks the static analysis didn't model carry no contract).
+    """
+    names = site_names or {}
+    found: List[Violation] = []
+    for (first, second), witness in observed_edges().items():
+        a, b = names.get(first), names.get(second)
+        if a is None or b is None:
+            continue
+        if (b, a) in static_pairs and (a, b) not in static_pairs:
+            violation = Violation(
+                kind="static_order_violation",
+                message=(
+                    f"runtime acquired {a} before {b}, but the static "
+                    f"graph orders {b} before {a}"
+                ),
+                witness=witness,
+            )
+            COLLECTOR.record(violation)
+            found.append(violation)
+    return found

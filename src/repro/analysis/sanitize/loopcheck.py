@@ -1,0 +1,65 @@
+"""Event-loop sanitizer: surface callbacks that block the gateway loop.
+
+The gateway runs every connection on one asyncio loop; a single
+synchronous call that takes 300ms stalls *every* in-flight request.
+asyncio already measures this in debug mode — it logs ``Executing
+<Handle ...> took N seconds`` for any callback over
+``slow_callback_duration`` — so the sanitizer only has to turn debug
+mode on for loops the repro code creates and convert those log records
+into violations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from repro.analysis.sanitize.report import COLLECTOR, Violation
+
+#: Callbacks slower than this monopolize the loop long enough to hurt.
+SLOW_CALLBACK_SECONDS = 0.25
+
+#: install() nesting depth (see locks._install_count)
+_install_count = 0
+_original_new_event_loop = None
+_handler = None
+
+
+class _AsyncioHandler(logging.Handler):
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "Executing" in message and "took" in message:
+            COLLECTOR.record(Violation(
+                kind="event_loop_blocked",
+                message="callback blocked the event loop",
+                witness=message,
+            ))
+
+
+def _debug_new_event_loop():
+    loop = _original_new_event_loop()
+    loop.set_debug(True)
+    loop.slow_callback_duration = SLOW_CALLBACK_SECONDS
+    return loop
+
+
+def install() -> None:
+    global _install_count, _original_new_event_loop, _handler
+    _install_count += 1
+    if _install_count > 1:
+        return
+    _original_new_event_loop = asyncio.new_event_loop
+    asyncio.new_event_loop = _debug_new_event_loop
+    _handler = _AsyncioHandler(level=logging.WARNING)
+    logging.getLogger("asyncio").addHandler(_handler)
+
+
+def uninstall() -> None:
+    global _install_count
+    if _install_count == 0:
+        return
+    _install_count -= 1
+    if _install_count > 0:
+        return
+    asyncio.new_event_loop = _original_new_event_loop
+    logging.getLogger("asyncio").removeHandler(_handler)

@@ -1,0 +1,38 @@
+"""Pytest integration: run the suite under the sanitizers.
+
+Loaded by the repository-root ``conftest.py`` when ``REPRO_SANITIZE=1``.
+Installs every sanitizer before collection, and at session end runs the
+finalizers (shm-leak check), writes ``sanitize_report.json`` (path
+overridable via ``REPRO_SANITIZE_REPORT``), prints any violations, and
+fails an otherwise-green session with exit status 3 so CI cannot miss
+them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import sanitize
+
+#: Exit status for "tests passed but the sanitizers found violations".
+SANITIZE_EXIT_STATUS = 3
+
+
+def pytest_configure(config) -> None:
+    if sanitize.enabled():
+        sanitize.install()
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not sanitize.enabled():
+        return
+    found = sanitize.finalize()
+    path = sanitize.write_report()
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [f"sanitize: {len(found)} violation(s), report at {path}"]
+    lines.extend(v.render() for v in found)
+    if tr is not None:
+        for line in lines:
+            tr.write_line(line)
+    else:
+        print("\n".join(lines))
+    if found and session.exitstatus == 0:
+        session.exitstatus = SANITIZE_EXIT_STATUS

@@ -1,0 +1,95 @@
+"""Violation collection for the runtime sanitizers.
+
+The collector is the one piece of shared state every sanitizer writes
+to, so it synchronizes with a raw ``_thread`` lock — never a wrapped
+``threading.Lock``, which would make the lock sanitizer observe (and
+potentially report) its own bookkeeping.
+"""
+
+from __future__ import annotations
+
+import _thread
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One sanitizer finding.
+
+    kind is one of ``lock_inversion``, ``double_acquire``,
+    ``fork_while_locked``, ``shm_leak``, ``event_loop_blocked``,
+    ``static_order_violation``.
+    """
+
+    kind: str
+    message: str
+    witness: str = ""
+
+    def payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "witness": self.witness,
+        }
+
+    def render(self) -> str:
+        tail = f" [{self.witness}]" if self.witness else ""
+        return f"SANITIZE {self.kind}: {self.message}{tail}"
+
+
+@dataclass
+class Collector:
+    """Thread-safe violation sink shared by all sanitizers."""
+
+    _violations: List[Violation] = field(default_factory=list)
+    _seen: set = field(default_factory=set)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = _thread.allocate_lock()
+
+    def record(self, violation: Violation) -> None:
+        with self._lock:
+            key = (violation.kind, violation.message)
+            if key in self._seen:
+                return  # one report per distinct site, not per hit
+            self._seen.add(key)
+            self._violations.append(violation)
+            self._counts[violation.kind] = (
+                self._counts.get(violation.kind, 0) + 1
+            )
+
+    def snapshot(self) -> List[Violation]:
+        with self._lock:
+            return list(self._violations)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._violations.clear()
+            self._seen.clear()
+            self._counts.clear()
+
+    def write_json(
+        self, path: Path, extra: Optional[dict] = None
+    ) -> None:
+        payload = {
+            "violations": [v.payload() for v in self.snapshot()],
+            "counts": self.counts(),
+        }
+        if extra:
+            payload.update(extra)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+#: The process-wide collector every sanitizer records into.
+COLLECTOR = Collector()

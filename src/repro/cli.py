@@ -167,6 +167,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="saved model directory; runs the IR dataflow verifier and "
              "numeric-safety report over its champion programs",
     )
+    analyze.add_argument(
+        "--concurrency", nargs="?", type=Path, const=None,
+        default=argparse.SUPPRESS, metavar="TREE",
+        help="run the static lock-order analyzer over a source tree "
+             "(default: the installed repro package)",
+    )
+    analyze.add_argument(
+        "--allowlist", type=Path, default=None,
+        help="lock-order allowlist (default: ./lockorder.allow if it "
+             "exists); reprolint.allow syntax, unused entries fail",
+    )
+    analyze.add_argument(
+        "--json", type=Path, default=None, dest="json_out",
+        help="also write the concurrency report (locks, edges, "
+             "findings) as JSON to this path",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the batched HTTP inference service"
@@ -209,6 +225,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="rate-limit burst headroom (with --rate)")
     serve.add_argument("--max-queue", type=int, default=0,
                        help="micro-batcher queue bound; 0 = unbounded")
+    serve.add_argument("--max-pipeline", type=int, default=8,
+                       help="HTTP/1.1 pipelined requests queued per "
+                            "connection before 503 + close (asyncio "
+                            "gateway only)")
     serve.add_argument("--shadow", type=float, default=None,
                        metavar="FRACTION",
                        help="start a rollout of --candidate at launch, "
@@ -525,6 +545,51 @@ def _analyze_model(model_dir: Path) -> int:
     return 0
 
 
+def _analyze_concurrency(
+    tree: Optional[Path],
+    allowlist: Optional[Path],
+    json_out: Optional[Path],
+) -> int:
+    """Run the static lock-order analyzer; 0 = clean."""
+    import repro
+    from repro.analysis.concurrency import analyze_tree
+    from repro.analysis.lint.engine import Allowlist
+
+    if tree is None:
+        tree = Path(repro.__file__).resolve().parent
+    if allowlist is None:
+        default = Path("lockorder.allow")
+        allowlist = default if default.exists() else None
+    allow = Allowlist.load(allowlist) if allowlist else Allowlist.empty()
+    report = analyze_tree([tree])
+    reported = [f for f in report.findings if not allow.suppresses(f)]
+    suppressed = len(report.findings) - len(reported)
+    if json_out is not None:
+        import json
+
+        json_out.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+    for finding in reported:
+        print(finding.render(), file=sys.stderr)
+    unused = allow.unused_entries()
+    for entry in unused:
+        print(
+            f"error: unused lockorder.allow entry at line {entry.line}: "
+            f"{entry.rule} {entry.path}"
+            + (f"::{entry.qualname}" if entry.qualname else ""),
+            file=sys.stderr,
+        )
+    print(
+        f"concurrency: {len(report.locks)} lock(s), "
+        f"{len(report.edges)} order edge(s), "
+        f"{len(reported)} finding(s), {suppressed} allowlisted"
+    )
+    return 1 if reported or unused else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.corpus.analysis import (
         document_lengths,
@@ -533,9 +598,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     from repro.preprocessing.tokenized import TokenizedCorpus
 
-    if args.data is None and args.model is None:
-        print("error: analyze needs --data and/or --model", file=sys.stderr)
+    run_concurrency = hasattr(args, "concurrency")
+    if args.data is None and args.model is None and not run_concurrency:
+        print("error: analyze needs --data, --model, and/or --concurrency",
+              file=sys.stderr)
         return 2
+    if run_concurrency:
+        status = _analyze_concurrency(
+            tree=args.concurrency,
+            allowlist=args.allowlist,
+            json_out=args.json_out,
+        )
+        if status or (args.data is None and args.model is None):
+            return status
     if args.model is not None:
         status = _analyze_model(args.model)
         if status or args.data is None:
@@ -645,7 +720,8 @@ def _serve_async(args: argparse.Namespace, service) -> int:
         metrics=service.metrics,
     )
     gateway = GatewayServer(
-        service, host=args.host, port=args.port, admission=admission
+        service, host=args.host, port=args.port, admission=admission,
+        max_pipeline=args.max_pipeline,
     ).start()
     rate_note = f", rate={args.rate:g}/s" if args.rate else ""
     print(f"serving (asyncio) on http://{args.host}:{gateway.port}  "

@@ -76,9 +76,15 @@ class TokenBucket:
         self._lock = threading.Lock()
 
     def try_acquire(self) -> "tuple[bool, float]":
-        """Spend one token; returns ``(acquired, retry_after_seconds)``."""
-        now = time.perf_counter()
+        """Spend one token; returns ``(acquired, retry_after_seconds)``.
+
+        The clock is sampled *under* the lock: a pre-lock sample lets a
+        thread that loses the lock race write an older timestamp into
+        ``_refilled_at``, and the rewound interval then refills twice --
+        under contention the bucket granted far beyond ``burst + rate*t``.
+        """
         with self._lock:
+            now = time.perf_counter()
             elapsed = max(0.0, now - self._refilled_at)
             self._tokens = min(
                 float(self.burst), self._tokens + elapsed * self.rate

@@ -66,6 +66,12 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: StreamReader line/header limit (also bounds header memory).
 HEADER_LIMIT = 64 * 1024
 
+#: Pipelined requests a connection may queue ahead of the one being
+#: served.  Beyond it the connection is answered 503 and closed: a
+#: client that floods requests without reading responses is buffering
+#: on our side, and the cap bounds that memory per connection.
+MAX_PIPELINE_DEPTH = 8
+
 _STATUS_REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict",
@@ -109,6 +115,10 @@ class GatewayServer:
         admission: admission controller; a default-policy one is created
             when omitted (same metrics registry as the service).
         max_body: request body bound in bytes (413 beyond it).
+        max_pipeline: HTTP/1.1 pipelining depth -- parsed requests a
+            connection may queue beyond the one in flight; exceeding it
+            gets 503 + connection close (``gateway_pipeline_shed_total``
+            counts the closures).
 
     Lifecycle::
 
@@ -125,11 +135,13 @@ class GatewayServer:
         port: int = 0,
         admission: Optional[AdmissionController] = None,
         max_body: int = MAX_BODY_BYTES,
+        max_pipeline: int = MAX_PIPELINE_DEPTH,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.max_body = max_body
+        self.max_pipeline = max(1, max_pipeline)
         self.admission = (
             admission
             if admission is not None
@@ -146,6 +158,10 @@ class GatewayServer:
         )
         self._connections = self.metrics.gauge(
             "gateway_connections", "open gateway connections"
+        )
+        self._pipeline_shed = self.metrics.counter(
+            "gateway_pipeline_shed_total",
+            "connections closed for exceeding the pipelining depth cap",
         )
         self._route_seconds: Dict[str, object] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -238,23 +254,85 @@ class GatewayServer:
     async def _connection_loop(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one connection: parse-ahead reader, serial dispatcher.
+
+        The reader task keeps parsing pipelined requests into a queue
+        while the dispatcher awaits the batcher, so pipelining overlaps
+        parse and compute; responses still go out strictly in request
+        order.  The queue is bounded by ``max_pipeline`` -- a client
+        that outruns its own reads gets the queued responses, then 503
+        and the connection closed.
+        """
+        queue: "asyncio.Queue[Tuple[str, object]]" = asyncio.Queue()
+        reader_task = asyncio.ensure_future(
+            self._read_into_queue(reader, queue)
+        )
+        try:
+            while True:
+                kind, payload = await queue.get()
+                if kind == "request":
+                    request = payload
+                    self._requests_total.inc()
+                    keep_alive = request.keep_alive
+                    await self._dispatch(request, writer)
+                    await writer.drain()
+                    if not keep_alive:
+                        return
+                elif kind == "bad":
+                    self._write_response(
+                        writer, 400,
+                        self._json_body({"error": str(payload)}),
+                        "application/json", keep_alive=False,
+                    )
+                    await writer.drain()
+                    return
+                elif kind == "shed":
+                    self._errors_total.inc()
+                    self._pipeline_shed.inc()
+                    self._write_response(
+                        writer, 503,
+                        self._json_body({
+                            "error": "pipelining depth exceeded",
+                            "max_pipeline": self.max_pipeline,
+                        }),
+                        "application/json", keep_alive=False,
+                    )
+                    await writer.drain()
+                    return
+                else:  # "eof"
+                    return
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except asyncio.CancelledError:
+                # Expected teardown; anything else the reader raised
+                # propagates to _on_connection's drop-the-connection
+                # handler.
+                pass
+
+    async def _read_into_queue(
+        self,
+        reader: asyncio.StreamReader,
+        queue: "asyncio.Queue[Tuple[str, object]]",
+    ) -> None:
+        """Parse requests ahead of the dispatcher, up to the depth cap."""
         while True:
             try:
                 request = await self._read_request(reader)
             except _BadRequest as error:
-                self._write_response(
-                    writer, 400, self._json_body({"error": str(error)}),
-                    "application/json", keep_alive=False,
-                )
-                await writer.drain()
+                await queue.put(("bad", str(error)))
                 return
             if request is None:
+                await queue.put(("eof", None))
                 return
-            self._requests_total.inc()
-            keep_alive = request.keep_alive
-            await self._dispatch(request, writer)
-            await writer.drain()
-            if not keep_alive:
+            if queue.qsize() >= self.max_pipeline:
+                # The parsed request is dropped: its response would sit
+                # behind a queue the client is not draining.
+                await queue.put(("shed", None))
+                return
+            await queue.put(("request", request))
+            if not request.keep_alive:
                 return
 
     async def _read_request(

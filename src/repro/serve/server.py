@@ -696,26 +696,38 @@ class InferenceService:
         return address
 
     def _pool_for(self, entry) -> WorkerPool:
-        """The worker pool for a model entry, rebuilt when it reloads."""
+        """The worker pool for a model entry, rebuilt when it reloads.
+
+        Built outside ``_pools_lock``: WorkerPool() forks workers, and a
+        fork while any thread holds a lock copies the held mutex into
+        the child (REPRO-C002).  Double-checked instead -- a concurrent
+        builder may race us, and the loser's pool is shut down.
+        """
         with self._pools_lock:
             current = self._pools.get(entry.name)
             if current is not None and current[0] == entry.version:
                 return current[1]
-            stale = current[1] if current is not None else None
-            pool = WorkerPool(
-                entry.pipeline.suite.classifiers,
-                n_workers=self.n_workers,
-                metrics=self.metrics,
-                store_root=(
-                    self.data_store.root
-                    if self.data_store is not None
-                    else None
-                ),
-            )
-            self._pools[entry.name] = (entry.version, pool)
-        if stale is not None:
-            stale.shutdown()
-        return pool
+        pool = WorkerPool(
+            entry.pipeline.suite.classifiers,
+            n_workers=self.n_workers,
+            metrics=self.metrics,
+            store_root=(
+                self.data_store.root
+                if self.data_store is not None
+                else None
+            ),
+        )
+        with self._pools_lock:
+            current = self._pools.get(entry.name)
+            if current is not None and current[0] == entry.version:
+                loser, winner = pool, current[1]
+            else:
+                stale = current[1] if current is not None else None
+                self._pools[entry.name] = (entry.version, pool)
+                loser, winner = stale, pool
+        if loser is not None:
+            loser.shutdown()
+        return winner
 
     def _export_cache_stats(self) -> None:
         stats = self.cache.stats()

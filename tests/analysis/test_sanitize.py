@@ -1,0 +1,314 @@
+"""Runtime sanitizers: lock wrapping, inversion/double-acquire/fork
+detection, shm-leak tracking, loop debug hooks.
+
+Every test installs and uninstalls the patches explicitly so nothing
+leaks into the rest of the suite (the tier-1 run exercises the real
+always-on path via ``REPRO_SANITIZE=1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import locks as san_locks
+from repro.analysis.sanitize import loopcheck, resources
+
+
+@pytest.fixture()
+def sanitized():
+    # install/uninstall nest: under a REPRO_SANITIZE=1 session this
+    # bumps the count and the session-wide wrappers stay put.  State the
+    # session accumulated before this test is restored afterwards, and
+    # the violations the test deliberately provokes are dropped.
+    outer = sanitize.snapshot_state()
+    sanitize.install()
+    sanitize.reset()
+    try:
+        yield
+    finally:
+        sanitize.uninstall()
+        sanitize.restore_state(outer)
+
+
+def _repro_lock_maker():
+    """Locks created from a module whose ``__name__`` is under repro --
+    the wrapper factory keys off the *creator's* module.  ``make_a`` and
+    ``make_b`` sit on different lines because locks born at one source
+    line form a single site-family with no intra-family ordering."""
+    namespace = {"__name__": "repro._sanitize_probe"}
+    exec(
+        "import threading\n"
+        "def make_a():\n"
+        "    return threading.Lock()\n"
+        "def make_b():\n"
+        "    return threading.Lock()\n"
+        "def make_rlock():\n"
+        "    return threading.RLock()\n",
+        namespace,
+    )
+    return namespace["make_a"], namespace["make_b"], namespace["make_rlock"]
+
+
+def _kinds():
+    return {v.kind for v in sanitize.violations()}
+
+
+# ----------------------------------------------------------------------
+# wrapping filter
+# ----------------------------------------------------------------------
+def test_only_repro_created_locks_are_wrapped(sanitized):
+    make_a, _, make_rlock = _repro_lock_maker()
+    assert isinstance(make_a(), san_locks.SanitizedLock)
+    assert isinstance(make_rlock(), san_locks.SanitizedRLock)
+    # this test module is not repro code: raw lock, zero overhead
+    assert not isinstance(threading.Lock(), san_locks.SanitizedLock)
+
+
+def test_uninstall_restores_the_factories():
+    """A balanced install/uninstall pair restores the *prior* state:
+    bare factories normally, still-wrapped under a REPRO_SANITIZE=1
+    session (whose own installation must survive this test)."""
+    before = san_locks._install_count
+    sanitize.install()
+    sanitize.uninstall()
+    assert san_locks._install_count == before
+    make_a, make_b, _ = _repro_lock_maker()
+    assert isinstance(make_a(), san_locks.SanitizedLock) == (before > 0)
+
+
+def test_wrapped_lock_behaves_like_a_lock(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    lock = make_a()
+    assert lock.acquire()
+    assert lock.locked()
+    assert not lock.acquire(blocking=False)
+    lock.release()
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
+
+
+# ----------------------------------------------------------------------
+# inversion / double acquire / reentrancy
+# ----------------------------------------------------------------------
+def test_opposite_acquisition_orders_flag_an_inversion(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    a, b = make_a(), make_b()
+    with a:
+        with b:
+            pass
+    assert _kinds() == set()
+    with b:
+        with a:
+            pass
+    assert "lock_inversion" in _kinds()
+
+
+def test_consistent_orders_stay_silent(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    a, b = make_a(), make_b()
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert _kinds() == set()
+
+
+def test_double_acquire_raises_instead_of_hanging(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    lock = make_a()
+    with lock:
+        with pytest.raises(RuntimeError, match="double acquire"):
+            lock.acquire()
+    assert "double_acquire" in _kinds()
+
+
+def test_rlock_recursion_is_not_a_violation(sanitized):
+    _, _, make_rlock = _repro_lock_maker()
+    lock = make_rlock()
+    with lock:
+        with lock:
+            pass
+    assert _kinds() == set()
+
+
+def test_cross_thread_inversion_is_caught(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    a, b = make_a(), make_b()
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    t = threading.Thread(target=forward)
+    t.start()
+    t.join()
+    t = threading.Thread(target=backward)
+    t.start()
+    t.join()
+    assert "lock_inversion" in _kinds()
+
+
+# ----------------------------------------------------------------------
+# fork-while-locked
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only check")
+def test_fork_while_holding_a_lock_is_flagged(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    lock = make_a()
+    with lock:
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)  # child: vanish without touching pytest state
+        os.waitpid(pid, 0)
+    assert "fork_while_locked" in _kinds()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only check")
+def test_fork_with_no_lock_held_is_silent(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    make_a()  # exists but is not held
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+    assert "fork_while_locked" not in _kinds()
+
+
+# ----------------------------------------------------------------------
+# static-graph cross-check
+# ----------------------------------------------------------------------
+def test_observed_order_contradicting_static_graph(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    a, b = make_a(), make_b()
+    with b:
+        with a:
+            pass
+    names = {a.site: "Cls._a", b.site: "Cls._b"}
+    static_pairs = {("Cls._a", "Cls._b")}  # the blessed order
+    found = san_locks.check_against_static(static_pairs, names)
+    assert [v.kind for v in found] == ["static_order_violation"]
+    assert "Cls._b" in found[0].message
+
+
+def test_observed_order_matching_static_graph_is_fine(sanitized):
+    make_a, make_b, _ = _repro_lock_maker()
+    a, b = make_a(), make_b()
+    with a:
+        with b:
+            pass
+    names = {a.site: "Cls._a", b.site: "Cls._b"}
+    assert san_locks.check_against_static(
+        {("Cls._a", "Cls._b")}, names
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# shared-memory leak tracking
+# ----------------------------------------------------------------------
+def test_unlinked_segment_reports_a_leak(sanitized):
+    shared_memory = pytest.importorskip("multiprocessing.shared_memory")
+    segment = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        assert segment.name in resources.leaked_segments()
+        found = resources.finalize()
+        assert any(v.kind == "shm_leak" for v in found)
+    finally:
+        segment.close()
+        segment.unlink()
+    assert segment.name not in resources.leaked_segments()
+
+
+def test_create_then_unlink_is_clean(sanitized):
+    shared_memory = pytest.importorskip("multiprocessing.shared_memory")
+    segment = shared_memory.SharedMemory(create=True, size=64)
+    segment.close()
+    segment.unlink()
+    assert resources.leaked_segments() == {}
+    assert resources.finalize() == []
+
+
+def test_attach_only_segments_are_not_charged(sanitized):
+    shared_memory = pytest.importorskip("multiprocessing.shared_memory")
+    segment = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        attached = shared_memory.SharedMemory(name=segment.name)
+        attached.close()
+        # only the creating handle owns the leak accounting
+        assert list(resources.leaked_segments()) == [segment.name]
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_memmap_census_counts_opens(sanitized, tmp_path):
+    np = pytest.importorskip("numpy")
+    target = tmp_path / "m.dat"
+    target.write_bytes(b"\0" * 64)
+    before = resources.memmap_open_count()
+    mapped = np.memmap(target, dtype="u1", mode="r")
+    assert resources.memmap_open_count() == before + 1
+    del mapped
+
+
+# ----------------------------------------------------------------------
+# event-loop debug hook
+# ----------------------------------------------------------------------
+def test_new_event_loops_run_in_debug_mode(sanitized):
+    loop = asyncio.new_event_loop()
+    try:
+        assert loop.get_debug()
+        assert loop.slow_callback_duration == \
+            loopcheck.SLOW_CALLBACK_SECONDS
+    finally:
+        loop.close()
+
+
+def test_slow_callback_log_record_becomes_violation(sanitized):
+    import logging
+
+    logging.getLogger("asyncio").warning(
+        "Executing <Handle fake()> took 0.412 seconds"
+    )
+    assert "event_loop_blocked" in _kinds()
+
+
+# ----------------------------------------------------------------------
+# report plumbing
+# ----------------------------------------------------------------------
+def test_write_report_shape(sanitized, tmp_path):
+    import json
+
+    make_a, make_b, _ = _repro_lock_maker()
+    a, b = make_a(), make_b()
+    with a:
+        with b:
+            pass
+    path = sanitize.write_report(tmp_path / "report.json")
+    payload = json.loads(path.read_text())
+    assert payload["violations"] == []
+    assert payload["counts"] == {}
+    assert {
+        (e["first"], e["second"])
+        for e in payload["observed_lock_edges"]
+    } == {(a.site, b.site)}
+
+
+def test_enabled_reads_the_env_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize.enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not sanitize.enabled()
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert not sanitize.enabled()

@@ -133,7 +133,8 @@ def test_analyze_model_and_data_together(model_dir, data_dir, capsys):
 def test_analyze_without_flags_is_a_usage_error(capsys):
     code = main(["analyze"])
     assert code == 2
-    assert "--data and/or --model" in capsys.readouterr().err
+    assert "--data, --model, and/or --concurrency" in \
+        capsys.readouterr().err
 
 
 

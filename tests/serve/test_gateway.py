@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import re
 import socket
 from concurrent.futures import ThreadPoolExecutor
 
@@ -269,6 +270,76 @@ def test_shedding_keeps_the_batcher_bounded(registry):
                 snapshot["admission_shed_queue_total"] == 60
     finally:
         service.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP/1.1 pipelining
+# ----------------------------------------------------------------------
+def _pipelined_get(path: str) -> bytes:
+    return (
+        f"GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"
+    ).encode("ascii")
+
+
+def _read_until_closed(sock: socket.socket) -> bytes:
+    chunks = []
+    while True:
+        data = sock.recv(65536)
+        if not data:
+            return b"".join(chunks)
+        chunks.append(data)
+
+
+def _statuses(raw: bytes) -> list:
+    # A response line follows the previous body with no separator, so
+    # match the protocol marker anywhere rather than at line starts.
+    return [int(code) for code in re.findall(rb"HTTP/1\.1 (\d{3}) ", raw)]
+
+
+def test_pipelined_requests_answered_in_order(gateway):
+    """Requests sent back-to-back without waiting are all served, with
+    responses in request order (/models before /healthz here)."""
+    with socket.create_connection(
+        ("127.0.0.1", gateway.port), timeout=30
+    ) as sock:
+        sock.sendall(
+            _pipelined_get("/models")
+            + _pipelined_get("/healthz")
+            + _pipelined_get("/healthz")
+        )
+        buffered = b""
+        while buffered.count(b"HTTP/1.1 ") < 3:
+            data = sock.recv(65536)
+            assert data, f"connection closed early: {buffered!r}"
+            buffered += data
+    assert _statuses(buffered) == [200, 200, 200]
+    assert buffered.find(b'"models"') < buffered.find(b'"status"')
+
+
+def test_pipelining_beyond_cap_sheds_503_and_closes(service):
+    """A client that floods 12 pipelined requests into a depth-2 gateway
+    gets the queued answers, then 503 + connection close; the shed is
+    counter-tracked and the gateway stays healthy for new connections."""
+    with GatewayServer(service, max_pipeline=2) as gateway:
+        before = service.metrics.snapshot().get(
+            "gateway_pipeline_shed_total", 0
+        )
+        with socket.create_connection(
+            ("127.0.0.1", gateway.port), timeout=30
+        ) as sock:
+            sock.sendall(_pipelined_get("/healthz") * 12)
+            raw = _read_until_closed(sock)
+        statuses = _statuses(raw)
+        assert statuses[-1] == 503
+        assert set(statuses[:-1]) == {200}
+        assert len(statuses) <= 4  # cap + in-flight + the 503, not 12
+        assert b"pipelining depth exceeded" in raw
+        assert b"Connection: close" in raw
+        snapshot = service.metrics.snapshot()
+        assert snapshot["gateway_pipeline_shed_total"] == before + 1
+        # the connection died; the gateway did not
+        status, _, _ = _request(gateway, "GET", "/healthz")
+        assert status == 200
 
 
 # ----------------------------------------------------------------------

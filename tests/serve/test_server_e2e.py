@@ -251,3 +251,46 @@ def test_engine_counters_visible_on_metrics(http_server, service, serve_corpus):
     assert "engine_programs_evaluated_total" in body
     assert "engine_batches_total" in body
     assert "engine_folded_instructions_total" in body
+
+
+# ----------------------------------------------------------------------
+# pool construction: fork-outside-lock regression
+# ----------------------------------------------------------------------
+def test_concurrent_pool_for_yields_one_pool(serve_corpus, model_dir):
+    """_pool_for builds the WorkerPool outside _pools_lock (a fork while
+    a lock is held copies the held mutex into every worker).  The
+    double-checked rebuild must still converge: racing callers all get
+    the same pool, the losers' pools are shut down, and the registry
+    holds exactly the winner."""
+    registry = ModelRegistry(serve_corpus)
+    registry.register("default", model_dir)
+    service = InferenceService(
+        registry, n_workers=0, max_batch_size=8, max_delay=0.005
+    )
+    try:
+        entry = service.registry.get()
+        start = threading.Barrier(8)
+        pools = []
+        pools_lock = threading.Lock()
+
+        def build():
+            start.wait()
+            pool = service._pool_for(entry)
+            with pools_lock:
+                pools.append(pool)
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(pools) == 8
+        assert len({id(pool) for pool in pools}) == 1
+        stored_version, stored_pool = service._pools[entry.name]
+        assert stored_version == entry.version
+        assert stored_pool is pools[0]
+        # repeat calls keep returning the cached pool
+        assert service._pool_for(entry) is stored_pool
+    finally:
+        service.close()
